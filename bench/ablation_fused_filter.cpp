@@ -1,0 +1,50 @@
+// Ablation for the §3.1 design decision the paper evaluates and REJECTS:
+// fusing the last filtering kernel into the final iteration-fused kernel.
+// "It is possible to fuse the last filtering kernel too, but we do not
+// adopt this strategy in our experiments because it reduces performance for
+// adversarial distribution."
+//
+// Expected shape: fusing saves a launch on uniform data (slightly faster or
+// a wash), but on the radix-adversarial distribution the single last block
+// has to scan ~N unbuffered candidates alone, and the fused variant falls
+// off a cliff.
+
+#include <iomanip>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace topk;
+  using namespace topk::bench;
+
+  const BenchScale scale = BenchScale::from_env();
+  const simgpu::DeviceSpec spec = simgpu::DeviceSpec::a100();
+  const std::size_t k = 2048;
+
+  std::cout << "figure,distribution,n,k,separate_us,fused_us,"
+               "fused_over_separate\n";
+  std::cout << std::fixed << std::setprecision(2);
+  for (int log_n = 14; log_n <= scale.max_log_n + 2; log_n += 2) {
+    const std::size_t n = std::size_t{1} << log_n;
+    for (const auto& dist :
+         {data::DistributionSpec{data::Distribution::kUniform, 0},
+          data::DistributionSpec{data::Distribution::kAdversarial, 20}}) {
+      const auto values = data::generate(dist, n, 0xAB1 + n);
+      const double separate =
+          run_algo(spec, values, 1, n, k, Algo::kAirTopk, scale.verify)
+              .model_us;
+      const double fused =
+          run_algo(spec, values, 1, n, k, Algo::kAirTopkFusedFilter,
+                   scale.verify)
+              .model_us;
+      std::cout << "ablation_fused_filter," << dist.name() << "," << n << ","
+                << k << "," << separate << "," << fused << ","
+                << fused / separate << "\n";
+    }
+  }
+  std::cout << "# expected shape: ~<=1x on uniform (saved launch), >>1x on "
+               "adversarial (single-block scan of ~N candidates) — the "
+               "reason the paper keeps the separate last filter\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Reproduces Fig. 6: running time vs K for fixed N, batch size 1, under
+// uniform / normal / radix-adversarial distributions, for all algorithms.
+//
+// Paper setting: N in {2^15, 2^20, 2^25, 2^30}, K in 2^3..2^20 on an A100.
+// Here N is scaled to the emulator (TOPK_MAX_LOG_N, default 2^20) and K
+// sweeps powers of 8; reported times are modeled A100 device times.
+
+#include <iostream>
+#include <sstream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace topk;
+  using namespace topk::bench;
+
+  const BenchScale scale = BenchScale::from_env();
+  const simgpu::DeviceSpec spec = simgpu::DeviceSpec::a100();
+  CsvWriter csv("figure,distribution,n,k,batch,algorithm,time_us,verified");
+
+  const std::vector<data::DistributionSpec> dists = {
+      {data::Distribution::kUniform, 0},
+      {data::Distribution::kNormal, 0},
+      {data::Distribution::kAdversarial, 20},
+  };
+  std::vector<std::size_t> ns = {std::size_t{1} << 15,
+                                 std::size_t{1} << ((15 + scale.max_log_n) / 2),
+                                 std::size_t{1} << scale.max_log_n};
+
+  for (const auto& dist : dists) {
+    for (std::size_t n : ns) {
+      const auto values = data::generate(dist, n, 0xF16'6'000 + n);
+      for (std::size_t k = 8; k <= n / 2; k *= 8) {
+        for (Algo algo : all_algorithms()) {
+          if (k > max_k(algo, n)) continue;  // same gaps as the paper's plots
+          const RunResult r =
+              run_algo(spec, values, 1, n, k, algo, scale.verify);
+          std::ostringstream row;
+          row << "fig6," << dist.name() << "," << n << "," << k << ",1,\""
+              << algo_name(algo) << "\"," << r.model_us << ","
+              << (r.verified ? 1 : 0);
+          csv.row(row.str());
+        }
+      }
+    }
+  }
+  std::cout << "# fig6 done: lower is better; see EXPERIMENTS.md for the "
+               "paper-shape checklist\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Reproduces Fig. 7: running time vs N for fixed K, batch sizes 1 and 100,
+// under uniform / normal / radix-adversarial distributions.
+//
+// Paper setting: K in {32, 256, 32768}, N in 2^11..2^30 on an A100.  Here N
+// is capped by TOPK_MAX_LOG_N (default 2^20; batch-100 rows cap two octaves
+// lower to bound emulation time) and K=32768 is included when N allows.
+
+#include <iostream>
+#include <sstream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace topk;
+  using namespace topk::bench;
+
+  const BenchScale scale = BenchScale::from_env();
+  const simgpu::DeviceSpec spec = simgpu::DeviceSpec::a100();
+  CsvWriter csv("figure,distribution,n,k,batch,algorithm,time_us,verified");
+
+  const std::vector<data::DistributionSpec> dists = {
+      {data::Distribution::kUniform, 0},
+      {data::Distribution::kNormal, 0},
+      {data::Distribution::kAdversarial, 20},
+  };
+  const std::vector<std::size_t> ks = {32, 256, 32768};
+
+  for (const auto& dist : dists) {
+    for (std::size_t batch : {std::size_t{1}, std::size_t{100}}) {
+      const int max_log_n =
+          batch == 1 ? scale.max_log_n : std::max(11, scale.max_log_n - 4);
+      for (int log_n = 11; log_n <= max_log_n; log_n += 3) {
+        const std::size_t n = std::size_t{1} << log_n;
+        const auto values = data::generate(dist, batch * n, 0xF17'000 + n);
+        for (std::size_t k : ks) {
+          if (k > n) continue;
+          for (Algo algo : all_algorithms()) {
+            if (k > max_k(algo, n)) continue;
+            const RunResult r =
+                run_algo(spec, values, batch, n, k, algo,
+                         scale.verify && batch == 1);
+            std::ostringstream row;
+            row << "fig7," << dist.name() << "," << n << "," << k << ","
+                << batch << ",\"" << algo_name(algo) << "\"," << r.model_us
+                << "," << (r.verified ? 1 : 0);
+            csv.row(row.str());
+          }
+        }
+      }
+    }
+  }
+  std::cout << "# fig7 done\n";
+  return 0;
+}

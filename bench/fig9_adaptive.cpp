@@ -1,0 +1,40 @@
+// Reproduces Fig. 9: AIR Top-K with vs without the adaptive buffering
+// strategy on radix-adversarial distributions with M=10 and M=20, sweeping
+// N.  The speedup should grow with N and be larger for M=20 (paper: up to
+// 4.62x for M=10 and 6.53x for M=20).
+
+#include <iomanip>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace topk;
+  using namespace topk::bench;
+
+  const BenchScale scale = BenchScale::from_env();
+  const simgpu::DeviceSpec spec = simgpu::DeviceSpec::a100();
+  const std::size_t k = 2048;
+
+  std::cout << "figure,M,n,k,adaptive_us,non_adaptive_us,speedup\n";
+  std::cout << std::fixed << std::setprecision(2);
+  for (int m : {10, 20}) {
+    for (int log_n = 14; log_n <= scale.max_log_n + 2; log_n += 2) {
+      const std::size_t n = std::size_t{1} << log_n;
+      const auto values = data::radix_adversarial_values(n, m, 0x919 + n);
+      const double with_adaptive =
+          run_algo(spec, values, 1, n, k, Algo::kAirTopk, scale.verify)
+              .model_us;
+      const double without =
+          run_algo(spec, values, 1, n, k, Algo::kAirTopkNoAdaptive,
+                   scale.verify)
+              .model_us;
+      std::cout << "fig9," << m << "," << n << "," << k << ","
+                << with_adaptive << "," << without << ","
+                << without / with_adaptive << "\n";
+    }
+  }
+  std::cout << "# expected shape: speedup > 1, growing with N, larger for "
+               "M=20 than M=10\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// google-benchmark microbenchmarks of the top-K algorithms themselves,
+// reporting both emulator wall time (the benchmark metric) and modeled A100
+// device time (the `model_us` counter) for a representative configuration.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using topk::Algo;
+
+void run_algo_bench(benchmark::State& state, Algo algo) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  if (k > topk::max_k(algo, n)) {
+    state.SkipWithError("k unsupported for this algorithm");
+    return;
+  }
+  const auto values = topk::data::uniform_values(n, 42);
+  double model_us = 0.0;
+  for (auto _ : state) {
+    const auto r = topk::bench::run_algo(simgpu::DeviceSpec::a100(), values, 1,
+                                         n, k, algo, false);
+    model_us = r.model_us;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["model_us"] = model_us;
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+
+#define TOPK_BENCH(name, algo)                                 \
+  void BM_##name(benchmark::State& state) {                    \
+    run_algo_bench(state, algo);                               \
+  }                                                            \
+  BENCHMARK(BM_##name)->Args({1 << 18, 64})->Args({1 << 18, 2048})
+
+TOPK_BENCH(AirTopk, Algo::kAirTopk);
+TOPK_BENCH(GridSelect, Algo::kGridSelect);
+TOPK_BENCH(RadixSelect, Algo::kRadixSelect);
+TOPK_BENCH(WarpSelect, Algo::kWarpSelect);
+TOPK_BENCH(BlockSelect, Algo::kBlockSelect);
+TOPK_BENCH(QuickSelect, Algo::kQuickSelect);
+TOPK_BENCH(BucketSelect, Algo::kBucketSelect);
+TOPK_BENCH(SampleSelect, Algo::kSampleSelect);
+TOPK_BENCH(Sort, Algo::kSort);
+
+void BM_BitonicTopk(benchmark::State& state) {
+  run_algo_bench(state, Algo::kBitonicTopk);
+}
+BENCHMARK(BM_BitonicTopk)->Args({1 << 18, 64})->Args({1 << 18, 256});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,119 @@
+// google-benchmark microbenchmarks of the simulated-GPU substrate: kernel
+// launch + pool dispatch, accounted loads/stores, atomics, warp primitives,
+// and the bitonic networks.  These measure *emulator wall time*, which is
+// what bounds how large a sweep the paper-figure benches can run.
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "simgpu/simgpu.hpp"
+#include "topk/bitonic.hpp"
+
+namespace {
+
+void BM_LaunchOverhead(benchmark::State& state) {
+  simgpu::Device dev;
+  for (auto _ : state) {
+    simgpu::launch(dev, {"noop", static_cast<int>(state.range(0)), 256},
+                   [](simgpu::BlockCtx&) {});
+    dev.clear_events();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LaunchOverhead)->Arg(1)->Arg(64)->Arg(1024);
+
+void BM_AccountedStreamRead(benchmark::State& state) {
+  simgpu::Device dev;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto buf = dev.alloc<float>(n);
+  std::iota(buf.data(), buf.data() + n, 0.0f);
+  const int blocks = 64;
+  for (auto _ : state) {
+    simgpu::launch(dev, {"read", blocks, 256}, [=](simgpu::BlockCtx& ctx) {
+      const std::size_t per = n / blocks;
+      const auto b = static_cast<std::size_t>(ctx.block_idx());
+      float acc = 0.0f;
+      for (std::size_t i = b * per; i < (b + 1) * per; ++i) {
+        acc += ctx.load(buf, i);
+      }
+      benchmark::DoNotOptimize(acc);
+    });
+    dev.clear_events();
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<long>(n) * 4);
+}
+BENCHMARK(BM_AccountedStreamRead)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_GlobalAtomics(benchmark::State& state) {
+  simgpu::Device dev;
+  auto counter = dev.alloc_zero<std::uint64_t>(1);
+  for (auto _ : state) {
+    simgpu::launch(dev, {"atomics", 64, 256}, [=](simgpu::BlockCtx& ctx) {
+      for (int i = 0; i < 1024; ++i) {
+        ctx.atomic_add(counter, 0, std::uint64_t{1});
+      }
+    });
+    dev.clear_events();
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * 1024);
+}
+BENCHMARK(BM_GlobalAtomics);
+
+void BM_WarpBallot(benchmark::State& state) {
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    const std::uint32_t mask =
+        simgpu::Warp::ballot([&](int lane) { return (lane ^ x) & 1; });
+    x += mask;
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_WarpBallot);
+
+void BM_BitonicSort(benchmark::State& state) {
+  simgpu::Device dev;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::mt19937 rng(1);
+  std::vector<float> keys(n);
+  std::vector<std::uint32_t> idx(n);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) {
+      keys[i] = static_cast<float>(rng());
+      idx[i] = static_cast<std::uint32_t>(i);
+    }
+    simgpu::launch(dev, {"sort", 1, 32}, [&](simgpu::BlockCtx& ctx) {
+      topk::bitonic_sort<float>(ctx, keys, idx);
+    });
+    dev.clear_events();
+    benchmark::DoNotOptimize(keys.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_BitonicSort)->Arg(32)->Arg(256)->Arg(2048);
+
+void BM_MergePrune(benchmark::State& state) {
+  simgpu::Device dev;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<float> a(n), b(n);
+  std::vector<std::uint32_t> ai(n), bi(n);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = static_cast<float>(2 * i);
+      b[i] = static_cast<float>(2 * i + 1);
+    }
+    simgpu::launch(dev, {"merge", 1, 32}, [&](simgpu::BlockCtx& ctx) {
+      topk::merge_prune<float>(ctx, a, ai, b, bi);
+    });
+    dev.clear_events();
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_MergePrune)->Arg(256)->Arg(2048);
+
+}  // namespace
+
+BENCHMARK_MAIN();

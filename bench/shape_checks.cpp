@@ -1,0 +1,138 @@
+// Self-verifying reproduction harness: runs miniature sweeps and checks the
+// paper's qualitative claims programmatically.  Prints one PASS/FAIL line
+// per claim with the measured numbers; exits non-zero if any claim fails.
+//
+// This is the quick "did the reproduction hold?" gate; the fig*/table*
+// binaries produce the full data.
+
+#include <cmath>
+#include <iomanip>
+#include <iostream>
+#include <string>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace topk;
+using namespace topk::bench;
+
+int failures = 0;
+
+void check(const std::string& claim, bool ok, const std::string& detail) {
+  std::cout << (ok ? "[PASS] " : "[FAIL] ") << claim << "  (" << detail
+            << ")\n";
+  if (!ok) ++failures;
+}
+
+std::string ratio(double a, double b) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2) << a << " vs " << b << " us, "
+     << a / b << "x";
+  return os.str();
+}
+
+}  // namespace
+
+int main() {
+  const simgpu::DeviceSpec a100 = simgpu::DeviceSpec::a100();
+  const std::size_t n = 1 << 20;
+  const auto uniform = data::uniform_values(n, 1);
+  const auto adversarial = data::radix_adversarial_values(n, 20, 2);
+
+  const auto t = [&](std::span<const float> d, std::size_t batch,
+                     std::size_t nn, std::size_t k, Algo algo,
+                     const simgpu::DeviceSpec& spec = simgpu::DeviceSpec::a100()) {
+    return run_algo(spec, d, batch, nn, k, algo, false).model_us;
+  };
+
+  // §5.1 / Fig 6: radix selection is flat in K; partial sorting is not.
+  const double air_k8 = t(uniform, 1, n, 8, Algo::kAirTopk);
+  const double air_k256k = t(uniform, 1, n, 1 << 18, Algo::kAirTopk);
+  check("AIR Top-K time is (near-)flat in K", air_k256k < 1.5 * air_k8,
+        ratio(air_k256k, air_k8));
+
+  const double grid_k8 = t(uniform, 1, n, 8, Algo::kGridSelect);
+  const double grid_k2048 = t(uniform, 1, n, 2048, Algo::kGridSelect);
+  check("partial sorting cost climbs with K", grid_k2048 > 2.0 * grid_k8,
+        ratio(grid_k2048, grid_k8));
+
+  // Fig 6 guideline: GridSelect beats AIR for small K at large N.
+  check("GridSelect faster than AIR for K < 256", grid_k8 < air_k8,
+        ratio(grid_k8, air_k8));
+  check("AIR faster than GridSelect for large K", air_k256k < grid_k2048,
+        ratio(air_k256k, grid_k2048));
+
+  // §5.2.1: iteration fusion beats the host-managed baseline.
+  const double radix = t(uniform, 1, n, 2048, Algo::kRadixSelect);
+  const double air = t(uniform, 1, n, 2048, Algo::kAirTopk);
+  check("AIR >= 2x over host-managed RadixSelect (batch 1)",
+        radix > 2.0 * air, ratio(radix, air));
+
+  // Batch 100: the fused design amortizes launches; baselines do not.
+  const std::size_t bn = 1 << 14;
+  const auto batch_data = data::uniform_values(100 * bn, 3);
+  const double air_b100 = t(batch_data, 100, bn, 256, Algo::kAirTopk);
+  const double radix_b100 = t(batch_data, 100, bn, 256, Algo::kRadixSelect);
+  check("AIR >= 50x over RadixSelect at batch 100",
+        radix_b100 > 50.0 * air_b100, ratio(radix_b100, air_b100));
+
+  // §3.2 / Fig 9: the adaptive strategy defuses the adversarial case.
+  const double air_adv = t(adversarial, 1, n, 2048, Algo::kAirTopk);
+  const double air_adv_na = t(adversarial, 1, n, 2048,
+                              Algo::kAirTopkNoAdaptive);
+  check("adaptive strategy helps on adversarial data",
+        air_adv_na > 1.5 * air_adv, ratio(air_adv_na, air_adv));
+  const double radix_adv = t(adversarial, 1, n, 2048, Algo::kRadixSelect);
+  check("adversarial data hurts RadixSelect much more than AIR",
+        (radix_adv / radix) > 1.5 && (air_adv / air) < 1.3,
+        "radix +" + std::to_string(radix_adv / radix) + "x, air +" +
+            std::to_string(air_adv / air) + "x");
+
+  // §3.3 / Fig 10: early stopping is free when it cannot fire.
+  const double air_es = t(uniform, 1, n, 2048, Algo::kAirTopk);
+  const double air_no_es = t(uniform, 1, n, 2048, Algo::kAirTopkNoEarlyStop);
+  check("early stopping never costs anything", air_es <= 1.02 * air_no_es,
+        ratio(air_es, air_no_es));
+
+  // §3.1: fusing the last filter backfires on adversarial data.
+  const double fused_adv = t(adversarial, 1, n, 2048,
+                             Algo::kAirTopkFusedFilter);
+  check("fused last filter is slower on adversarial data (why the paper "
+        "rejects it)",
+        fused_adv > 2.0 * air_adv, ratio(fused_adv, air_adv));
+
+  // Fig 7: WarpSelect's single warp collapses as N grows.
+  const double warp_small = t(uniform, 1, 1 << 14, 32, Algo::kWarpSelect);
+  const double warp_big = t(uniform, 1, n, 32, Algo::kWarpSelect);
+  check("WarpSelect degrades superlinearly in N (single-warp parallelism)",
+        warp_big / warp_small > 32.0, ratio(warp_big, warp_small));
+  const double grid_big = t(uniform, 1, n, 32, Algo::kGridSelect);
+  const double block_big = t(uniform, 1, n, 32, Algo::kBlockSelect);
+  check("GridSelect's multi-block launch beats BlockSelect at large N",
+        block_big > 10.0 * grid_big, ratio(block_big, grid_big));
+
+  // §5.4 / Fig 12: memory-bound performance tracks bandwidth.
+  const double on_h100 = t(uniform, 1, n, 2048, Algo::kAirTopk,
+                           simgpu::DeviceSpec::h100());
+  const double on_a10 = t(uniform, 1, n, 2048, Algo::kAirTopk,
+                          simgpu::DeviceSpec::a10());
+  check("AIR ranks H100 < A100 < A10 (bandwidth ordering)",
+        on_h100 < air && air < on_a10,
+        std::to_string(on_h100) + " / " + std::to_string(air) + " / " +
+            std::to_string(on_a10) + " us");
+
+  // Correctness gate over everything (small but adversarial mix).
+  bool all_ok = true;
+  const auto mix = data::radix_adversarial_values(1 << 15, 20, 9);
+  for (Algo algo : all_algorithms()) {
+    const std::size_t k = std::min<std::size_t>(128, max_k(algo, mix.size()));
+    all_ok &= run_algo(a100, mix, 1, mix.size(), k, algo, true).verified;
+  }
+  check("all 10 algorithms verify against std::nth_element", all_ok,
+        "adversarial M=20, n=2^15");
+
+  std::cout << (failures == 0 ? "ALL SHAPE CHECKS PASSED\n"
+                              : std::to_string(failures) + " CHECKS FAILED\n");
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,99 @@
+// Reproduces Table 2: speedup ranges of AIR Top-K over RadixSelect, of
+// GridSelect over BlockSelect, and of AIR Top-K over the virtual SOTA (the
+// best prior algorithm per configuration), for batch sizes 1 and 100 under
+// the three distributions.
+//
+// The sweep is the union of the Fig. 6 / Fig. 7 grids, scaled down to the
+// emulator via TOPK_MAX_LOG_N.
+
+#include <iomanip>
+#include <iostream>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using topk::Algo;
+
+struct Range {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = 0.0;
+  void add(double v) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  [[nodiscard]] bool valid() const { return hi > 0.0; }
+};
+
+const std::array<Algo, 8> kBaselines = {
+    Algo::kSort,        Algo::kWarpSelect,   Algo::kBlockSelect,
+    Algo::kBitonicTopk, Algo::kQuickSelect,  Algo::kBucketSelect,
+    Algo::kSampleSelect, Algo::kRadixSelect,
+};
+
+}  // namespace
+
+int main() {
+  using namespace topk;
+  using namespace topk::bench;
+
+  const BenchScale scale = BenchScale::from_env();
+  const simgpu::DeviceSpec spec = simgpu::DeviceSpec::a100();
+
+  const std::vector<data::DistributionSpec> dists = {
+      {data::Distribution::kUniform, 0},
+      {data::Distribution::kNormal, 0},
+      {data::Distribution::kAdversarial, 20},
+  };
+
+  std::cout << "batch,distribution,air_vs_radixselect,gridselect_vs_"
+               "blockselect,air_vs_sota\n";
+  for (std::size_t batch : {std::size_t{1}, std::size_t{100}}) {
+    const int max_log_n =
+        batch == 1 ? scale.max_log_n : std::max(12, scale.max_log_n - 4);
+    for (const auto& dist : dists) {
+      Range air_vs_radix, grid_vs_block, air_vs_sota;
+      for (int log_n = 12; log_n <= max_log_n; log_n += 4) {
+        const std::size_t n = std::size_t{1} << log_n;
+        const auto values = data::generate(dist, batch * n, 0x7AB2 + n);
+        for (std::size_t k : {std::size_t{32}, std::size_t{512},
+                              std::size_t{8192}}) {
+          if (k > n / 2) continue;
+          std::map<Algo, double> t;
+          for (Algo algo : all_algorithms()) {
+            if (k > max_k(algo, n)) continue;
+            t[algo] =
+                run_algo(spec, values, batch, n, k, algo, false).model_us;
+          }
+          const double air = t.at(Algo::kAirTopk);
+          air_vs_radix.add(t.at(Algo::kRadixSelect) / air);
+          if (t.count(Algo::kGridSelect) && t.count(Algo::kBlockSelect)) {
+            grid_vs_block.add(t.at(Algo::kBlockSelect) /
+                              t.at(Algo::kGridSelect));
+          }
+          double sota = std::numeric_limits<double>::infinity();
+          for (Algo b : kBaselines) {
+            if (t.count(b)) sota = std::min(sota, t.at(b));
+          }
+          air_vs_sota.add(sota / air);
+        }
+      }
+      std::ostringstream row;
+      row << std::fixed << std::setprecision(2);
+      row << batch << "," << dist.name() << "," << air_vs_radix.lo << "-"
+          << air_vs_radix.hi << "," << grid_vs_block.lo << "-"
+          << grid_vs_block.hi << "," << air_vs_sota.lo << "-"
+          << air_vs_sota.hi;
+      std::cout << row.str() << "\n";
+    }
+  }
+  std::cout << "# paper Table 2 (A100, N up to 2^30): AIR vs RadixSelect "
+               "2-21x (batch 1) / 8-575x (batch 100); GridSelect vs "
+               "BlockSelect up to 882x (batch 1) / up to 9.8x (batch 100); "
+               "AIR vs SOTA 1.4-7.3x (batch 1) / 1.4-31.9x (batch 100)\n";
+  return 0;
+}

@@ -1,0 +1,127 @@
+#include "core/dr_topk.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "topk/common.hpp"
+
+namespace topk {
+
+namespace {
+
+/// Auto subrange size: balance the two follow-up selections — the delegate
+/// pass works on n/g elements and the candidate pass on k*g, so
+/// g = sqrt(n/k) equalizes them (both become sqrt(n*k) << n).
+std::size_t auto_subrange(std::size_t n, std::size_t k) {
+  const auto g = static_cast<std::size_t>(
+      std::sqrt(static_cast<double>(n) / static_cast<double>(k)));
+  return std::clamp<std::size_t>(g, 1, std::max<std::size_t>(1, n / k));
+}
+
+}  // namespace
+
+void dr_topk(simgpu::Device& dev, simgpu::DeviceBuffer<float> in,
+             std::size_t batch, std::size_t n, std::size_t k,
+             simgpu::DeviceBuffer<float> out_vals,
+             simgpu::DeviceBuffer<std::uint32_t> out_idx,
+             const DrTopkOptions& opt) {
+  validate_problem(n, k, batch);
+  if (in.size() < batch * n || out_vals.size() < batch * k ||
+      out_idx.size() < batch * k) {
+    throw std::invalid_argument("dr_topk: buffer too small");
+  }
+  const std::size_t g = opt.subrange != 0 ? opt.subrange : auto_subrange(n, k);
+  const std::size_t subranges = (n + g - 1) / g;
+  if (subranges < k) {
+    throw std::invalid_argument(
+        "dr_topk: subrange too large (fewer than k subranges)");
+  }
+  if (k > max_k(opt.base, subranges) || k > max_k(opt.base, k * g)) {
+    throw std::invalid_argument("dr_topk: k unsupported by the base algorithm");
+  }
+
+  simgpu::ScopedWorkspace ws(dev);
+  auto delegates = dev.alloc<float>(subranges);
+  auto delegate_topk_val = dev.alloc<float>(k);
+  auto delegate_topk_idx = dev.alloc<std::uint32_t>(k);  // subrange ids
+  auto cand_val = dev.alloc<float>(k * g);
+  auto cand_orig = dev.alloc<std::uint32_t>(k * g);
+  auto cand_topk_val = dev.alloc<float>(k);
+  auto cand_topk_idx = dev.alloc<std::uint32_t>(k);
+
+  for (std::size_t prob = 0; prob < batch; ++prob) {
+    // ---- kernel 1: per-subrange minimum (the delegates) ------------------
+    {
+      const GridShape shape = make_grid(1, n, dev.spec());
+      const int bpp = shape.blocks_per_problem;
+      simgpu::LaunchConfig cfg{"dr_delegate_reduce", shape.total_blocks(),
+                               shape.block_threads};
+      simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
+        const auto [begin, end] = block_chunk(subranges, bpp, ctx.block_idx());
+        for (std::size_t s = begin; s < end; ++s) {
+          float best = std::numeric_limits<float>::infinity();
+          const std::size_t lo = s * g;
+          const std::size_t hi = std::min(n, lo + g);
+          for (std::size_t i = lo; i < hi; ++i) {
+            best = std::min(best, ctx.load(in, prob * n + i));
+          }
+          ctx.ops(hi - lo);
+          ctx.store(delegates, s, best);
+        }
+      });
+    }
+
+    // ---- base top-K over the delegates ------------------------------------
+    select_device(dev, delegates, 1, subranges, k, delegate_topk_val,
+                  delegate_topk_idx, opt.base);
+
+    // ---- kernel 2: gather the k winning subranges -------------------------
+    {
+      const GridShape shape = make_grid(1, k * g, dev.spec());
+      const int bpp = shape.blocks_per_problem;
+      simgpu::LaunchConfig cfg{"dr_gather", shape.total_blocks(),
+                               shape.block_threads};
+      simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
+        const auto [begin, end] = block_chunk(k, bpp, ctx.block_idx());
+        for (std::size_t r = begin; r < end; ++r) {
+          const std::uint32_t s = ctx.load(delegate_topk_idx, r);
+          const std::size_t lo = static_cast<std::size_t>(s) * g;
+          const std::size_t hi = std::min(n, lo + g);
+          for (std::size_t i = lo; i < hi; ++i) {
+            ctx.store(cand_val, r * g + (i - lo), ctx.load(in, prob * n + i));
+            ctx.store(cand_orig, r * g + (i - lo),
+                      static_cast<std::uint32_t>(i));
+          }
+          // Pad short tail subranges so the candidate array is dense.
+          for (std::size_t i = hi; i < lo + g; ++i) {
+            ctx.store(cand_val, r * g + (i - lo),
+                      std::numeric_limits<float>::infinity());
+            ctx.store(cand_orig, r * g + (i - lo), 0u);
+          }
+          ctx.ops(g);
+        }
+      });
+    }
+
+    // ---- base top-K over the k*g candidates -------------------------------
+    select_device(dev, cand_val, 1, k * g, k, cand_topk_val, cand_topk_idx,
+                  opt.base);
+
+    // ---- kernel 3: map candidate positions back to original indices -------
+    {
+      simgpu::LaunchConfig cfg{"dr_remap", 1, 256};
+      simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
+        for (std::size_t i = 0; i < k; ++i) {
+          const std::uint32_t at = ctx.load(cand_topk_idx, i);
+          ctx.store(out_vals, prob * k + i, ctx.load(cand_topk_val, i));
+          ctx.store(out_idx, prob * k + i, ctx.load(cand_orig, at));
+        }
+        ctx.ops(k);
+      });
+    }
+  }
+}
+
+}  // namespace topk

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/topk.hpp"
+#include "simgpu/simgpu.hpp"
+
+namespace topk {
+
+/// Options for the Dr. Top-K hybrid.
+struct DrTopkOptions {
+  /// Base top-K algorithm used for the delegate and candidate selections.
+  Algo base = Algo::kAirTopk;
+  /// Subrange size g (0 = auto).  The input is viewed as ceil(n/g)
+  /// subranges; soundness requires at least k subranges, which auto mode
+  /// guarantees.
+  std::size_t subrange = 0;
+};
+
+/// Dr. Top-K (Gaihre et al., SC '21): a delegate-centric *hybrid* method.
+///
+/// 1. Split the input into subranges and reduce each to its minimum (its
+///    "delegate") — one cheap coalesced pass.
+/// 2. Run a base top-K over the delegates; the k subranges with the
+///    smallest delegates are guaranteed to contain the global top-k
+///    (any element of rank <= k upper-bounds its subrange's delegate).
+/// 3. Gather those k subranges (k*g elements) and run the base top-K again.
+///
+/// The paper under reproduction treats Dr. Top-K as orthogonal related work
+/// that "benefits from a high-performance parallel top-K algorithm" as its
+/// building block (§2.2) — which bench/hybrid_dr_topk.cpp demonstrates by
+/// swapping the base between AIR Top-K and the host-managed RadixSelect.
+void dr_topk(simgpu::Device& dev, simgpu::DeviceBuffer<float> in,
+             std::size_t batch, std::size_t n, std::size_t k,
+             simgpu::DeviceBuffer<float> out_vals,
+             simgpu::DeviceBuffer<std::uint32_t> out_idx,
+             const DrTopkOptions& opt = {});
+
+}  // namespace topk

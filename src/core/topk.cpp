@@ -1,0 +1,309 @@
+#include "core/topk.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "topk/air_topk.hpp"
+#include "topk/bitonic_topk.hpp"
+#include "topk/bucket_select.hpp"
+#include "topk/grid_select.hpp"
+#include "topk/quick_select.hpp"
+#include "topk/radix_select.hpp"
+#include "topk/sample_select.hpp"
+#include "topk/sort_topk.hpp"
+#include "topk/warp_select.hpp"
+
+namespace topk {
+
+std::string algo_name(Algo algo) {
+  switch (algo) {
+    case Algo::kAirTopk: return "AIR Top-K";
+    case Algo::kGridSelect: return "GridSelect";
+    case Algo::kRadixSelect: return "RadixSelect";
+    case Algo::kWarpSelect: return "WarpSelect";
+    case Algo::kBlockSelect: return "BlockSelect";
+    case Algo::kBitonicTopk: return "Bitonic Top-K";
+    case Algo::kQuickSelect: return "QuickSelect";
+    case Algo::kBucketSelect: return "BucketSelect";
+    case Algo::kSampleSelect: return "SampleSelect";
+    case Algo::kSort: return "Sort";
+    case Algo::kAirTopkNoAdaptive: return "AIR Top-K (no adaptive)";
+    case Algo::kAirTopkNoEarlyStop: return "AIR Top-K (no early stop)";
+    case Algo::kAirTopkFusedFilter: return "AIR Top-K (fused last filter)";
+    case Algo::kGridSelectThreadQueue: return "GridSelect (thread queues)";
+  }
+  return "unknown";
+}
+
+std::optional<Algo> algo_from_string(std::string_view key) {
+  if (key == "air") return Algo::kAirTopk;
+  if (key == "grid") return Algo::kGridSelect;
+  if (key == "radixselect") return Algo::kRadixSelect;
+  if (key == "warp") return Algo::kWarpSelect;
+  if (key == "block") return Algo::kBlockSelect;
+  if (key == "bitonic") return Algo::kBitonicTopk;
+  if (key == "quick") return Algo::kQuickSelect;
+  if (key == "bucket") return Algo::kBucketSelect;
+  if (key == "sample") return Algo::kSampleSelect;
+  if (key == "sort") return Algo::kSort;
+  return std::nullopt;
+}
+
+std::span<const Algo> all_algorithms() {
+  static constexpr std::array<Algo, 10> kAll = {
+      Algo::kAirTopk,      Algo::kGridSelect,  Algo::kRadixSelect,
+      Algo::kWarpSelect,   Algo::kBlockSelect, Algo::kBitonicTopk,
+      Algo::kQuickSelect,  Algo::kBucketSelect, Algo::kSampleSelect,
+      Algo::kSort,
+  };
+  return kAll;
+}
+
+std::size_t max_k(Algo algo, std::size_t n) {
+  switch (algo) {
+    case Algo::kBitonicTopk:
+      return std::min<std::size_t>(n, 256);
+    case Algo::kWarpSelect:
+    case Algo::kBlockSelect:
+    case Algo::kGridSelect:
+    case Algo::kGridSelectThreadQueue:
+      return std::min<std::size_t>(n, 2048);
+    default:
+      return n;
+  }
+}
+
+Algo recommend_algorithm(std::size_t n, std::size_t k,
+                         const WorkloadHints& hints) {
+  validate_problem(n, k, 1);
+  if (hints.on_the_fly) {
+    if (k > max_k(Algo::kGridSelect, n)) {
+      throw std::invalid_argument(
+          "recommend_algorithm: on-the-fly selection supports k <= 2048");
+    }
+    return Algo::kGridSelect;
+  }
+  if (k < 256 && k <= max_k(Algo::kGridSelect, n)) {
+    return Algo::kGridSelect;
+  }
+  return Algo::kAirTopk;
+}
+
+void select_device(simgpu::Device& dev, simgpu::DeviceBuffer<float> in,
+                   std::size_t batch, std::size_t n, std::size_t k,
+                   simgpu::DeviceBuffer<float> out_vals,
+                   simgpu::DeviceBuffer<std::uint32_t> out_idx, Algo algo,
+                   const SelectOptions& opt) {
+  switch (algo) {
+    case Algo::kAirTopk: {
+      AirTopkOptions o;
+      o.alpha = opt.alpha;
+      o.greatest = opt.greatest;
+      air_topk(dev, in, batch, n, k, out_vals, out_idx, o);
+      return;
+    }
+    case Algo::kAirTopkNoAdaptive: {
+      AirTopkOptions o;
+      o.alpha = opt.alpha;
+      o.greatest = opt.greatest;
+      o.adaptive = false;
+      air_topk(dev, in, batch, n, k, out_vals, out_idx, o);
+      return;
+    }
+    case Algo::kAirTopkNoEarlyStop: {
+      AirTopkOptions o;
+      o.alpha = opt.alpha;
+      o.greatest = opt.greatest;
+      o.early_stopping = false;
+      air_topk(dev, in, batch, n, k, out_vals, out_idx, o);
+      return;
+    }
+    case Algo::kAirTopkFusedFilter: {
+      AirTopkOptions o;
+      o.alpha = opt.alpha;
+      o.greatest = opt.greatest;
+      o.fuse_last_filter = true;
+      air_topk(dev, in, batch, n, k, out_vals, out_idx, o);
+      return;
+    }
+    case Algo::kRadixSelect:
+      radix_select(dev, in, batch, n, k, out_vals, out_idx);
+      return;
+    case Algo::kGridSelect:
+      grid_select(dev, in, batch, n, k, out_vals, out_idx);
+      return;
+    case Algo::kGridSelectThreadQueue: {
+      GridSelectOptions o;
+      o.shared_queue = false;
+      grid_select(dev, in, batch, n, k, out_vals, out_idx, o);
+      return;
+    }
+    case Algo::kWarpSelect:
+      warp_select(dev, in, batch, n, k, out_vals, out_idx);
+      return;
+    case Algo::kBlockSelect:
+      block_select(dev, in, batch, n, k, out_vals, out_idx);
+      return;
+    case Algo::kBitonicTopk:
+      bitonic_topk(dev, in, batch, n, k, out_vals, out_idx);
+      return;
+    case Algo::kQuickSelect:
+      quick_select(dev, in, batch, n, k, out_vals, out_idx);
+      return;
+    case Algo::kBucketSelect:
+      bucket_select(dev, in, batch, n, k, out_vals, out_idx);
+      return;
+    case Algo::kSampleSelect:
+      sample_select(dev, in, batch, n, k, out_vals, out_idx);
+      return;
+    case Algo::kSort:
+      sort_topk(dev, in, batch, n, k, out_vals, out_idx);
+      return;
+  }
+  throw std::invalid_argument("select_device: unknown algorithm");
+}
+
+namespace {
+
+bool native_greatest(Algo algo) {
+  switch (algo) {
+    case Algo::kAirTopk:
+    case Algo::kAirTopkNoAdaptive:
+    case Algo::kAirTopkNoEarlyStop:
+    case Algo::kAirTopkFusedFilter:
+      return true;  // AIR complements its radix keys natively
+    default:
+      return false;
+  }
+}
+
+std::vector<SelectResult> run_on_device(simgpu::Device& dev,
+                                        std::span<const float> data,
+                                        std::size_t batch, std::size_t n,
+                                        std::size_t k, Algo algo,
+                                        const SelectOptions& opt) {
+  simgpu::ScopedWorkspace ws(dev);
+  auto in = dev.alloc<float>(batch * n);
+  std::copy(data.begin(), data.end(), in.data());
+  const bool negate = opt.greatest && !native_greatest(algo);
+  if (negate) {
+    // WLOG the paper selects the smallest K; for algorithms without a
+    // native largest-K order, negate on the way in and out.
+    for (std::size_t i = 0; i < batch * n; ++i) in.data()[i] = -in.data()[i];
+  }
+  auto out_vals = dev.alloc<float>(batch * k);
+  auto out_idx = dev.alloc<std::uint32_t>(batch * k);
+  select_device(dev, in, batch, n, k, out_vals, out_idx, algo, opt);
+  std::vector<SelectResult> results(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    SelectResult& r = results[b];
+    r.values.assign(out_vals.data() + b * k, out_vals.data() + (b + 1) * k);
+    r.indices.assign(out_idx.data() + b * k, out_idx.data() + (b + 1) * k);
+    if (negate) {
+      for (float& v : r.values) v = -v;
+    }
+    if (opt.sorted) {
+      std::vector<std::size_t> order(k);
+      for (std::size_t i = 0; i < k; ++i) order[i] = i;
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t c) {
+        return opt.greatest ? r.values[a] > r.values[c]
+                            : r.values[a] < r.values[c];
+      });
+      SelectResult sorted;
+      sorted.values.reserve(k);
+      sorted.indices.reserve(k);
+      for (std::size_t i : order) {
+        sorted.values.push_back(r.values[i]);
+        sorted.indices.push_back(r.indices[i]);
+      }
+      r = std::move(sorted);
+    }
+  }
+  return results;
+}
+
+}  // namespace
+
+SelectResult select(simgpu::Device& dev, std::span<const float> data,
+                    std::size_t k, Algo algo, const SelectOptions& opt) {
+  return run_on_device(dev, data, 1, data.size(), k, algo, opt).front();
+}
+
+std::vector<SelectResult> select_batch(simgpu::Device& dev,
+                                       std::span<const float> data,
+                                       std::size_t batch, std::size_t n,
+                                       std::size_t k, Algo algo,
+                                       const SelectOptions& opt) {
+  if (data.size() < batch * n) {
+    throw std::invalid_argument("select_batch: data smaller than batch * n");
+  }
+  return run_on_device(dev, data, batch, n, k, algo, opt);
+}
+
+SelectResult reference_select(std::span<const float> data, std::size_t k) {
+  std::vector<std::uint32_t> order(data.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<std::uint32_t>(i);
+  }
+  std::nth_element(order.begin(), order.begin() + static_cast<long>(k) - 1,
+                   order.end(), [&](std::uint32_t a, std::uint32_t b) {
+                     return data[a] < data[b];
+                   });
+  SelectResult r;
+  r.values.reserve(k);
+  r.indices.assign(order.begin(), order.begin() + static_cast<long>(k));
+  for (std::uint32_t i : r.indices) r.values.push_back(data[i]);
+  return r;
+}
+
+std::string verify_topk(std::span<const float> data, std::size_t k,
+                        const SelectResult& result) {
+  std::ostringstream err;
+  if (result.values.size() != k || result.indices.size() != k) {
+    err << "size mismatch: got " << result.values.size() << " values, "
+        << result.indices.size() << " indices, expected " << k;
+    return err.str();
+  }
+  std::vector<bool> seen(data.size(), false);
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::uint32_t idx = result.indices[i];
+    if (idx >= data.size()) {
+      err << "index " << idx << " out of range at position " << i;
+      return err.str();
+    }
+    if (seen[idx]) {
+      err << "duplicate index " << idx << " at position " << i;
+      return err.str();
+    }
+    seen[idx] = true;
+    if (!(data[idx] == result.values[i]) &&
+        !(std::isnan(data[idx]) && std::isnan(result.values[i]))) {
+      err << "value mismatch at position " << i << ": index " << idx
+          << " holds " << data[idx] << " but result says "
+          << result.values[i];
+      return err.str();
+    }
+  }
+  // Multiset equality with the reference top-k values.
+  std::vector<float> got = result.values;
+  std::vector<float> want(data.begin(), data.end());
+  std::nth_element(want.begin(), want.begin() + static_cast<long>(k) - 1,
+                   want.end());
+  want.resize(k);
+  std::sort(got.begin(), got.end());
+  std::sort(want.begin(), want.end());
+  for (std::size_t i = 0; i < k; ++i) {
+    if (got[i] != want[i]) {
+      err << "value multiset differs at sorted position " << i << ": got "
+          << got[i] << ", want " << want[i];
+      return err.str();
+    }
+  }
+  return {};
+}
+
+}  // namespace topk

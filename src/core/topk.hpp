@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "simgpu/simgpu.hpp"
+
+namespace topk {
+
+/// Every algorithm in the benchmark (paper Table 1 plus the two proposed
+/// methods and their ablation variants).
+enum class Algo {
+  kAirTopk,             ///< AIR Top-K (this paper, §3)
+  kGridSelect,          ///< GridSelect (this paper, §4)
+  kRadixSelect,         ///< host-managed RadixSelect (DrTopK)
+  kWarpSelect,          ///< Faiss WarpSelect: one warp, per-thread queues
+  kBlockSelect,         ///< Faiss BlockSelect: one block of 4 warps
+  kBitonicTopk,         ///< Bitonic Top-K (Shanbhag et al.), K <= 256
+  kQuickSelect,         ///< GpuSelection QuickSelect
+  kBucketSelect,        ///< GpuSelection BucketSelect
+  kSampleSelect,        ///< GpuSelection SampleSelect
+  kSort,                ///< full radix sort (CUB style) then take K
+  // --- ablation variants ---
+  kAirTopkNoAdaptive,   ///< AIR without the adaptive buffering (Fig. 9)
+  kAirTopkNoEarlyStop,  ///< AIR without early stopping (Fig. 10)
+  kAirTopkFusedFilter,  ///< AIR with the last filter fused (§3.1, rejected)
+  kGridSelectThreadQueue,  ///< GridSelect with per-thread queues (Fig. 11)
+};
+
+[[nodiscard]] std::string algo_name(Algo algo);
+
+/// Parse a short algorithm key ("air", "grid", "radixselect", "warp",
+/// "block", "bitonic", "quick", "bucket", "sample", "sort") — the names the
+/// CLI and scripts use.  Returns nullopt for unknown keys.
+[[nodiscard]] std::optional<Algo> algo_from_string(std::string_view key);
+
+/// All benchmarkable algorithms in a stable order (main methods first).
+[[nodiscard]] std::span<const Algo> all_algorithms();
+
+/// Maximum supported K for an algorithm at problem size n (0 = unsupported).
+/// Partial-sorting methods have hard K limits (paper §2.2: 256 for Bitonic
+/// Top-K, 2048 for the selection queues).
+[[nodiscard]] std::size_t max_k(Algo algo, std::size_t n);
+
+/// Workload description for algorithm recommendation.
+struct WorkloadHints {
+  /// Values are produced inside another kernel and must be consumed
+  /// on-the-fly (only the WarpSelect family can do this — paper §2.2).
+  bool on_the_fly = false;
+};
+
+/// The paper's §5.1 usage guidelines as an API:
+///  1) on-the-fly processing -> GridSelect;
+///  2) large N with small K (< 256) -> GridSelect (the measured winner);
+///  3) everything else -> AIR Top-K.
+/// Throws if the hints are unsatisfiable (on-the-fly with k > 2048).
+[[nodiscard]] Algo recommend_algorithm(std::size_t n, std::size_t k,
+                                       const WorkloadHints& hints = {});
+
+/// Result of one top-K problem: the k smallest values and their indices in
+/// the input list.  Order within the result set is unspecified.
+struct SelectResult {
+  std::vector<float> values;
+  std::vector<std::uint32_t> indices;
+};
+
+/// Extra knobs forwarded to the algorithms.
+struct SelectOptions {
+  int alpha = 128;                ///< AIR adaptive threshold (paper §5: 128)
+  bool greatest = false;          ///< select largest instead of smallest
+  bool sorted = false;            ///< order results best-first
+};
+
+/// Run one top-K selection on the simulated device.  `data` is copied to the
+/// device outside the recorded event stream (the paper's timed region also
+/// starts with the data resident on the GPU).
+SelectResult select(simgpu::Device& dev, std::span<const float> data,
+                    std::size_t k, Algo algo, const SelectOptions& opt = {});
+
+/// Batched selection: `data` holds `batch` problems of `n` contiguous
+/// elements; returns one result per problem.
+std::vector<SelectResult> select_batch(simgpu::Device& dev,
+                                       std::span<const float> data,
+                                       std::size_t batch, std::size_t n,
+                                       std::size_t k, Algo algo,
+                                       const SelectOptions& opt = {});
+
+/// Device-side entry point used by the benches: input already resident on
+/// the device, outputs written to device buffers, events recorded on `dev`.
+void select_device(simgpu::Device& dev, simgpu::DeviceBuffer<float> in,
+                   std::size_t batch, std::size_t n, std::size_t k,
+                   simgpu::DeviceBuffer<float> out_vals,
+                   simgpu::DeviceBuffer<std::uint32_t> out_idx, Algo algo,
+                   const SelectOptions& opt = {});
+
+/// Reference result via std::nth_element (for verification).
+SelectResult reference_select(std::span<const float> data, std::size_t k);
+
+/// Check that `result` is a correct top-k answer for `data`: indices valid
+/// and distinct, values match data[index], and the value multiset equals the
+/// reference top-k multiset.  Returns an empty string on success, otherwise
+/// a description of the first violation.
+std::string verify_topk(std::span<const float> data, std::size_t k,
+                        const SelectResult& result);
+
+}  // namespace topk

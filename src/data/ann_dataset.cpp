@@ -1,0 +1,96 @@
+#include "data/ann_dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace topk::data {
+
+namespace {
+
+void fill_deep_row(std::mt19937_64& rng, float* row, std::size_t dim) {
+  std::normal_distribution<float> dist(0.0f, 1.0f);
+  double norm_sq = 0.0;
+  for (std::size_t d = 0; d < dim; ++d) {
+    row[d] = dist(rng);
+    norm_sq += static_cast<double>(row[d]) * row[d];
+  }
+  const auto inv = static_cast<float>(1.0 / std::sqrt(std::max(norm_sq, 1e-12)));
+  for (std::size_t d = 0; d < dim; ++d) row[d] *= inv;
+}
+
+void fill_sift_row(std::mt19937_64& rng, float* row, std::size_t dim) {
+  // SIFT descriptors are gradient-orientation histograms: non-negative,
+  // heavy-tailed, clipped.  |N(0, 60)| clipped to [0, 218] reproduces the
+  // classic uint8 profile closely enough for distance-array statistics.
+  std::normal_distribution<float> dist(0.0f, 60.0f);
+  for (std::size_t d = 0; d < dim; ++d) {
+    row[d] = std::min(std::abs(dist(rng)), 218.0f);
+  }
+}
+
+}  // namespace
+
+AnnDataset make_deep_like(std::size_t count, std::uint64_t seed,
+                          std::size_t dim) {
+  AnnDataset ds;
+  ds.name = "DEEP-like";
+  ds.dim = dim;
+  ds.count = count;
+  ds.vectors.resize(count * dim);
+  std::mt19937_64 rng(seed);
+  for (std::size_t i = 0; i < count; ++i) {
+    fill_deep_row(rng, ds.vectors.data() + i * dim, dim);
+  }
+  return ds;
+}
+
+AnnDataset make_sift_like(std::size_t count, std::uint64_t seed,
+                          std::size_t dim) {
+  AnnDataset ds;
+  ds.name = "SIFT-like";
+  ds.dim = dim;
+  ds.count = count;
+  ds.vectors.resize(count * dim);
+  std::mt19937_64 rng(seed);
+  for (std::size_t i = 0; i < count; ++i) {
+    fill_sift_row(rng, ds.vectors.data() + i * dim, dim);
+  }
+  return ds;
+}
+
+std::vector<float> l2_distances(const AnnDataset& dataset, const float* query,
+                                std::size_t n) {
+  if (n > dataset.count) {
+    throw std::invalid_argument("l2_distances: n exceeds dataset size");
+  }
+  std::vector<float> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = dataset.vector(i);
+    double acc = 0.0;
+    for (std::size_t d = 0; d < dataset.dim; ++d) {
+      const double diff = static_cast<double>(row[d]) - query[d];
+      acc += diff * diff;
+    }
+    out[i] = static_cast<float>(acc);
+  }
+  return out;
+}
+
+std::vector<float> make_queries(const AnnDataset& dataset, std::size_t count,
+                                std::uint64_t seed) {
+  std::vector<float> out(count * dataset.dim);
+  std::mt19937_64 rng(seed ^ 0x9E3779B97F4A7C15ull);
+  for (std::size_t i = 0; i < count; ++i) {
+    float* row = out.data() + i * dataset.dim;
+    if (dataset.name == "SIFT-like") {
+      fill_sift_row(rng, row, dataset.dim);
+    } else {
+      fill_deep_row(rng, row, dataset.dim);
+    }
+  }
+  return out;
+}
+
+}  // namespace topk::data

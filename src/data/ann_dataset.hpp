@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace topk::data {
+
+/// A synthetic stand-in for the ANN benchmark datasets used in the paper's
+/// Fig. 13 (DEEP1B and SIFT).  We cannot ship the real datasets, so we
+/// generate vector sets with matched dimensionality and first-order
+/// statistics; what the top-K algorithms consume is the *distance array*
+/// between a query and the candidates, and those arrays have the same
+/// qualitative shape (narrow, positively skewed value ranges) as the real
+/// ones.  See DESIGN.md for the substitution rationale.
+struct AnnDataset {
+  std::string name;
+  std::size_t dim = 0;
+  std::size_t count = 0;
+  /// Row-major `count x dim` vectors.
+  std::vector<float> vectors;
+
+  [[nodiscard]] const float* vector(std::size_t i) const {
+    return vectors.data() + i * dim;
+  }
+};
+
+/// DEEP1B-like: 96-dimensional CNN descriptors, L2-normalized Gaussian.
+AnnDataset make_deep_like(std::size_t count, std::uint64_t seed,
+                          std::size_t dim = 96);
+
+/// SIFT-like: 128-dimensional non-negative local descriptors with the
+/// heavy-tailed, clipped-magnitude profile of SIFT histograms (values in
+/// [0, 218] like the classic uint8-quantized descriptors).
+AnnDataset make_sift_like(std::size_t count, std::uint64_t seed,
+                          std::size_t dim = 128);
+
+/// Squared L2 distances between `query` (length dataset.dim) and the first
+/// `n` dataset vectors — the input array the top-K step of an ANN search
+/// consumes.
+std::vector<float> l2_distances(const AnnDataset& dataset, const float* query,
+                                std::size_t n);
+
+/// Generate `count` query vectors with the same distribution as the dataset.
+std::vector<float> make_queries(const AnnDataset& dataset, std::size_t count,
+                                std::uint64_t seed);
+
+}  // namespace topk::data

@@ -1,0 +1,80 @@
+#include "data/distributions.hpp"
+
+#include <bit>
+#include <random>
+#include <stdexcept>
+
+namespace topk::data {
+
+std::string DistributionSpec::name() const {
+  switch (kind) {
+    case Distribution::kUniform:
+      return "uniform";
+    case Distribution::kNormal:
+      return "normal";
+    case Distribution::kAdversarial:
+      return "adversarial(M=" + std::to_string(adversarial_m) + ")";
+  }
+  return "unknown";
+}
+
+std::vector<float> uniform_values(std::size_t count, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  // (0, 1]: the paper's uniform range excludes zero.
+  std::uniform_real_distribution<float> dist(
+      std::nextafter(0.0f, 1.0f), 1.0f);
+  std::vector<float> out(count);
+  for (float& v : out) v = dist(rng);
+  return out;
+}
+
+std::vector<float> normal_values(std::size_t count, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<float> dist(0.0f, 1.0f);
+  std::vector<float> out(count);
+  for (float& v : out) v = dist(rng);
+  return out;
+}
+
+std::vector<float> radix_adversarial_values(std::size_t count, int m,
+                                            std::uint64_t seed) {
+  if (m < 1 || m > 31) {
+    throw std::invalid_argument("adversarial M must be in [1, 31]");
+  }
+  std::mt19937_64 rng(seed);
+  // Base pattern 1.0f = 0x3F800000: sign 0, exponent 0x7F.  Keeping the top
+  // m bits fixed and randomizing the rest yields floats in a narrow range
+  // just above 1.0 whose first m bits are identical.
+  const std::uint32_t base = 0x3F800000u;
+  const std::uint32_t low_mask = (m >= 32) ? 0u : (0xFFFFFFFFu >> m);
+  std::uniform_int_distribution<std::uint32_t> dist(0u, 0xFFFFFFFFu);
+  std::vector<float> out(count);
+  for (float& v : out) {
+    const std::uint32_t bits = (base & ~low_mask) | (dist(rng) & low_mask);
+    v = std::bit_cast<float>(bits);
+  }
+  return out;
+}
+
+std::vector<float> generate(const DistributionSpec& spec, std::size_t count,
+                            std::uint64_t seed) {
+  switch (spec.kind) {
+    case Distribution::kUniform:
+      return uniform_values(count, seed);
+    case Distribution::kNormal:
+      return normal_values(count, seed);
+    case Distribution::kAdversarial:
+      return radix_adversarial_values(count, spec.adversarial_m, seed);
+  }
+  throw std::invalid_argument("unknown distribution");
+}
+
+std::vector<std::uint32_t> uniform_u32(std::size_t count, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::uint32_t> dist;
+  std::vector<std::uint32_t> out(count);
+  for (auto& v : out) v = dist(rng);
+  return out;
+}
+
+}  // namespace topk::data

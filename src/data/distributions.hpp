@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace topk::data {
+
+/// The three synthetic input distributions of the paper's benchmark (§5.1):
+///  - kUniform:     uniform in (0, 1]
+///  - kNormal:      normal with mean 0, standard deviation 1
+///  - kAdversarial: "radix-adversarial" — the first M bits of every
+///    element's IEEE-754 representation are identical (e.g. floats in
+///    [1.0, 1.00049] share their first 20 bits), so early radix passes
+///    cannot discard any candidate.
+enum class Distribution { kUniform, kNormal, kAdversarial };
+
+struct DistributionSpec {
+  Distribution kind = Distribution::kUniform;
+  /// For kAdversarial: number of identical leading bits M (paper uses
+  /// M = 20 for the main benchmark, M in {10, 20} for Fig. 9).
+  int adversarial_m = 20;
+
+  [[nodiscard]] std::string name() const;
+};
+
+/// Generate `count` values of the given distribution.  Deterministic in
+/// `seed`.
+std::vector<float> generate(const DistributionSpec& spec, std::size_t count,
+                            std::uint64_t seed);
+
+std::vector<float> uniform_values(std::size_t count, std::uint64_t seed);
+std::vector<float> normal_values(std::size_t count, std::uint64_t seed);
+
+/// Floats whose first `m` bits (sign + leading exponent/mantissa bits) are
+/// all identical; the remaining low bits are uniformly random.
+std::vector<float> radix_adversarial_values(std::size_t count, int m,
+                                            std::uint64_t seed);
+
+/// Uniformly random 32-bit unsigned keys (used by integer-key tests).
+std::vector<std::uint32_t> uniform_u32(std::size_t count, std::uint64_t seed);
+
+}  // namespace topk::data

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace simgpu {
+
+/// A non-owning, pointer-like handle to a typed region of simulated device
+/// memory, analogous to a raw device pointer captured by value in a CUDA
+/// kernel.  The storage is owned by the Device that allocated it; handles
+/// remain valid until the Device is destroyed or reset.
+///
+/// Kernels must access device memory through the BlockCtx accessors
+/// (`load`/`store`/`atomic_*`) so that device-memory traffic is accounted;
+/// the raw `data()` escape hatch exists for host-side code (memcpy, result
+/// verification) only.
+template <typename T>
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+  DeviceBuffer(T* data, std::size_t size) : data_(data), size_(size) {}
+
+  [[nodiscard]] T* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size_bytes() const { return size_ * sizeof(T); }
+
+  /// Host-side view of the underlying storage (no traffic accounting).
+  [[nodiscard]] std::span<T> host_span() const { return {data_, size_}; }
+
+  /// Sub-range view, like pointer arithmetic on a device pointer.
+  [[nodiscard]] DeviceBuffer<T> subspan(std::size_t offset,
+                                        std::size_t count) const {
+    return DeviceBuffer<T>(data_ + offset, count);
+  }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace simgpu

@@ -1,0 +1,204 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "simgpu/buffer.hpp"
+#include "simgpu/device_spec.hpp"
+#include "simgpu/event.hpp"
+#include "simgpu/thread_pool.hpp"
+
+namespace simgpu {
+
+/// A simulated GPU: owns device memory, records the host-visible event stream
+/// (kernel launches, copies, synchronizations, interleaved host work) that
+/// the cost model later turns into a timeline, and carries the device spec.
+///
+/// Memory management mirrors a stack/arena style: `mark()` captures the
+/// current allocation state and `release_to()` rolls back to it, so an
+/// algorithm can allocate scratch space and return it wholesale when done
+/// (see ScopedWorkspace).  Underlying chunks are retained and reused across
+/// runs, so benchmark loops do not thrash the host allocator.
+///
+/// Host-side methods (alloc, memcpy, launch bookkeeping) must be called from
+/// a single host thread, matching how a CUDA stream is driven.
+class Device {
+ public:
+  explicit Device(DeviceSpec spec = DeviceSpec::a100())
+      : spec_(std::move(spec)) {}
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  [[nodiscard]] const DeviceSpec& spec() const { return spec_; }
+
+  /// ---- Memory ----------------------------------------------------------
+
+  /// Allocate `n` elements of uninitialized device memory.
+  template <typename T>
+  DeviceBuffer<T> alloc(std::size_t n) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "device memory holds trivially copyable types only");
+    void* p = raw_alloc(n * sizeof(T), alignof(T));
+    return DeviceBuffer<T>(static_cast<T*>(p), n);
+  }
+
+  /// Allocate and zero-fill (cudaMemset analogue; not charged as traffic —
+  /// setup cost is outside all measured regions in the paper as well).
+  template <typename T>
+  DeviceBuffer<T> alloc_zero(std::size_t n) {
+    DeviceBuffer<T> b = alloc<T>(n);
+    std::memset(static_cast<void*>(b.data()), 0, b.size_bytes());
+    return b;
+  }
+
+  /// Copy host data into a fresh device buffer, recording a H2D transfer.
+  template <typename T>
+  DeviceBuffer<T> to_device(std::span<const T> host, std::string label = {}) {
+    DeviceBuffer<T> b = alloc<T>(host.size());
+    std::memcpy(b.data(), host.data(), host.size_bytes());
+    events_.push_back(MemcpyEvent{MemcpyEvent::Dir::kHostToDevice,
+                                  host.size_bytes(), std::move(label)});
+    return b;
+  }
+
+  /// Copy a device buffer back to the host, recording a D2H transfer.
+  /// Like cudaMemcpy, this synchronizes the host with the device.
+  template <typename T>
+  std::vector<T> to_host(DeviceBuffer<T> buf, std::string label = {}) {
+    std::vector<T> out(buf.size());
+    std::memcpy(out.data(), buf.data(), buf.size_bytes());
+    events_.push_back(MemcpyEvent{MemcpyEvent::Dir::kDeviceToHost,
+                                  buf.size_bytes(), std::move(label)});
+    return out;
+  }
+
+  /// Copy a prefix of a device buffer to host storage (D2H transfer).
+  template <typename T>
+  void copy_to_host(DeviceBuffer<T> buf, std::span<T> out,
+                    std::string label = {}) {
+    if (out.size() > buf.size()) {
+      throw std::out_of_range("copy_to_host: destination larger than buffer");
+    }
+    std::memcpy(out.data(), buf.data(), out.size_bytes());
+    events_.push_back(MemcpyEvent{MemcpyEvent::Dir::kDeviceToHost,
+                                  out.size_bytes(), std::move(label)});
+  }
+
+  /// Allocation mark for stack-style scratch release.
+  struct MemoryMark {
+    std::size_t chunk_index = 0;
+    std::size_t chunk_offset = 0;
+    std::size_t live_bytes = 0;
+  };
+
+  [[nodiscard]] MemoryMark mark() const {
+    return {chunks_.size() == 0 ? 0 : active_chunk_, active_offset_,
+            live_bytes_};
+  }
+
+  /// Roll allocation state back to `m`.  Buffers allocated after the mark
+  /// become invalid (their storage may be reused by later allocations).
+  void release_to(const MemoryMark& m) {
+    active_chunk_ = m.chunk_index;
+    active_offset_ = m.chunk_offset;
+    live_bytes_ = m.live_bytes;
+  }
+
+  [[nodiscard]] std::size_t live_bytes() const { return live_bytes_; }
+  [[nodiscard]] std::size_t peak_live_bytes() const { return peak_bytes_; }
+  void reset_peak_live_bytes() { peak_bytes_ = live_bytes_; }
+
+  /// ---- Host/device interaction events ----------------------------------
+
+  /// cudaDeviceSynchronize analogue: the host blocks until the device
+  /// drains.  Charged by the cost model.
+  void synchronize(std::string label = {}) {
+    events_.push_back(SyncEvent{std::move(label)});
+  }
+
+  /// Record host-side CPU work of roughly `host_ops` scalar operations
+  /// (used by baselines that process intermediate data on the CPU).
+  void host_compute(std::string label, std::uint64_t host_ops) {
+    events_.push_back(HostComputeEvent{std::move(label), host_ops});
+  }
+
+  void record_kernel(KernelStats stats) {
+    events_.push_back(KernelEvent{std::move(stats)});
+  }
+
+  [[nodiscard]] const EventLog& events() const { return events_; }
+  EventLog take_events() { return std::exchange(events_, {}); }
+  void clear_events() { events_.clear(); }
+
+  [[nodiscard]] ThreadPool& pool() const { return ThreadPool::instance(); }
+
+ private:
+  static constexpr std::size_t kChunkBytes = std::size_t{64} << 20;
+  static constexpr std::size_t kAlign = 256;
+
+  struct Chunk {
+    std::unique_ptr<std::byte[]> storage;
+    std::byte* base = nullptr;  // storage aligned up to kAlign
+    std::size_t capacity = 0;
+  };
+
+  void* raw_alloc(std::size_t bytes, std::size_t /*align*/) {
+    const std::size_t rounded = (bytes + kAlign - 1) / kAlign * kAlign;
+    if (chunks_.empty()) add_chunk(std::max(rounded, kChunkBytes));
+    if (active_offset_ + rounded > chunks_[active_chunk_].capacity) {
+      // Advance to the next chunk that fits, appending one if needed.
+      std::size_t next = active_chunk_ + 1;
+      while (next < chunks_.size() && chunks_[next].capacity < rounded) ++next;
+      if (next == chunks_.size()) add_chunk(std::max(rounded, kChunkBytes));
+      active_chunk_ = next;
+      active_offset_ = 0;
+    }
+    std::byte* p = chunks_[active_chunk_].base + active_offset_;
+    active_offset_ += rounded;
+    live_bytes_ += rounded;
+    peak_bytes_ = std::max(peak_bytes_, live_bytes_);
+    return p;
+  }
+
+  void add_chunk(std::size_t capacity) {
+    Chunk c;
+    c.storage = std::make_unique<std::byte[]>(capacity + kAlign);
+    const auto addr = reinterpret_cast<std::uintptr_t>(c.storage.get());
+    const std::uintptr_t aligned = (addr + kAlign - 1) / kAlign * kAlign;
+    c.base = c.storage.get() + (aligned - addr);
+    c.capacity = capacity;
+    chunks_.push_back(std::move(c));
+  }
+
+  DeviceSpec spec_;
+  std::vector<Chunk> chunks_;
+  std::size_t active_chunk_ = 0;
+  std::size_t active_offset_ = 0;
+  std::size_t live_bytes_ = 0;
+  std::size_t peak_bytes_ = 0;
+  EventLog events_;
+};
+
+/// RAII guard releasing all device allocations made during its lifetime.
+class ScopedWorkspace {
+ public:
+  explicit ScopedWorkspace(Device& dev) : dev_(dev), mark_(dev.mark()) {}
+  ~ScopedWorkspace() { dev_.release_to(mark_); }
+  ScopedWorkspace(const ScopedWorkspace&) = delete;
+  ScopedWorkspace& operator=(const ScopedWorkspace&) = delete;
+
+ private:
+  Device& dev_;
+  Device::MemoryMark mark_;
+};
+
+}  // namespace simgpu

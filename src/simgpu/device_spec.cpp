@@ -1,0 +1,44 @@
+#include "simgpu/device_spec.hpp"
+
+namespace simgpu {
+
+DeviceSpec DeviceSpec::a100() {
+  DeviceSpec s;
+  s.name = "A100";
+  s.sm_count = 108;
+  s.mem_bandwidth_gbps = 1555.0;
+  s.core_clock_ghz = 1.41;
+  s.lane_ops_per_clock = 64.0;
+  s.saturating_warps_per_sm = 8;
+  s.max_warps_per_sm = 64;
+  s.shared_mem_per_block = 164 * 1024;
+  return s;
+}
+
+DeviceSpec DeviceSpec::h100() {
+  DeviceSpec s;
+  s.name = "H100";
+  s.sm_count = 132;
+  s.mem_bandwidth_gbps = 3350.0;
+  s.core_clock_ghz = 1.83;
+  s.lane_ops_per_clock = 128.0;
+  s.saturating_warps_per_sm = 8;
+  s.max_warps_per_sm = 64;
+  s.shared_mem_per_block = 228 * 1024;
+  return s;
+}
+
+DeviceSpec DeviceSpec::a10() {
+  DeviceSpec s;
+  s.name = "A10";
+  s.sm_count = 72;
+  s.mem_bandwidth_gbps = 600.0;
+  s.core_clock_ghz = 1.70;
+  s.lane_ops_per_clock = 128.0;
+  s.saturating_warps_per_sm = 12;
+  s.max_warps_per_sm = 48;
+  s.shared_mem_per_block = 100 * 1024;
+  return s;
+}
+
+}  // namespace simgpu

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace simgpu {
+
+/// Static description of a simulated CUDA-class accelerator.
+///
+/// The numbers drive the analytic cost model (see cost_model.hpp): kernel
+/// durations are derived from counted device-memory traffic, lane operations
+/// and launch/synchronization overheads, scaled by how much of the device the
+/// launch shape can actually occupy.  Profiles for the three GPUs used in the
+/// paper (A100, H100, A10) are provided as named constructors.
+struct DeviceSpec {
+  std::string name;
+
+  /// Number of streaming multiprocessors.
+  int sm_count = 108;
+  /// Peak device-memory bandwidth in GB/s (1e9 bytes per second).
+  double mem_bandwidth_gbps = 1555.0;
+  /// Fraction of peak bandwidth reachable by a well-tuned streaming kernel.
+  double mem_efficiency = 0.92;
+  /// Core clock in GHz.
+  double core_clock_ghz = 1.41;
+  /// FP32/INT32 lane operations retired per SM per clock.
+  double lane_ops_per_clock = 64.0;
+  /// Resident warps per SM needed to saturate memory bandwidth.
+  int saturating_warps_per_sm = 8;
+  /// Maximum resident warps per SM (occupancy ceiling).
+  int max_warps_per_sm = 64;
+  /// Shared memory available to one thread block, in bytes.
+  std::size_t shared_mem_per_block = 48 * 1024;
+  /// 32-bit registers available per thread.
+  int registers_per_thread = 255;
+  /// Same-address (contended) global atomics retired per second.
+  double atomic_ops_per_sec = 8e9;
+  /// Distinct-address global atomics per second (spread over L2 slices).
+  double scattered_atomic_ops_per_sec = 5e10;
+
+  /// Host-side cost of issuing one kernel launch, microseconds.
+  double kernel_launch_overhead_us = 2.5;
+  /// Minimum duration of any kernel on the device, microseconds.
+  double min_kernel_duration_us = 3.0;
+  /// Host<->device synchronization overhead, microseconds.
+  double host_sync_overhead_us = 10.0;
+  /// PCIe transfer latency, microseconds.
+  double pcie_latency_us = 8.0;
+  /// PCIe bandwidth in GB/s.
+  double pcie_bandwidth_gbps = 25.0;
+  /// Host scalar throughput for intermediate CPU work, ops per second.
+  double host_ops_per_sec = 1.5e9;
+
+  /// Peak device-memory bandwidth in bytes per microsecond.
+  [[nodiscard]] double mem_bytes_per_us() const {
+    return mem_bandwidth_gbps * 1e3;
+  }
+  /// Peak lane-op throughput in ops per microsecond.
+  [[nodiscard]] double lane_ops_per_us() const {
+    return static_cast<double>(sm_count) * lane_ops_per_clock * core_clock_ghz *
+           1e3;
+  }
+  /// PCIe bandwidth in bytes per microsecond.
+  [[nodiscard]] double pcie_bytes_per_us() const {
+    return pcie_bandwidth_gbps * 1e3;
+  }
+
+  /// NVIDIA A100 SXM4 80GB (the paper's primary device).
+  static DeviceSpec a100();
+  /// NVIDIA H100 SXM5.
+  static DeviceSpec h100();
+  /// NVIDIA A10 (inference-class device).
+  static DeviceSpec a10();
+};
+
+}  // namespace simgpu

@@ -1,0 +1,28 @@
+#include "simgpu/event.hpp"
+
+#include <sstream>
+
+namespace simgpu {
+
+std::string describe(const Event& event) {
+  std::ostringstream os;
+  if (const auto* k = std::get_if<KernelEvent>(&event)) {
+    os << "kernel " << k->stats.name << " <<<" << k->stats.grid_blocks << ", "
+       << k->stats.block_threads << ">>> read=" << k->stats.bytes_read
+       << "B written=" << k->stats.bytes_written
+       << "B ops=" << k->stats.lane_ops;
+  } else if (const auto* m = std::get_if<MemcpyEvent>(&event)) {
+    os << (m->dir == MemcpyEvent::Dir::kHostToDevice ? "MemcpyHtoD"
+                                                     : "MemcpyDtoH")
+       << " " << m->bytes << "B";
+    if (!m->label.empty()) os << " (" << m->label << ")";
+  } else if (const auto* s = std::get_if<SyncEvent>(&event)) {
+    os << "sync";
+    if (!s->label.empty()) os << " (" << s->label << ")";
+  } else if (const auto* h = std::get_if<HostComputeEvent>(&event)) {
+    os << "host " << h->label << " ops=" << h->host_ops;
+  }
+  return os.str();
+}
+
+}  // namespace simgpu

@@ -1,0 +1,299 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "simgpu/buffer.hpp"
+#include "simgpu/device.hpp"
+
+namespace simgpu {
+
+inline constexpr int kWarpSize = 32;
+
+/// A warp: 32 lanes executed in lockstep by the emulator.  Kernels written
+/// against this class are structured exactly like warp-synchronous CUDA
+/// code: per-lane state lives in `std::array<T, 32>` "registers" and the
+/// collective primitives (ballot, rank, reductions) have the same semantics
+/// as `__ballot_sync` / `__popc` / shuffle-based reductions.
+class Warp {
+ public:
+  explicit Warp(int index) : index_(index) {}
+
+  [[nodiscard]] int index() const { return index_; }
+
+  /// Execute `f(lane)` for each lane in order — the moral equivalent of one
+  /// SIMT instruction region.
+  template <typename F>
+  void each(F&& f) const {
+    for (int lane = 0; lane < kWarpSize; ++lane) f(lane);
+  }
+
+  /// __ballot_sync analogue: bit `lane` is set iff `pred(lane)` is true.
+  template <typename Pred>
+  [[nodiscard]] static std::uint32_t ballot(Pred&& pred) {
+    std::uint32_t mask = 0;
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+      if (pred(lane)) mask |= (1u << lane);
+    }
+    return mask;
+  }
+
+  [[nodiscard]] static int popc(std::uint32_t mask) {
+    return std::popcount(mask);
+  }
+
+  /// Number of set bits strictly below `lane` — the exclusive rank used for
+  /// the two-step insertion's storing positions.
+  [[nodiscard]] static int rank_below(std::uint32_t mask, int lane) {
+    return std::popcount(mask & ((1u << lane) - 1u));
+  }
+
+ private:
+  int index_;
+};
+
+/// Resource counters accumulated by one thread block while it runs; flushed
+/// into the kernel's KernelStats when the block retires.
+struct BlockCounters {
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t lane_ops = 0;
+  std::uint64_t atomic_ops = 0;
+  std::uint64_t scattered_atomic_ops = 0;
+  std::uint64_t block_syncs = 0;
+};
+
+/// Thrown when a kernel requests more shared memory than the device spec
+/// provides per block (the analogue of a CUDA launch failure).
+class SharedMemoryOverflow : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Execution context of one thread block.
+///
+/// One OS thread runs the whole block, iterating its warps with
+/// `for_each_warp`.  A phase between two `sync()` calls must be written as a
+/// single `for_each_warp` pass; because warps of a phase run to completion
+/// before the next phase starts, `__syncthreads` semantics hold by
+/// construction (sync() just counts the barrier for the cost model).
+/// Different blocks of a grid run concurrently on the host thread pool, so
+/// all grid-level cooperation (atomic result appends, last-block election)
+/// is genuinely concurrent.
+class BlockCtx {
+ public:
+  BlockCtx(int block_idx, int grid_dim, int block_threads,
+           std::byte* shared_arena, std::size_t shared_capacity)
+      : block_idx_(block_idx),
+        grid_dim_(grid_dim),
+        block_threads_(block_threads),
+        shared_arena_(shared_arena),
+        shared_capacity_(shared_capacity) {}
+
+  [[nodiscard]] int block_idx() const { return block_idx_; }
+  [[nodiscard]] int grid_dim() const { return grid_dim_; }
+  [[nodiscard]] int block_threads() const { return block_threads_; }
+  [[nodiscard]] int num_warps() const { return block_threads_ / kWarpSize; }
+
+  template <typename F>
+  void for_each_warp(F&& f) {
+    for (int w = 0; w < num_warps(); ++w) {
+      Warp warp(w);
+      f(warp);
+    }
+  }
+
+  /// __syncthreads analogue; a semantic no-op by phase construction, counted
+  /// for the cost model.
+  void sync() { ++counters_.block_syncs; }
+
+  /// ---- Shared memory ----------------------------------------------------
+
+  /// Allocate `n` elements of block shared memory (uninitialized).
+  template <typename T>
+  std::span<T> shared(std::size_t n) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::size_t align = alignof(T);
+    std::size_t offset = (shared_offset_ + align - 1) / align * align;
+    if (offset + n * sizeof(T) > shared_capacity_) {
+      throw SharedMemoryOverflow(
+          "shared memory request exceeds per-block capacity");
+    }
+    T* p = reinterpret_cast<T*>(shared_arena_ + offset);
+    shared_offset_ = offset + n * sizeof(T);
+    return {p, n};
+  }
+
+  /// Allocate zero-initialized shared memory.
+  template <typename T>
+  std::span<T> shared_zero(std::size_t n) {
+    auto s = shared<T>(n);
+    std::memset(static_cast<void*>(s.data()), 0, n * sizeof(T));
+    return s;
+  }
+
+  /// ---- Accounted device memory access -----------------------------------
+
+  template <typename T>
+  T load(const DeviceBuffer<T>& b, std::size_t i) {
+    counters_.bytes_read += sizeof(T);
+    return b.data()[i];
+  }
+
+  template <typename T>
+  void store(const DeviceBuffer<T>& b, std::size_t i, T v) {
+    counters_.bytes_written += sizeof(T);
+    b.data()[i] = v;
+  }
+
+  /// Atomic read-modify-write on device memory (atomicAdd analogue).
+  /// Atomics are L2-resident on modern GPUs, so they are charged to the
+  /// atomic counter rather than DRAM traffic.
+  template <typename T>
+  T atomic_add(const DeviceBuffer<T>& b, std::size_t i, T v) {
+    ++counters_.atomic_ops;
+    std::atomic_ref<T> ref(b.data()[i]);
+    return ref.fetch_add(v, std::memory_order_seq_cst);
+  }
+
+  /// Atomic add to an address that is NOT a contended hot counter — e.g.
+  /// flushing a per-block shared-memory histogram into global bins.  Same
+  /// semantics as atomic_add, charged at the scattered-atomic rate.
+  template <typename T>
+  T atomic_add_scattered(const DeviceBuffer<T>& b, std::size_t i, T v) {
+    ++counters_.scattered_atomic_ops;
+    std::atomic_ref<T> ref(b.data()[i]);
+    return ref.fetch_add(v, std::memory_order_seq_cst);
+  }
+
+  template <typename T>
+  T atomic_min(const DeviceBuffer<T>& b, std::size_t i, T v) {
+    ++counters_.atomic_ops;
+    std::atomic_ref<T> ref(b.data()[i]);
+    T cur = ref.load(std::memory_order_seq_cst);
+    while (v < cur &&
+           !ref.compare_exchange_weak(cur, v, std::memory_order_seq_cst)) {
+    }
+    return cur;
+  }
+
+  template <typename T>
+  T atomic_max(const DeviceBuffer<T>& b, std::size_t i, T v) {
+    ++counters_.atomic_ops;
+    std::atomic_ref<T> ref(b.data()[i]);
+    T cur = ref.load(std::memory_order_seq_cst);
+    while (cur < v &&
+           !ref.compare_exchange_weak(cur, v, std::memory_order_seq_cst)) {
+    }
+    return cur;
+  }
+
+  /// Atomic load with acquire semantics (volatile read analogue).
+  template <typename T>
+  T atomic_load(const DeviceBuffer<T>& b, std::size_t i) {
+    ++counters_.atomic_ops;
+    std::atomic_ref<T> ref(b.data()[i]);
+    return ref.load(std::memory_order_seq_cst);
+  }
+
+  template <typename T>
+  void atomic_store(const DeviceBuffer<T>& b, std::size_t i, T v) {
+    ++counters_.atomic_ops;
+    std::atomic_ref<T> ref(b.data()[i]);
+    ref.store(v, std::memory_order_seq_cst);
+  }
+
+  /// ---- Compute accounting ------------------------------------------------
+
+  /// Charge `n` lane operations to the compute model (comparisons, digit
+  /// extractions, bitonic exchange steps, ...).
+  void ops(std::uint64_t n) { counters_.lane_ops += n; }
+
+  [[nodiscard]] const BlockCounters& counters() const { return counters_; }
+  [[nodiscard]] BlockCounters& counters() { return counters_; }
+
+ private:
+  int block_idx_;
+  int grid_dim_;
+  int block_threads_;
+  std::byte* shared_arena_;
+  std::size_t shared_capacity_;
+  std::size_t shared_offset_ = 0;
+  BlockCounters counters_;
+};
+
+/// Launch shape of a kernel.
+struct LaunchConfig {
+  std::string name;
+  int grid = 1;                 ///< number of thread blocks
+  int block_threads = 256;      ///< threads per block, multiple of 32
+};
+
+/// Launch a kernel: run `body(BlockCtx&)` for every block of the grid on the
+/// thread pool, accumulate the block counters, and record the kernel event on
+/// the device timeline.  Launches are asynchronous with respect to the
+/// modeled host (no SyncEvent is recorded); wall-clock-wise the call blocks
+/// until the grid drains, like a correctness-checking emulator must.
+template <typename Body>
+KernelStats launch(Device& dev, const LaunchConfig& cfg, Body&& body) {
+  if (cfg.grid <= 0) throw std::invalid_argument("launch: grid must be > 0");
+  if (cfg.block_threads <= 0 || cfg.block_threads % kWarpSize != 0) {
+    throw std::invalid_argument(
+        "launch: block_threads must be a positive multiple of 32");
+  }
+  std::atomic<std::uint64_t> bytes_read{0}, bytes_written{0}, lane_ops{0},
+      atomic_ops{0}, scattered_atomic_ops{0}, block_syncs{0};
+  std::atomic<std::uint64_t> max_block_bytes{0}, max_block_lane_ops{0};
+  const auto fetch_max = [](std::atomic<std::uint64_t>& target,
+                            std::uint64_t v) {
+    std::uint64_t cur = target.load(std::memory_order_relaxed);
+    while (cur < v && !target.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  };
+  const std::size_t shared_cap = dev.spec().shared_mem_per_block;
+
+  dev.pool().run_blocks(
+      static_cast<std::size_t>(cfg.grid), [&](std::size_t b) {
+        thread_local std::vector<std::byte> arena;
+        if (arena.size() < shared_cap) arena.resize(shared_cap);
+        BlockCtx ctx(static_cast<int>(b), cfg.grid, cfg.block_threads,
+                     arena.data(), shared_cap);
+        body(ctx);
+        const BlockCounters& c = ctx.counters();
+        bytes_read.fetch_add(c.bytes_read, std::memory_order_relaxed);
+        bytes_written.fetch_add(c.bytes_written, std::memory_order_relaxed);
+        lane_ops.fetch_add(c.lane_ops, std::memory_order_relaxed);
+        atomic_ops.fetch_add(c.atomic_ops, std::memory_order_relaxed);
+        scattered_atomic_ops.fetch_add(c.scattered_atomic_ops,
+                                       std::memory_order_relaxed);
+        block_syncs.fetch_add(c.block_syncs, std::memory_order_relaxed);
+        fetch_max(max_block_bytes, c.bytes_read + c.bytes_written);
+        fetch_max(max_block_lane_ops, c.lane_ops);
+      });
+
+  KernelStats stats;
+  stats.name = cfg.name;
+  stats.grid_blocks = cfg.grid;
+  stats.block_threads = cfg.block_threads;
+  stats.bytes_read = bytes_read.load();
+  stats.bytes_written = bytes_written.load();
+  stats.lane_ops = lane_ops.load();
+  stats.atomic_ops = atomic_ops.load();
+  stats.scattered_atomic_ops = scattered_atomic_ops.load();
+  stats.block_syncs = block_syncs.load();
+  stats.max_block_bytes = max_block_bytes.load();
+  stats.max_block_lane_ops = max_block_lane_ops.load();
+  dev.record_kernel(stats);
+  return stats;
+}
+
+}  // namespace simgpu

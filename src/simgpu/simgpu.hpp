@@ -1,0 +1,20 @@
+#pragma once
+
+/// Umbrella header for the simulated-GPU substrate.
+///
+/// simgpu emulates the CUDA execution model on the host CPU:
+///  - Device: device-memory arena + the host-visible event stream
+///  - launch()/BlockCtx/Warp: grid/block/warp SIMT execution with accounted
+///    device-memory traffic, lane ops, atomics and barriers
+///  - CostModel: turns the counted event stream into modeled time on a real
+///    device profile (A100/H100/A10), including PCIe and launch overheads
+///  - render_timeline: ASCII Gantt of the modeled execution
+
+#include "simgpu/buffer.hpp"
+#include "simgpu/cost_model.hpp"
+#include "simgpu/device.hpp"
+#include "simgpu/device_spec.hpp"
+#include "simgpu/event.hpp"
+#include "simgpu/kernel.hpp"
+#include "simgpu/thread_pool.hpp"
+#include "simgpu/timeline.hpp"

@@ -1,0 +1,94 @@
+#include "simgpu/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace simgpu {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  const std::size_t workers = num_threads > 0 ? num_threads - 1 : 0;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::scoped_lock lock(mutex_);
+    shutting_down_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool(std::max(2u, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+void ThreadPool::drain(Batch& batch) {
+  for (;;) {
+    const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch.num_blocks) break;
+    try {
+      (*batch.fn)(i);
+    } catch (...) {
+      std::scoped_lock lock(batch.error_mutex);
+      if (!batch.error) batch.error = std::current_exception();
+    }
+    batch.done.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    Batch* batch = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [&] {
+        return shutting_down_ || (current_ && generation_ != seen_generation);
+      });
+      if (shutting_down_) return;
+      seen_generation = generation_;
+      batch = current_;
+      batch->active.fetch_add(1, std::memory_order_relaxed);
+    }
+    drain(*batch);
+    // `batch` may be destroyed by the issuing thread as soon as `active`
+    // reaches zero and all blocks are done, so the decrement is the last
+    // touch; the notification is guarded by the pool mutex to pair with the
+    // issuer's predicate check.
+    {
+      std::scoped_lock lock(mutex_);
+      batch->active.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::run_blocks(std::size_t num_blocks,
+                            const std::function<void(std::size_t)>& fn) {
+  if (num_blocks == 0) return;
+  Batch batch;
+  batch.num_blocks = num_blocks;
+  batch.fn = &fn;
+  {
+    std::scoped_lock lock(mutex_);
+    current_ = &batch;
+    ++generation_;
+  }
+  cv_.notify_all();
+  drain(batch);
+  {
+    std::unique_lock lock(mutex_);
+    done_cv_.wait(lock, [&] {
+      return batch.done.load(std::memory_order_acquire) >= num_blocks &&
+             batch.active.load(std::memory_order_acquire) == 0;
+    });
+    current_ = nullptr;
+  }
+  if (batch.error) std::rethrow_exception(batch.error);
+}
+
+}  // namespace simgpu

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace simgpu {
+
+/// A fixed-size pool of worker threads used to execute the thread blocks of a
+/// simulated kernel grid concurrently.
+///
+/// The pool exposes a single bulk primitive, `run_blocks(n, fn)`, which calls
+/// `fn(block_index)` exactly once for every index in [0, n).  Worker threads
+/// claim block indices from a shared atomic cursor, so load imbalance between
+/// blocks is absorbed the same way a GPU's block scheduler absorbs it.
+///
+/// Exceptions thrown by `fn` are captured and the first one is rethrown on
+/// the calling thread once the grid has drained (kernels must not half-run).
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Execute `fn(i)` for every i in [0, num_blocks).  Blocks until complete.
+  /// The calling thread participates in the work.
+  void run_blocks(std::size_t num_blocks,
+                  const std::function<void(std::size_t)>& fn);
+
+  [[nodiscard]] std::size_t size() const { return workers_.size() + 1; }
+
+  /// Process-wide pool sized to the host's hardware concurrency.
+  static ThreadPool& instance();
+
+ private:
+  struct Batch {
+    std::size_t num_blocks = 0;
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::atomic<int> active{0};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+  };
+
+  void worker_loop();
+  static void drain(Batch& batch);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  Batch* current_ = nullptr;
+  std::uint64_t generation_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace simgpu

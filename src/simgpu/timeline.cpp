@@ -1,0 +1,82 @@
+#include "simgpu/timeline.hpp"
+
+#include <algorithm>
+#include <array>
+#include <iomanip>
+#include <sstream>
+
+namespace simgpu {
+
+namespace {
+
+constexpr std::array<const char*, 3> kLaneNames = {"Host    ", "Transfer",
+                                                   "Device  "};
+
+int lane_row(SpanTiming::Lane lane) {
+  switch (lane) {
+    case SpanTiming::Lane::kHost:
+      return 0;
+    case SpanTiming::Lane::kTransfer:
+      return 1;
+    case SpanTiming::Lane::kDevice:
+      return 2;
+  }
+  return 0;
+}
+
+char lane_glyph(SpanTiming::Lane lane) {
+  switch (lane) {
+    case SpanTiming::Lane::kHost:
+      return 'h';
+    case SpanTiming::Lane::kTransfer:
+      return '=';
+    case SpanTiming::Lane::kDevice:
+      return '#';
+  }
+  return '?';
+}
+
+}  // namespace
+
+std::string render_timeline(const Timeline& timeline, int width) {
+  std::ostringstream os;
+  const double total = std::max(timeline.total_us, 1e-9);
+  std::array<std::string, 3> rows;
+  rows.fill(std::string(static_cast<std::size_t>(width), '.'));
+
+  for (const SpanTiming& s : timeline.spans) {
+    const int row = lane_row(s.lane);
+    int begin = static_cast<int>(s.start_us / total * width);
+    int end = static_cast<int>(s.end_us / total * width);
+    begin = std::clamp(begin, 0, width - 1);
+    end = std::clamp(end, begin + 1, width);
+    for (int c = begin; c < end; ++c) {
+      rows[static_cast<std::size_t>(row)][static_cast<std::size_t>(c)] =
+          lane_glyph(s.lane);
+    }
+  }
+
+  os << std::fixed << std::setprecision(1);
+  os << "total " << timeline.total_us << " us | device busy "
+     << timeline.device_busy_us << " us | transfers " << timeline.transfer_us
+     << " us | host " << timeline.host_us << " us\n";
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    os << kLaneNames[r] << " |" << rows[r] << "|\n";
+  }
+  os << "          0" << std::string(static_cast<std::size_t>(width) - 6, ' ')
+     << std::setprecision(0) << total << "us\n";
+  return os.str();
+}
+
+std::string describe_timeline(const Timeline& timeline) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2);
+  for (const SpanTiming& s : timeline.spans) {
+    const char* lane = kLaneNames[static_cast<std::size_t>(lane_row(s.lane))];
+    os << std::setw(9) << s.start_us << " -> " << std::setw(9) << s.end_us
+       << " us  [" << lane << "] " << s.label << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace simgpu

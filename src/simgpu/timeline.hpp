@@ -1,0 +1,19 @@
+#pragma once
+
+#include <string>
+
+#include "simgpu/cost_model.hpp"
+
+namespace simgpu {
+
+/// Render a modeled timeline as an ASCII Gantt chart with three lanes
+/// (Host / Transfer / Device), the shape used to reproduce the paper's
+/// Fig. 8 breakdown of RadixSelect vs. AIR Top-K.
+///
+/// `width` is the number of character columns for the time axis.
+std::string render_timeline(const Timeline& timeline, int width = 100);
+
+/// Tabular listing of every span with start/end/duration (µs).
+std::string describe_timeline(const Timeline& timeline);
+
+}  // namespace simgpu

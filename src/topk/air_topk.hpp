@@ -1,0 +1,422 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "simgpu/simgpu.hpp"
+#include "topk/common.hpp"
+#include "topk/radix_traits.hpp"
+
+namespace topk {
+
+/// Options for AIR Top-K (paper §3).  Defaults follow the paper: 11-bit
+/// digits, alpha = 128, adaptive buffering and early stopping enabled.  The
+/// `adaptive` and `early_stopping` switches exist to reproduce the ablations
+/// of Fig. 9 and Fig. 10.
+struct AirTopkOptions {
+  int alpha = 128;
+  bool adaptive = true;
+  bool early_stopping = true;
+  /// Fuse the final filtering into the last iteration-fused kernel's last
+  /// thread block instead of launching a separate grid-wide filter kernel.
+  /// Saves one launch, but the single last block then scans all remaining
+  /// candidates alone — disastrous when the adversarial distribution leaves
+  /// ~N candidates unbuffered, which is exactly why the paper evaluates but
+  /// does not adopt this design (§3.1).
+  bool fuse_last_filter = false;
+  int digit_bits = 11;
+  int block_threads = 256;
+  std::size_t items_per_block = 16 * 1024;
+  /// Select the LARGEST k instead of the smallest (RAFT's select_max):
+  /// implemented natively by complementing the radix keys, so no extra
+  /// passes or input rewriting are needed.
+  bool greatest = false;
+  /// Optional input indices (size batch*n).  When set, the reported result
+  /// indices are taken from this buffer instead of the positions in `in` —
+  /// the RAFT select_k `in_idx` feature used to chain selections (e.g. a
+  /// coarse top-4k followed by a refined top-k keeps the original ids).
+  simgpu::DeviceBuffer<std::uint32_t> in_idx{};
+};
+
+namespace air_detail {
+
+/// Per-problem device-side control state (Algorithm 1's K, C, C',
+/// target-digit prefix, plus output/buffer cursors and early-stop flags).
+enum Field : std::size_t {
+  kKRem = 0,    ///< K still to be found among current candidates
+  kCand,        ///< C: candidate count after the latest completed pass
+  kCandPrev,    ///< C': candidate count one pass earlier
+  kPrefix,      ///< radix bits of the K-th element found so far (MSB-aligned)
+  kOutCount,    ///< results written (atomic cursor into out_vals/out_idx)
+  kTieCount,    ///< ticket counter for elements equal to the K-th value
+  kBufCount0,   ///< write cursor of candidate buffer 0
+  kBufCount1,   ///< write cursor of candidate buffer 1
+  kDone,        ///< early stopping triggered (K == C)
+  kCopied,      ///< early-stop copy-out already performed
+  kNumFields
+};
+
+struct PassPlan {
+  int start_bit = 0;  ///< LSB position of this pass's digit
+  int width = 0;      ///< digit width in bits
+};
+
+/// MSB-to-LSB digit plan: e.g. 32-bit keys with 11-bit digits give passes
+/// over bits [21,32), [10,21), [0,10).
+inline std::vector<PassPlan> plan_passes(int total_bits, int digit_bits) {
+  std::vector<PassPlan> plan;
+  int covered = 0;
+  while (covered < total_bits) {
+    const int width = std::min(digit_bits, total_bits - covered);
+    covered += width;
+    plan.push_back({total_bits - covered, width});
+  }
+  return plan;
+}
+
+}  // namespace air_detail
+
+/// AIR Top-K: Adaptive and Iteration-fused Radix Top-K (paper §3).
+///
+/// Finds, for each of `batch` independent problems of `n` elements laid out
+/// contiguously in `in`, the `k` smallest values and their indices.  The
+/// whole computation consists of one init kernel (the analogue of
+/// cudaMemsetAsync on the control state), one iteration-fused kernel per
+/// radix pass, and one last-filter kernel; the host only launches kernels —
+/// there are no host<->device transfers or synchronizations.
+///
+/// Output order within the result set is unspecified (as with the RAFT
+/// implementation); the result *set* is deterministic except for which
+/// elements tie at the K-th value.
+template <typename T>
+void air_topk(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
+              std::size_t batch, std::size_t n, std::size_t k,
+              simgpu::DeviceBuffer<T> out_vals,
+              simgpu::DeviceBuffer<std::uint32_t> out_idx,
+              const AirTopkOptions& opt = {}) {
+  using Traits = RadixTraits<T>;
+  using Bits = typename Traits::Bits;
+  using namespace air_detail;
+
+  validate_problem(n, k, batch);
+  if (in.size() < batch * n) throw std::invalid_argument("air_topk: input too small");
+  if (out_vals.size() < batch * k || out_idx.size() < batch * k) {
+    throw std::invalid_argument("air_topk: output buffers too small");
+  }
+  if (opt.alpha < 4) {
+    // 4C memory accesses for buffered candidates vs N loads (paper §3.2).
+    throw std::invalid_argument("air_topk: alpha must be >= 4");
+  }
+  if (opt.digit_bits < 1 ||
+      (std::size_t{4} << opt.digit_bits) > dev.spec().shared_mem_per_block) {
+    // The per-block histogram (2^b counters) must fit in shared memory —
+    // the constraint that makes b = 11 "a suitable value" in §3.1.
+    throw std::invalid_argument(
+        "air_topk: digit_bits histogram exceeds shared memory");
+  }
+  const bool has_in_idx = !opt.in_idx.empty();
+  if (has_in_idx && opt.in_idx.size() < batch * n) {
+    throw std::invalid_argument("air_topk: in_idx too small");
+  }
+  const auto in_idx = opt.in_idx;
+  // Largest-k == smallest-k in complemented key space.
+  const Bits order_mask = opt.greatest ? static_cast<Bits>(~Bits{0}) : Bits{0};
+
+  const std::vector<PassPlan> passes =
+      plan_passes(Traits::kBits, opt.digit_bits);
+  const int num_passes = static_cast<int>(passes.size());
+  const std::uint64_t n_over_alpha =
+      static_cast<std::uint64_t>(n) / static_cast<std::uint64_t>(opt.alpha);
+  const std::size_t bufcap =
+      opt.adaptive ? static_cast<std::size_t>(n_over_alpha) + 1 : n;
+
+  simgpu::ScopedWorkspace ws(dev);
+  auto st = dev.alloc<std::uint64_t>(batch * kNumFields);
+  std::vector<simgpu::DeviceBuffer<std::uint32_t>> hist;
+  hist.reserve(passes.size());
+  for (const PassPlan& p : passes) {
+    hist.push_back(dev.alloc<std::uint32_t>(batch << p.width));
+  }
+  // One last-block election counter per (pass + last filter) per problem.
+  auto finish = dev.alloc<std::uint32_t>(
+      (static_cast<std::size_t>(num_passes) + 1) * batch);
+  simgpu::DeviceBuffer<T> buf_val[2] = {dev.alloc<T>(batch * bufcap),
+                                        dev.alloc<T>(batch * bufcap)};
+  simgpu::DeviceBuffer<std::uint32_t> buf_idx[2] = {
+      dev.alloc<std::uint32_t>(batch * bufcap),
+      dev.alloc<std::uint32_t>(batch * bufcap)};
+
+  const GridShape shape = make_grid(batch, n, dev.spec(), opt.block_threads,
+                                    opt.items_per_block);
+  const int bpp = shape.blocks_per_problem;
+
+  const auto sidx = [](std::size_t prob, Field f) {
+    return prob * kNumFields + static_cast<std::size_t>(f);
+  };
+
+  // ---- init kernel: control state + histograms (cudaMemsetAsync analogue)
+  {
+    simgpu::LaunchConfig cfg{"air_init", static_cast<int>(batch),
+                             opt.block_threads};
+    simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
+      const auto prob = static_cast<std::size_t>(ctx.block_idx());
+      ctx.store<std::uint64_t>(st, sidx(prob, kKRem), k);
+      ctx.store<std::uint64_t>(st, sidx(prob, kCand), n);
+      ctx.store<std::uint64_t>(st, sidx(prob, kCandPrev), n);
+      ctx.store<std::uint64_t>(st, sidx(prob, kPrefix), 0);
+      ctx.store<std::uint64_t>(st, sidx(prob, kOutCount), 0);
+      ctx.store<std::uint64_t>(st, sidx(prob, kTieCount), 0);
+      ctx.store<std::uint64_t>(st, sidx(prob, kBufCount0), 0);
+      ctx.store<std::uint64_t>(st, sidx(prob, kBufCount1), 0);
+      ctx.store<std::uint64_t>(st, sidx(prob, kDone), 0);
+      ctx.store<std::uint64_t>(st, sidx(prob, kCopied), 0);
+      for (int p = 0; p <= num_passes; ++p) {
+        ctx.store<std::uint32_t>(
+            finish, static_cast<std::size_t>(p) * batch + prob, 0);
+      }
+      for (int p = 0; p < num_passes; ++p) {
+        const std::size_t nb = std::size_t{1} << passes[p].width;
+        for (std::size_t d = 0; d < nb; ++d) {
+          ctx.store<std::uint32_t>(hist[static_cast<std::size_t>(p)],
+                                   (prob << passes[p].width) + d, 0);
+        }
+      }
+      ctx.ops(1u << opt.digit_bits);
+    });
+  }
+
+  // ---- one iteration-fused kernel per pass, then the last filter ---------
+  const int last_kernel = opt.fuse_last_filter ? num_passes - 1 : num_passes;
+  for (int p = 0; p <= last_kernel; ++p) {
+    const bool is_last_filter = (p == num_passes);
+    const bool fuse_filter_here =
+        opt.fuse_last_filter && (p == num_passes - 1);
+    const PassPlan cur = is_last_filter ? PassPlan{} : passes[p];
+    const PassPlan prev = (p > 0) ? passes[p - 1] : PassPlan{};
+    const std::size_t nb = std::size_t{1} << cur.width;
+    const std::uint32_t digit_mask = (1u << cur.width) - 1u;
+    const auto ghist =
+        is_last_filter ? simgpu::DeviceBuffer<std::uint32_t>{} : hist[static_cast<std::size_t>(p)];
+    const auto buf_in_val = buf_val[(p + 1) & 1];
+    const auto buf_in_idx = buf_idx[(p + 1) & 1];
+    const auto buf_out_val = buf_val[p & 1];
+    const auto buf_out_idx = buf_idx[p & 1];
+    const Field buf_out_count = ((p & 1) != 0) ? kBufCount1 : kBufCount0;
+    const bool adaptive = opt.adaptive;
+    const bool early = opt.early_stopping;
+
+    simgpu::LaunchConfig cfg{
+        is_last_filter ? "last_filter_kernel"
+                       : "iteration_fused_kernel(" + std::to_string(p + 1) + ")",
+        shape.total_blocks(), opt.block_threads};
+
+    simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
+      const std::size_t prob = shape.problem_of(ctx.block_idx());
+      const int bip = shape.block_in_problem(ctx.block_idx());
+
+      const std::uint64_t done = ctx.load(st, sidx(prob, kDone));
+      const std::uint64_t copied = ctx.load(st, sidx(prob, kCopied));
+      if (done != 0 && copied != 0) return;  // early-stopped and drained
+      const bool copy_mode = done != 0;
+
+      const std::uint64_t cand = ctx.load(st, sidx(prob, kCand));
+      const std::uint64_t cand_prev = ctx.load(st, sidx(prob, kCandPrev));
+      const std::uint64_t prefix = ctx.load(st, sidx(prob, kPrefix));
+      const std::uint64_t k_rem = ctx.load(st, sidx(prob, kKRem));
+
+      // Where do we read from?  Pass 0 and pass 1 always scan the input;
+      // later passes read the candidate buffer iff the previous pass stored
+      // candidates (Algorithm 1 line 7, generalized by the adaptive flag).
+      const bool from_buf =
+          (p >= 2) && (adaptive ? (cand_prev < n_over_alpha) : true);
+      // Do we store candidates this pass?  (Algorithm 1 line 17.)
+      const bool store_flag =
+          (p >= 1) && !is_last_filter && !copy_mode &&
+          (adaptive ? (cand < n_over_alpha) : true);
+
+      const std::size_t count = from_buf ? cand_prev : n;
+      const auto [begin, end] = block_chunk(count, bpp, bip);
+
+      // Result and candidate-buffer appends use warp-aggregated atomics
+      // (one reservation per staged batch), as the RAFT kernels do.
+      AggregatedAppender<T, std::uint64_t> out_app(
+          out_vals, out_idx, prob * k, st, sidx(prob, kOutCount), k,
+          "air_topk results");
+      AggregatedAppender<T, std::uint64_t> buf_app(
+          buf_out_val, buf_out_idx, prob * bufcap, st,
+          sidx(prob, buf_out_count), bufcap, "air_topk candidates");
+      auto emit = [&](T value, std::uint32_t index) {
+        out_app.push(ctx, value, index);
+      };
+
+      // Tie tickets (elements equal to the K-th value in the last filter)
+      // are likewise reserved in warp-sized batches.
+      T tie_v[32];
+      std::uint32_t tie_i[32];
+      std::size_t tie_staged = 0;
+      auto flush_ties = [&]() {
+        if (tie_staged == 0) return;
+        const std::uint64_t base = ctx.atomic_add(
+            st, sidx(prob, kTieCount), static_cast<std::uint64_t>(tie_staged));
+        for (std::size_t i = 0; i < tie_staged; ++i) {
+          if (base + i < k_rem) emit(tie_v[i], tie_i[i]);
+        }
+        ctx.ops(2);
+        tie_staged = 0;
+      };
+
+      std::span<std::uint32_t> shist;
+      if (!is_last_filter && !copy_mode) {
+        shist = ctx.shared_zero<std::uint32_t>(nb);
+      }
+
+      for (std::size_t i = begin; i < end; ++i) {
+        T value;
+        std::uint32_t index;
+        if (from_buf) {
+          value = ctx.load(buf_in_val, prob * bufcap + i);
+          index = ctx.load(buf_in_idx, prob * bufcap + i);
+        } else {
+          value = ctx.load(in, prob * n + i);
+          index = has_in_idx ? ctx.load(in_idx, prob * n + i)
+                             : static_cast<std::uint32_t>(i);
+        }
+        const Bits key = Traits::to_radix(value) ^ order_mask;
+
+        bool is_candidate;
+        if (p == 0) {
+          is_candidate = true;  // first pass: histogram only, no filtering
+        } else {
+          const Bits pk = static_cast<Bits>(key >> prev.start_bit);
+          const auto target = static_cast<Bits>(prefix);
+          if (pk == target) {
+            is_candidate = true;
+          } else if (pk < target &&
+                     (pk >> prev.width) == (target >> prev.width)) {
+            // Newly discovered top-K result: earlier digits all match the
+            // K-th prefix and the previous pass's digit is smaller.
+            emit(value, index);
+            continue;
+          } else {
+            continue;  // definitely not in the top-K (or already emitted)
+          }
+        }
+
+        if (!is_candidate) continue;
+        if (copy_mode) {
+          // Early stopping: every remaining candidate is a result.
+          emit(value, index);
+          continue;
+        }
+        if (is_last_filter) {
+          // Tie at the K-th value: take the first k_rem by batched ticket.
+          tie_v[tie_staged] = value;
+          tie_i[tie_staged] = index;
+          if (++tie_staged == 32) flush_ties();
+          continue;
+        }
+        if (store_flag) {
+          buf_app.push(ctx, value, index);
+        }
+        const std::uint32_t digit =
+            static_cast<std::uint32_t>(key >> cur.start_bit) & digit_mask;
+        ++shist[digit];
+      }
+      // ~10 lane ops per element: load issue, radix transform, prefix
+      // compare chain, digit extract (shift+mask), shared-histogram address
+      // arithmetic + increment, loop bookkeeping.
+      ctx.ops(10 * (end - begin));
+
+      // Drain the staged appends before the block retires.
+      flush_ties();
+      out_app.flush(ctx);
+      buf_app.flush(ctx);
+
+      // Fused epilogue: flush the block histogram and let the last block of
+      // this problem compute prefix sum + target digit (Algorithm 1 l.23-28).
+      if (!is_last_filter && !copy_mode) {
+        ctx.sync();
+        for (std::size_t d = 0; d < nb; ++d) {
+          if (shist[d] != 0) {
+            ctx.atomic_add_scattered(ghist, (prob << cur.width) + d, shist[d]);
+          }
+        }
+        ctx.ops(nb);
+      }
+      if (is_last_filter && !copy_mode) return;
+
+      const std::uint32_t finished = ctx.atomic_add(
+          finish, static_cast<std::size_t>(p) * batch + prob, 1u);
+      if (finished != static_cast<std::uint32_t>(bpp - 1)) return;
+
+      // ---- last thread block of this problem ----
+      if (copy_mode) {
+        ctx.store<std::uint64_t>(st, sidx(prob, kCopied), 1);
+        return;
+      }
+      std::uint64_t total = 0;
+      std::uint32_t target_digit = 0;
+      std::uint64_t less = 0;
+      std::uint64_t target_count = 0;
+      for (std::size_t d = 0; d < nb; ++d) {
+        const std::uint32_t c = ctx.load(ghist, (prob << cur.width) + d);
+        if (total + c >= k_rem) {
+          target_digit = static_cast<std::uint32_t>(d);
+          less = total;
+          target_count = c;
+          break;
+        }
+        total += c;
+      }
+      ctx.ops(2 * nb);
+      ctx.store<std::uint64_t>(st, sidx(prob, kCandPrev), cand);
+      ctx.store<std::uint64_t>(st, sidx(prob, kCand), target_count);
+      ctx.store<std::uint64_t>(st, sidx(prob, kKRem), k_rem - less);
+      ctx.store<std::uint64_t>(st, sidx(prob, kPrefix),
+                               (prefix << cur.width) | target_digit);
+      ctx.store<std::uint64_t>(
+          st, sidx(prob, ((p + 1) & 1) != 0 ? kBufCount1 : kBufCount0), 0);
+      if (early && (k_rem - less) == target_count) {
+        ctx.store<std::uint64_t>(st, sidx(prob, kDone), 1);
+      }
+
+      if (fuse_filter_here) {
+        // Fused final filter: this (single) last thread block scans the
+        // remaining candidates by itself and writes the final results.
+        const auto kth = static_cast<Bits>((prefix << cur.width) |
+                                           target_digit);
+        const std::uint64_t ties_needed = k_rem - less;
+        std::uint64_t ties_taken = 0;
+        const std::size_t fcount = store_flag ? cand : n;
+        for (std::size_t i = 0; i < fcount; ++i) {
+          T value;
+          std::uint32_t index;
+          if (store_flag) {
+            value = ctx.load(buf_out_val, prob * bufcap + i);
+            index = ctx.load(buf_out_idx, prob * bufcap + i);
+          } else {
+            value = ctx.load(in, prob * n + i);
+            index = has_in_idx ? ctx.load(in_idx, prob * n + i)
+                               : static_cast<std::uint32_t>(i);
+          }
+          const Bits key = Traits::to_radix(value) ^ order_mask;
+          if (key == kth) {
+            if (ties_taken < ties_needed) {
+              emit(value, index);
+              ++ties_taken;
+            }
+          } else if (key < kth &&
+                     (key >> cur.width) == (kth >> cur.width)) {
+            emit(value, index);
+          }
+        }
+        ctx.ops(6 * fcount);
+        out_app.flush(ctx);
+      }
+    });
+  }
+}
+
+}  // namespace topk

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <utility>
+
+#include "simgpu/kernel.hpp"
+
+namespace topk {
+
+/// Largest representable value, used to pad partial-sort working sets up to
+/// power-of-two lengths (the analogue of Faiss' `Limits<T>::getMax()`).
+template <typename K>
+constexpr K sort_sentinel() {
+  if constexpr (std::numeric_limits<K>::has_infinity) {
+    return std::numeric_limits<K>::infinity();
+  } else {
+    return std::numeric_limits<K>::max();
+  }
+}
+
+namespace detail {
+
+template <typename K>
+inline void compare_exchange(std::span<K> keys, std::span<std::uint32_t> idx,
+                             std::size_t i, std::size_t j, bool ascending) {
+  const bool swap = ascending ? (keys[j] < keys[i]) : (keys[i] < keys[j]);
+  if (swap) {
+    std::swap(keys[i], keys[j]);
+    std::swap(idx[i], idx[j]);
+  }
+}
+
+}  // namespace detail
+
+/// Bitonic merge network: `keys[lo, lo+n)` must form a bitonic sequence;
+/// afterwards it is sorted (ascending if `ascending`).  `n` must be a power
+/// of two.  Charges one lane op per compare-exchange, as each exchange is one
+/// SIMT instruction on the device.
+template <typename K>
+void bitonic_merge(simgpu::BlockCtx& ctx, std::span<K> keys,
+                   std::span<std::uint32_t> idx, std::size_t lo, std::size_t n,
+                   bool ascending) {
+  for (std::size_t stride = n / 2; stride > 0; stride /= 2) {
+    for (std::size_t i = lo; i < lo + n; ++i) {
+      if ((i - lo) & stride) continue;  // partner handled from lower index
+      detail::compare_exchange(keys, idx, i, i + stride, ascending);
+    }
+    ctx.ops(n / 2);
+  }
+}
+
+/// Full bitonic sort network over `keys[lo, lo+n)`; `n` must be a power of
+/// two.  O(n log^2 n) compare-exchanges, all charged as lane ops.
+template <typename K>
+void bitonic_sort(simgpu::BlockCtx& ctx, std::span<K> keys,
+                  std::span<std::uint32_t> idx, std::size_t lo, std::size_t n,
+                  bool ascending = true) {
+  for (std::size_t size = 2; size <= n; size *= 2) {
+    for (std::size_t chunk = lo; chunk < lo + n; chunk += size) {
+      const bool dir = ascending == (((chunk - lo) / size) % 2 == 0);
+      bitonic_merge(ctx, keys, idx, chunk, size, dir);
+    }
+  }
+}
+
+/// Convenience overloads covering a whole span.
+template <typename K>
+void bitonic_sort(simgpu::BlockCtx& ctx, std::span<K> keys,
+                  std::span<std::uint32_t> idx, bool ascending = true) {
+  bitonic_sort(ctx, keys, idx, 0, keys.size(), ascending);
+}
+
+/// Merge-and-prune, the core partial-sorting step of WarpSelect and
+/// Bitonic Top-K: `a` and `b` are both ascending sorted, same power-of-two
+/// length n.  Afterwards `a` holds the n smallest of the 2n elements, sorted
+/// ascending; `b` is clobbered.
+///
+/// Works by the classic trick: element-wise min/max of a[i] and b[n-1-i]
+/// leaves the n smallest in `a` as a bitonic sequence, which one merge
+/// network pass then sorts.
+template <typename K>
+void merge_prune(simgpu::BlockCtx& ctx, std::span<K> a_keys,
+                 std::span<std::uint32_t> a_idx, std::span<K> b_keys,
+                 std::span<std::uint32_t> b_idx) {
+  const std::size_t n = a_keys.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = n - 1 - i;
+    if (b_keys[j] < a_keys[i]) {
+      std::swap(a_keys[i], b_keys[j]);
+      std::swap(a_idx[i], b_idx[j]);
+    }
+  }
+  ctx.ops(n);
+  bitonic_merge(ctx, a_keys, a_idx, 0, n, /*ascending=*/true);
+}
+
+/// Round up to the next power of two (minimum 1).
+constexpr std::size_t next_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p *= 2;
+  return p;
+}
+
+}  // namespace topk

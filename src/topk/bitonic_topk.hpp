@@ -1,0 +1,170 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "simgpu/simgpu.hpp"
+#include "topk/common.hpp"
+#include "topk/partial_sort_common.hpp"
+
+namespace topk {
+
+/// Options for Bitonic Top-K.
+struct BitonicTopkOptions {
+  int block_threads = 256;
+};
+
+/// Bitonic Top-K (Shanbhag, Pirk, Madden 2018): a pure partial-sorting
+/// method that halves the working set once per pass.  The input is viewed
+/// as next_pow2(k)-sized chunks; pass 0 sorts each pair of chunks and
+/// merge-prunes it to one sorted chunk, and every later pass merges chunk
+/// pairs again, until a single chunk — the top K — remains.
+///
+/// Faithful cost structure: the whole (shrinking) working set is read and
+/// written back to device memory every pass (~log2(N/K) kernels), and every
+/// merge is an O(k log k) bitonic network — which is why its running time
+/// climbs steeply with K (paper Fig. 6) and why K is capped at 256 by
+/// shared-memory capacity (paper §2.2).
+template <typename T>
+void bitonic_topk(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
+                  std::size_t batch, std::size_t n, std::size_t k,
+                  simgpu::DeviceBuffer<T> out_vals,
+                  simgpu::DeviceBuffer<std::uint32_t> out_idx,
+                  const BitonicTopkOptions& opt = {}) {
+  validate_problem(n, k, batch);
+  if (k > kMaxBitonicTopkK) {
+    throw std::invalid_argument("bitonic_topk: k exceeds the " +
+                                std::to_string(kMaxBitonicTopkK) + " limit");
+  }
+  if (in.size() < batch * n || out_vals.size() < batch * k ||
+      out_idx.size() < batch * k) {
+    throw std::invalid_argument("bitonic_topk: buffer too small");
+  }
+
+  const std::size_t cap = next_pow2(k);
+  const std::size_t chunks0 = (n + cap - 1) / cap;
+
+  simgpu::ScopedWorkspace ws(dev);
+  const std::size_t half0 = (chunks0 + 1) / 2;
+  simgpu::DeviceBuffer<T> work_val[2] = {
+      dev.alloc<T>(batch * half0 * cap),
+      dev.alloc<T>(batch * ((half0 + 1) / 2) * cap)};
+  simgpu::DeviceBuffer<std::uint32_t> work_idx[2] = {
+      dev.alloc<std::uint32_t>(batch * half0 * cap),
+      dev.alloc<std::uint32_t>(batch * ((half0 + 1) / 2) * cap)};
+
+  // ---- pass 0: sort chunk pairs from the raw input, prune to one chunk ---
+  {
+    const std::size_t pairs = half0;
+    const GridShape shape = make_grid(batch, pairs * cap, dev.spec(),
+                                      opt.block_threads, 8 * cap);
+    const int bpp = shape.blocks_per_problem;
+    simgpu::LaunchConfig cfg{"BitonicTopK_sort_prune(0)",
+                             shape.total_blocks(), shape.block_threads};
+    const auto dst_val = work_val[0];
+    const auto dst_idx = work_idx[0];
+    simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
+      const std::size_t prob = shape.problem_of(ctx.block_idx());
+      const int bip = shape.block_in_problem(ctx.block_idx());
+      const auto [pbegin, pend] = block_chunk(pairs, bpp, bip);
+      auto a_keys = ctx.shared<T>(cap);
+      auto a_idx = ctx.shared<std::uint32_t>(cap);
+      auto b_keys = ctx.shared<T>(cap);
+      auto b_idx = ctx.shared<std::uint32_t>(cap);
+      for (std::size_t p = pbegin; p < pend; ++p) {
+        const auto load_chunk = [&](std::size_t chunk, std::span<T> keys,
+                                    std::span<std::uint32_t> idx) {
+          for (std::size_t i = 0; i < cap; ++i) {
+            const std::size_t src = chunk * cap + i;
+            if (chunk < chunks0 && src < n) {
+              keys[i] = ctx.load(in, prob * n + src);
+              idx[i] = static_cast<std::uint32_t>(src);
+            } else {
+              keys[i] = sort_sentinel<T>();
+              idx[i] = 0;
+            }
+          }
+        };
+        load_chunk(2 * p, a_keys, a_idx);
+        load_chunk(2 * p + 1, b_keys, b_idx);
+        bitonic_sort<T>(ctx, a_keys, a_idx);
+        bitonic_sort<T>(ctx, b_keys, b_idx);
+        merge_prune<T>(ctx, a_keys, a_idx, b_keys, b_idx);
+        for (std::size_t i = 0; i < cap; ++i) {
+          ctx.store(dst_val, (prob * pairs + p) * cap + i, a_keys[i]);
+          ctx.store(dst_idx, (prob * pairs + p) * cap + i, a_idx[i]);
+        }
+      }
+    });
+  }
+
+  // ---- halving passes: merge sorted chunk pairs until one remains --------
+  std::size_t chunks = half0;
+  int cur = 0;
+  int pass = 1;
+  while (chunks > 1) {
+    const std::size_t pairs = (chunks + 1) / 2;
+    const std::size_t src_chunks = chunks;
+    const GridShape shape = make_grid(batch, pairs * cap, dev.spec(),
+                                      opt.block_threads, 8 * cap);
+    const int bpp = shape.blocks_per_problem;
+    simgpu::LaunchConfig cfg{
+        "BitonicTopK_merge(" + std::to_string(pass) + ")",
+        shape.total_blocks(), shape.block_threads};
+    const auto src_val = work_val[cur];
+    const auto src_idx = work_idx[cur];
+    const auto dst_val = work_val[1 - cur];
+    const auto dst_idx = work_idx[1 - cur];
+    const std::size_t src_stride = chunks;   // chunks per problem in src
+    const std::size_t dst_stride = pairs;    // chunks per problem in dst
+    simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
+      const std::size_t prob = shape.problem_of(ctx.block_idx());
+      const int bip = shape.block_in_problem(ctx.block_idx());
+      const auto [pbegin, pend] = block_chunk(pairs, bpp, bip);
+      auto a_keys = ctx.shared<T>(cap);
+      auto a_idx = ctx.shared<std::uint32_t>(cap);
+      auto b_keys = ctx.shared<T>(cap);
+      auto b_idx = ctx.shared<std::uint32_t>(cap);
+      for (std::size_t p = pbegin; p < pend; ++p) {
+        for (std::size_t i = 0; i < cap; ++i) {
+          const std::size_t src = (prob * src_stride + 2 * p) * cap + i;
+          a_keys[i] = ctx.load(src_val, src);
+          a_idx[i] = ctx.load(src_idx, src);
+        }
+        if (2 * p + 1 < src_chunks) {
+          for (std::size_t i = 0; i < cap; ++i) {
+            const std::size_t src = (prob * src_stride + 2 * p + 1) * cap + i;
+            b_keys[i] = ctx.load(src_val, src);
+            b_idx[i] = ctx.load(src_idx, src);
+          }
+          merge_prune<T>(ctx, a_keys, a_idx, b_keys, b_idx);
+        }
+        for (std::size_t i = 0; i < cap; ++i) {
+          ctx.store(dst_val, (prob * dst_stride + p) * cap + i, a_keys[i]);
+          ctx.store(dst_idx, (prob * dst_stride + p) * cap + i, a_idx[i]);
+        }
+      }
+    });
+    chunks = pairs;
+    cur = 1 - cur;
+    ++pass;
+  }
+
+  // ---- emit the surviving chunk's first K pairs ---------------------------
+  {
+    simgpu::LaunchConfig cfg{"BitonicTopK_emit", static_cast<int>(batch),
+                             opt.block_threads};
+    const auto fin_val = work_val[cur];
+    const auto fin_idx = work_idx[cur];
+    simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
+      const auto prob = static_cast<std::size_t>(ctx.block_idx());
+      for (std::size_t i = 0; i < k; ++i) {
+        ctx.store(out_vals, prob * k + i, ctx.load(fin_val, prob * cap + i));
+        ctx.store(out_idx, prob * k + i, ctx.load(fin_idx, prob * cap + i));
+      }
+    });
+  }
+}
+
+}  // namespace topk

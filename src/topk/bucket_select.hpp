@@ -1,0 +1,239 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "simgpu/simgpu.hpp"
+#include "topk/common.hpp"
+
+namespace topk {
+
+/// Options for the BucketSelect baseline.
+struct BucketSelectOptions {
+  int num_buckets = 256;
+  int block_threads = 256;
+  std::size_t items_per_block = 16 * 1024;
+};
+
+/// BucketSelect (Alabi et al. 2012 / GpuSelection): partition-based
+/// selection whose pivots are derived from the minimum and maximum of the
+/// candidates (paper §2.2).  Each iteration runs a min/max reduction, copies
+/// the extrema to the host, buckets the candidates by linear interpolation,
+/// copies the histogram back, and filters into the target bucket — two host
+/// round trips per iteration.
+template <typename T>
+void bucket_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
+                   std::size_t batch, std::size_t n, std::size_t k,
+                   simgpu::DeviceBuffer<T> out_vals,
+                   simgpu::DeviceBuffer<std::uint32_t> out_idx,
+                   const BucketSelectOptions& opt = {}) {
+  validate_problem(n, k, batch);
+  if (in.size() < batch * n || out_vals.size() < batch * k ||
+      out_idx.size() < batch * k) {
+    throw std::invalid_argument("bucket_select: buffer too small");
+  }
+
+  const int nb = opt.num_buckets;
+  simgpu::ScopedWorkspace ws(dev);
+  simgpu::DeviceBuffer<T> cand_val[2] = {dev.alloc<T>(n), dev.alloc<T>(n)};
+  simgpu::DeviceBuffer<std::uint32_t> cand_idx[2] = {
+      dev.alloc<std::uint32_t>(n), dev.alloc<std::uint32_t>(n)};
+  auto minmax = dev.alloc<T>(2);
+  auto ghist = dev.alloc<std::uint32_t>(static_cast<std::size_t>(nb));
+  auto counters = dev.alloc<std::uint32_t>(2);  // out cursor, candidate cursor
+  std::vector<std::uint32_t> host_hist(static_cast<std::size_t>(nb));
+
+  for (std::size_t prob = 0; prob < batch; ++prob) {
+    std::uint64_t k_rem = k;
+    std::uint64_t count = n;
+    std::uint64_t out_cursor = prob * k;
+    int cur = 0;
+    bool from_input = true;
+
+    while (true) {
+      const auto src_val = cand_val[cur];
+      const auto src_idx = cand_idx[cur];
+
+      const auto copy_first = [&](std::uint64_t m) {
+        const std::uint64_t dst = out_cursor;
+        const bool fi = from_input;
+        const GridShape shape = make_grid(1, m, dev.spec(), opt.block_threads,
+                                          opt.items_per_block);
+        const int bpp = shape.blocks_per_problem;
+        simgpu::LaunchConfig cfg{"CopyRemainder", shape.total_blocks(),
+                                 opt.block_threads};
+        simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
+          const auto [begin, end] = block_chunk(m, bpp, ctx.block_idx());
+          for (std::size_t i = begin; i < end; ++i) {
+            if (fi) {
+              ctx.store(out_vals, dst + i, ctx.load(in, prob * n + i));
+              ctx.store(out_idx, dst + i, static_cast<std::uint32_t>(i));
+            } else {
+              ctx.store(out_vals, dst + i, ctx.load(src_val, i));
+              ctx.store(out_idx, dst + i, ctx.load(src_idx, i));
+            }
+          }
+        });
+        out_cursor += m;
+      };
+
+      if (count == k_rem) {
+        copy_first(count);
+        dev.synchronize("final");
+        break;
+      }
+
+      // ---- kernel 1: min/max reduction ------------------------------------
+      {
+        simgpu::LaunchConfig cfg{"minmax_memset", 1, 32};
+        simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
+          ctx.store(minmax, 0, std::numeric_limits<T>::max());
+          ctx.store(minmax, 1, std::numeric_limits<T>::lowest());
+          ctx.store<std::uint32_t>(counters, 0, 0);
+          ctx.store<std::uint32_t>(counters, 1, 0);
+        });
+      }
+      const GridShape shape = make_grid(1, count, dev.spec(),
+                                        opt.block_threads,
+                                        opt.items_per_block);
+      const int bpp = shape.blocks_per_problem;
+      {
+        simgpu::LaunchConfig cfg{"minmax_reduce", shape.total_blocks(),
+                                 opt.block_threads};
+        simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
+          const auto [begin, end] = block_chunk(count, bpp, ctx.block_idx());
+          T lo = std::numeric_limits<T>::max();
+          T hi = std::numeric_limits<T>::lowest();
+          for (std::size_t i = begin; i < end; ++i) {
+            const T v =
+                from_input ? ctx.load(in, prob * n + i) : ctx.load(src_val, i);
+            lo = std::min(lo, v);
+            hi = std::max(hi, v);
+          }
+          ctx.ops(2 * (end - begin));
+          if (begin < end) {
+            ctx.atomic_min(minmax, 0, lo);
+            ctx.atomic_max(minmax, 1, hi);
+          }
+        });
+      }
+      std::vector<T> host_minmax(2);
+      dev.copy_to_host(minmax, std::span<T>(host_minmax), "minmax");
+      const double lo = static_cast<double>(host_minmax[0]);
+      const double hi = static_cast<double>(host_minmax[1]);
+      if (!(lo < hi)) {
+        // All remaining candidates are identical: any k_rem of them work.
+        copy_first(k_rem);
+        dev.synchronize("final");
+        break;
+      }
+      const double scale = static_cast<double>(nb) / (hi - lo);
+
+      // ---- kernel 2: interpolation histogram ------------------------------
+      {
+        simgpu::LaunchConfig cfg{"hist_memset", 1, 32};
+        simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
+          for (int d = 0; d < nb; ++d) {
+            ctx.store<std::uint32_t>(ghist, static_cast<std::size_t>(d), 0);
+          }
+        });
+      }
+      {
+        simgpu::LaunchConfig cfg{"bucket_histogram", shape.total_blocks(),
+                                 opt.block_threads};
+        simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
+          auto shist =
+              ctx.shared_zero<std::uint32_t>(static_cast<std::size_t>(nb));
+          const auto [begin, end] = block_chunk(count, bpp, ctx.block_idx());
+          for (std::size_t i = begin; i < end; ++i) {
+            const T v =
+                from_input ? ctx.load(in, prob * n + i) : ctx.load(src_val, i);
+            const auto b = std::min<std::int64_t>(
+                nb - 1, static_cast<std::int64_t>(
+                            (static_cast<double>(v) - lo) * scale));
+            ++shist[static_cast<std::size_t>(std::max<std::int64_t>(0, b))];
+          }
+          ctx.ops(4 * (end - begin));
+          ctx.sync();
+          for (int d = 0; d < nb; ++d) {
+            if (shist[static_cast<std::size_t>(d)] != 0) {
+              ctx.atomic_add_scattered(ghist, static_cast<std::size_t>(d),
+                                       shist[static_cast<std::size_t>(d)]);
+            }
+          }
+        });
+      }
+      dev.copy_to_host(ghist, std::span<std::uint32_t>(host_hist),
+                       "bucket histogram");
+      dev.host_compute("prefix_sum+find_bucket",
+                       static_cast<std::uint64_t>(3 * nb));
+      std::uint64_t less = 0;
+      std::uint32_t target = 0;
+      std::uint64_t target_count = 0;
+      for (int d = 0; d < nb; ++d) {
+        const std::uint32_t c = host_hist[static_cast<std::size_t>(d)];
+        if (less + c >= k_rem) {
+          target = static_cast<std::uint32_t>(d);
+          target_count = c;
+          break;
+        }
+        less += c;
+      }
+
+      // ---- kernel 3: filter ------------------------------------------------
+      const auto dst_val = cand_val[1 - cur];
+      const auto dst_idx = cand_idx[1 - cur];
+      const std::uint64_t out_base = out_cursor;
+      {
+        simgpu::LaunchConfig cfg{"bucket_filter", shape.total_blocks(),
+                                 opt.block_threads};
+        simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
+          const auto [begin, end] = block_chunk(count, bpp, ctx.block_idx());
+          AggregatedAppender<T, std::uint32_t> out_app(
+              out_vals, out_idx, out_base, counters, 0, less,
+              "bucket_select results");
+          AggregatedAppender<T, std::uint32_t> cand_app(
+              dst_val, dst_idx, 0, counters, 1, count,
+              "bucket_select candidates");
+          for (std::size_t i = begin; i < end; ++i) {
+            T v;
+            std::uint32_t id;
+            if (from_input) {
+              v = ctx.load(in, prob * n + i);
+              id = static_cast<std::uint32_t>(i);
+            } else {
+              v = ctx.load(src_val, i);
+              id = ctx.load(src_idx, i);
+            }
+            const auto raw = static_cast<std::int64_t>(
+                (static_cast<double>(v) - lo) * scale);
+            const auto b = static_cast<std::uint32_t>(
+                std::min<std::int64_t>(nb - 1, std::max<std::int64_t>(0, raw)));
+            if (b < target) {
+              out_app.push(ctx, v, id);
+            } else if (b == target) {
+              cand_app.push(ctx, v, id);
+            }
+          }
+          out_app.flush(ctx);
+          cand_app.flush(ctx);
+          ctx.ops(5 * (end - begin));
+        });
+      }
+      dev.synchronize("host check");
+      out_cursor += less;
+      k_rem -= less;
+      count = target_count;
+      cur = 1 - cur;
+      from_input = false;
+    }
+    if (out_cursor != prob * k + k) {
+      throw std::logic_error("bucket_select: result count mismatch");
+    }
+  }
+}
+
+}  // namespace topk

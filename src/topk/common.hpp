@@ -1,0 +1,140 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "simgpu/simgpu.hpp"
+
+namespace topk {
+
+/// Grid shape for a batched data-parallel kernel: every problem of the batch
+/// gets the same number of blocks, laid out problem-major
+/// (block_idx = problem * blocks_per_problem + block_in_problem).
+struct GridShape {
+  int blocks_per_problem = 1;
+  int block_threads = 256;
+  std::size_t batch = 1;
+
+  [[nodiscard]] int total_blocks() const {
+    return static_cast<int>(batch) * blocks_per_problem;
+  }
+  [[nodiscard]] std::size_t problem_of(int block_idx) const {
+    return static_cast<std::size_t>(block_idx) / blocks_per_problem;
+  }
+  [[nodiscard]] int block_in_problem(int block_idx) const {
+    return block_idx % blocks_per_problem;
+  }
+};
+
+/// Choose a grid for scanning `n` elements per problem.  Mirrors how RAFT
+/// sizes radix kernels: enough blocks to cover the device a couple of times,
+/// each block owning a contiguous chunk, with a cap on the total grid so
+/// huge batches do not drown the (simulated) block scheduler.
+inline GridShape make_grid(std::size_t batch, std::size_t n,
+                           const simgpu::DeviceSpec& spec,
+                           int block_threads = 256,
+                           std::size_t items_per_block = 16 * 1024,
+                           int max_total_blocks = 4096) {
+  GridShape g;
+  g.batch = batch;
+  g.block_threads = block_threads;
+  const std::size_t needed = (n + items_per_block - 1) / items_per_block;
+  const std::size_t device_cap =
+      static_cast<std::size_t>(2 * spec.sm_count);
+  const std::size_t per_problem_cap = std::max<std::size_t>(
+      1, static_cast<std::size_t>(max_total_blocks) / std::max<std::size_t>(
+                                                           1, batch));
+  g.blocks_per_problem = static_cast<int>(
+      std::clamp<std::size_t>(std::min(needed, device_cap), 1,
+                              per_problem_cap));
+  return g;
+}
+
+/// Balanced [begin, end) chunk of `count` items for part `part` of `parts`.
+inline std::pair<std::size_t, std::size_t> block_chunk(std::size_t count,
+                                                       int parts, int part) {
+  const std::size_t base = count / static_cast<std::size_t>(parts);
+  const std::size_t rem = count % static_cast<std::size_t>(parts);
+  const auto p = static_cast<std::size_t>(part);
+  const std::size_t begin = p * base + std::min(p, rem);
+  const std::size_t end = begin + base + (p < rem ? 1 : 0);
+  return {begin, end};
+}
+
+/// Warp-aggregated append into parallel (value, index) output arrays that
+/// share one atomic cursor — the standard GPU idiom (used by RAFT's
+/// select_radix and GpuSelection) where a warp ballots its writers, the
+/// leader reserves a slot range with a single atomicAdd, and lanes write to
+/// their offsets.  Emulated by staging up to kWarpSize entries and paying
+/// one contended atomic per batch instead of one per element.
+///
+/// `flush()` must be called before the block retires.
+template <typename T, typename Cursor>
+class AggregatedAppender {
+ public:
+  AggregatedAppender(simgpu::DeviceBuffer<T> vals,
+                     simgpu::DeviceBuffer<std::uint32_t> idx,
+                     std::size_t dst_base,
+                     simgpu::DeviceBuffer<Cursor> cursor,
+                     std::size_t cursor_index, std::size_t capacity,
+                     const char* overflow_what)
+      : vals_(vals),
+        idx_(idx),
+        dst_base_(dst_base),
+        cursor_(cursor),
+        cursor_index_(cursor_index),
+        capacity_(capacity),
+        overflow_what_(overflow_what) {}
+
+  void push(simgpu::BlockCtx& ctx, T value, std::uint32_t index) {
+    staged_v_[staged_] = value;
+    staged_i_[staged_] = index;
+    if (++staged_ == kStage) flush(ctx);
+  }
+
+  void flush(simgpu::BlockCtx& ctx) {
+    if (staged_ == 0) return;
+    const Cursor base =
+        ctx.atomic_add(cursor_, cursor_index_, static_cast<Cursor>(staged_));
+    if (static_cast<std::size_t>(base) + staged_ > capacity_) {
+      throw std::logic_error(std::string(overflow_what_) +
+                             ": aggregated append overflow");
+    }
+    for (std::size_t i = 0; i < staged_; ++i) {
+      ctx.store(vals_, dst_base_ + static_cast<std::size_t>(base) + i,
+                staged_v_[i]);
+      ctx.store(idx_, dst_base_ + static_cast<std::size_t>(base) + i,
+                staged_i_[i]);
+    }
+    ctx.ops(2);  // ballot + leader election of the aggregated atomic
+    staged_ = 0;
+  }
+
+ private:
+  static constexpr std::size_t kStage = 32;
+  simgpu::DeviceBuffer<T> vals_;
+  simgpu::DeviceBuffer<std::uint32_t> idx_;
+  std::size_t dst_base_;
+  simgpu::DeviceBuffer<Cursor> cursor_;
+  std::size_t cursor_index_;
+  std::size_t capacity_;
+  const char* overflow_what_;
+  T staged_v_[kStage];
+  std::uint32_t staged_i_[kStage];
+  std::size_t staged_ = 0;
+};
+
+/// Validate the (n, k, batch) triple shared by all algorithms.
+inline void validate_problem(std::size_t n, std::size_t k, std::size_t batch) {
+  if (batch == 0) throw std::invalid_argument("top-k: batch must be > 0");
+  if (n == 0) throw std::invalid_argument("top-k: n must be > 0");
+  if (k == 0 || k > n) {
+    throw std::invalid_argument("top-k: k must be in [1, n]");
+  }
+}
+
+}  // namespace topk

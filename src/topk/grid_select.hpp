@@ -1,0 +1,302 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "simgpu/simgpu.hpp"
+#include "topk/common.hpp"
+#include "topk/partial_sort_common.hpp"
+#include "topk/warp_select.hpp"
+
+namespace topk {
+
+/// Options for GridSelect (paper §4).
+struct GridSelectOptions {
+  int warps_per_block = 8;
+  std::size_t items_per_block = 16 * 1024;
+  /// false reproduces the Fig. 11 ablation: per-thread register queues
+  /// (BlockSelect-style) inside the multi-block structure.
+  bool shared_queue = true;
+  /// Optional input indices (size batch*n), as in RAFT's select_k: result
+  /// indices are taken from here instead of input positions.
+  simgpu::DeviceBuffer<std::uint32_t> in_idx{};
+};
+
+/// One warp's GridSelect state: a single 32-entry *shared-memory* queue with
+/// parallel two-step insertion (paper Fig. 5) in front of a sorted top-K
+/// list.  Compared with per-thread register queues this reduces register
+/// pressure and calls the expensive sort+merge only when the queue is
+/// actually full.
+///
+/// This class is also the paper's "process data on-the-fly" device-function
+/// building block: any kernel can instantiate it and push values as it
+/// produces them (see examples/streaming_topk.cpp).
+template <typename T>
+class SharedQueueEngine {
+ public:
+  SharedQueueEngine(simgpu::BlockCtx& ctx, std::size_t k)
+      : q_keys_(ctx.shared<T>(simgpu::kWarpSize)),
+        q_idx_(ctx.shared<std::uint32_t>(simgpu::kWarpSize)),
+        list_keys_(ctx.shared<T>(next_pow2(k))),
+        list_idx_(ctx.shared<std::uint32_t>(next_pow2(k))),
+        list_(list_keys_, list_idx_, k) {}
+
+  [[nodiscard]] T kth() const { return list_.kth(); }
+
+  /// Process one warp-wide round of up to 32 loaded elements with the
+  /// parallel two-step insertion of Fig. 5.
+  void round(simgpu::BlockCtx& ctx, const T* values,
+             const std::uint32_t* indices, const bool* valid) {
+    const T threshold = list_.kth();
+    const std::uint32_t mask = simgpu::Warp::ballot([&](int lane) {
+      return valid[lane] && values[lane] < threshold;
+    });
+    ctx.ops(simgpu::kWarpSize + 1);  // compare per lane + ballot
+    if (mask == 0) return;
+
+    const std::size_t incoming = static_cast<std::size_t>(simgpu::Warp::popc(mask));
+    // Step 1: lanes whose storing position fits insert immediately.
+    for (int lane = 0; lane < simgpu::kWarpSize; ++lane) {
+      if (!((mask >> lane) & 1u)) continue;
+      const std::size_t pos =
+          q_count_ + static_cast<std::size_t>(simgpu::Warp::rank_below(mask, lane));
+      if (pos < simgpu::kWarpSize) {
+        q_keys_[pos] = values[lane];
+        q_idx_[pos] = indices[lane];
+      }
+    }
+    ctx.ops(incoming);
+    const std::size_t total = q_count_ + incoming;
+    if (total < simgpu::kWarpSize) {
+      q_count_ = total;
+      return;
+    }
+    // Queue full: sort + merge, clear, then step 2 inserts the overflow.
+    flush(ctx, simgpu::kWarpSize);
+    for (int lane = 0; lane < simgpu::kWarpSize; ++lane) {
+      if (!((mask >> lane) & 1u)) continue;
+      const std::size_t pos =
+          q_count_overflow_base_ +
+          static_cast<std::size_t>(simgpu::Warp::rank_below(mask, lane));
+      if (pos >= simgpu::kWarpSize) {
+        q_keys_[pos - simgpu::kWarpSize] = values[lane];
+        q_idx_[pos - simgpu::kWarpSize] = indices[lane];
+      }
+    }
+    ctx.ops(incoming);
+    q_count_ = total - simgpu::kWarpSize;
+  }
+
+  /// Drain whatever is queued into the list.
+  void finalize(simgpu::BlockCtx& ctx) {
+    if (q_count_ > 0) flush(ctx, q_count_);
+  }
+
+  [[nodiscard]] TopkList<T>& list() { return list_; }
+
+ private:
+  void flush(simgpu::BlockCtx& ctx, std::size_t count) {
+    q_count_overflow_base_ = q_count_;
+    list_.merge(ctx, q_keys_, q_idx_, count);
+    q_count_ = 0;
+  }
+
+  std::span<T> q_keys_;
+  std::span<std::uint32_t> q_idx_;
+  std::span<T> list_keys_;
+  std::span<std::uint32_t> list_idx_;
+  TopkList<T> list_;
+  std::size_t q_count_ = 0;
+  std::size_t q_count_overflow_base_ = 0;
+};
+
+/// GridSelect (paper §4): WarpSelect with (a) a shared-memory queue with
+/// parallel two-step insertion and (b) a multi-block launch so the whole
+/// device participates, followed by a cross-block merge kernel.
+template <typename T>
+void grid_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
+                 std::size_t batch, std::size_t n, std::size_t k,
+                 simgpu::DeviceBuffer<T> out_vals,
+                 simgpu::DeviceBuffer<std::uint32_t> out_idx,
+                 const GridSelectOptions& opt = {}) {
+  validate_problem(n, k, batch);
+  if (k > kMaxSelectionK) {
+    throw std::invalid_argument("grid_select: k exceeds the " +
+                                std::to_string(kMaxSelectionK) + " limit");
+  }
+  if (in.size() < batch * n || out_vals.size() < batch * k ||
+      out_idx.size() < batch * k) {
+    throw std::invalid_argument("grid_select: buffer too small");
+  }
+
+  const std::size_t cap = next_pow2(k);
+  // Shrink the block until the per-warp queue + list state fits the
+  // device's shared memory (large K on small-shared-memory devices like
+  // the A10 runs with fewer warps per block).
+  int num_warps = opt.warps_per_block;
+  const std::size_t per_warp_shared =
+      (simgpu::kWarpSize + cap) * (sizeof(T) + sizeof(std::uint32_t));
+  while (num_warps > 1 && static_cast<std::size_t>(num_warps) *
+                                  per_warp_shared >
+                              dev.spec().shared_mem_per_block) {
+    num_warps /= 2;
+  }
+  if (static_cast<std::size_t>(num_warps) * per_warp_shared >
+      dev.spec().shared_mem_per_block) {
+    throw std::invalid_argument(
+        "grid_select: k too large for this device's shared memory");
+  }
+  const GridShape shape = make_grid(batch, n, dev.spec(),
+                                    num_warps * simgpu::kWarpSize,
+                                    opt.items_per_block);
+  const int bpp = shape.blocks_per_problem;
+  const bool shared_queue = opt.shared_queue;
+
+  const bool has_in_idx = !opt.in_idx.empty();
+  if (has_in_idx && opt.in_idx.size() < batch * n) {
+    throw std::invalid_argument("grid_select: in_idx too small");
+  }
+  const auto ext_idx = opt.in_idx;
+
+  simgpu::ScopedWorkspace ws(dev);
+  // With a single block per problem no cross-block merge is needed: the
+  // partial kernel writes the final results directly (this is the regime
+  // where GridSelect degenerates to a BlockSelect-shaped launch).
+  const bool direct_output = (bpp == 1);
+  simgpu::DeviceBuffer<T> part_val;
+  simgpu::DeviceBuffer<std::uint32_t> part_idx;
+  if (!direct_output) {
+    part_val = dev.alloc<T>(batch * static_cast<std::size_t>(bpp) * cap);
+    part_idx =
+        dev.alloc<std::uint32_t>(batch * static_cast<std::size_t>(bpp) * cap);
+  }
+
+  // ---- kernel 1: per-block partial selection ----------------------------
+  {
+    simgpu::LaunchConfig cfg{shared_queue ? "GridSelect_partial"
+                                          : "GridSelect_partial_threadqueue",
+                             shape.total_blocks(), shape.block_threads};
+    simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
+      const std::size_t prob = shape.problem_of(ctx.block_idx());
+      const int bip = shape.block_in_problem(ctx.block_idx());
+      const auto [begin, end] = block_chunk(n, bpp, bip);
+      const std::size_t base = prob * n;
+
+      // One engine per warp; shared-queue engines allocate from block shared
+      // memory, the thread-queue variant keeps queues in registers.
+      std::vector<std::unique_ptr<SharedQueueEngine<T>>> sq;
+      std::vector<std::unique_ptr<faiss_detail::WarpSelectEngine<T>>> tq;
+      for (int w = 0; w < num_warps; ++w) {
+        if (shared_queue) {
+          sq.push_back(std::make_unique<SharedQueueEngine<T>>(ctx, k));
+        } else {
+          tq.push_back(
+              std::make_unique<faiss_detail::WarpSelectEngine<T>>(ctx, k));
+        }
+      }
+
+      const std::size_t stride =
+          static_cast<std::size_t>(num_warps) * simgpu::kWarpSize;
+      ctx.for_each_warp([&](simgpu::Warp& warp) {
+        T values[simgpu::kWarpSize];
+        std::uint32_t indices[simgpu::kWarpSize];
+        bool valid[simgpu::kWarpSize];
+        const std::size_t warp_off =
+            static_cast<std::size_t>(warp.index()) * simgpu::kWarpSize;
+        for (std::size_t pos = begin + warp_off; pos < end; pos += stride) {
+          warp.each([&](int lane) {
+            const std::size_t i = pos + static_cast<std::size_t>(lane);
+            valid[lane] = i < end;
+            if (valid[lane]) {
+              values[lane] = ctx.load(in, base + i);
+              indices[lane] = has_in_idx ? ctx.load(ext_idx, base + i)
+                                         : static_cast<std::uint32_t>(i);
+            }
+          });
+          if (shared_queue) {
+            sq[static_cast<std::size_t>(warp.index())]->round(ctx, values,
+                                                              indices, valid);
+          } else {
+            tq[static_cast<std::size_t>(warp.index())]->round(ctx, values,
+                                                              indices, valid);
+          }
+        }
+        if (shared_queue) {
+          sq[static_cast<std::size_t>(warp.index())]->finalize(ctx);
+        } else {
+          tq[static_cast<std::size_t>(warp.index())]->flush(ctx);
+        }
+      });
+      ctx.sync();
+
+      TopkList<T>& merged =
+          shared_queue ? sq[0]->list() : tq[0]->list();
+      for (int w = 1; w < num_warps; ++w) {
+        merged.merge_list(ctx, shared_queue
+                                   ? sq[static_cast<std::size_t>(w)]->list()
+                                   : tq[static_cast<std::size_t>(w)]->list());
+      }
+      if (direct_output) {
+        for (std::size_t i = 0; i < k; ++i) {
+          ctx.store(out_vals, prob * k + i, merged.keys()[i]);
+          ctx.store(out_idx, prob * k + i, merged.indices()[i]);
+        }
+        return;
+      }
+      // Publish the block's sorted partial list (padded to cap).
+      const std::size_t out_base =
+          (prob * static_cast<std::size_t>(bpp) +
+           static_cast<std::size_t>(bip)) *
+          cap;
+      for (std::size_t i = 0; i < cap; ++i) {
+        const bool live = i < k;
+        ctx.store(part_val, out_base + i,
+                  live ? merged.keys()[i] : sort_sentinel<T>());
+        ctx.store(part_idx, out_base + i,
+                  live ? merged.indices()[i] : std::uint32_t{0});
+      }
+    });
+  }
+  if (direct_output) return;
+
+  // ---- kernel 2: cross-block merge ---------------------------------------
+  {
+    // One wide block per problem: the real kernel tree-merges the partial
+    // lists across its warps, so the launch shape (and hence the modeled
+    // bandwidth share) uses a full 1024-thread block.
+    simgpu::LaunchConfig cfg{"GridSelect_merge", static_cast<int>(batch),
+                             1024};
+    simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
+      const auto prob = static_cast<std::size_t>(ctx.block_idx());
+      auto acc_keys = ctx.shared<T>(cap);
+      auto acc_idx = ctx.shared<std::uint32_t>(cap);
+      auto tmp_keys = ctx.shared<T>(cap);
+      auto tmp_idx = ctx.shared<std::uint32_t>(cap);
+      for (std::size_t i = 0; i < cap; ++i) {
+        const std::size_t src = prob * static_cast<std::size_t>(bpp) * cap + i;
+        acc_keys[i] = ctx.load(part_val, src);
+        acc_idx[i] = ctx.load(part_idx, src);
+      }
+      for (int b = 1; b < bpp; ++b) {
+        const std::size_t src_base =
+            (prob * static_cast<std::size_t>(bpp) +
+             static_cast<std::size_t>(b)) *
+            cap;
+        for (std::size_t i = 0; i < cap; ++i) {
+          tmp_keys[i] = ctx.load(part_val, src_base + i);
+          tmp_idx[i] = ctx.load(part_idx, src_base + i);
+        }
+        merge_prune<T>(ctx, acc_keys, acc_idx, tmp_keys, tmp_idx);
+      }
+      for (std::size_t i = 0; i < k; ++i) {
+        ctx.store(out_vals, prob * k + i, acc_keys[i]);
+        ctx.store(out_idx, prob * k + i, acc_idx[i]);
+      }
+    });
+  }
+}
+
+}  // namespace topk

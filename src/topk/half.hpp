@@ -1,0 +1,127 @@
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "topk/radix_traits.hpp"
+
+namespace topk {
+
+/// Minimal IEEE-754 binary16 storage type, enough to run radix selection on
+/// half-precision keys (RAFT's select_k supports __half; deep-learning
+/// scores are commonly fp16).  Conversion uses round-to-nearest-even;
+/// comparisons go through float, which is exact for binary16 values.
+class half {
+ public:
+  half() = default;
+
+  explicit half(float f) : bits_(float_to_half_bits(f)) {}
+
+  static half from_bits(std::uint16_t bits) {
+    half h;
+    h.bits_ = bits;
+    return h;
+  }
+
+  [[nodiscard]] std::uint16_t bits() const { return bits_; }
+
+  explicit operator float() const { return half_bits_to_float(bits_); }
+
+  friend bool operator<(half a, half b) {
+    return static_cast<float>(a) < static_cast<float>(b);
+  }
+  friend bool operator==(half a, half b) {
+    return static_cast<float>(a) == static_cast<float>(b);
+  }
+
+  static std::uint16_t float_to_half_bits(float f) {
+    const std::uint32_t x = std::bit_cast<std::uint32_t>(f);
+    const std::uint32_t sign = (x >> 16) & 0x8000u;
+    const std::int32_t exp = static_cast<std::int32_t>((x >> 23) & 0xFF) - 127;
+    std::uint32_t mant = x & 0x7FFFFFu;
+
+    if (exp == 128) {  // inf / NaN
+      return static_cast<std::uint16_t>(sign | 0x7C00u |
+                                        (mant != 0 ? 0x200u : 0u));
+    }
+    if (exp > 15) {  // overflow -> inf
+      return static_cast<std::uint16_t>(sign | 0x7C00u);
+    }
+    if (exp >= -14) {  // normal range
+      // Round mantissa from 23 to 10 bits, to nearest even.
+      std::uint32_t half_mant = mant >> 13;
+      const std::uint32_t rest = mant & 0x1FFFu;
+      if (rest > 0x1000u || (rest == 0x1000u && (half_mant & 1u))) {
+        ++half_mant;
+      }
+      std::uint32_t half_exp = static_cast<std::uint32_t>(exp + 15);
+      if (half_mant == 0x400u) {  // mantissa carry
+        half_mant = 0;
+        ++half_exp;
+        if (half_exp >= 31) return static_cast<std::uint16_t>(sign | 0x7C00u);
+      }
+      return static_cast<std::uint16_t>(sign | (half_exp << 10) | half_mant);
+    }
+    if (exp >= -24) {  // subnormal half: value = m * 2^-24, m in [1, 1023]
+      mant |= 0x800000u;  // implicit leading bit -> 24-bit mantissa
+      const int shift = -exp - 1;  // exp=-24 -> 23, exp=-15 -> 14
+      std::uint32_t half_mant = mant >> shift;
+      const std::uint32_t rest = mant & ((1u << shift) - 1u);
+      const std::uint32_t halfway = 1u << (shift - 1);
+      if (rest > halfway || (rest == halfway && (half_mant & 1u))) {
+        ++half_mant;
+      }
+      return static_cast<std::uint16_t>(sign | half_mant);
+    }
+    return static_cast<std::uint16_t>(sign);  // underflow -> signed zero
+  }
+
+  static float half_bits_to_float(std::uint16_t h) {
+    const std::uint32_t sign = (static_cast<std::uint32_t>(h) & 0x8000u) << 16;
+    const std::uint32_t exp = (h >> 10) & 0x1Fu;
+    const std::uint32_t mant = h & 0x3FFu;
+    std::uint32_t out;
+    if (exp == 0x1F) {  // inf / NaN
+      out = sign | 0x7F800000u | (mant << 13);
+    } else if (exp != 0) {  // normal
+      out = sign | ((exp + 112) << 23) | (mant << 13);
+    } else if (mant != 0) {  // subnormal: renormalize
+      std::uint32_t m = mant;
+      std::int32_t e = -1;
+      while ((m & 0x400u) == 0) {
+        m <<= 1;
+        ++e;
+      }
+      out = sign | static_cast<std::uint32_t>((113 - e - 1) << 23) |
+            ((m & 0x3FFu) << 13);
+    } else {  // signed zero
+      out = sign;
+    }
+    return std::bit_cast<float>(out);
+  }
+
+ private:
+  std::uint16_t bits_ = 0;
+};
+
+/// Radix traits for half: the same sign-flip trick as float on 16 bits;
+/// with 11-bit digits AIR Top-K finishes half keys in two passes.
+template <>
+struct RadixTraits<half> {
+  using Bits = std::uint16_t;
+  static constexpr int kBits = 16;
+
+  static Bits to_radix(half v) {
+    const std::uint16_t b = v.bits();
+    return (b & 0x8000u) ? static_cast<Bits>(~b)
+                         : static_cast<Bits>(b | 0x8000u);
+  }
+  static half from_radix(Bits b) {
+    const std::uint16_t raw =
+        (b & 0x8000u) ? static_cast<std::uint16_t>(b & 0x7FFFu)
+                      : static_cast<std::uint16_t>(~b);
+    return half::from_bits(raw);
+  }
+};
+
+}  // namespace topk

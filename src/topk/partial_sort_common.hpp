@@ -1,0 +1,133 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "simgpu/kernel.hpp"
+#include "topk/bitonic.hpp"
+
+namespace topk {
+
+/// Hard K limits of the partial-sorting family (paper §2.2): the selection
+/// structures live in registers/shared memory, which bounds K.
+inline constexpr std::size_t kMaxSelectionK = 2048;   // WarpSelect family
+inline constexpr std::size_t kMaxBitonicTopkK = 256;  // Bitonic Top-K
+
+/// A sorted top-K list with merge-and-prune updates, the common core of
+/// WarpSelect, BlockSelect, GridSelect and Bitonic Top-K.  `keys`/`idx` are
+/// caller-provided storage of `capacity()` elements (registers for the Faiss
+/// selections, shared memory for GridSelect), kept ascending-sorted and
+/// padded with the +inf sentinel.
+///
+/// All compare-exchange work is charged to the BlockCtx as lane ops; the
+/// storage itself is on-chip and therefore free of device-memory traffic,
+/// exactly like the real kernels.
+template <typename T>
+class TopkList {
+ public:
+  TopkList(std::span<T> keys, std::span<std::uint32_t> idx, std::size_t k)
+      : keys_(keys), idx_(idx), k_(k) {
+    if (keys_.size() != idx_.size() || keys_.size() < k) {
+      throw std::invalid_argument("TopkList: bad storage");
+    }
+    cap_ = next_pow2(k);
+    if (keys_.size() < cap_) {
+      throw std::invalid_argument("TopkList: storage must hold next_pow2(k)");
+    }
+    for (std::size_t i = 0; i < cap_; ++i) {
+      keys_[i] = sort_sentinel<T>();
+      idx_[i] = 0;
+    }
+  }
+
+  [[nodiscard]] std::size_t k() const { return k_; }
+  [[nodiscard]] std::size_t capacity() const { return cap_; }
+
+  /// Current K-th smallest value seen (the selection threshold).
+  [[nodiscard]] T kth() const { return keys_[k_ - 1]; }
+
+  /// Merge `count` candidate pairs into the list, keeping the smallest k.
+  /// Candidates are consumed (their storage is clobbered).  Requires
+  /// `cand_keys.size() == cand_idx.size()` and both at least `count`.
+  void merge(simgpu::BlockCtx& ctx, std::span<T> cand_keys,
+             std::span<std::uint32_t> cand_idx, std::size_t count) {
+    if (count == 0) return;
+    // Process candidates in sorted chunks of the list capacity so the
+    // merge network size matches the real kernels' fixed-size networks.
+    const std::size_t q = next_pow2(count);
+    scratch_keys_.assign(q, sort_sentinel<T>());
+    scratch_idx_.assign(q, 0);
+    for (std::size_t i = 0; i < count; ++i) {
+      scratch_keys_[i] = cand_keys[i];
+      scratch_idx_[i] = cand_idx[i];
+    }
+    bitonic_sort<T>(ctx, scratch_keys_, scratch_idx_);
+    for (std::size_t base = 0; base < q; base += cap_) {
+      const std::size_t len = std::min(cap_, q - base);
+      merge_sorted_chunk(ctx,
+                         std::span<T>(scratch_keys_).subspan(base, len),
+                         std::span<std::uint32_t>(scratch_idx_)
+                             .subspan(base, len));
+    }
+  }
+
+  /// Merge an already ascending-sorted chunk of at most capacity() pairs.
+  void merge_sorted_chunk(simgpu::BlockCtx& ctx, std::span<T> chunk_keys,
+                          std::span<std::uint32_t> chunk_idx) {
+    const std::size_t len = chunk_keys.size();
+    if (len == cap_) {
+      merge_prune<T>(ctx, keys_.subspan(0, cap_), idx_.subspan(0, cap_),
+                     chunk_keys, chunk_idx);
+      return;
+    }
+    // Short chunk: pad into a capacity-sized scratch and run the same
+    // fixed-size network.
+    pad_keys_.assign(cap_, sort_sentinel<T>());
+    pad_idx_.assign(cap_, 0);
+    for (std::size_t i = 0; i < len; ++i) {
+      pad_keys_[i] = chunk_keys[i];
+      pad_idx_[i] = chunk_idx[i];
+    }
+    merge_prune<T>(ctx, keys_.subspan(0, cap_), idx_.subspan(0, cap_),
+                   pad_keys_, pad_idx_);
+  }
+
+  /// Merge another sorted TopkList of the same capacity into this one.
+  void merge_list(simgpu::BlockCtx& ctx, TopkList<T>& other) {
+    if (other.cap_ != cap_) {
+      throw std::invalid_argument("TopkList::merge_list: capacity mismatch");
+    }
+    merge_prune<T>(ctx, keys_.subspan(0, cap_), idx_.subspan(0, cap_),
+                   other.keys_.subspan(0, cap_), other.idx_.subspan(0, cap_));
+  }
+
+  [[nodiscard]] std::span<const T> keys() const { return keys_.subspan(0, k_); }
+  [[nodiscard]] std::span<const std::uint32_t> indices() const {
+    return idx_.subspan(0, k_);
+  }
+
+ private:
+  std::span<T> keys_;
+  std::span<std::uint32_t> idx_;
+  std::size_t k_;
+  std::size_t cap_ = 0;
+  // Flush scratch: lives in registers/shared memory on the device, so it is
+  // modeled as on-chip (ops only, no DRAM traffic).
+  std::vector<T> scratch_keys_;
+  std::vector<std::uint32_t> scratch_idx_;
+  std::vector<T> pad_keys_;
+  std::vector<std::uint32_t> pad_idx_;
+};
+
+/// Faiss-style thread-queue length for a given K (NumThreadQ in Faiss).
+inline std::size_t thread_queue_len(std::size_t k) {
+  if (k <= 32) return 2;
+  if (k <= 128) return 3;
+  if (k <= 256) return 4;
+  if (k <= 1024) return 8;
+  return 10;
+}
+
+}  // namespace topk

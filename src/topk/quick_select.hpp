@@ -1,0 +1,217 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "simgpu/simgpu.hpp"
+#include "topk/common.hpp"
+
+namespace topk {
+
+/// Options for the QuickSelect baseline.
+struct QuickSelectOptions {
+  int block_threads = 256;
+  std::size_t items_per_block = 16 * 1024;
+};
+
+/// QuickSelect (Dashti et al. 2013 / GpuSelection): single-pivot recursive
+/// partitioning.  Each iteration the host reads back a three-element sample
+/// to pick a median-of-three pivot, launches a partition kernel that splits
+/// the candidates into (< pivot, == pivot, > pivot), copies the partition
+/// counts back over PCIe and decides which side to recurse into.  One full
+/// host round trip per iteration with a data-dependent iteration count —
+/// the O(N^2) worst case of paper §2.2.
+template <typename T>
+void quick_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
+                  std::size_t batch, std::size_t n, std::size_t k,
+                  simgpu::DeviceBuffer<T> out_vals,
+                  simgpu::DeviceBuffer<std::uint32_t> out_idx,
+                  const QuickSelectOptions& opt = {}) {
+  validate_problem(n, k, batch);
+  if (in.size() < batch * n || out_vals.size() < batch * k ||
+      out_idx.size() < batch * k) {
+    throw std::invalid_argument("quick_select: buffer too small");
+  }
+
+  simgpu::ScopedWorkspace ws(dev);
+  // Three rotating candidate buffers: source, the "less" destination and
+  // the "greater" destination; plus a buffer for pivot-equal elements.
+  simgpu::DeviceBuffer<T> bv[3] = {dev.alloc<T>(n), dev.alloc<T>(n),
+                                   dev.alloc<T>(n)};
+  simgpu::DeviceBuffer<std::uint32_t> bi[3] = {dev.alloc<std::uint32_t>(n),
+                                               dev.alloc<std::uint32_t>(n),
+                                               dev.alloc<std::uint32_t>(n)};
+  auto eq_val = dev.alloc<T>(n);
+  auto eq_idx = dev.alloc<std::uint32_t>(n);
+  auto counters = dev.alloc<std::uint32_t>(3);
+
+  const auto copy_out = [&](simgpu::DeviceBuffer<T> v,
+                            simgpu::DeviceBuffer<std::uint32_t> ix,
+                            std::uint64_t dst, std::uint64_t m) {
+    if (m == 0) return;
+    const GridShape shape =
+        make_grid(1, m, dev.spec(), opt.block_threads, opt.items_per_block);
+    const int bpp = shape.blocks_per_problem;
+    simgpu::LaunchConfig cfg{"collect_results", shape.total_blocks(),
+                             opt.block_threads};
+    simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
+      const auto [begin, end] = block_chunk(m, bpp, ctx.block_idx());
+      for (std::size_t i = begin; i < end; ++i) {
+        ctx.store(out_vals, dst + i, ctx.load(v, i));
+        ctx.store(out_idx, dst + i, ctx.load(ix, i));
+      }
+    });
+  };
+
+  for (std::size_t prob = 0; prob < batch; ++prob) {
+    std::uint64_t k_rem = k;
+    std::uint64_t count = n;
+    std::uint64_t out_cursor = prob * k;
+    int src = 0, d_less = 1, d_greater = 2;
+    bool from_input = true;
+
+    while (true) {
+      if (count == k_rem) {
+        copy_out(bv[src], bi[src], out_cursor, from_input ? 0 : count);
+        if (from_input) {
+          // Degenerate k == n on the very first iteration: the candidates
+          // are still the raw input.
+          const GridShape shape = make_grid(1, count, dev.spec(),
+                                            opt.block_threads,
+                                            opt.items_per_block);
+          const int bpp = shape.blocks_per_problem;
+          const std::uint64_t dst = out_cursor;
+          simgpu::LaunchConfig cfg{"collect_results", shape.total_blocks(),
+                                   opt.block_threads};
+          simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
+            const auto [begin, end] = block_chunk(count, bpp, ctx.block_idx());
+            for (std::size_t i = begin; i < end; ++i) {
+              ctx.store(out_vals, dst + i, ctx.load(in, prob * n + i));
+              ctx.store(out_idx, dst + i, static_cast<std::uint32_t>(i));
+            }
+          });
+        }
+        out_cursor += count;
+        dev.synchronize("final");
+        break;
+      }
+
+      // ---- pivot: median of three values read back over PCIe -------------
+      const auto src_val = bv[src];
+      const auto src_idx = bi[src];
+      std::vector<T> probe(3);
+      {
+        auto probe_buf = dev.alloc<T>(3);
+        const std::size_t s0 = 0, s1 = count / 2, s2 = count - 1;
+        simgpu::LaunchConfig cfg{"pivot_probe", 1, 32};
+        simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
+          const auto fetch = [&](std::size_t i) {
+            return from_input ? ctx.load(in, prob * n + i)
+                              : ctx.load(src_val, i);
+          };
+          ctx.store(probe_buf, 0, fetch(s0));
+          ctx.store(probe_buf, 1, fetch(s1));
+          ctx.store(probe_buf, 2, fetch(s2));
+        });
+        dev.copy_to_host(probe_buf, std::span<T>(probe), "pivot sample");
+      }
+      dev.host_compute("median_of_three", 8);
+      std::sort(probe.begin(), probe.end());
+      const T pivot = probe[1];
+
+      // ---- partition kernel ----------------------------------------------
+      {
+        simgpu::LaunchConfig cfg{"partition_memset", 1, 32};
+        simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
+          ctx.store<std::uint32_t>(counters, 0, 0);
+          ctx.store<std::uint32_t>(counters, 1, 0);
+          ctx.store<std::uint32_t>(counters, 2, 0);
+        });
+      }
+      const GridShape shape = make_grid(1, count, dev.spec(),
+                                        opt.block_threads,
+                                        opt.items_per_block);
+      const int bpp = shape.blocks_per_problem;
+      const auto less_val = bv[d_less];
+      const auto less_idx = bi[d_less];
+      const auto greater_val = bv[d_greater];
+      const auto greater_idx = bi[d_greater];
+      {
+        simgpu::LaunchConfig cfg{"partition", shape.total_blocks(),
+                                 opt.block_threads};
+        simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
+          const auto [begin, end] = block_chunk(count, bpp, ctx.block_idx());
+          // GpuSelection partitions with warp-aggregated atomics.
+          AggregatedAppender<T, std::uint32_t> less_app(
+              less_val, less_idx, 0, counters, 0, count, "quick_select less");
+          AggregatedAppender<T, std::uint32_t> eq_app(
+              eq_val, eq_idx, 0, counters, 1, count, "quick_select eq");
+          AggregatedAppender<T, std::uint32_t> greater_app(
+              greater_val, greater_idx, 0, counters, 2, count,
+              "quick_select greater");
+          for (std::size_t i = begin; i < end; ++i) {
+            T v;
+            std::uint32_t id;
+            if (from_input) {
+              v = ctx.load(in, prob * n + i);
+              id = static_cast<std::uint32_t>(i);
+            } else {
+              v = ctx.load(src_val, i);
+              id = ctx.load(src_idx, i);
+            }
+            if (v < pivot) {
+              less_app.push(ctx, v, id);
+            } else if (v == pivot) {
+              eq_app.push(ctx, v, id);
+            } else {
+              greater_app.push(ctx, v, id);
+            }
+          }
+          less_app.flush(ctx);
+          eq_app.flush(ctx);
+          greater_app.flush(ctx);
+          ctx.ops(3 * (end - begin));
+        });
+      }
+      std::vector<std::uint32_t> host_counts(3);
+      dev.copy_to_host(counters, std::span<std::uint32_t>(host_counts),
+                       "partition counts");
+      dev.host_compute("select_branch", 8);
+      const std::uint64_t n_less = host_counts[0];
+      const std::uint64_t n_eq = host_counts[1];
+
+      if (k_rem <= n_less) {
+        // Recurse into the strictly-less partition.
+        count = n_less;
+        std::swap(src, d_less);
+        from_input = false;
+      } else if (k_rem <= n_less + n_eq) {
+        // The less partition is fully in; pivot-equal elements fill the rest.
+        copy_out(less_val, less_idx, out_cursor, n_less);
+        out_cursor += n_less;
+        copy_out(eq_val, eq_idx, out_cursor, k_rem - n_less);
+        out_cursor += k_rem - n_less;
+        dev.synchronize("final");
+        break;
+      } else {
+        // less + equal are all results; recurse into the greater partition.
+        copy_out(less_val, less_idx, out_cursor, n_less);
+        out_cursor += n_less;
+        copy_out(eq_val, eq_idx, out_cursor, n_eq);
+        out_cursor += n_eq;
+        k_rem -= n_less + n_eq;
+        count = host_counts[2];
+        std::swap(src, d_greater);
+        from_input = false;
+      }
+    }
+    if (out_cursor != prob * k + k) {
+      throw std::logic_error("quick_select: result count mismatch");
+    }
+  }
+}
+
+}  // namespace topk

@@ -1,0 +1,213 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "simgpu/simgpu.hpp"
+#include "topk/common.hpp"
+#include "topk/radix_traits.hpp"
+
+namespace topk {
+
+/// Options for the host-managed RadixSelect baseline.
+struct RadixSelectOptions {
+  int digit_bits = 8;  ///< 8-bit digits / 256 buckets, as in DrTopK
+  int block_threads = 256;
+  std::size_t items_per_block = 16 * 1024;
+};
+
+/// RadixSelect baseline (Alabi et al. 2012 / DrTopK-style): the classic
+/// parallel radix top-K where the *host* orchestrates every iteration.
+///
+/// Per radix pass the host launches a histogram kernel, copies the histogram
+/// back over PCIe, computes the prefix sum and the target digit on the CPU,
+/// then launches a filter kernel.  This host engagement — the per-iteration
+/// D2H copies and the synchronizations they imply — is exactly the overhead
+/// AIR Top-K's iteration-fused design eliminates (paper §3.1, Fig. 8).
+///
+/// Batched problems are processed one at a time, as the original
+/// implementations do; nothing amortizes the per-iteration host round trips,
+/// which is why the paper sees up to 574x speedups at batch size 100.
+template <typename T>
+void radix_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
+                  std::size_t batch, std::size_t n, std::size_t k,
+                  simgpu::DeviceBuffer<T> out_vals,
+                  simgpu::DeviceBuffer<std::uint32_t> out_idx,
+                  const RadixSelectOptions& opt = {}) {
+  using Traits = RadixTraits<T>;
+  using Bits = typename Traits::Bits;
+
+  validate_problem(n, k, batch);
+  if (in.size() < batch * n) {
+    throw std::invalid_argument("radix_select: input too small");
+  }
+  if (out_vals.size() < batch * k || out_idx.size() < batch * k) {
+    throw std::invalid_argument("radix_select: output buffers too small");
+  }
+
+  const int nb = 1 << opt.digit_bits;
+  const std::uint32_t mask = static_cast<std::uint32_t>(nb - 1);
+  const int num_passes =
+      (Traits::kBits + opt.digit_bits - 1) / opt.digit_bits;
+
+  simgpu::ScopedWorkspace ws(dev);
+  auto ghist = dev.alloc<std::uint32_t>(static_cast<std::size_t>(nb));
+  auto counters = dev.alloc<std::uint32_t>(2);  // out cursor, candidate cursor
+  simgpu::DeviceBuffer<T> cand_val[2] = {dev.alloc<T>(n), dev.alloc<T>(n)};
+  simgpu::DeviceBuffer<std::uint32_t> cand_idx[2] = {
+      dev.alloc<std::uint32_t>(n), dev.alloc<std::uint32_t>(n)};
+  std::vector<std::uint32_t> host_hist(static_cast<std::size_t>(nb));
+
+  for (std::size_t prob = 0; prob < batch; ++prob) {
+    std::uint64_t k_rem = k;
+    std::uint64_t count = n;
+    std::uint64_t out_base = prob * k;
+    std::uint64_t out_written = 0;
+    int cur = 0;  // candidate ping-pong side holding the current candidates
+
+    for (int p = 0; p < num_passes; ++p) {
+      const int start_bit =
+          std::max(0, Traits::kBits - (p + 1) * opt.digit_bits);
+      const bool from_input = (p == 0);
+      const auto src_val = cand_val[cur];
+      const auto src_idx = cand_idx[cur];
+      const auto dst_val = cand_val[1 - cur];
+      const auto dst_idx = cand_idx[1 - cur];
+
+      // ---- kernel 0: cudaMemset analogue for histogram + cursors ---------
+      {
+        simgpu::LaunchConfig cfg{"Memset", 1, opt.block_threads};
+        simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
+          for (int d = 0; d < nb; ++d) {
+            ctx.store<std::uint32_t>(ghist, static_cast<std::size_t>(d), 0);
+          }
+          ctx.store<std::uint32_t>(counters, 0, 0);
+          ctx.store<std::uint32_t>(counters, 1, 0);
+        });
+      }
+
+      // ---- kernel 1: histogram over the current candidates ---------------
+      const GridShape hshape = make_grid(1, count, dev.spec(),
+                                         opt.block_threads,
+                                         opt.items_per_block);
+      {
+        simgpu::LaunchConfig cfg{"CalculateOccurence(" + std::to_string(p) +
+                                     ")",
+                                 hshape.total_blocks(), opt.block_threads};
+        const int bpp = hshape.blocks_per_problem;
+        simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
+          auto shist = ctx.shared_zero<std::uint32_t>(
+              static_cast<std::size_t>(nb));
+          const auto [begin, end] = block_chunk(count, bpp, ctx.block_idx());
+          for (std::size_t i = begin; i < end; ++i) {
+            const T v = from_input ? ctx.load(in, prob * n + i)
+                                   : ctx.load(src_val, i);
+            const Bits key = Traits::to_radix(v);
+            const std::uint32_t digit =
+                static_cast<std::uint32_t>(key >> start_bit) & mask;
+            ++shist[digit];
+          }
+          ctx.ops(3 * (end - begin));
+          ctx.sync();
+          for (int d = 0; d < nb; ++d) {
+            if (shist[static_cast<std::size_t>(d)] != 0) {
+              ctx.atomic_add_scattered(ghist, static_cast<std::size_t>(d),
+                                       shist[static_cast<std::size_t>(d)]);
+            }
+          }
+          ctx.ops(static_cast<std::uint64_t>(nb));
+        });
+      }
+
+      // ---- host round trip: copy histogram, prefix-sum, pick digit -------
+      dev.copy_to_host(ghist, std::span<std::uint32_t>(host_hist),
+                       "histogram");
+      dev.host_compute("prefix_sum+find_digit",
+                       static_cast<std::uint64_t>(3 * nb));
+      std::uint64_t less = 0;
+      std::uint32_t target_digit = 0;
+      std::uint64_t target_count = 0;
+      for (int d = 0; d < nb; ++d) {
+        const std::uint32_t c = host_hist[static_cast<std::size_t>(d)];
+        if (less + c >= k_rem) {
+          target_digit = static_cast<std::uint32_t>(d);
+          target_count = c;
+          break;
+        }
+        less += c;
+      }
+
+      // ---- kernel 2: filter (results out, candidates to the other buffer)
+      {
+        simgpu::LaunchConfig cfg{"Filter(" + std::to_string(p) + ")",
+                                 hshape.total_blocks(), opt.block_threads};
+        const int bpp = hshape.blocks_per_problem;
+        const std::uint64_t out_cursor_base = out_base + out_written;
+        simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
+          const auto [begin, end] = block_chunk(count, bpp, ctx.block_idx());
+          for (std::size_t i = begin; i < end; ++i) {
+            T v;
+            std::uint32_t id;
+            if (from_input) {
+              v = ctx.load(in, prob * n + i);
+              id = static_cast<std::uint32_t>(i);
+            } else {
+              v = ctx.load(src_val, i);
+              id = ctx.load(src_idx, i);
+            }
+            const Bits key = Traits::to_radix(v);
+            const std::uint32_t digit =
+                static_cast<std::uint32_t>(key >> start_bit) & mask;
+            if (digit < target_digit) {
+              const std::uint32_t pos = ctx.atomic_add(counters, 0, 1u);
+              ctx.store(out_vals, out_cursor_base + pos, v);
+              ctx.store(out_idx, out_cursor_base + pos, id);
+            } else if (digit == target_digit) {
+              const std::uint32_t pos = ctx.atomic_add(counters, 1, 1u);
+              ctx.store(dst_val, pos, v);
+              ctx.store(dst_idx, pos, id);
+            }
+          }
+          ctx.ops(4 * (end - begin));
+        });
+      }
+
+      out_written += less;
+      k_rem -= less;
+      count = target_count;
+      cur = 1 - cur;
+
+      // The host decides whether more passes are needed; it must synchronize
+      // to know the device state is consistent before the next decision.
+      dev.synchronize("host check");
+      if (k_rem == count || p == num_passes - 1) {
+        // All remaining candidates tie at the K-th value (or digits are
+        // exhausted): copy the first k_rem of them to the output.
+        const std::uint64_t take = k_rem;
+        const auto fin_val = cand_val[cur];
+        const auto fin_idx = cand_idx[cur];
+        const std::uint64_t out_cursor_base = out_base + out_written;
+        simgpu::LaunchConfig cfg{"CopyRemainder", 1, opt.block_threads};
+        simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
+          for (std::uint64_t i = 0; i < take; ++i) {
+            ctx.store(out_vals, out_cursor_base + i, ctx.load(fin_val, i));
+            ctx.store(out_idx, out_cursor_base + i, ctx.load(fin_idx, i));
+          }
+          ctx.ops(take);
+        });
+        dev.synchronize("final");
+        out_written += take;
+        break;
+      }
+    }
+    if (out_written != k) {
+      throw std::logic_error("radix_select: wrote " +
+                             std::to_string(out_written) + " of " +
+                             std::to_string(k) + " results");
+    }
+  }
+}
+
+}  // namespace topk

@@ -1,0 +1,308 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "simgpu/simgpu.hpp"
+#include "topk/bitonic.hpp"
+#include "topk/common.hpp"
+
+namespace topk {
+
+/// Options for the SampleSelect baseline.
+struct SampleSelectOptions {
+  int num_buckets = 256;       ///< buckets per level (255 splitters)
+  std::size_t sample_size = 1024;
+  std::size_t small_threshold = 4096;  ///< final on-chip sort below this
+  int block_threads = 256;
+  std::size_t items_per_block = 16 * 1024;
+};
+
+/// SampleSelect (Ribizel & Anzt 2020 / GpuSelection): partition-based
+/// selection that samples the candidates, sorts the sample on the host, and
+/// uses order-statistic splitters as pivots.  Each level costs a sample
+/// kernel + D2H, a host sort, an H2D splitter upload, a bucketing kernel
+/// (binary search per element) + histogram D2H, and a filter kernel — the
+/// statistics gathering the paper contrasts with RadixSelect's
+/// data-independent pivots (§2.2).
+template <typename T>
+void sample_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
+                   std::size_t batch, std::size_t n, std::size_t k,
+                   simgpu::DeviceBuffer<T> out_vals,
+                   simgpu::DeviceBuffer<std::uint32_t> out_idx,
+                   const SampleSelectOptions& opt = {}) {
+  validate_problem(n, k, batch);
+  if (in.size() < batch * n || out_vals.size() < batch * k ||
+      out_idx.size() < batch * k) {
+    throw std::invalid_argument("sample_select: buffer too small");
+  }
+
+  const int nb = opt.num_buckets;
+  simgpu::ScopedWorkspace ws(dev);
+  simgpu::DeviceBuffer<T> cand_val[2] = {dev.alloc<T>(n), dev.alloc<T>(n)};
+  simgpu::DeviceBuffer<std::uint32_t> cand_idx[2] = {
+      dev.alloc<std::uint32_t>(n), dev.alloc<std::uint32_t>(n)};
+  auto ghist = dev.alloc<std::uint32_t>(static_cast<std::size_t>(nb));
+  auto counters = dev.alloc<std::uint32_t>(2);
+  auto sample_buf = dev.alloc<T>(opt.sample_size);
+  std::vector<std::uint32_t> host_hist(static_cast<std::size_t>(nb));
+
+  for (std::size_t prob = 0; prob < batch; ++prob) {
+    std::uint64_t k_rem = k;
+    std::uint64_t count = n;
+    std::uint64_t out_cursor = prob * k;
+    int cur = 0;
+    bool from_input = true;
+    bool force_pivot = false;
+
+    while (true) {
+      const auto src_val = cand_val[cur];
+      const auto src_idx = cand_idx[cur];
+
+      if (count == k_rem) {
+        const std::uint64_t dst = out_cursor;
+        const bool fi = from_input;
+        const GridShape shape = make_grid(1, count, dev.spec(),
+                                          opt.block_threads,
+                                          opt.items_per_block);
+        const int bpp = shape.blocks_per_problem;
+        simgpu::LaunchConfig cfg{"CopyRemainder", shape.total_blocks(),
+                                 opt.block_threads};
+        simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
+          const auto [begin, end] = block_chunk(count, bpp, ctx.block_idx());
+          for (std::size_t i = begin; i < end; ++i) {
+            if (fi) {
+              ctx.store(out_vals, dst + i, ctx.load(in, prob * n + i));
+              ctx.store(out_idx, dst + i, static_cast<std::uint32_t>(i));
+            } else {
+              ctx.store(out_vals, dst + i, ctx.load(src_val, i));
+              ctx.store(out_idx, dst + i, ctx.load(src_idx, i));
+            }
+          }
+        });
+        out_cursor += count;
+        dev.synchronize("final");
+        break;
+      }
+
+      if (!from_input && count <= opt.small_threshold) {
+        // Final level: on-chip bitonic sort of the remaining candidates.
+        const std::size_t padded = next_pow2(count);
+        const std::uint64_t take = k_rem;
+        const std::uint64_t dst = out_cursor;
+        simgpu::LaunchConfig cfg{"small_sort", 1, opt.block_threads};
+        simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
+          auto keys = ctx.shared<T>(padded);
+          auto idx = ctx.shared<std::uint32_t>(padded);
+          for (std::size_t i = 0; i < padded; ++i) {
+            if (i < count) {
+              keys[i] = ctx.load(src_val, i);
+              idx[i] = ctx.load(src_idx, i);
+            } else {
+              keys[i] = sort_sentinel<T>();
+              idx[i] = 0;
+            }
+          }
+          bitonic_sort<T>(ctx, keys, idx);
+          for (std::uint64_t i = 0; i < take; ++i) {
+            ctx.store(out_vals, dst + i, keys[i]);
+            ctx.store(out_idx, dst + i, idx[i]);
+          }
+        });
+        out_cursor += take;
+        dev.synchronize("final");
+        break;
+      }
+
+      // ---- sample kernel + host sort --------------------------------------
+      const std::size_t s = std::min<std::size_t>(opt.sample_size, count);
+      {
+        simgpu::LaunchConfig cfg{"sample", 1, opt.block_threads};
+        simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
+          for (std::size_t i = 0; i < s; ++i) {
+            const std::size_t at = i * count / s;
+            const T v = from_input ? ctx.load(in, prob * n + at)
+                                   : ctx.load(src_val, at);
+            ctx.store(sample_buf, i, v);
+          }
+          ctx.ops(2 * s);
+        });
+      }
+      std::vector<T> sample(s);
+      dev.copy_to_host(sample_buf.subspan(0, s), std::span<T>(sample),
+                       "sample");
+      dev.host_compute("sort_sample",
+                       static_cast<std::uint64_t>(s) * 10);
+      std::sort(sample.begin(), sample.end());
+
+      std::vector<T> splitters;
+      splitters.reserve(static_cast<std::size_t>(nb - 1));
+      for (int i = 1; i < nb; ++i) {
+        splitters.push_back(
+            sample[static_cast<std::size_t>(i) * s / static_cast<std::size_t>(nb)]);
+      }
+      bool degenerate =
+          !(splitters.front() < splitters.back()) || force_pivot;
+      force_pivot = false;
+
+      // Degenerate sample (duplicate-dominated data): fall back to a
+      // three-way pivot partition around the repeated value.
+      const T pivot = splitters[splitters.size() / 2];
+      auto splitter_buf = dev.to_device(
+          std::span<const T>(splitters), "splitters");
+
+      const GridShape shape = make_grid(1, count, dev.spec(),
+                                        opt.block_threads,
+                                        opt.items_per_block);
+      const int bpp = shape.blocks_per_problem;
+      const int classes = degenerate ? 3 : nb;
+
+      // ---- classify + histogram -------------------------------------------
+      {
+        simgpu::LaunchConfig cfg{"hist_memset", 1, 32};
+        simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
+          for (int d = 0; d < classes; ++d) {
+            ctx.store<std::uint32_t>(ghist, static_cast<std::size_t>(d), 0);
+          }
+          ctx.store<std::uint32_t>(counters, 0, 0);
+          ctx.store<std::uint32_t>(counters, 1, 0);
+        });
+      }
+      const std::size_t num_splitters = splitters.size();
+      const auto classify = [=](simgpu::BlockCtx& ctx, T v) -> std::uint32_t {
+        if (degenerate) {
+          return v < pivot ? 0u : (v == pivot ? 1u : 2u);
+        }
+        // Binary search: number of splitters <= v.
+        std::size_t lo = 0, hi = num_splitters;
+        while (lo < hi) {
+          const std::size_t mid = (lo + hi) / 2;
+          if (ctx.load(splitter_buf, mid) <= v) {
+            lo = mid + 1;
+          } else {
+            hi = mid;
+          }
+        }
+        return static_cast<std::uint32_t>(lo);
+      };
+      {
+        simgpu::LaunchConfig cfg{"sample_histogram", shape.total_blocks(),
+                                 opt.block_threads};
+        simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
+          auto shist = ctx.shared_zero<std::uint32_t>(
+              static_cast<std::size_t>(classes));
+          const auto [begin, end] = block_chunk(count, bpp, ctx.block_idx());
+          for (std::size_t i = begin; i < end; ++i) {
+            const T v =
+                from_input ? ctx.load(in, prob * n + i) : ctx.load(src_val, i);
+            ++shist[classify(ctx, v)];
+          }
+          ctx.ops(10 * (end - begin));  // ~log2(255) compares per element
+          ctx.sync();
+          for (int d = 0; d < classes; ++d) {
+            if (shist[static_cast<std::size_t>(d)] != 0) {
+              ctx.atomic_add_scattered(ghist, static_cast<std::size_t>(d),
+                                       shist[static_cast<std::size_t>(d)]);
+            }
+          }
+        });
+      }
+      dev.copy_to_host(ghist.subspan(0, static_cast<std::size_t>(classes)),
+                       std::span<std::uint32_t>(host_hist.data(),
+                                                static_cast<std::size_t>(classes)),
+                       "class histogram");
+      dev.host_compute("prefix_sum+find_bucket",
+                       static_cast<std::uint64_t>(3 * classes));
+      std::uint64_t less = 0;
+      std::uint32_t target = 0;
+      std::uint64_t target_count = 0;
+      for (int d = 0; d < classes; ++d) {
+        const std::uint32_t c = host_hist[static_cast<std::size_t>(d)];
+        if (less + c >= k_rem) {
+          target = static_cast<std::uint32_t>(d);
+          target_count = c;
+          break;
+        }
+        less += c;
+      }
+
+      // ---- filter -----------------------------------------------------------
+      const auto dst_val = cand_val[1 - cur];
+      const auto dst_idx = cand_idx[1 - cur];
+      const std::uint64_t out_base = out_cursor;
+      {
+        simgpu::LaunchConfig cfg{"sample_filter", shape.total_blocks(),
+                                 opt.block_threads};
+        simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
+          const auto [begin, end] = block_chunk(count, bpp, ctx.block_idx());
+          AggregatedAppender<T, std::uint32_t> out_app(
+              out_vals, out_idx, out_base, counters, 0, less,
+              "sample_select results");
+          AggregatedAppender<T, std::uint32_t> cand_app(
+              dst_val, dst_idx, 0, counters, 1, count,
+              "sample_select candidates");
+          for (std::size_t i = begin; i < end; ++i) {
+            T v;
+            std::uint32_t id;
+            if (from_input) {
+              v = ctx.load(in, prob * n + i);
+              id = static_cast<std::uint32_t>(i);
+            } else {
+              v = ctx.load(src_val, i);
+              id = ctx.load(src_idx, i);
+            }
+            const std::uint32_t b = classify(ctx, v);
+            if (b < target) {
+              out_app.push(ctx, v, id);
+            } else if (b == target) {
+              cand_app.push(ctx, v, id);
+            }
+          }
+          out_app.flush(ctx);
+          cand_app.flush(ctx);
+          ctx.ops(11 * (end - begin));
+        });
+      }
+      dev.synchronize("host check");
+      out_cursor += less;
+      k_rem -= less;
+      const std::uint64_t prev_count = count;
+      count = target_count;
+      cur = 1 - cur;
+      from_input = false;
+
+      if (degenerate && target == 1) {
+        // Pivot mode landed in the *equal* class: every remaining candidate
+        // has the same value, so any k_rem of them complete the result.
+        const auto fv = cand_val[cur];
+        const auto fi2 = cand_idx[cur];
+        const std::uint64_t take = k_rem;
+        const std::uint64_t dst = out_cursor;
+        simgpu::LaunchConfig cfg{"CopyRemainder", 1, opt.block_threads};
+        simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
+          for (std::uint64_t i = 0; i < take; ++i) {
+            ctx.store(out_vals, dst + i, ctx.load(fv, i));
+            ctx.store(out_idx, dst + i, ctx.load(fi2, i));
+          }
+        });
+        out_cursor += take;
+        dev.synchronize("final");
+        break;
+      }
+      if (count == prev_count) {
+        // Splitter buckets failed to shrink the candidate set (can happen
+        // when the sample misses the diversity of the data): fall back to a
+        // three-way pivot partition next level, which always makes progress.
+        force_pivot = true;
+      }
+    }
+    if (out_cursor != prob * k + k) {
+      throw std::logic_error("sample_select: result count mismatch");
+    }
+  }
+}
+
+}  // namespace topk

@@ -1,0 +1,180 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "simgpu/simgpu.hpp"
+#include "topk/common.hpp"
+#include "topk/radix_traits.hpp"
+
+namespace topk {
+
+/// Options for the full-sort baseline.
+struct SortTopkOptions {
+  int digit_bits = 8;
+  int block_threads = 256;
+  std::size_t items_per_block = 16 * 1024;
+};
+
+/// Sort baseline: a CUB-style device-wide LSD radix sort of (key, index)
+/// pairs followed by taking the first K.  Stable, fully parallel, and
+/// oblivious to K — but it moves every element through device memory once
+/// per pass, which is why "sorting the full list is time-intensive and
+/// unnecessary" (paper §1).
+///
+/// Each of the four 8-bit passes runs the classic three-kernel pipeline:
+/// per-block digit histogram, digit-major exclusive scan, stable scatter.
+template <typename T>
+void sort_topk(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
+               std::size_t batch, std::size_t n, std::size_t k,
+               simgpu::DeviceBuffer<T> out_vals,
+               simgpu::DeviceBuffer<std::uint32_t> out_idx,
+               const SortTopkOptions& opt = {}) {
+  using Traits = RadixTraits<T>;
+  using Bits = typename Traits::Bits;
+
+  validate_problem(n, k, batch);
+  if (in.size() < batch * n || out_vals.size() < batch * k ||
+      out_idx.size() < batch * k) {
+    throw std::invalid_argument("sort_topk: buffer too small");
+  }
+
+  const int nb = 1 << opt.digit_bits;
+  const std::uint32_t mask = static_cast<std::uint32_t>(nb - 1);
+  const int num_passes = (Traits::kBits + opt.digit_bits - 1) / opt.digit_bits;
+
+  const GridShape shape =
+      make_grid(1, n, dev.spec(), opt.block_threads, opt.items_per_block);
+  const int bpp = shape.blocks_per_problem;
+
+  simgpu::ScopedWorkspace ws(dev);
+  simgpu::DeviceBuffer<Bits> keys[2] = {dev.alloc<Bits>(n), dev.alloc<Bits>(n)};
+  simgpu::DeviceBuffer<std::uint32_t> idx[2] = {dev.alloc<std::uint32_t>(n),
+                                                dev.alloc<std::uint32_t>(n)};
+  // Per-(block, digit) counts; rewritten as scatter offsets by the scan.
+  auto block_hist = dev.alloc<std::uint32_t>(
+      static_cast<std::size_t>(bpp) * static_cast<std::size_t>(nb));
+
+  for (std::size_t prob = 0; prob < batch; ++prob) {
+    // ---- transform kernel: monotone bit reinterpretation + iota indices --
+    {
+      simgpu::LaunchConfig cfg{"radix_transform", bpp, opt.block_threads};
+      const auto dst_keys = keys[0];
+      const auto dst_idx = idx[0];
+      simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
+        const auto [begin, end] = block_chunk(n, bpp, ctx.block_idx());
+        for (std::size_t i = begin; i < end; ++i) {
+          ctx.store(dst_keys, i, Traits::to_radix(ctx.load(in, prob * n + i)));
+          ctx.store(dst_idx, i, static_cast<std::uint32_t>(i));
+        }
+        ctx.ops(end - begin);
+      });
+    }
+
+    int cur = 0;
+    for (int p = 0; p < num_passes; ++p) {
+      const int start_bit = p * opt.digit_bits;
+      const auto src_keys = keys[cur];
+      const auto src_idx = idx[cur];
+      const auto dst_keys = keys[1 - cur];
+      const auto dst_idx = idx[1 - cur];
+
+      // ---- kernel 1: per-block digit histogram --------------------------
+      {
+        simgpu::LaunchConfig cfg{"sort_histogram", bpp, opt.block_threads};
+        simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
+          auto shist =
+              ctx.shared_zero<std::uint32_t>(static_cast<std::size_t>(nb));
+          const auto [begin, end] = block_chunk(n, bpp, ctx.block_idx());
+          for (std::size_t i = begin; i < end; ++i) {
+            const Bits key = ctx.load(src_keys, i);
+            ++shist[static_cast<std::uint32_t>(key >> start_bit) & mask];
+          }
+          ctx.ops(2 * (end - begin));
+          ctx.sync();
+          const std::size_t row =
+              static_cast<std::size_t>(ctx.block_idx()) *
+              static_cast<std::size_t>(nb);
+          for (int d = 0; d < nb; ++d) {
+            ctx.store<std::uint32_t>(block_hist,
+                                     row + static_cast<std::size_t>(d),
+                                     shist[static_cast<std::size_t>(d)]);
+          }
+        });
+      }
+
+      // ---- kernel 2: digit-major exclusive scan --------------------------
+      {
+        simgpu::LaunchConfig cfg{"sort_scan", 1, opt.block_threads};
+        simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
+          std::uint32_t running = 0;
+          for (int d = 0; d < nb; ++d) {
+            for (int b = 0; b < bpp; ++b) {
+              const std::size_t at =
+                  static_cast<std::size_t>(b) * static_cast<std::size_t>(nb) +
+                  static_cast<std::size_t>(d);
+              const std::uint32_t c = ctx.load(block_hist, at);
+              ctx.store<std::uint32_t>(block_hist, at, running);
+              running += c;
+            }
+          }
+          ctx.ops(static_cast<std::uint64_t>(nb) *
+                  static_cast<std::uint64_t>(bpp));
+        });
+      }
+
+      // ---- kernel 3: stable scatter --------------------------------------
+      {
+        simgpu::LaunchConfig cfg{"sort_scatter", bpp, opt.block_threads};
+        simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
+          // Running per-digit cursors start at this block's scanned bases.
+          auto cursor =
+              ctx.shared<std::uint32_t>(static_cast<std::size_t>(nb));
+          const std::size_t row =
+              static_cast<std::size_t>(ctx.block_idx()) *
+              static_cast<std::size_t>(nb);
+          for (int d = 0; d < nb; ++d) {
+            cursor[static_cast<std::size_t>(d)] =
+                ctx.load(block_hist, row + static_cast<std::size_t>(d));
+          }
+          ctx.sync();
+          const auto [begin, end] = block_chunk(n, bpp, ctx.block_idx());
+          for (std::size_t i = begin; i < end; ++i) {
+            const Bits key = ctx.load(src_keys, i);
+            const std::uint32_t id = ctx.load(src_idx, i);
+            const std::uint32_t digit =
+                static_cast<std::uint32_t>(key >> start_bit) & mask;
+            const std::uint32_t at = cursor[digit]++;
+            ctx.store(dst_keys, at, key);
+            ctx.store(dst_idx, at, id);
+          }
+          ctx.ops(3 * (end - begin));
+        });
+      }
+      cur = 1 - cur;
+    }
+
+    // ---- copy kernel: first K sorted pairs back to values ----------------
+    {
+      const auto fin_keys = keys[cur];
+      const auto fin_idx = idx[cur];
+      const GridShape cshape =
+          make_grid(1, k, dev.spec(), opt.block_threads, opt.items_per_block);
+      simgpu::LaunchConfig cfg{"sort_take_k", cshape.blocks_per_problem,
+                               opt.block_threads};
+      const int cbpp = cshape.blocks_per_problem;
+      simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
+        const auto [begin, end] = block_chunk(k, cbpp, ctx.block_idx());
+        for (std::size_t i = begin; i < end; ++i) {
+          ctx.store(out_vals, prob * k + i,
+                    Traits::from_radix(ctx.load(fin_keys, i)));
+          ctx.store(out_idx, prob * k + i, ctx.load(fin_idx, i));
+        }
+        ctx.ops(end - begin);
+      });
+    }
+  }
+}
+
+}  // namespace topk

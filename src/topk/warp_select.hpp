@@ -1,0 +1,202 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "simgpu/simgpu.hpp"
+#include "topk/common.hpp"
+#include "topk/partial_sort_common.hpp"
+
+namespace topk {
+
+namespace faiss_detail {
+
+/// One warp's WarpSelect state: a warp-wide sorted top-K list plus 32
+/// per-lane thread queues, both register-resident (Faiss WarpSelect /
+/// BlockSelect).  Elements are pushed per lane; when any lane's queue fills,
+/// all queues are sorted and merged into the list with bitonic networks —
+/// the "costly operations" GridSelect's shared queue reduces (paper §4).
+template <typename T>
+class WarpSelectEngine {
+ public:
+  WarpSelectEngine(simgpu::BlockCtx& ctx, std::size_t k)
+      : qlen_(thread_queue_len(k)),
+        list_keys_(next_pow2(k)),
+        list_idx_(next_pow2(k)),
+        list_(std::span<T>(list_keys_), std::span<std::uint32_t>(list_idx_), k),
+        tq_keys_(32 * qlen_),
+        tq_idx_(32 * qlen_),
+        tq_count_(32, 0) {
+    (void)ctx;
+  }
+
+  /// Threshold below which an element is a candidate.
+  [[nodiscard]] T kth() const { return list_.kth(); }
+
+  /// Process one warp-wide round of up to 32 loaded elements.
+  /// `valid[lane]` marks lanes whose load was in range.
+  void round(simgpu::BlockCtx& ctx, const T* values,
+             const std::uint32_t* indices, const bool* valid) {
+    const T threshold = list_.kth();
+    bool any_insert = false;
+    for (int lane = 0; lane < simgpu::kWarpSize; ++lane) {
+      if (!valid[lane]) continue;
+      if (values[lane] < threshold) {
+        auto& n = tq_count_[static_cast<std::size_t>(lane)];
+        tq_keys_[static_cast<std::size_t>(lane) * qlen_ + n] = values[lane];
+        tq_idx_[static_cast<std::size_t>(lane) * qlen_ + n] = indices[lane];
+        ++n;
+        any_insert = true;
+      }
+    }
+    ctx.ops(simgpu::kWarpSize);  // threshold compare per lane
+    if (any_insert) {
+      // SIMT predication: the sorted-insert shift chain (O(queue length))
+      // is issued warp-wide whenever any lane takes the insert branch —
+      // the register-queue overhead GridSelect's ballot-based two-step
+      // insertion avoids (paper §4).
+      ctx.ops(simgpu::kWarpSize * qlen_);
+    }
+    // __ballot_sync: does any lane's queue need draining?
+    const std::uint32_t full_mask = simgpu::Warp::ballot([&](int lane) {
+      return tq_count_[static_cast<std::size_t>(lane)] >= qlen_;
+    });
+    ctx.ops(1);
+    if (full_mask != 0) flush(ctx);
+  }
+
+  /// Drain all thread queues into the list (also called at end of input).
+  void flush(simgpu::BlockCtx& ctx) {
+    std::size_t count = 0;
+    for (int lane = 0; lane < simgpu::kWarpSize; ++lane) {
+      const auto n = tq_count_[static_cast<std::size_t>(lane)];
+      for (std::size_t j = 0; j < n; ++j) {
+        flush_keys_.resize(std::max<std::size_t>(flush_keys_.size(), count + 1));
+        flush_idx_.resize(flush_keys_.size());
+        flush_keys_[count] = tq_keys_[static_cast<std::size_t>(lane) * qlen_ + j];
+        flush_idx_[count] = tq_idx_[static_cast<std::size_t>(lane) * qlen_ + j];
+        ++count;
+      }
+      tq_count_[static_cast<std::size_t>(lane)] = 0;
+    }
+    if (count == 0) return;
+    list_.merge(ctx, std::span<T>(flush_keys_), std::span<std::uint32_t>(flush_idx_),
+                count);
+  }
+
+  [[nodiscard]] TopkList<T>& list() { return list_; }
+
+ private:
+  std::size_t qlen_;
+  std::vector<T> list_keys_;
+  std::vector<std::uint32_t> list_idx_;
+  TopkList<T> list_;
+  std::vector<T> tq_keys_;
+  std::vector<std::uint32_t> tq_idx_;
+  std::vector<std::size_t> tq_count_;
+  std::vector<T> flush_keys_;
+  std::vector<std::uint32_t> flush_idx_;
+};
+
+/// Shared implementation of WarpSelect (1 warp per problem) and BlockSelect
+/// (4 warps per problem): each warp scans an interleaved slice with its own
+/// engine; BlockSelect merges the warp lists at the end.
+template <typename T>
+void faiss_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
+                  std::size_t batch, std::size_t n, std::size_t k,
+                  simgpu::DeviceBuffer<T> out_vals,
+                  simgpu::DeviceBuffer<std::uint32_t> out_idx, int num_warps,
+                  const std::string& kernel_name) {
+  validate_problem(n, k, batch);
+  if (k > kMaxSelectionK) {
+    throw std::invalid_argument(kernel_name + ": k exceeds the " +
+                                std::to_string(kMaxSelectionK) +
+                                " register-resident limit");
+  }
+  if (in.size() < batch * n || out_vals.size() < batch * k ||
+      out_idx.size() < batch * k) {
+    throw std::invalid_argument(kernel_name + ": buffer too small");
+  }
+
+  simgpu::LaunchConfig cfg{kernel_name, static_cast<int>(batch),
+                           num_warps * simgpu::kWarpSize};
+  simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
+    const auto prob = static_cast<std::size_t>(ctx.block_idx());
+    const std::size_t base = prob * n;
+    std::vector<std::unique_ptr<WarpSelectEngine<T>>> engines;
+    engines.reserve(static_cast<std::size_t>(num_warps));
+    for (int w = 0; w < num_warps; ++w) {
+      engines.push_back(std::make_unique<WarpSelectEngine<T>>(ctx, k));
+    }
+
+    const std::size_t stride =
+        static_cast<std::size_t>(num_warps) * simgpu::kWarpSize;
+    ctx.for_each_warp([&](simgpu::Warp& warp) {
+      auto& eng = *engines[static_cast<std::size_t>(warp.index())];
+      T values[simgpu::kWarpSize];
+      std::uint32_t indices[simgpu::kWarpSize];
+      bool valid[simgpu::kWarpSize];
+      for (std::size_t step = 0;
+           step * stride + static_cast<std::size_t>(warp.index()) *
+                               simgpu::kWarpSize < n;
+           ++step) {
+        warp.each([&](int lane) {
+          const std::size_t i =
+              step * stride +
+              static_cast<std::size_t>(warp.index()) * simgpu::kWarpSize +
+              static_cast<std::size_t>(lane);
+          valid[lane] = i < n;
+          if (valid[lane]) {
+            values[lane] = ctx.load(in, base + i);
+            indices[lane] = static_cast<std::uint32_t>(i);
+          }
+        });
+        eng.round(ctx, values, indices, valid);
+      }
+      eng.flush(ctx);
+    });
+    ctx.sync();
+
+    // BlockSelect: merge the warp lists into warp 0's list.
+    for (int w = 1; w < num_warps; ++w) {
+      engines[0]->list().merge_list(ctx, engines[static_cast<std::size_t>(w)]->list());
+    }
+    const auto keys = engines[0]->list().keys();
+    const auto idx = engines[0]->list().indices();
+    for (std::size_t i = 0; i < k; ++i) {
+      ctx.store(out_vals, prob * k + i, keys[i]);
+      ctx.store(out_idx, prob * k + i, idx[i]);
+    }
+  });
+}
+
+}  // namespace faiss_detail
+
+/// WarpSelect (Johnson et al., Faiss): one warp per problem, per-thread
+/// register queues, bitonic merge on overflow.  Can process data on the fly;
+/// parallelism is limited to one warp, which is why it collapses for large N
+/// at batch size 1 (paper Fig. 7).
+template <typename T>
+void warp_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
+                 std::size_t batch, std::size_t n, std::size_t k,
+                 simgpu::DeviceBuffer<T> out_vals,
+                 simgpu::DeviceBuffer<std::uint32_t> out_idx) {
+  faiss_detail::faiss_select(dev, in, batch, n, k, out_vals, out_idx, 1,
+                             "WarpSelect");
+}
+
+/// BlockSelect (Faiss): WarpSelect extended to one thread block of 4 warps
+/// per problem, still at most one SM per problem.
+template <typename T>
+void block_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
+                  std::size_t batch, std::size_t n, std::size_t k,
+                  simgpu::DeviceBuffer<T> out_vals,
+                  simgpu::DeviceBuffer<std::uint32_t> out_idx) {
+  faiss_detail::faiss_select(dev, in, batch, n, k, out_vals, out_idx, 4,
+                             "BlockSelect");
+}
+
+}  // namespace topk

@@ -1,0 +1,85 @@
+#include "data/ann_dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace topk::data {
+namespace {
+
+TEST(AnnDataset, DeepLikeVectorsAreUnitNorm) {
+  const AnnDataset ds = make_deep_like(500, 1);
+  EXPECT_EQ(ds.dim, 96u);
+  EXPECT_EQ(ds.count, 500u);
+  for (std::size_t i = 0; i < ds.count; ++i) {
+    double norm = 0.0;
+    const float* row = ds.vector(i);
+    for (std::size_t d = 0; d < ds.dim; ++d) norm += double(row[d]) * row[d];
+    EXPECT_NEAR(std::sqrt(norm), 1.0, 1e-4) << "vector " << i;
+  }
+}
+
+TEST(AnnDataset, SiftLikeVectorsAreNonNegativeAndClipped) {
+  const AnnDataset ds = make_sift_like(500, 2);
+  EXPECT_EQ(ds.dim, 128u);
+  float max_seen = 0.0f;
+  for (float v : ds.vectors) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 218.0f);
+    max_seen = std::max(max_seen, v);
+  }
+  EXPECT_GT(max_seen, 100.0f) << "heavy tail should reach the clip region";
+}
+
+TEST(AnnDataset, DistancesMatchDirectComputation) {
+  const AnnDataset ds = make_deep_like(50, 3, 8);
+  const auto queries = make_queries(ds, 1, 4);
+  const auto dist = l2_distances(ds, queries.data(), 50);
+  ASSERT_EQ(dist.size(), 50u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    double want = 0.0;
+    for (std::size_t d = 0; d < ds.dim; ++d) {
+      const double diff = double(ds.vector(i)[d]) - queries[d];
+      want += diff * diff;
+    }
+    EXPECT_NEAR(dist[i], want, 1e-4) << i;
+  }
+}
+
+TEST(AnnDataset, DistancesAreNonNegativeAndNarrow) {
+  // Unit-norm vectors: squared distances live in [0, 4] — the narrow-range
+  // profile that motivates the adaptive strategy.
+  const AnnDataset ds = make_deep_like(2000, 5);
+  const auto queries = make_queries(ds, 1, 6);
+  const auto dist = l2_distances(ds, queries.data(), ds.count);
+  for (float d : dist) {
+    EXPECT_GE(d, 0.0f);
+    EXPECT_LE(d, 4.0f + 1e-3f);
+  }
+}
+
+TEST(AnnDataset, QueriesFollowDatasetDistribution) {
+  const AnnDataset sift = make_sift_like(10, 7);
+  const auto q = make_queries(sift, 3, 8);
+  ASSERT_EQ(q.size(), 3 * sift.dim);
+  for (float v : q) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 218.0f);
+  }
+  const AnnDataset deep = make_deep_like(10, 9);
+  const auto qd = make_queries(deep, 1, 10);
+  double norm = 0.0;
+  for (std::size_t d = 0; d < deep.dim; ++d) norm += double(qd[d]) * qd[d];
+  EXPECT_NEAR(std::sqrt(norm), 1.0, 1e-4);
+}
+
+TEST(AnnDataset, RejectsOversizedN) {
+  const AnnDataset ds = make_deep_like(10, 11);
+  const auto q = make_queries(ds, 1, 12);
+  EXPECT_THROW(l2_distances(ds, q.data(), 11), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace topk::data

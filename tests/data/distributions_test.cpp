@@ -1,0 +1,88 @@
+#include "data/distributions.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace topk::data {
+namespace {
+
+TEST(Distributions, UniformStaysInHalfOpenUnitRange) {
+  const auto v = uniform_values(100000, 1);
+  ASSERT_EQ(v.size(), 100000u);
+  for (float x : v) {
+    EXPECT_GT(x, 0.0f);
+    EXPECT_LE(x, 1.0f);
+  }
+  const double mean = std::accumulate(v.begin(), v.end(), 0.0) / v.size();
+  EXPECT_NEAR(mean, 0.5, 0.01);
+}
+
+TEST(Distributions, NormalHasZeroMeanUnitStd) {
+  const auto v = normal_values(200000, 2);
+  const double mean = std::accumulate(v.begin(), v.end(), 0.0) / v.size();
+  double var = 0.0;
+  for (float x : v) var += (x - mean) * (x - mean);
+  var /= v.size();
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(std::sqrt(var), 1.0, 0.02);
+}
+
+TEST(Distributions, AdversarialSharesLeadingBits) {
+  for (int m : {10, 20, 28}) {
+    const auto v = radix_adversarial_values(10000, m, 3);
+    const std::uint32_t ref = std::bit_cast<std::uint32_t>(v[0]) >> (32 - m);
+    for (float x : v) {
+      EXPECT_EQ(std::bit_cast<std::uint32_t>(x) >> (32 - m), ref)
+          << "M=" << m;
+    }
+  }
+}
+
+TEST(Distributions, AdversarialStillHasEntropyInLowBits) {
+  const auto v = radix_adversarial_values(10000, 20, 4);
+  const auto [lo, hi] = std::minmax_element(v.begin(), v.end());
+  EXPECT_LT(*lo, *hi) << "values must not all collapse to one bit pattern";
+}
+
+TEST(Distributions, AdversarialRejectsBadM) {
+  EXPECT_THROW(radix_adversarial_values(10, 0, 1), std::invalid_argument);
+  EXPECT_THROW(radix_adversarial_values(10, 32, 1), std::invalid_argument);
+}
+
+TEST(Distributions, DeterministicInSeed) {
+  EXPECT_EQ(uniform_values(1000, 7), uniform_values(1000, 7));
+  EXPECT_NE(uniform_values(1000, 7), uniform_values(1000, 8));
+  EXPECT_EQ(normal_values(1000, 7), normal_values(1000, 7));
+  EXPECT_EQ(radix_adversarial_values(1000, 20, 7),
+            radix_adversarial_values(1000, 20, 7));
+}
+
+TEST(Distributions, GenerateDispatchesBySpec) {
+  EXPECT_EQ(generate({Distribution::kUniform, 0}, 100, 5),
+            uniform_values(100, 5));
+  EXPECT_EQ(generate({Distribution::kNormal, 0}, 100, 5),
+            normal_values(100, 5));
+  EXPECT_EQ(generate({Distribution::kAdversarial, 12}, 100, 5),
+            radix_adversarial_values(100, 12, 5));
+}
+
+TEST(Distributions, SpecNames) {
+  EXPECT_EQ((DistributionSpec{Distribution::kUniform, 0}).name(), "uniform");
+  EXPECT_EQ((DistributionSpec{Distribution::kNormal, 0}).name(), "normal");
+  EXPECT_EQ((DistributionSpec{Distribution::kAdversarial, 20}).name(),
+            "adversarial(M=20)");
+}
+
+TEST(Distributions, UniformU32CoversRange) {
+  const auto v = uniform_u32(100000, 9);
+  const auto [lo, hi] = std::minmax_element(v.begin(), v.end());
+  EXPECT_LT(*lo, 1u << 28);
+  EXPECT_GT(*hi, 0xF0000000u);
+}
+
+}  // namespace
+}  // namespace topk::data

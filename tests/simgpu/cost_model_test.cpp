@@ -1,0 +1,137 @@
+#include "simgpu/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simgpu/timeline.hpp"
+
+namespace simgpu {
+namespace {
+
+KernelStats make_stats(int blocks, int threads, std::uint64_t bytes,
+                       std::uint64_t ops = 0) {
+  KernelStats s;
+  s.name = "k";
+  s.grid_blocks = blocks;
+  s.block_threads = threads;
+  s.bytes_read = bytes;
+  s.lane_ops = ops;
+  return s;
+}
+
+TEST(CostModel, MemoryBoundKernelScalesWithBytes) {
+  CostModel model(DeviceSpec::a100());
+  const auto c1 = model.kernel_cost(make_stats(2048, 256, 100u << 20));
+  const auto c2 = model.kernel_cost(make_stats(2048, 256, 200u << 20));
+  EXPECT_NEAR(c2.duration_us / c1.duration_us, 2.0, 0.01);
+}
+
+TEST(CostModel, SaturatedKernelReachesNearPeakBandwidth) {
+  CostModel model(DeviceSpec::a100());
+  const auto c = model.kernel_cost(make_stats(2048, 256, 1u << 30));
+  EXPECT_GT(c.mem_sol, 0.85);
+  EXPECT_LE(c.mem_sol, 1.0);
+}
+
+TEST(CostModel, SingleWarpGetsTinyFractionOfBandwidth) {
+  CostModel model(DeviceSpec::a100());
+  const auto full = model.kernel_cost(make_stats(2048, 256, 1u << 28));
+  const auto one_warp = model.kernel_cost(make_stats(1, 32, 1u << 28));
+  // One warp out of 108 SMs * 8 saturating warps => ~1/864 of the bandwidth.
+  EXPECT_GT(one_warp.duration_us / full.duration_us, 100.0);
+}
+
+TEST(CostModel, MinimumKernelDurationApplies) {
+  CostModel model(DeviceSpec::a100());
+  const auto c = model.kernel_cost(make_stats(1, 32, 16));
+  EXPECT_GE(c.duration_us, DeviceSpec::a100().min_kernel_duration_us);
+}
+
+TEST(CostModel, ComputeBoundKernelChargedByOps) {
+  CostModel model(DeviceSpec::a100());
+  const auto mem = model.kernel_cost(make_stats(256, 256, 1u << 20, 0));
+  const auto cmp =
+      model.kernel_cost(make_stats(256, 256, 1u << 20, std::uint64_t{1} << 34));
+  EXPECT_GT(cmp.duration_us, 2 * mem.duration_us);
+  EXPECT_GT(cmp.compute_sol, 0.5);
+}
+
+TEST(CostModel, FasterDeviceRunsMemoryBoundKernelFaster) {
+  const auto stats = make_stats(2048, 256, 1u << 30);
+  const double a100 = CostModel(DeviceSpec::a100()).kernel_cost(stats).duration_us;
+  const double h100 = CostModel(DeviceSpec::h100()).kernel_cost(stats).duration_us;
+  const double a10 = CostModel(DeviceSpec::a10()).kernel_cost(stats).duration_us;
+  // Memory-bound performance ratios track the bandwidth ratios (paper §5.4).
+  EXPECT_NEAR(a100 / h100, 3350.0 / 1555.0, 0.2);
+  EXPECT_NEAR(a10 / a100, 1555.0 / 600.0, 0.2);
+}
+
+TEST(CostModel, KernelsOverlapWithHostUntilSync) {
+  CostModel model(DeviceSpec::a100());
+  EventLog log;
+  log.push_back(KernelEvent{make_stats(2048, 256, 1u << 28)});
+  log.push_back(KernelEvent{make_stats(2048, 256, 1u << 28)});
+  const Timeline tl = model.simulate(log);
+  // Two async launches: total ~= 2 kernel durations + small launch overhead,
+  // and the host finished issuing long before the device drained.
+  const double kernel_us =
+      model.kernel_cost(make_stats(2048, 256, 1u << 28)).duration_us;
+  EXPECT_NEAR(tl.total_us, 2 * kernel_us,
+              3 * DeviceSpec::a100().kernel_launch_overhead_us + 1.0);
+}
+
+TEST(CostModel, MemcpySynchronizesAndChargesPcie) {
+  CostModel model(DeviceSpec::a100());
+  EventLog log;
+  log.push_back(KernelEvent{make_stats(2048, 256, 1u << 28)});
+  log.push_back(MemcpyEvent{MemcpyEvent::Dir::kDeviceToHost, 1u << 20, ""});
+  const Timeline tl = model.simulate(log);
+  const double kernel_us =
+      model.kernel_cost(make_stats(2048, 256, 1u << 28)).duration_us;
+  const double copy_us =
+      DeviceSpec::a100().pcie_latency_us +
+      (1u << 20) / DeviceSpec::a100().pcie_bytes_per_us();
+  EXPECT_NEAR(tl.total_us,
+              DeviceSpec::a100().kernel_launch_overhead_us + kernel_us + copy_us,
+              0.5);
+  EXPECT_GT(tl.transfer_us, DeviceSpec::a100().pcie_latency_us);
+}
+
+TEST(CostModel, HostManagedLoopCostsMoreThanFusedLaunches) {
+  // The essence of the paper's Fig. 8: N kernels with round trips between
+  // them vs. N kernels launched back to back.
+  CostModel model(DeviceSpec::a100());
+  EventLog fused, managed;
+  for (int i = 0; i < 4; ++i) {
+    const auto stats = make_stats(512, 256, 1u << 22);
+    fused.push_back(KernelEvent{stats});
+    managed.push_back(KernelEvent{stats});
+    managed.push_back(MemcpyEvent{MemcpyEvent::Dir::kDeviceToHost, 1024, ""});
+    managed.push_back(HostComputeEvent{"psum", 768});
+    managed.push_back(SyncEvent{});
+  }
+  EXPECT_GT(model.total_us(managed), 1.5 * model.total_us(fused));
+}
+
+TEST(CostModel, TimelineRendererProducesThreeLanes) {
+  CostModel model(DeviceSpec::a100());
+  EventLog log;
+  log.push_back(KernelEvent{make_stats(256, 256, 1u << 24)});
+  log.push_back(MemcpyEvent{MemcpyEvent::Dir::kDeviceToHost, 4096, "hist"});
+  log.push_back(HostComputeEvent{"psum", 768});
+  const Timeline tl = model.simulate(log);
+  const std::string art = render_timeline(tl, 80);
+  EXPECT_NE(art.find("Host"), std::string::npos);
+  EXPECT_NE(art.find("Device"), std::string::npos);
+  EXPECT_NE(art.find("Transfer"), std::string::npos);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  const std::string desc = describe_timeline(tl);
+  EXPECT_NE(desc.find("psum"), std::string::npos);
+}
+
+TEST(CostModel, EmptyLogIsZeroTime) {
+  CostModel model(DeviceSpec::a100());
+  EXPECT_EQ(model.total_us({}), 0.0);
+}
+
+}  // namespace
+}  // namespace simgpu

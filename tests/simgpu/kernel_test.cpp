@@ -1,0 +1,178 @@
+#include "simgpu/kernel.hpp"
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "simgpu/device.hpp"
+
+namespace simgpu {
+namespace {
+
+TEST(Warp, BallotMatchesPredicate) {
+  const std::uint32_t mask = Warp::ballot([](int lane) { return lane % 3 == 0; });
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    EXPECT_EQ((mask >> lane) & 1u, lane % 3 == 0 ? 1u : 0u) << lane;
+  }
+}
+
+TEST(Warp, RankBelowCountsPrecedingLanes) {
+  const std::uint32_t mask = 0b1011u;  // lanes 0, 1, 3 qualified
+  EXPECT_EQ(Warp::rank_below(mask, 0), 0);
+  EXPECT_EQ(Warp::rank_below(mask, 1), 1);
+  EXPECT_EQ(Warp::rank_below(mask, 2), 2);
+  EXPECT_EQ(Warp::rank_below(mask, 3), 2);
+  EXPECT_EQ(Warp::rank_below(mask, 31), 3);
+}
+
+TEST(Warp, EachVisitsAllLanesInOrder) {
+  Warp w(0);
+  std::vector<int> lanes;
+  w.each([&](int lane) { lanes.push_back(lane); });
+  ASSERT_EQ(lanes.size(), 32u);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(lanes[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Launch, GridCoversAllBlocks) {
+  Device dev;
+  auto out = dev.alloc_zero<std::uint32_t>(64);
+  launch(dev, {"mark", 64, 32}, [=](BlockCtx& ctx) {
+    ctx.store<std::uint32_t>(out, static_cast<std::size_t>(ctx.block_idx()),
+                             static_cast<std::uint32_t>(ctx.block_idx() + 1));
+  });
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(out.data()[i], static_cast<std::uint32_t>(i + 1));
+  }
+}
+
+TEST(Launch, CountsTrafficExactly) {
+  Device dev;
+  constexpr std::size_t kN = 1000;
+  auto in = dev.alloc<float>(kN);
+  auto out = dev.alloc<float>(kN);
+  std::iota(in.data(), in.data() + kN, 0.0f);
+  const KernelStats stats =
+      launch(dev, {"copy", 4, 64}, [=](BlockCtx& ctx) {
+        const std::size_t per = kN / 4;
+        const auto b = static_cast<std::size_t>(ctx.block_idx());
+        for (std::size_t i = b * per; i < (b + 1) * per; ++i) {
+          ctx.store(out, i, ctx.load(in, i));
+        }
+      });
+  EXPECT_EQ(stats.bytes_read, kN * sizeof(float));
+  EXPECT_EQ(stats.bytes_written, kN * sizeof(float));
+  EXPECT_EQ(stats.grid_blocks, 4);
+  EXPECT_EQ(stats.warps_per_block(), 2);
+}
+
+TEST(Launch, AtomicAddAcrossBlocksIsExact) {
+  Device dev;
+  auto counter = dev.alloc_zero<std::uint64_t>(1);
+  constexpr int kBlocks = 500;
+  const KernelStats stats =
+      launch(dev, {"atomics", kBlocks, 32}, [=](BlockCtx& ctx) {
+        for (int i = 0; i < 100; ++i) {
+          ctx.atomic_add(counter, 0, std::uint64_t{1});
+        }
+      });
+  EXPECT_EQ(counter.data()[0], 500u * 100u);
+  EXPECT_EQ(stats.atomic_ops, 500u * 100u);
+}
+
+TEST(Launch, AtomicMinMax) {
+  Device dev;
+  auto lo = dev.alloc<std::uint32_t>(1);
+  auto hi = dev.alloc<std::uint32_t>(1);
+  lo.data()[0] = 0xFFFFFFFFu;
+  hi.data()[0] = 0;
+  launch(dev, {"minmax", 64, 32}, [=](BlockCtx& ctx) {
+    const auto v = static_cast<std::uint32_t>(ctx.block_idx() * 7 + 3);
+    ctx.atomic_min(lo, 0, v);
+    ctx.atomic_max(hi, 0, v);
+  });
+  EXPECT_EQ(lo.data()[0], 3u);
+  EXPECT_EQ(hi.data()[0], 63u * 7 + 3);
+}
+
+TEST(Launch, LastBlockElectionSeesAllWrites) {
+  // The grid-cooperative pattern AIR Top-K relies on: every block writes its
+  // slot, the last block to finish sums them all.
+  Device dev;
+  constexpr int kBlocks = 256;
+  auto slots = dev.alloc_zero<std::uint64_t>(kBlocks);
+  auto finished = dev.alloc_zero<std::uint32_t>(1);
+  auto total = dev.alloc_zero<std::uint64_t>(1);
+  launch(dev, {"election", kBlocks, 32}, [=](BlockCtx& ctx) {
+    ctx.store<std::uint64_t>(slots, static_cast<std::size_t>(ctx.block_idx()),
+                             static_cast<std::uint64_t>(ctx.block_idx()));
+    const std::uint32_t fin = ctx.atomic_add(finished, 0, 1u);
+    if (fin == kBlocks - 1) {
+      std::uint64_t sum = 0;
+      for (int b = 0; b < kBlocks; ++b) {
+        sum += ctx.load(slots, static_cast<std::size_t>(b));
+      }
+      ctx.store<std::uint64_t>(total, 0, sum);
+    }
+  });
+  EXPECT_EQ(total.data()[0], 255ull * 256 / 2);
+}
+
+TEST(Launch, SharedMemoryIsPerBlockAndBounded) {
+  Device dev;
+  auto out = dev.alloc_zero<std::uint32_t>(32);
+  launch(dev, {"shared", 32, 64}, [=](BlockCtx& ctx) {
+    auto s = ctx.shared_zero<std::uint32_t>(128);
+    for (std::size_t i = 0; i < 128; ++i) {
+      EXPECT_EQ(s[i], 0u);  // must not see another block's data
+      s[i] = static_cast<std::uint32_t>(ctx.block_idx());
+    }
+    ctx.store<std::uint32_t>(out, static_cast<std::size_t>(ctx.block_idx()),
+                             s[0]);
+  });
+  for (std::size_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(out.data()[i], static_cast<std::uint32_t>(i));
+  }
+}
+
+TEST(Launch, SharedMemoryOverflowThrows) {
+  Device dev;  // A100 spec: 164 KiB per block
+  EXPECT_THROW(
+      launch(dev, {"overflow", 1, 32},
+             [&](BlockCtx& ctx) { ctx.shared<std::uint8_t>(200 * 1024); }),
+      SharedMemoryOverflow);
+}
+
+TEST(Launch, InvalidConfigRejected) {
+  Device dev;
+  auto noop = [](BlockCtx&) {};
+  EXPECT_THROW(launch(dev, {"bad", 0, 32}, noop), std::invalid_argument);
+  EXPECT_THROW(launch(dev, {"bad", 1, 31}, noop), std::invalid_argument);
+  EXPECT_THROW(launch(dev, {"bad", 1, 0}, noop), std::invalid_argument);
+}
+
+TEST(Launch, SyncAndOpsAreCounted) {
+  Device dev;
+  const KernelStats stats = launch(dev, {"counted", 3, 32}, [](BlockCtx& ctx) {
+    ctx.ops(10);
+    ctx.sync();
+    ctx.ops(5);
+    ctx.sync();
+  });
+  EXPECT_EQ(stats.lane_ops, 45u);
+  EXPECT_EQ(stats.block_syncs, 6u);
+}
+
+TEST(Launch, KernelEventRecordedOnDevice) {
+  Device dev;
+  launch(dev, {"recorded", 2, 32}, [](BlockCtx&) {});
+  ASSERT_EQ(dev.events().size(), 1u);
+  const auto* k = std::get_if<KernelEvent>(&dev.events()[0]);
+  ASSERT_NE(k, nullptr);
+  EXPECT_EQ(k->stats.name, "recorded");
+  EXPECT_EQ(k->stats.grid_blocks, 2);
+}
+
+}  // namespace
+}  // namespace simgpu

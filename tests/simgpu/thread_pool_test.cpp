@@ -1,0 +1,82 @@
+#include "simgpu/thread_pool.hpp"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace simgpu {
+namespace {
+
+TEST(ThreadPool, RunsEveryBlockExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kBlocks = 1000;
+  std::vector<std::atomic<int>> hits(kBlocks);
+  pool.run_blocks(kBlocks, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kBlocks; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "block " << i;
+  }
+}
+
+TEST(ThreadPool, ZeroBlocksIsANoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.run_blocks(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SingleThreadPoolStillCompletes) {
+  ThreadPool pool(1);
+  std::atomic<int> sum{0};
+  pool.run_blocks(100, [&](std::size_t i) {
+    sum.fetch_add(static_cast<int>(i), std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.run_blocks(64,
+                      [&](std::size_t i) {
+                        if (i == 13) throw std::runtime_error("boom");
+                      }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ExceptionDoesNotPoisonLaterBatches) {
+  ThreadPool pool(4);
+  try {
+    pool.run_blocks(8, [](std::size_t) { throw std::runtime_error("x"); });
+  } catch (const std::runtime_error&) {
+  }
+  std::atomic<int> count{0};
+  pool.run_blocks(8, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPool, SequentialBatchesSeeEachOthersWrites) {
+  ThreadPool pool(4);
+  std::vector<int> data(256, 0);
+  pool.run_blocks(256, [&](std::size_t i) { data[i] = static_cast<int>(i); });
+  long long sum = 0;
+  pool.run_blocks(1, [&](std::size_t) {
+    sum = std::accumulate(data.begin(), data.end(), 0LL);
+  });
+  EXPECT_EQ(sum, 255LL * 256 / 2);
+}
+
+TEST(ThreadPool, ManyBlocksWithContention) {
+  ThreadPool& pool = ThreadPool::instance();
+  std::atomic<long long> total{0};
+  pool.run_blocks(10000,
+                  [&](std::size_t i) { total.fetch_add(static_cast<long long>(i)); });
+  EXPECT_EQ(total.load(), 9999LL * 10000 / 2);
+}
+
+}  // namespace
+}  // namespace simgpu

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/topk.hpp"
+#include "data/distributions.hpp"
+#include "simgpu/simgpu.hpp"
+
+namespace topk::test {
+
+/// Run `algo` on `data` (single problem) and assert full correctness against
+/// the std::nth_element reference.
+inline void expect_correct(simgpu::Device& dev, std::span<const float> data,
+                           std::size_t k, Algo algo,
+                           const SelectOptions& opt = {}) {
+  const SelectResult r = select(dev, data, k, algo, opt);
+  const std::string err = verify_topk(data, k, r);
+  EXPECT_TRUE(err.empty()) << algo_name(algo) << " n=" << data.size()
+                           << " k=" << k << ": " << err;
+}
+
+/// The standard distribution sweep used by per-algorithm correctness tests.
+inline std::vector<data::DistributionSpec> standard_distributions() {
+  using data::Distribution;
+  return {
+      {Distribution::kUniform, 0},
+      {Distribution::kNormal, 0},
+      {Distribution::kAdversarial, 10},
+      {Distribution::kAdversarial, 20},
+  };
+}
+
+struct SweepCase {
+  std::size_t n;
+  std::size_t k;
+};
+
+inline std::string sweep_case_name(
+    const ::testing::TestParamInfo<SweepCase>& info) {
+  return "n" + std::to_string(info.param.n) + "_k" +
+         std::to_string(info.param.k);
+}
+
+}  // namespace topk::test

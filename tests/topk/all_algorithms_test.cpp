@@ -1,0 +1,173 @@
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "core/topk.hpp"
+#include "data/distributions.hpp"
+
+namespace topk {
+namespace {
+
+using test::standard_distributions;
+
+struct MatrixCase {
+  Algo algo;
+  std::size_t n;
+  std::size_t k;
+};
+
+std::string matrix_case_name(const ::testing::TestParamInfo<MatrixCase>& info) {
+  std::string name = algo_name(info.param.algo);
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name + "_n" + std::to_string(info.param.n) + "_k" +
+         std::to_string(info.param.k);
+}
+
+class AlgorithmMatrix : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(AlgorithmMatrix, CorrectOnAllDistributions) {
+  simgpu::Device dev;
+  const auto [algo, n, k] = GetParam();
+  ASSERT_LE(k, max_k(algo, n)) << "bad test case";
+  std::uint64_t seed = 7777;
+  for (const auto& spec : standard_distributions()) {
+    const auto values = data::generate(spec, n, seed++);
+    const SelectResult r = select(dev, values, k, algo);
+    const std::string err = verify_topk(values, k, r);
+    EXPECT_TRUE(err.empty())
+        << algo_name(algo) << " on " << spec.name() << ": " << err;
+  }
+}
+
+std::vector<MatrixCase> matrix_cases() {
+  std::vector<MatrixCase> cases;
+  for (Algo algo : all_algorithms()) {
+    for (const auto& [n, k] : std::vector<std::pair<std::size_t, std::size_t>>{
+             {1, 1},
+             {33, 4},
+             {1000, 1},
+             {1000, 100},
+             {4096, 256},
+             {100000, 17},
+             {1 << 17, 2048},
+             {1 << 17, 30000},
+         }) {
+      if (k > max_k(algo, n)) continue;
+      cases.push_back({algo, n, k});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgos, AlgorithmMatrix,
+                         ::testing::ValuesIn(matrix_cases()),
+                         matrix_case_name);
+
+class BatchMatrix : public ::testing::TestWithParam<Algo> {};
+
+TEST_P(BatchMatrix, BatchedResultsAreCorrectPerProblem) {
+  simgpu::Device dev;
+  const Algo algo = GetParam();
+  const std::size_t batch = 5, n = 3000;
+  const std::size_t k = std::min<std::size_t>(64, max_k(algo, n));
+  const auto values = data::normal_values(batch * n, 1234);
+  const auto results = select_batch(dev, values, batch, n, k, algo);
+  ASSERT_EQ(results.size(), batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    std::span<const float> slice(values.data() + b * n, n);
+    const std::string err = verify_topk(slice, k, results[b]);
+    EXPECT_TRUE(err.empty()) << algo_name(algo) << " problem " << b << ": "
+                             << err;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgos, BatchMatrix,
+    ::testing::Values(Algo::kAirTopk, Algo::kGridSelect, Algo::kRadixSelect,
+                      Algo::kWarpSelect, Algo::kBlockSelect,
+                      Algo::kBitonicTopk, Algo::kQuickSelect,
+                      Algo::kBucketSelect, Algo::kSampleSelect, Algo::kSort),
+    [](const ::testing::TestParamInfo<Algo>& info) {
+      std::string name = algo_name(info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(AllAlgorithms, DuplicateHeavyInputIsHandledEverywhere) {
+  simgpu::Device dev;
+  std::vector<float> values(30000);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<float>(i % 5);
+  }
+  for (Algo algo : all_algorithms()) {
+    const std::size_t k = std::min<std::size_t>(100, max_k(algo, values.size()));
+    const SelectResult r = select(dev, values, k, algo);
+    const std::string err = verify_topk(values, k, r);
+    EXPECT_TRUE(err.empty()) << algo_name(algo) << ": " << err;
+  }
+}
+
+TEST(AllAlgorithms, AllEqualInput) {
+  simgpu::Device dev;
+  std::vector<float> values(10000, 2.5f);
+  for (Algo algo : all_algorithms()) {
+    const std::size_t k = std::min<std::size_t>(64, max_k(algo, values.size()));
+    const SelectResult r = select(dev, values, k, algo);
+    const std::string err = verify_topk(values, k, r);
+    EXPECT_TRUE(err.empty()) << algo_name(algo) << ": " << err;
+  }
+}
+
+TEST(AllAlgorithms, NegativeValuesAndWideRange) {
+  simgpu::Device dev;
+  std::vector<float> values = data::normal_values(20000, 99);
+  for (float& v : values) v *= 1e20f;
+  for (Algo algo : all_algorithms()) {
+    const std::size_t k = std::min<std::size_t>(50, max_k(algo, values.size()));
+    const SelectResult r = select(dev, values, k, algo);
+    const std::string err = verify_topk(values, k, r);
+    EXPECT_TRUE(err.empty()) << algo_name(algo) << ": " << err;
+  }
+}
+
+TEST(AllAlgorithms, KEqualsNReturnsEverything) {
+  simgpu::Device dev;
+  const auto values = data::uniform_values(1500, 5);
+  for (Algo algo : all_algorithms()) {
+    if (max_k(algo, values.size()) < values.size()) continue;
+    const SelectResult r = select(dev, values, values.size(), algo);
+    const std::string err = verify_topk(values, values.size(), r);
+    EXPECT_TRUE(err.empty()) << algo_name(algo) << ": " << err;
+  }
+}
+
+TEST(AllAlgorithms, MaxKLimitsMatchPaper) {
+  EXPECT_EQ(max_k(Algo::kBitonicTopk, 1 << 20), 256u);
+  EXPECT_EQ(max_k(Algo::kWarpSelect, 1 << 20), 2048u);
+  EXPECT_EQ(max_k(Algo::kBlockSelect, 1 << 20), 2048u);
+  EXPECT_EQ(max_k(Algo::kGridSelect, 1 << 20), 2048u);
+  EXPECT_EQ(max_k(Algo::kAirTopk, 1 << 20), std::size_t{1} << 20);
+  EXPECT_EQ(max_k(Algo::kSort, 100), 100u);
+}
+
+TEST(AllAlgorithms, AlgoNamesAreUniqueAndNonEmpty) {
+  std::vector<std::string> names;
+  for (Algo algo : all_algorithms()) names.push_back(algo_name(algo));
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_FALSE(names[i].empty());
+    for (std::size_t j = i + 1; j < names.size(); ++j) {
+      EXPECT_NE(names[i], names[j]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace topk

@@ -1,0 +1,320 @@
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "core/topk.hpp"
+#include "data/distributions.hpp"
+#include "topk/bitonic.hpp"
+#include "topk/grid_select.hpp"
+#include "topk/partial_sort_common.hpp"
+#include "topk/warp_select.hpp"
+
+namespace topk {
+namespace {
+
+/// Run `fn(ctx)` inside a single-block kernel and return.
+template <typename F>
+void run_in_block(F&& fn) {
+  simgpu::Device dev;
+  simgpu::launch(dev, {"test", 1, 32}, [&](simgpu::BlockCtx& ctx) { fn(ctx); });
+}
+
+TEST(Bitonic, SortsRandomPowerOfTwo) {
+  run_in_block([](simgpu::BlockCtx& ctx) {
+    std::mt19937 rng(1);
+    for (const std::size_t n : {1u, 2u, 4u, 32u, 256u, 1024u}) {
+      std::vector<float> keys(n);
+      std::vector<std::uint32_t> idx(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        keys[i] = static_cast<float>(rng() % 1000);
+        idx[i] = static_cast<std::uint32_t>(i);
+      }
+      std::vector<float> want = keys;
+      bitonic_sort<float>(ctx, keys, idx);
+      std::sort(want.begin(), want.end());
+      EXPECT_EQ(keys, want) << "n=" << n;
+    }
+  });
+}
+
+TEST(Bitonic, KeepsIndexPayloadAttached) {
+  run_in_block([](simgpu::BlockCtx& ctx) {
+    std::mt19937 rng(2);
+    std::vector<float> original(128);
+    for (float& v : original) v = static_cast<float>(rng() % 10000);
+    std::vector<float> keys = original;
+    std::vector<std::uint32_t> idx(128);
+    for (std::size_t i = 0; i < 128; ++i) idx[i] = static_cast<std::uint32_t>(i);
+    bitonic_sort<float>(ctx, keys, idx);
+    for (std::size_t i = 0; i < 128; ++i) {
+      EXPECT_EQ(original[idx[i]], keys[i]) << i;
+    }
+  });
+}
+
+TEST(Bitonic, DescendingSortWorks) {
+  run_in_block([](simgpu::BlockCtx& ctx) {
+    std::vector<float> keys = {5, 1, 9, 3, 7, 2, 8, 4};
+    std::vector<std::uint32_t> idx(8, 0);
+    bitonic_sort<float>(ctx, keys, idx, /*ascending=*/false);
+    std::vector<float> want = {9, 8, 7, 5, 4, 3, 2, 1};
+    EXPECT_EQ(keys, want);
+  });
+}
+
+TEST(Bitonic, MergePruneKeepsSmallestN) {
+  run_in_block([](simgpu::BlockCtx& ctx) {
+    std::vector<float> a = {1, 4, 6, 9};
+    std::vector<float> b = {2, 3, 5, 7};
+    std::vector<std::uint32_t> ai = {10, 11, 12, 13};
+    std::vector<std::uint32_t> bi = {20, 21, 22, 23};
+    merge_prune<float>(ctx, a, ai, b, bi);
+    std::vector<float> want = {1, 2, 3, 4};
+    EXPECT_EQ(a, want);
+    EXPECT_EQ(ai, (std::vector<std::uint32_t>{10, 20, 21, 11}));
+  });
+}
+
+TEST(Bitonic, MergePruneChargesLaneOps) {
+  simgpu::Device dev;
+  const auto stats = simgpu::launch(dev, {"ops", 1, 32}, [](simgpu::BlockCtx& ctx) {
+    std::vector<float> a = {1, 4, 6, 9};
+    std::vector<float> b = {2, 3, 5, 7};
+    std::vector<std::uint32_t> ai(4, 0), bi(4, 0);
+    merge_prune<float>(ctx, a, ai, b, bi);
+  });
+  EXPECT_GT(stats.lane_ops, 0u);
+}
+
+TEST(Bitonic, NextPow2) {
+  EXPECT_EQ(next_pow2(0), 1u);
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(2048), 2048u);
+  EXPECT_EQ(next_pow2(2049), 4096u);
+}
+
+TEST(TopkList, MaintainsSmallestKAcrossMerges) {
+  run_in_block([](simgpu::BlockCtx& ctx) {
+    std::vector<float> storage(64);
+    std::vector<std::uint32_t> istorage(64);
+    TopkList<float> list(storage, istorage, 50);
+    std::mt19937 rng(3);
+    std::vector<float> all;
+    std::vector<float> batch_keys(37);
+    std::vector<std::uint32_t> batch_idx(37);
+    for (int round = 0; round < 20; ++round) {
+      for (std::size_t i = 0; i < batch_keys.size(); ++i) {
+        batch_keys[i] = static_cast<float>(rng() % 100000);
+        batch_idx[i] = static_cast<std::uint32_t>(all.size());
+        all.push_back(batch_keys[i]);
+      }
+      list.merge(ctx, batch_keys, batch_idx, batch_keys.size());
+    }
+    std::sort(all.begin(), all.end());
+    for (std::size_t i = 0; i < 50; ++i) {
+      EXPECT_EQ(list.keys()[i], all[i]) << i;
+    }
+  });
+}
+
+TEST(TopkList, KthStartsAtSentinel) {
+  run_in_block([](simgpu::BlockCtx& ctx) {
+    (void)ctx;
+    std::vector<float> storage(32);
+    std::vector<std::uint32_t> istorage(32);
+    TopkList<float> list(storage, istorage, 20);
+    EXPECT_EQ(list.kth(), sort_sentinel<float>());
+  });
+}
+
+TEST(TopkList, RejectsUndersizedStorage) {
+  run_in_block([](simgpu::BlockCtx& ctx) {
+    (void)ctx;
+    std::vector<float> storage(40);  // next_pow2(33) == 64 > 40
+    std::vector<std::uint32_t> istorage(40);
+    EXPECT_THROW((TopkList<float>(storage, istorage, 33)),
+                 std::invalid_argument);
+  });
+}
+
+TEST(ThreadQueueLen, MatchesFaissTiers) {
+  EXPECT_EQ(thread_queue_len(1), 2u);
+  EXPECT_EQ(thread_queue_len(32), 2u);
+  EXPECT_EQ(thread_queue_len(128), 3u);
+  EXPECT_EQ(thread_queue_len(256), 4u);
+  EXPECT_EQ(thread_queue_len(1024), 8u);
+  EXPECT_EQ(thread_queue_len(2048), 10u);
+}
+
+TEST(SharedQueueEngine, SelectsSmallestFromStream) {
+  simgpu::Device dev;
+  const auto values = data::uniform_values(5000, 77);
+  std::vector<float> got(16);
+  auto out = dev.alloc<float>(16);
+  simgpu::launch(dev, {"stream", 1, 32}, [&, out](simgpu::BlockCtx& ctx) {
+    SharedQueueEngine<float> engine(ctx, 16);
+    float vals[simgpu::kWarpSize];
+    std::uint32_t idxs[simgpu::kWarpSize];
+    bool valid[simgpu::kWarpSize];
+    for (std::size_t base = 0; base < values.size();
+         base += simgpu::kWarpSize) {
+      for (int lane = 0; lane < simgpu::kWarpSize; ++lane) {
+        const std::size_t i = base + static_cast<std::size_t>(lane);
+        valid[lane] = i < values.size();
+        if (valid[lane]) {
+          vals[lane] = values[i];
+          idxs[lane] = static_cast<std::uint32_t>(i);
+        }
+      }
+      engine.round(ctx, vals, idxs, valid);
+    }
+    engine.finalize(ctx);
+    for (std::size_t i = 0; i < 16; ++i) {
+      ctx.store(out, i, engine.list().keys()[i]);
+    }
+  });
+  std::vector<float> want(values.begin(), values.end());
+  std::sort(want.begin(), want.end());
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(out.data()[i], want[i]) << i;
+  }
+}
+
+TEST(SharedQueueEngine, TwoStepInsertionHandlesOverflowRound) {
+  // Feed a round where every lane qualifies while the queue is nearly full:
+  // step 1 fills the queue, a flush happens, step 2 inserts the rest.
+  simgpu::Device dev;
+  auto out = dev.alloc<float>(32);
+  simgpu::launch(dev, {"overflow", 1, 32}, [=](simgpu::BlockCtx& ctx) {
+    SharedQueueEngine<float> engine(ctx, 32);
+    float vals[simgpu::kWarpSize];
+    std::uint32_t idxs[simgpu::kWarpSize];
+    bool valid[simgpu::kWarpSize];
+    // Round 1: 20 qualifying values.
+    for (int lane = 0; lane < 32; ++lane) {
+      vals[lane] = 1000.0f - static_cast<float>(lane);
+      idxs[lane] = static_cast<std::uint32_t>(lane);
+      valid[lane] = lane < 20;
+    }
+    engine.round(ctx, vals, idxs, valid);
+    // Round 2: all 32 qualify; 12 fit, flush, 20 go through step two.
+    for (int lane = 0; lane < 32; ++lane) {
+      vals[lane] = 500.0f - static_cast<float>(lane);
+      idxs[lane] = static_cast<std::uint32_t>(32 + lane);
+      valid[lane] = true;
+    }
+    engine.round(ctx, vals, idxs, valid);
+    engine.finalize(ctx);
+    for (std::size_t i = 0; i < 32; ++i) {
+      ctx.store(out, i, engine.list().keys()[i]);
+    }
+  });
+  // The 32 smallest of the 52 pushed values are 469..500.
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(out.data()[static_cast<std::size_t>(i)], 469.0f + i) << i;
+  }
+}
+
+TEST(WarpSelect, UsesSingleWarpPerProblem) {
+  simgpu::Device dev;
+  const auto values = data::uniform_values(4096, 5);
+  dev.clear_events();
+  (void)select(dev, values, 32, Algo::kWarpSelect);
+  bool found = false;
+  for (const auto& e : dev.events()) {
+    if (const auto* ke = std::get_if<simgpu::KernelEvent>(&e)) {
+      if (ke->stats.name == "WarpSelect") {
+        EXPECT_EQ(ke->stats.grid_blocks, 1);
+        EXPECT_EQ(ke->stats.block_threads, 32);
+        found = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(BlockSelect, UsesFourWarps) {
+  simgpu::Device dev;
+  const auto values = data::uniform_values(4096, 5);
+  dev.clear_events();
+  (void)select(dev, values, 32, Algo::kBlockSelect);
+  bool found = false;
+  for (const auto& e : dev.events()) {
+    if (const auto* ke = std::get_if<simgpu::KernelEvent>(&e)) {
+      if (ke->stats.name == "BlockSelect") {
+        EXPECT_EQ(ke->stats.grid_blocks, 1);
+        EXPECT_EQ(ke->stats.block_threads, 128);
+        found = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(GridSelect, UsesManyBlocksForLargeN) {
+  simgpu::Device dev;
+  const auto values = data::uniform_values(1 << 20, 5);
+  dev.clear_events();
+  (void)select(dev, values, 32, Algo::kGridSelect);
+  int partial_blocks = 0;
+  for (const auto& e : dev.events()) {
+    if (const auto* ke = std::get_if<simgpu::KernelEvent>(&e)) {
+      if (ke->stats.name == "GridSelect_partial") {
+        partial_blocks = ke->stats.grid_blocks;
+      }
+    }
+  }
+  EXPECT_GT(partial_blocks, 16)
+      << "GridSelect must spread a large problem over many blocks";
+}
+
+TEST(GridSelect, SharedQueueVariantDoesFewerMergeOpsOnSkewedData) {
+  // Descending input: every element qualifies, stressing queue flushes.
+  simgpu::Device dev;
+  std::vector<float> values(1 << 16);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<float>(values.size() - i);
+  }
+  const auto ops_for = [&](bool shared) {
+    simgpu::ScopedWorkspace ws(dev);
+    auto in = dev.alloc<float>(values.size());
+    std::copy(values.begin(), values.end(), in.data());
+    auto ov = dev.alloc<float>(64);
+    auto oi = dev.alloc<std::uint32_t>(64);
+    dev.clear_events();
+    GridSelectOptions o;
+    o.shared_queue = shared;
+    grid_select(dev, in, 1, values.size(), 64, ov, oi, o);
+    std::uint64_t ops = 0;
+    for (const auto& e : dev.events()) {
+      if (const auto* ke = std::get_if<simgpu::KernelEvent>(&e)) {
+        ops += ke->stats.lane_ops;
+      }
+    }
+    return ops;
+  };
+  EXPECT_LT(ops_for(true), ops_for(false))
+      << "shared queue should reduce sort/merge work";
+}
+
+TEST(PartialSorts, RejectOversizedK) {
+  simgpu::Device dev;
+  const auto values = data::uniform_values(10000, 5);
+  EXPECT_THROW((void)select(dev, values, 2049, Algo::kWarpSelect),
+               std::invalid_argument);
+  EXPECT_THROW((void)select(dev, values, 2049, Algo::kBlockSelect),
+               std::invalid_argument);
+  EXPECT_THROW((void)select(dev, values, 2049, Algo::kGridSelect),
+               std::invalid_argument);
+  EXPECT_THROW((void)select(dev, values, 257, Algo::kBitonicTopk),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace topk

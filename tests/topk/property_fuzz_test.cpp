@@ -1,0 +1,142 @@
+// Randomized property tests: for arbitrary (n, k, distribution, algorithm)
+// draws, every algorithm must return exactly k (value, index) pairs that
+// form a valid top-k answer.  Catches interactions (tie handling, buffer
+// cursors, last-block races) that the fixed-size sweeps might miss.
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "core/topk.hpp"
+#include "data/distributions.hpp"
+
+namespace topk {
+namespace {
+
+struct FuzzPlan {
+  std::uint64_t seed;
+};
+
+class FuzzAllAlgorithms : public ::testing::TestWithParam<FuzzPlan> {};
+
+std::vector<float> random_workload(std::mt19937_64& rng, std::size_t n) {
+  // Mix distribution families, including duplicate-heavy and quantized
+  // inputs, which exercise the tie paths.
+  switch (rng() % 5) {
+    case 0:
+      return data::uniform_values(n, rng());
+    case 1:
+      return data::normal_values(n, rng());
+    case 2:
+      return data::radix_adversarial_values(
+          n, static_cast<int>(1 + rng() % 28), rng());
+    case 3: {
+      std::vector<float> v(n);
+      const auto cardinality = 1 + rng() % 16;
+      for (auto& x : v) {
+        x = static_cast<float>(rng() % cardinality) - 5.0f;
+      }
+      return v;
+    }
+    default: {
+      auto v = data::normal_values(n, rng());
+      // Sprinkle sign flips, zeros and repeated extremes.
+      for (std::size_t i = 0; i < n; i += 7) v[i] = 0.0f;
+      for (std::size_t i = 3; i < n; i += 11) v[i] = -v[i];
+      return v;
+    }
+  }
+}
+
+TEST_P(FuzzAllAlgorithms, RandomProblemsAreAlwaysCorrect) {
+  std::mt19937_64 rng(GetParam().seed);
+  simgpu::Device dev;
+  for (int round = 0; round < 6; ++round) {
+    const std::size_t n = 1 + rng() % 60000;
+    const auto values = random_workload(rng, n);
+    for (Algo algo : all_algorithms()) {
+      const std::size_t k_cap = max_k(algo, n);
+      const std::size_t k = 1 + rng() % k_cap;
+      const SelectResult r = select(dev, values, k, algo);
+      const std::string err = verify_topk(values, k, r);
+      ASSERT_TRUE(err.empty())
+          << algo_name(algo) << " n=" << n << " k=" << k
+          << " seed=" << GetParam().seed << " round=" << round << ": " << err;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzAllAlgorithms,
+                         ::testing::Values(FuzzPlan{101}, FuzzPlan{202},
+                                           FuzzPlan{303}, FuzzPlan{404},
+                                           FuzzPlan{505}, FuzzPlan{606},
+                                           FuzzPlan{707}, FuzzPlan{808}),
+                         [](const ::testing::TestParamInfo<FuzzPlan>& info) {
+                           return "seed" + std::to_string(info.param.seed);
+                         });
+
+TEST(FuzzBatched, RandomBatchesAreCorrectPerProblem) {
+  std::mt19937_64 rng(0xBA7C4);
+  simgpu::Device dev;
+  for (int round = 0; round < 5; ++round) {
+    const std::size_t batch = 1 + rng() % 8;
+    const std::size_t n = 64 + rng() % 8000;
+    const auto values = random_workload(rng, batch * n);
+    for (Algo algo : {Algo::kAirTopk, Algo::kGridSelect, Algo::kRadixSelect,
+                      Algo::kBlockSelect, Algo::kSort}) {
+      const std::size_t k = 1 + rng() % std::min<std::size_t>(n, 512);
+      const auto results = select_batch(dev, values, batch, n, k, algo);
+      for (std::size_t b = 0; b < batch; ++b) {
+        std::span<const float> slice(values.data() + b * n, n);
+        ASSERT_TRUE(verify_topk(slice, k, results[b]).empty())
+            << algo_name(algo) << " batch=" << batch << " b=" << b
+            << " n=" << n << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(FuzzGreatest, LargestSelectionMirrorsSmallest) {
+  std::mt19937_64 rng(0x6EA7);
+  simgpu::Device dev;
+  for (int round = 0; round < 10; ++round) {
+    const std::size_t n = 16 + rng() % 20000;
+    const auto values = random_workload(rng, n);
+    const std::size_t k = 1 + rng() % std::min<std::size_t>(n, 300);
+    SelectOptions opt;
+    opt.greatest = true;
+    const SelectResult r = select(dev, values, k, Algo::kAirTopk, opt);
+    // Verify by negation: r must be a top-k of -values.
+    std::vector<float> neg(values.size());
+    for (std::size_t i = 0; i < neg.size(); ++i) neg[i] = -values[i];
+    SelectResult mirrored;
+    mirrored.indices = r.indices;
+    mirrored.values.reserve(k);
+    for (float v : r.values) mirrored.values.push_back(-v);
+    ASSERT_TRUE(verify_topk(neg, k, mirrored).empty())
+        << "round " << round << " n=" << n << " k=" << k;
+  }
+}
+
+TEST(FuzzDeterminism, SelectedValueMultisetIsRunInvariant) {
+  // Result order and tie choices may vary across runs (atomics), but the
+  // selected value multiset must not.
+  simgpu::Device dev;
+  const auto values = data::uniform_values(50000, 0xD37);
+  for (Algo algo : {Algo::kAirTopk, Algo::kGridSelect, Algo::kQuickSelect}) {
+    auto sorted_vals = [&](const SelectResult& r) {
+      auto v = r.values;
+      std::sort(v.begin(), v.end());
+      return v;
+    };
+    const auto a = sorted_vals(select(dev, values, 777, algo));
+    const auto b = sorted_vals(select(dev, values, 777, algo));
+    EXPECT_EQ(a, b) << algo_name(algo);
+  }
+}
+
+}  // namespace
+}  // namespace topk

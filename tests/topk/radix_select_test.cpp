@@ -1,0 +1,81 @@
+#include "topk/radix_select.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "core/topk.hpp"
+#include "data/distributions.hpp"
+
+namespace topk {
+namespace {
+
+using test::expect_correct;
+using test::standard_distributions;
+using test::SweepCase;
+
+class RadixSelectSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(RadixSelectSweep, CorrectOnAllDistributions) {
+  simgpu::Device dev;
+  const auto [n, k] = GetParam();
+  std::uint64_t seed = 1000;
+  for (const auto& spec : standard_distributions()) {
+    const auto values = data::generate(spec, n, seed++);
+    expect_correct(dev, values, k, Algo::kRadixSelect);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, RadixSelectSweep,
+    ::testing::Values(SweepCase{1, 1}, SweepCase{100, 7},
+                      SweepCase{1000, 1000}, SweepCase{4096, 64},
+                      SweepCase{100000, 31}, SweepCase{1 << 18, 4096}),
+    test::sweep_case_name);
+
+TEST(RadixSelect, HandlesDuplicatesAndTies) {
+  simgpu::Device dev;
+  std::vector<float> values(10000, 1.0f);
+  for (std::size_t i = 0; i < 100; ++i) values[i * 37] = 0.5f;
+  expect_correct(dev, values, 150, Algo::kRadixSelect);
+}
+
+TEST(RadixSelect, HostRoundTripsHappenEveryPass) {
+  // The defining inefficiency of the host-managed baseline: D2H copies and
+  // synchronizations in the middle of the computation (paper §3.1, Fig. 8).
+  simgpu::Device dev;
+  const auto values = data::uniform_values(1 << 16, 3);
+  dev.clear_events();
+  (void)select(dev, values, 100, Algo::kRadixSelect);
+  std::size_t d2h = 0, syncs = 0;
+  for (const auto& e : dev.events()) {
+    if (const auto* m = std::get_if<simgpu::MemcpyEvent>(&e)) {
+      d2h += (m->dir == simgpu::MemcpyEvent::Dir::kDeviceToHost) ? 1u : 0u;
+    }
+    syncs += std::holds_alternative<simgpu::SyncEvent>(e) ? 1u : 0u;
+  }
+  EXPECT_GE(d2h, 1u);
+  EXPECT_GE(syncs, 1u);
+}
+
+TEST(RadixSelect, BatchedLaunchCostScalesWithBatch) {
+  simgpu::Device dev;
+  const auto kernels_for_batch = [&](std::size_t batch) {
+    const auto values = data::uniform_values(batch * 4096, 11);
+    dev.clear_events();
+    (void)select_batch(dev, values, batch, 4096, 32, Algo::kRadixSelect);
+    std::size_t kernels = 0;
+    for (const auto& e : dev.events()) {
+      kernels += std::holds_alternative<simgpu::KernelEvent>(e) ? 1u : 0u;
+    }
+    return kernels;
+  };
+  const std::size_t one = kernels_for_batch(1);
+  const std::size_t eight = kernels_for_batch(8);
+  EXPECT_GE(eight, 8 * one / 2)
+      << "baseline processes batched problems one at a time";
+}
+
+}  // namespace
+}  // namespace topk
