@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_digit_bits.dir/ablation_digit_bits.cpp.o"
+  "CMakeFiles/ablation_digit_bits.dir/ablation_digit_bits.cpp.o.d"
+  "ablation_digit_bits"
+  "ablation_digit_bits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_digit_bits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

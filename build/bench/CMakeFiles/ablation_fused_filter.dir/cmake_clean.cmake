@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fused_filter.dir/ablation_fused_filter.cpp.o"
+  "CMakeFiles/ablation_fused_filter.dir/ablation_fused_filter.cpp.o.d"
+  "ablation_fused_filter"
+  "ablation_fused_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fused_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

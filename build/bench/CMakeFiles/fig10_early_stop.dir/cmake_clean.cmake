@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_early_stop.dir/fig10_early_stop.cpp.o"
+  "CMakeFiles/fig10_early_stop.dir/fig10_early_stop.cpp.o.d"
+  "fig10_early_stop"
+  "fig10_early_stop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_early_stop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

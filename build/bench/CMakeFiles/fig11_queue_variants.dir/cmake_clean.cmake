@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_queue_variants.dir/fig11_queue_variants.cpp.o"
+  "CMakeFiles/fig11_queue_variants.dir/fig11_queue_variants.cpp.o.d"
+  "fig11_queue_variants"
+  "fig11_queue_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_queue_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_devices.dir/fig12_devices.cpp.o"
+  "CMakeFiles/fig12_devices.dir/fig12_devices.cpp.o.d"
+  "fig12_devices"
+  "fig12_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_ann_datasets.dir/fig13_ann_datasets.cpp.o"
+  "CMakeFiles/fig13_ann_datasets.dir/fig13_ann_datasets.cpp.o.d"
+  "fig13_ann_datasets"
+  "fig13_ann_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_ann_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

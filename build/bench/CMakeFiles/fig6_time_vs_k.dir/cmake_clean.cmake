@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_time_vs_k.dir/fig6_time_vs_k.cpp.o"
+  "CMakeFiles/fig6_time_vs_k.dir/fig6_time_vs_k.cpp.o.d"
+  "fig6_time_vs_k"
+  "fig6_time_vs_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_time_vs_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_timeline.dir/fig8_timeline.cpp.o"
+  "CMakeFiles/fig8_timeline.dir/fig8_timeline.cpp.o.d"
+  "fig8_timeline"
+  "fig8_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

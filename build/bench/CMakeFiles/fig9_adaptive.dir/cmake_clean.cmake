@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_adaptive.dir/fig9_adaptive.cpp.o"
+  "CMakeFiles/fig9_adaptive.dir/fig9_adaptive.cpp.o.d"
+  "fig9_adaptive"
+  "fig9_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

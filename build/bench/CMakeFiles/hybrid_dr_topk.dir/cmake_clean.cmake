@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_dr_topk.dir/hybrid_dr_topk.cpp.o"
+  "CMakeFiles/hybrid_dr_topk.dir/hybrid_dr_topk.cpp.o.d"
+  "hybrid_dr_topk"
+  "hybrid_dr_topk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_dr_topk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shape_checks.dir/shape_checks.cpp.o"
+  "CMakeFiles/shape_checks.dir/shape_checks.cpp.o.d"
+  "shape_checks"
+  "shape_checks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shape_checks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_speedup_summary.dir/table2_speedup_summary.cpp.o"
+  "CMakeFiles/table2_speedup_summary.dir/table2_speedup_summary.cpp.o.d"
+  "table2_speedup_summary"
+  "table2_speedup_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_speedup_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

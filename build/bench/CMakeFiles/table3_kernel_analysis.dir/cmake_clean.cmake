@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_kernel_analysis.dir/table3_kernel_analysis.cpp.o"
+  "CMakeFiles/table3_kernel_analysis.dir/table3_kernel_analysis.cpp.o.d"
+  "table3_kernel_analysis"
+  "table3_kernel_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_kernel_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ann_search.dir/ann_search.cpp.o"
+  "CMakeFiles/ann_search.dir/ann_search.cpp.o.d"
+  "ann_search"
+  "ann_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ann_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_topk.dir/streaming_topk.cpp.o"
+  "CMakeFiles/streaming_topk.dir/streaming_topk.cpp.o.d"
+  "streaming_topk"
+  "streaming_topk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_topk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dr_topk.cpp" "src/core/CMakeFiles/topk_core.dir/dr_topk.cpp.o" "gcc" "src/core/CMakeFiles/topk_core.dir/dr_topk.cpp.o.d"
+  "/root/repo/src/core/topk.cpp" "src/core/CMakeFiles/topk_core.dir/topk.cpp.o" "gcc" "src/core/CMakeFiles/topk_core.dir/topk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simgpu/CMakeFiles/simgpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topk_core.dir/dr_topk.cpp.o"
+  "CMakeFiles/topk_core.dir/dr_topk.cpp.o.d"
+  "CMakeFiles/topk_core.dir/topk.cpp.o"
+  "CMakeFiles/topk_core.dir/topk.cpp.o.d"
+  "libtopk_core.a"
+  "libtopk_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topk_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

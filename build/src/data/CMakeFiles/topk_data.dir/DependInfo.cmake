@@ -1,0 +1,20 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/ann_dataset.cpp" "src/data/CMakeFiles/topk_data.dir/ann_dataset.cpp.o" "gcc" "src/data/CMakeFiles/topk_data.dir/ann_dataset.cpp.o.d"
+  "/root/repo/src/data/distributions.cpp" "src/data/CMakeFiles/topk_data.dir/distributions.cpp.o" "gcc" "src/data/CMakeFiles/topk_data.dir/distributions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

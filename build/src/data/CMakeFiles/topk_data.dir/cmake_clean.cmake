@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topk_data.dir/ann_dataset.cpp.o"
+  "CMakeFiles/topk_data.dir/ann_dataset.cpp.o.d"
+  "CMakeFiles/topk_data.dir/distributions.cpp.o"
+  "CMakeFiles/topk_data.dir/distributions.cpp.o.d"
+  "libtopk_data.a"
+  "libtopk_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topk_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simgpu/cost_model.cpp" "src/simgpu/CMakeFiles/simgpu.dir/cost_model.cpp.o" "gcc" "src/simgpu/CMakeFiles/simgpu.dir/cost_model.cpp.o.d"
+  "/root/repo/src/simgpu/device_spec.cpp" "src/simgpu/CMakeFiles/simgpu.dir/device_spec.cpp.o" "gcc" "src/simgpu/CMakeFiles/simgpu.dir/device_spec.cpp.o.d"
+  "/root/repo/src/simgpu/event.cpp" "src/simgpu/CMakeFiles/simgpu.dir/event.cpp.o" "gcc" "src/simgpu/CMakeFiles/simgpu.dir/event.cpp.o.d"
+  "/root/repo/src/simgpu/thread_pool.cpp" "src/simgpu/CMakeFiles/simgpu.dir/thread_pool.cpp.o" "gcc" "src/simgpu/CMakeFiles/simgpu.dir/thread_pool.cpp.o.d"
+  "/root/repo/src/simgpu/timeline.cpp" "src/simgpu/CMakeFiles/simgpu.dir/timeline.cpp.o" "gcc" "src/simgpu/CMakeFiles/simgpu.dir/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

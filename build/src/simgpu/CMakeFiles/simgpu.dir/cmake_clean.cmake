@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simgpu.dir/cost_model.cpp.o"
+  "CMakeFiles/simgpu.dir/cost_model.cpp.o.d"
+  "CMakeFiles/simgpu.dir/device_spec.cpp.o"
+  "CMakeFiles/simgpu.dir/device_spec.cpp.o.d"
+  "CMakeFiles/simgpu.dir/event.cpp.o"
+  "CMakeFiles/simgpu.dir/event.cpp.o.d"
+  "CMakeFiles/simgpu.dir/thread_pool.cpp.o"
+  "CMakeFiles/simgpu.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/simgpu.dir/timeline.cpp.o"
+  "CMakeFiles/simgpu.dir/timeline.cpp.o.d"
+  "libsimgpu.a"
+  "libsimgpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simgpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

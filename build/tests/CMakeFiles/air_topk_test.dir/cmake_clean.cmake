@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/air_topk_test.dir/topk/air_topk_test.cpp.o"
+  "CMakeFiles/air_topk_test.dir/topk/air_topk_test.cpp.o.d"
+  "air_topk_test"
+  "air_topk_test.pdb"
+  "air_topk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/air_topk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/all_algorithms_test.dir/topk/all_algorithms_test.cpp.o"
+  "CMakeFiles/all_algorithms_test.dir/topk/all_algorithms_test.cpp.o.d"
+  "all_algorithms_test"
+  "all_algorithms_test.pdb"
+  "all_algorithms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/all_algorithms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

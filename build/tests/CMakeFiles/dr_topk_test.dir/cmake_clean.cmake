@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dr_topk_test.dir/topk/dr_topk_test.cpp.o"
+  "CMakeFiles/dr_topk_test.dir/topk/dr_topk_test.cpp.o.d"
+  "dr_topk_test"
+  "dr_topk_test.pdb"
+  "dr_topk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dr_topk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

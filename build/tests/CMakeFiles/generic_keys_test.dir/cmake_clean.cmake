@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generic_keys_test.dir/topk/generic_keys_test.cpp.o"
+  "CMakeFiles/generic_keys_test.dir/topk/generic_keys_test.cpp.o.d"
+  "generic_keys_test"
+  "generic_keys_test.pdb"
+  "generic_keys_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generic_keys_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

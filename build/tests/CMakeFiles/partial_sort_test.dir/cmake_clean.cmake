@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_sort_test.dir/topk/partial_sort_test.cpp.o"
+  "CMakeFiles/partial_sort_test.dir/topk/partial_sort_test.cpp.o.d"
+  "partial_sort_test"
+  "partial_sort_test.pdb"
+  "partial_sort_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_sort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_select_test.dir/topk/partition_select_test.cpp.o"
+  "CMakeFiles/partition_select_test.dir/topk/partition_select_test.cpp.o.d"
+  "partition_select_test"
+  "partition_select_test.pdb"
+  "partition_select_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_select_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

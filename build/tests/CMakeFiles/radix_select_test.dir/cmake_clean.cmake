@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radix_select_test.dir/topk/radix_select_test.cpp.o"
+  "CMakeFiles/radix_select_test.dir/topk/radix_select_test.cpp.o.d"
+  "radix_select_test"
+  "radix_select_test.pdb"
+  "radix_select_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radix_select_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/simgpu/cost_model_test.cpp" "tests/CMakeFiles/simgpu_test.dir/simgpu/cost_model_test.cpp.o" "gcc" "tests/CMakeFiles/simgpu_test.dir/simgpu/cost_model_test.cpp.o.d"
+  "/root/repo/tests/simgpu/device_test.cpp" "tests/CMakeFiles/simgpu_test.dir/simgpu/device_test.cpp.o" "gcc" "tests/CMakeFiles/simgpu_test.dir/simgpu/device_test.cpp.o.d"
+  "/root/repo/tests/simgpu/kernel_test.cpp" "tests/CMakeFiles/simgpu_test.dir/simgpu/kernel_test.cpp.o" "gcc" "tests/CMakeFiles/simgpu_test.dir/simgpu/kernel_test.cpp.o.d"
+  "/root/repo/tests/simgpu/thread_pool_test.cpp" "tests/CMakeFiles/simgpu_test.dir/simgpu/thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/simgpu_test.dir/simgpu/thread_pool_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/topk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/topk_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/simgpu/CMakeFiles/simgpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

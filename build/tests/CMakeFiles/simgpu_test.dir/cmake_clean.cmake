@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simgpu_test.dir/simgpu/cost_model_test.cpp.o"
+  "CMakeFiles/simgpu_test.dir/simgpu/cost_model_test.cpp.o.d"
+  "CMakeFiles/simgpu_test.dir/simgpu/device_test.cpp.o"
+  "CMakeFiles/simgpu_test.dir/simgpu/device_test.cpp.o.d"
+  "CMakeFiles/simgpu_test.dir/simgpu/kernel_test.cpp.o"
+  "CMakeFiles/simgpu_test.dir/simgpu/kernel_test.cpp.o.d"
+  "CMakeFiles/simgpu_test.dir/simgpu/thread_pool_test.cpp.o"
+  "CMakeFiles/simgpu_test.dir/simgpu/thread_pool_test.cpp.o.d"
+  "simgpu_test"
+  "simgpu_test.pdb"
+  "simgpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simgpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/simgpu_test[1]_include.cmake")
+include("/root/repo/build/tests/air_topk_test[1]_include.cmake")
+include("/root/repo/build/tests/radix_select_test[1]_include.cmake")
+include("/root/repo/build/tests/partial_sort_test[1]_include.cmake")
+include("/root/repo/build/tests/partition_select_test[1]_include.cmake")
+include("/root/repo/build/tests/all_algorithms_test[1]_include.cmake")
+include("/root/repo/build/tests/dr_topk_test[1]_include.cmake")
+include("/root/repo/build/tests/property_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/generic_keys_test[1]_include.cmake")
+include("/root/repo/build/tests/extended_features_test[1]_include.cmake")
+include("/root/repo/build/tests/common_util_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/core_api_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
