@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <cstdlib>
 #include <map>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 
 #include "topk/air_topk.hpp"
 #include "topk/bitonic_topk.hpp"
@@ -167,6 +169,27 @@ void select_device(simgpu::Device& dev, simgpu::DeviceBuffer<float> in,
   throw std::invalid_argument("select_device: unknown algorithm");
 }
 
+bool simcheck_env_enabled() {
+  const char* v = std::getenv("TOPK_SIMCHECK");
+  return v != nullptr && *v != '\0' && std::string_view(v) != "0";
+}
+
+void throw_if_new_issues(const simgpu::Sanitizer& san,
+                         std::size_t issues_before, Algo algo) {
+  if (san.issue_count() <= issues_before) return;
+  const simgpu::SanitizerReport rep = san.snapshot();
+  std::ostringstream err;
+  err << "simcheck: " << algo_name(algo) << " raised "
+      << san.issue_count() - issues_before << " issue(s):\n";
+  for (std::size_t i = issues_before; i < rep.issues.size(); ++i) {
+    err << "  " << rep.issues[i].to_string() << "\n";
+  }
+  if (rep.dropped > 0) {
+    err << "  (+" << rep.dropped << " dropped past the report cap)\n";
+  }
+  throw std::runtime_error(err.str());
+}
+
 namespace {
 
 bool native_greatest(Algo algo) {
@@ -186,18 +209,31 @@ std::vector<SelectResult> run_on_device(simgpu::Device& dev,
                                         std::size_t batch, std::size_t n,
                                         std::size_t k, Algo algo,
                                         const SelectOptions& opt) {
+  // Enable checking before the input/output allocations so they are known
+  // to the shadow (attribution + uninitialized-read tracking end to end).
+  if (simcheck_env_enabled() && dev.sanitizer() == nullptr) {
+    dev.enable_sanitizer();
+  }
+  simgpu::Sanitizer* const san = dev.sanitizer();
+  const std::size_t issues_before = san != nullptr ? san->issue_count() : 0;
+
   simgpu::ScopedWorkspace ws(dev);
-  auto in = dev.alloc<float>(batch * n);
-  std::copy(data.begin(), data.end(), in.data());
+  auto in = dev.alloc<float>(batch * n, "select input");
+  dev.upload(in, data.first(batch * n));
   const bool negate = opt.greatest && !native_greatest(algo);
   if (negate) {
     // WLOG the paper selects the smallest K; for algorithms without a
     // native largest-K order, negate on the way in and out.
     for (std::size_t i = 0; i < batch * n; ++i) in.data()[i] = -in.data()[i];
   }
-  auto out_vals = dev.alloc<float>(batch * k);
-  auto out_idx = dev.alloc<std::uint32_t>(batch * k);
+  auto out_vals = dev.alloc<float>(batch * k, "select output vals");
+  auto out_idx = dev.alloc<std::uint32_t>(batch * k, "select output idx");
   select_device(dev, in, batch, n, k, out_vals, out_idx, algo, opt);
+  if (san != nullptr) {
+    // Only issues raised by THIS selection abort it; a long-lived Device
+    // whose report already holds findings from earlier runs keeps working.
+    throw_if_new_issues(*san, issues_before, algo);
+  }
   std::vector<SelectResult> results(batch);
   for (std::size_t b = 0; b < batch; ++b) {
     SelectResult& r = results[b];

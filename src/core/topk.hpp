@@ -97,6 +97,19 @@ void select_device(simgpu::Device& dev, simgpu::DeviceBuffer<float> in,
                    simgpu::DeviceBuffer<std::uint32_t> out_idx, Algo algo,
                    const SelectOptions& opt = {});
 
+/// True when the TOPK_SIMCHECK environment variable requests the simcheck
+/// sanitizer (set and neither empty nor "0"); read per call so tests can
+/// toggle it.  When it is set, select()/select_batch() attach a sanitizer to
+/// the Device (if none is attached yet) and abort with std::runtime_error on
+/// any issue the selection raises.
+[[nodiscard]] bool simcheck_env_enabled();
+
+/// Throw std::runtime_error formatting every sanitizer issue recorded after
+/// `issues_before` (the simcheck abort used by select/select_batch, exposed
+/// so the abort path is directly testable).
+void throw_if_new_issues(const simgpu::Sanitizer& san,
+                         std::size_t issues_before, Algo algo);
+
 /// Reference result via std::nth_element (for verification).
 SelectResult reference_select(std::span<const float> data, std::size_t k);
 

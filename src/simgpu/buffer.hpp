@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <span>
+#include <stdexcept>
 
 namespace simgpu {
 
@@ -28,9 +29,14 @@ class DeviceBuffer {
   /// Host-side view of the underlying storage (no traffic accounting).
   [[nodiscard]] std::span<T> host_span() const { return {data_, size_}; }
 
-  /// Sub-range view, like pointer arithmetic on a device pointer.
+  /// Sub-range view, like pointer arithmetic on a device pointer.  Unlike
+  /// raw pointer arithmetic, a view past the end of this buffer is refused
+  /// rather than silently minted.
   [[nodiscard]] DeviceBuffer<T> subspan(std::size_t offset,
                                         std::size_t count) const {
+    if (offset > size_ || count > size_ - offset) {
+      throw std::out_of_range("DeviceBuffer::subspan: range exceeds buffer");
+    }
     return DeviceBuffer<T>(data_ + offset, count);
   }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -8,12 +9,14 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "simgpu/buffer.hpp"
 #include "simgpu/device_spec.hpp"
 #include "simgpu/event.hpp"
+#include "simgpu/sanitizer.hpp"
 #include "simgpu/thread_pool.hpp"
 
 namespace simgpu {
@@ -42,32 +45,68 @@ class Device {
 
   /// ---- Memory ----------------------------------------------------------
 
-  /// Allocate `n` elements of uninitialized device memory.
+  /// Allocate `n` elements of uninitialized device memory.  `name` labels
+  /// the buffer in sanitizer reports (unused when checking is off).
   template <typename T>
-  DeviceBuffer<T> alloc(std::size_t n) {
+  DeviceBuffer<T> alloc(std::size_t n, std::string_view name = {}) {
     static_assert(std::is_trivially_copyable_v<T>,
                   "device memory holds trivially copyable types only");
     void* p = raw_alloc(n * sizeof(T), alignof(T));
+    ++alloc_seq_;
+    if (sanitizer_) {
+      sanitizer_->on_alloc(p, n, sizeof(T), std::string(name), alloc_seq_);
+    }
     return DeviceBuffer<T>(static_cast<T*>(p), n);
   }
 
   /// Allocate and zero-fill (cudaMemset analogue; not charged as traffic —
   /// setup cost is outside all measured regions in the paper as well).
   template <typename T>
-  DeviceBuffer<T> alloc_zero(std::size_t n) {
-    DeviceBuffer<T> b = alloc<T>(n);
+  DeviceBuffer<T> alloc_zero(std::size_t n, std::string_view name = {}) {
+    DeviceBuffer<T> b = alloc<T>(n, name);
     std::memset(static_cast<void*>(b.data()), 0, b.size_bytes());
+    if (sanitizer_) sanitizer_->mark_initialized(b.data(), b.size_bytes());
     return b;
   }
 
   /// Copy host data into a fresh device buffer, recording a H2D transfer.
   template <typename T>
   DeviceBuffer<T> to_device(std::span<const T> host, std::string label = {}) {
-    DeviceBuffer<T> b = alloc<T>(host.size());
+    DeviceBuffer<T> b = alloc<T>(host.size(), label);
     std::memcpy(b.data(), host.data(), host.size_bytes());
+    if (sanitizer_) sanitizer_->mark_initialized(b.data(), host.size_bytes());
     events_.push_back(MemcpyEvent{MemcpyEvent::Dir::kHostToDevice,
                                   host.size_bytes(), std::move(label)});
     return b;
+  }
+
+  /// Copy host data into an existing device buffer WITHOUT recording a
+  /// transfer — for staging inputs before a timed region (the paper's
+  /// measurements start with the data already resident on the device).
+  template <typename T>
+  void upload(DeviceBuffer<T> dst, std::span<const T> src) {
+    if (src.size() > dst.size()) {
+      throw std::out_of_range("upload: source larger than destination");
+    }
+    std::memcpy(dst.data(), src.data(), src.size_bytes());
+    if (sanitizer_) sanitizer_->mark_initialized(dst.data(), src.size_bytes());
+  }
+
+  /// Host-side element fill of a device buffer (cudaMemset-style setup,
+  /// outside the recorded stream; use a kernel for accounted clears inside
+  /// timed regions).
+  template <typename T>
+  void fill(DeviceBuffer<T> b, const T& value) {
+    std::fill(b.data(), b.data() + b.size(), value);
+    if (sanitizer_) sanitizer_->mark_initialized(b.data(), b.size_bytes());
+  }
+
+  /// Host-side byte memset of a device buffer (cudaMemset analogue, outside
+  /// the recorded stream).
+  template <typename T>
+  void memset_device(DeviceBuffer<T> b, int byte_value = 0) {
+    std::memset(static_cast<void*>(b.data()), byte_value, b.size_bytes());
+    if (sanitizer_) sanitizer_->mark_initialized(b.data(), b.size_bytes());
   }
 
   /// Copy a device buffer back to the host, recording a D2H transfer.
@@ -75,6 +114,9 @@ class Device {
   template <typename T>
   std::vector<T> to_host(DeviceBuffer<T> buf, std::string label = {}) {
     std::vector<T> out(buf.size());
+    if (sanitizer_) {
+      sanitizer_->check_host_read(buf.data(), buf.size_bytes(), label);
+    }
     std::memcpy(out.data(), buf.data(), buf.size_bytes());
     events_.push_back(MemcpyEvent{MemcpyEvent::Dir::kDeviceToHost,
                                   buf.size_bytes(), std::move(label)});
@@ -88,21 +130,39 @@ class Device {
     if (out.size() > buf.size()) {
       throw std::out_of_range("copy_to_host: destination larger than buffer");
     }
+    if (sanitizer_) {
+      sanitizer_->check_host_read(buf.data(), out.size_bytes(), label);
+    }
     std::memcpy(out.data(), buf.data(), out.size_bytes());
     events_.push_back(MemcpyEvent{MemcpyEvent::Dir::kDeviceToHost,
                                   out.size_bytes(), std::move(label)});
   }
+
+  /// ---- Sanitizer (simcheck) --------------------------------------------
+
+  /// Attach a fresh sanitizer; all subsequent allocations and kernel
+  /// launches are checked.  Storage allocated before this call is unknown to
+  /// the shadow and silently skipped.  Default: no sanitizer, zero cost.
+  void enable_sanitizer(SanitizerConfig cfg = {}) {
+    sanitizer_ = std::make_unique<Sanitizer>(cfg);
+  }
+
+  void disable_sanitizer() { sanitizer_.reset(); }
+
+  /// The attached sanitizer, or nullptr when checking is off.
+  [[nodiscard]] Sanitizer* sanitizer() const { return sanitizer_.get(); }
 
   /// Allocation mark for stack-style scratch release.
   struct MemoryMark {
     std::size_t chunk_index = 0;
     std::size_t chunk_offset = 0;
     std::size_t live_bytes = 0;
+    std::uint64_t alloc_seq = 0;
   };
 
   [[nodiscard]] MemoryMark mark() const {
     return {chunks_.size() == 0 ? 0 : active_chunk_, active_offset_,
-            live_bytes_};
+            live_bytes_, alloc_seq_};
   }
 
   /// Roll allocation state back to `m`.  Buffers allocated after the mark
@@ -111,6 +171,7 @@ class Device {
     active_chunk_ = m.chunk_index;
     active_offset_ = m.chunk_offset;
     live_bytes_ = m.live_bytes;
+    if (sanitizer_) sanitizer_->on_release(m.alloc_seq);
   }
 
   [[nodiscard]] std::size_t live_bytes() const { return live_bytes_; }
@@ -185,7 +246,9 @@ class Device {
   std::size_t active_offset_ = 0;
   std::size_t live_bytes_ = 0;
   std::size_t peak_bytes_ = 0;
+  std::uint64_t alloc_seq_ = 0;
   EventLog events_;
+  std::unique_ptr<Sanitizer> sanitizer_;
 };
 
 /// RAII guard releasing all device allocations made during its lifetime.

@@ -6,6 +6,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <memory>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <type_traits>
@@ -13,6 +15,7 @@
 
 #include "simgpu/buffer.hpp"
 #include "simgpu/device.hpp"
+#include "simgpu/sanitizer.hpp"
 
 namespace simgpu {
 
@@ -25,7 +28,10 @@ inline constexpr int kWarpSize = 32;
 /// as `__ballot_sync` / `__popc` / shuffle-based reductions.
 class Warp {
  public:
-  explicit Warp(int index) : index_(index) {}
+  /// `active_lane`, when provided, is updated with the lane currently
+  /// executing inside each() — the sanitizer uses it for attribution.
+  explicit Warp(int index, int* active_lane = nullptr)
+      : index_(index), active_lane_(active_lane) {}
 
   [[nodiscard]] int index() const { return index_; }
 
@@ -33,7 +39,11 @@ class Warp {
   /// SIMT instruction region.
   template <typename F>
   void each(F&& f) const {
-    for (int lane = 0; lane < kWarpSize; ++lane) f(lane);
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+      if (active_lane_ != nullptr) *active_lane_ = lane;
+      f(lane);
+    }
+    if (active_lane_ != nullptr) *active_lane_ = -1;
   }
 
   /// __ballot_sync analogue: bit `lane` is set iff `pred(lane)` is true.
@@ -58,6 +68,7 @@ class Warp {
 
  private:
   int index_;
+  int* active_lane_ = nullptr;
 };
 
 /// Resource counters accumulated by one thread block while it runs; flushed
@@ -78,6 +89,82 @@ class SharedMemoryOverflow : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+class BlockCtx;
+
+namespace detail {
+/// Suppressed-access sink for out-of-bounds shared references.
+template <typename T>
+T* shared_sink() {
+  static thread_local T sink{};
+  return &sink;
+}
+}  // namespace detail
+
+/// Reference into block shared memory, returned by SharedSpan::operator[].
+/// Reads and writes route through the owning BlockCtx so the sanitizer can
+/// shadow them; with checking off every operation degenerates to one null
+/// test around the raw access.
+template <typename T>
+class SharedRef {
+ public:
+  SharedRef(BlockCtx* ctx, T* p) : ctx_(ctx), p_(p) {}
+
+  operator T() const;                           // NOLINT: deliberate implicit
+  SharedRef& operator=(T v);                    // NOLINT
+  SharedRef& operator=(const SharedRef& other); // NOLINT: deep assign
+  SharedRef(const SharedRef&) = default;
+
+  T operator++();     ///< pre-increment, returns the new value
+  T operator++(int);  ///< post-increment, returns the old value
+  SharedRef& operator+=(T v);
+  SharedRef& operator-=(T v);
+
+ private:
+  BlockCtx* ctx_;
+  T* p_;
+};
+
+/// View of a block shared-memory allocation (what BlockCtx::shared returns).
+/// Mirrors the std::span surface the kernels use, but indexes through
+/// SharedRef so the sanitizer observes every element access, and refuses
+/// out-of-range indices/subspans when checking is on.  Implicitly converts
+/// to std::span<const T> for read-only helpers; there is deliberately no
+/// implicit mutable-span conversion — raw writes would bypass the shadow
+/// valid bits and poison uninitialized-read tracking.
+template <typename T>
+class SharedSpan {
+ public:
+  using element_type = T;
+  using value_type = std::remove_cv_t<T>;
+
+  SharedSpan() = default;
+  SharedSpan(BlockCtx* ctx, T* data, std::size_t size,
+             std::size_t arena_offset)
+      : ctx_(ctx), data_(data), size_(size), off_(arena_offset) {}
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  SharedRef<T> operator[](std::size_t i) const;
+
+  [[nodiscard]] SharedSpan subspan(std::size_t offset,
+                                   std::size_t count) const {
+    if (offset > size_ || count > size_ - offset) {
+      throw std::out_of_range("SharedSpan::subspan: range exceeds span");
+    }
+    return SharedSpan(ctx_, data_ + offset, count, off_ + offset * sizeof(T));
+  }
+
+  /// Read-only raw view (element reads through it are not shadowed).
+  operator std::span<const T>() const { return {data_, size_}; }  // NOLINT
+
+ private:
+  BlockCtx* ctx_ = nullptr;
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t off_ = 0;  ///< byte offset within the block's shared arena
+};
+
 /// Execution context of one thread block.
 ///
 /// One OS thread runs the whole block, iterating its warps with
@@ -88,15 +175,32 @@ class SharedMemoryOverflow : public std::runtime_error {
 /// Different blocks of a grid run concurrently on the host thread pool, so
 /// all grid-level cooperation (atomic result appends, last-block election)
 /// is genuinely concurrent.
+///
+/// When the owning Device has a Sanitizer attached, every load/store/atomic
+/// and every SharedRef access is shadow-checked (see sanitizer.hpp).  All
+/// hooks are guarded by one null test, and the resource counters are bumped
+/// identically with checking on or off, so modeled time and traffic are
+/// bit-identical either way.
 class BlockCtx {
  public:
   BlockCtx(int block_idx, int grid_dim, int block_threads,
-           std::byte* shared_arena, std::size_t shared_capacity)
+           std::byte* shared_arena, std::size_t shared_capacity,
+           Sanitizer* sanitizer = nullptr,
+           const std::string* kernel_name = nullptr,
+           std::uint32_t launch_id = 0)
       : block_idx_(block_idx),
         grid_dim_(grid_dim),
         block_threads_(block_threads),
         shared_arena_(shared_arena),
-        shared_capacity_(shared_capacity) {}
+        shared_capacity_(shared_capacity),
+        san_(sanitizer),
+        kernel_name_(kernel_name),
+        launch_id_(launch_id) {
+    if (san_ != nullptr) {
+      sshadow_ = std::make_unique<SharedShadow>();
+      sshadow_->cells.resize(shared_capacity_);
+    }
+  }
 
   [[nodiscard]] int block_idx() const { return block_idx_; }
   [[nodiscard]] int grid_dim() const { return grid_dim_; }
@@ -106,20 +210,43 @@ class BlockCtx {
   template <typename F>
   void for_each_warp(F&& f) {
     for (int w = 0; w < num_warps(); ++w) {
-      Warp warp(w);
+      active_warp_ = w;
+      Warp warp(w, san_ != nullptr ? &active_lane_ : nullptr);
       f(warp);
     }
+    active_warp_ = -1;
+    active_lane_ = -1;
   }
 
   /// __syncthreads analogue; a semantic no-op by phase construction, counted
-  /// for the cost model.
-  void sync() { ++counters_.block_syncs; }
+  /// for the cost model.  With the sanitizer on it also advances the shared
+  /// -memory race epoch, and flags barriers issued from inside a warp region
+  /// (on hardware those would not be reached uniformly by the block).
+  void sync() {
+    ++counters_.block_syncs;
+    if (san_ != nullptr) {
+      if (active_warp_ >= 0 && san_->config().check_sync) {
+        SanitizerIssue issue;
+        issue.kind = IssueKind::kSyncDivergence;
+        issue.kernel = kernel_name_ != nullptr ? *kernel_name_ : "";
+        issue.block = block_idx_;
+        issue.warp = active_warp_;
+        issue.lane = active_lane_;
+        issue.detail =
+            "sync() issued inside a for_each_warp region — the barrier is "
+            "not reached uniformly by all warps of the block";
+        san_->report(std::move(issue));
+      }
+      ++sync_epoch_;
+    }
+  }
 
   /// ---- Shared memory ----------------------------------------------------
 
-  /// Allocate `n` elements of block shared memory (uninitialized).
+  /// Allocate `n` elements of block shared memory (uninitialized).  `name`
+  /// labels the allocation in sanitizer reports.
   template <typename T>
-  std::span<T> shared(std::size_t n) {
+  SharedSpan<T> shared(std::size_t n, const char* name = nullptr) {
     static_assert(std::is_trivially_copyable_v<T>);
     const std::size_t align = alignof(T);
     std::size_t offset = (shared_offset_ + align - 1) / align * align;
@@ -129,14 +256,26 @@ class BlockCtx {
     }
     T* p = reinterpret_cast<T*>(shared_arena_ + offset);
     shared_offset_ = offset + n * sizeof(T);
-    return {p, n};
+    if (san_ != nullptr) {
+      sshadow_->allocs.push_back(
+          {offset, n * sizeof(T), name != nullptr ? name : "<shared>"});
+    }
+    return SharedSpan<T>(this, p, n, offset);
   }
 
   /// Allocate zero-initialized shared memory.
   template <typename T>
-  std::span<T> shared_zero(std::size_t n) {
-    auto s = shared<T>(n);
-    std::memset(static_cast<void*>(s.data()), 0, n * sizeof(T));
+  SharedSpan<T> shared_zero(std::size_t n, const char* name = nullptr) {
+    auto s = shared<T>(n, name);
+    std::memset(static_cast<void*>(shared_arena_ + shared_offset_ -
+                                   n * sizeof(T)),
+                0, n * sizeof(T));
+    if (san_ != nullptr) {
+      const std::size_t begin = shared_offset_ - n * sizeof(T);
+      for (std::size_t b = begin; b < shared_offset_; ++b) {
+        sshadow_->cells[b].valid = true;
+      }
+    }
     return s;
   }
 
@@ -145,12 +284,23 @@ class BlockCtx {
   template <typename T>
   T load(const DeviceBuffer<T>& b, std::size_t i) {
     counters_.bytes_read += sizeof(T);
+    if (san_ != nullptr &&
+        !device_access_ok(b.data(), sizeof(T), i, b.size(), true, false,
+                          false)) {
+      return T{};
+    }
     return b.data()[i];
   }
 
   template <typename T>
-  void store(const DeviceBuffer<T>& b, std::size_t i, T v) {
+  void store(const DeviceBuffer<T>& b, std::size_t i,
+             std::type_identity_t<T> v) {
     counters_.bytes_written += sizeof(T);
+    if (san_ != nullptr &&
+        !device_access_ok(b.data(), sizeof(T), i, b.size(), false, true,
+                          false)) {
+      return;
+    }
     b.data()[i] = v;
   }
 
@@ -158,8 +308,14 @@ class BlockCtx {
   /// Atomics are L2-resident on modern GPUs, so they are charged to the
   /// atomic counter rather than DRAM traffic.
   template <typename T>
-  T atomic_add(const DeviceBuffer<T>& b, std::size_t i, T v) {
+  T atomic_add(const DeviceBuffer<T>& b, std::size_t i,
+               std::type_identity_t<T> v) {
     ++counters_.atomic_ops;
+    if (san_ != nullptr &&
+        !device_access_ok(b.data(), sizeof(T), i, b.size(), true, true,
+                          true)) {
+      return T{};
+    }
     std::atomic_ref<T> ref(b.data()[i]);
     return ref.fetch_add(v, std::memory_order_seq_cst);
   }
@@ -168,15 +324,27 @@ class BlockCtx {
   /// flushing a per-block shared-memory histogram into global bins.  Same
   /// semantics as atomic_add, charged at the scattered-atomic rate.
   template <typename T>
-  T atomic_add_scattered(const DeviceBuffer<T>& b, std::size_t i, T v) {
+  T atomic_add_scattered(const DeviceBuffer<T>& b, std::size_t i,
+                         std::type_identity_t<T> v) {
     ++counters_.scattered_atomic_ops;
+    if (san_ != nullptr &&
+        !device_access_ok(b.data(), sizeof(T), i, b.size(), true, true,
+                          true)) {
+      return T{};
+    }
     std::atomic_ref<T> ref(b.data()[i]);
     return ref.fetch_add(v, std::memory_order_seq_cst);
   }
 
   template <typename T>
-  T atomic_min(const DeviceBuffer<T>& b, std::size_t i, T v) {
+  T atomic_min(const DeviceBuffer<T>& b, std::size_t i,
+               std::type_identity_t<T> v) {
     ++counters_.atomic_ops;
+    if (san_ != nullptr &&
+        !device_access_ok(b.data(), sizeof(T), i, b.size(), true, true,
+                          true)) {
+      return T{};
+    }
     std::atomic_ref<T> ref(b.data()[i]);
     T cur = ref.load(std::memory_order_seq_cst);
     while (v < cur &&
@@ -186,8 +354,14 @@ class BlockCtx {
   }
 
   template <typename T>
-  T atomic_max(const DeviceBuffer<T>& b, std::size_t i, T v) {
+  T atomic_max(const DeviceBuffer<T>& b, std::size_t i,
+               std::type_identity_t<T> v) {
     ++counters_.atomic_ops;
+    if (san_ != nullptr &&
+        !device_access_ok(b.data(), sizeof(T), i, b.size(), true, true,
+                          true)) {
+      return T{};
+    }
     std::atomic_ref<T> ref(b.data()[i]);
     T cur = ref.load(std::memory_order_seq_cst);
     while (cur < v &&
@@ -200,13 +374,24 @@ class BlockCtx {
   template <typename T>
   T atomic_load(const DeviceBuffer<T>& b, std::size_t i) {
     ++counters_.atomic_ops;
+    if (san_ != nullptr &&
+        !device_access_ok(b.data(), sizeof(T), i, b.size(), true, false,
+                          true)) {
+      return T{};
+    }
     std::atomic_ref<T> ref(b.data()[i]);
     return ref.load(std::memory_order_seq_cst);
   }
 
   template <typename T>
-  void atomic_store(const DeviceBuffer<T>& b, std::size_t i, T v) {
+  void atomic_store(const DeviceBuffer<T>& b, std::size_t i,
+                    std::type_identity_t<T> v) {
     ++counters_.atomic_ops;
+    if (san_ != nullptr &&
+        !device_access_ok(b.data(), sizeof(T), i, b.size(), false, true,
+                          true)) {
+      return;
+    }
     std::atomic_ref<T> ref(b.data()[i]);
     ref.store(v, std::memory_order_seq_cst);
   }
@@ -221,6 +406,52 @@ class BlockCtx {
   [[nodiscard]] BlockCounters& counters() { return counters_; }
 
  private:
+  template <typename>
+  friend class SharedRef;
+  template <typename>
+  friend class SharedSpan;
+
+  [[nodiscard]] bool sanitizing() const { return san_ != nullptr; }
+
+  [[nodiscard]] AccessSite site() const {
+    return {kernel_name_, launch_id_, block_idx_, active_warp_, active_lane_};
+  }
+
+  bool device_access_ok(const void* base, std::size_t elem_size,
+                        std::size_t index, std::size_t extent, bool is_read,
+                        bool is_write, bool is_atomic) {
+    return san_->check_device_access(base, elem_size, index, extent, is_read,
+                                     is_write, is_atomic, site(), &hb_clock_);
+  }
+
+  /// SharedRef access hook: `p` points into this block's shared arena.
+  void note_shared(const void* p, std::size_t bytes, std::size_t elem_size,
+                   bool is_read, bool is_write) {
+    if (san_ == nullptr) return;
+    const auto off = static_cast<std::size_t>(
+        reinterpret_cast<const std::byte*>(p) - shared_arena_);
+    san_->note_shared_access(*sshadow_, off, bytes, elem_size, is_read,
+                             is_write, sync_epoch_, site());
+  }
+
+  void report_shared_oob(std::size_t arena_off, std::size_t index,
+                         std::size_t extent) {
+    SanitizerIssue issue;
+    issue.kind = IssueKind::kOutOfBounds;
+    issue.kernel = kernel_name_ != nullptr ? *kernel_name_ : "";
+    issue.block = block_idx_;
+    issue.warp = active_warp_;
+    issue.lane = active_lane_;
+    issue.index = index;
+    if (const SharedShadow::Alloc* a = sshadow_->find(arena_off)) {
+      issue.buffer = a->name;
+    }
+    issue.detail = "shared-memory access at element " + std::to_string(index) +
+                   " past span extent " + std::to_string(extent) +
+                   " (suppressed; redirected to a sink)";
+    san_->report(std::move(issue));
+  }
+
   int block_idx_;
   int grid_dim_;
   int block_threads_;
@@ -228,7 +459,73 @@ class BlockCtx {
   std::size_t shared_capacity_;
   std::size_t shared_offset_ = 0;
   BlockCounters counters_;
+  Sanitizer* san_ = nullptr;
+  const std::string* kernel_name_ = nullptr;
+  std::uint32_t launch_id_ = 0;
+  std::uint32_t hb_clock_ = 0;
+  std::uint32_t sync_epoch_ = 0;
+  int active_warp_ = -1;
+  int active_lane_ = -1;
+  std::unique_ptr<SharedShadow> sshadow_;
 };
+
+/// ---- SharedRef / SharedSpan out-of-line definitions ----------------------
+
+template <typename T>
+SharedRef<T>::operator T() const {
+  ctx_->note_shared(p_, sizeof(T), sizeof(T), true, false);
+  return *p_;
+}
+
+template <typename T>
+SharedRef<T>& SharedRef<T>::operator=(T v) {
+  ctx_->note_shared(p_, sizeof(T), sizeof(T), false, true);
+  *p_ = v;
+  return *this;
+}
+
+template <typename T>
+SharedRef<T>& SharedRef<T>::operator=(const SharedRef& other) {
+  const T v = static_cast<T>(other);
+  return (*this = v);
+}
+
+template <typename T>
+T SharedRef<T>::operator++() {
+  ctx_->note_shared(p_, sizeof(T), sizeof(T), true, true);
+  return ++*p_;
+}
+
+template <typename T>
+T SharedRef<T>::operator++(int) {
+  ctx_->note_shared(p_, sizeof(T), sizeof(T), true, true);
+  const T old = *p_;
+  ++*p_;
+  return old;
+}
+
+template <typename T>
+SharedRef<T>& SharedRef<T>::operator+=(T v) {
+  ctx_->note_shared(p_, sizeof(T), sizeof(T), true, true);
+  *p_ += v;
+  return *this;
+}
+
+template <typename T>
+SharedRef<T>& SharedRef<T>::operator-=(T v) {
+  ctx_->note_shared(p_, sizeof(T), sizeof(T), true, true);
+  *p_ -= v;
+  return *this;
+}
+
+template <typename T>
+SharedRef<T> SharedSpan<T>::operator[](std::size_t i) const {
+  if (ctx_ != nullptr && ctx_->sanitizing() && i >= size_) {
+    ctx_->report_shared_oob(off_, i, size_);
+    return SharedRef<T>(ctx_, detail::shared_sink<T>());
+  }
+  return SharedRef<T>(ctx_, data_ + i);
+}
 
 /// Launch shape of a kernel.
 struct LaunchConfig {
@@ -260,13 +557,15 @@ KernelStats launch(Device& dev, const LaunchConfig& cfg, Body&& body) {
     }
   };
   const std::size_t shared_cap = dev.spec().shared_mem_per_block;
+  Sanitizer* const san = dev.sanitizer();
+  const std::uint32_t launch_id = san != nullptr ? san->begin_launch() : 0;
 
   dev.pool().run_blocks(
       static_cast<std::size_t>(cfg.grid), [&](std::size_t b) {
         thread_local std::vector<std::byte> arena;
         if (arena.size() < shared_cap) arena.resize(shared_cap);
         BlockCtx ctx(static_cast<int>(b), cfg.grid, cfg.block_threads,
-                     arena.data(), shared_cap);
+                     arena.data(), shared_cap, san, &cfg.name, launch_id);
         body(ctx);
         const BlockCounters& c = ctx.counters();
         bytes_read.fetch_add(c.bytes_read, std::memory_order_relaxed);

@@ -1,0 +1,388 @@
+#include "simgpu/sanitizer.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace simgpu {
+
+const char* issue_kind_name(IssueKind kind) {
+  switch (kind) {
+    case IssueKind::kOutOfBounds: return "out-of-bounds access";
+    case IssueKind::kDeviceRace: return "device-memory race";
+    case IssueKind::kSharedRace: return "shared-memory race";
+    case IssueKind::kUninitDeviceRead: return "uninitialized device read";
+    case IssueKind::kUninitSharedRead: return "uninitialized shared read";
+    case IssueKind::kSyncDivergence: return "sync divergence";
+  }
+  return "unknown";
+}
+
+std::string SanitizerIssue::to_string() const {
+  std::ostringstream os;
+  os << "[simcheck] " << issue_kind_name(kind) << ": kernel '"
+     << (kernel.empty() ? "<host>" : kernel) << "'";
+  if (block >= 0) os << " block " << block;
+  if (warp >= 0) os << " warp " << warp;
+  if (lane >= 0) os << " lane " << lane;
+  os << ": " << detail;
+  if (!buffer.empty()) {
+    os << " (buffer '" << buffer << "', element " << index << ")";
+  }
+  return os.str();
+}
+
+std::string SanitizerReport::to_string() const {
+  if (clean()) return "[simcheck] clean: no issues detected";
+  std::ostringstream os;
+  os << "[simcheck] " << issues.size() + dropped << " issue(s) detected";
+  if (dropped > 0) os << " (" << dropped << " beyond the report cap)";
+  os << ":\n";
+  for (const SanitizerIssue& issue : issues) os << "  " << issue.to_string()
+                                                << "\n";
+  return os.str();
+}
+
+const SharedShadow::Alloc* SharedShadow::find(std::size_t offset) const {
+  for (const Alloc& a : allocs) {
+    if (offset >= a.offset && offset < a.offset + a.bytes) return &a;
+  }
+  return nullptr;
+}
+
+void Sanitizer::on_alloc(const void* base, std::size_t elems,
+                         std::size_t elem_size, std::string name,
+                         std::uint64_t seq) {
+  std::scoped_lock lk(mu_);
+  const auto addr = reinterpret_cast<std::uintptr_t>(base);
+  const std::size_t bytes = elems * elem_size;
+  // Evict any region the new storage overlaps (arena reuse after a
+  // release_to the sanitizer did not observe, e.g. it was enabled later).
+  for (auto it = regions_.begin(); it != regions_.end();) {
+    const bool overlaps =
+        it->second.base < addr + bytes && addr < it->second.base +
+                                                     it->second.bytes;
+    it = overlaps ? regions_.erase(it) : std::next(it);
+  }
+  Region r;
+  r.base = addr;
+  r.bytes = bytes;
+  r.elem_size = elem_size == 0 ? 1 : elem_size;
+  r.name = name.empty() ? "<unnamed>" : std::move(name);
+  r.seq = seq;
+  r.cells.resize(elems);
+  regions_.emplace(addr, std::move(r));
+}
+
+void Sanitizer::on_release(std::uint64_t seq_watermark) {
+  std::scoped_lock lk(mu_);
+  for (auto it = regions_.begin(); it != regions_.end();) {
+    it = it->second.seq > seq_watermark ? regions_.erase(it) : std::next(it);
+  }
+}
+
+void Sanitizer::mark_initialized(const void* base, std::size_t bytes) {
+  std::scoped_lock lk(mu_);
+  const auto addr = reinterpret_cast<std::uintptr_t>(base);
+  for (auto& [rbase, region] : regions_) {
+    const std::uintptr_t lo = std::max(addr, region.base);
+    const std::uintptr_t hi =
+        std::min(addr + bytes, region.base + region.bytes);
+    if (lo >= hi) continue;
+    const std::size_t first = (lo - region.base) / region.elem_size;
+    const std::size_t last = (hi - region.base + region.elem_size - 1) /
+                             region.elem_size;
+    for (std::size_t i = first; i < last && i < region.cells.size(); ++i) {
+      region.cells[i].valid = true;
+    }
+  }
+}
+
+void Sanitizer::check_host_read(const void* base, std::size_t bytes,
+                                const std::string& label) {
+  std::scoped_lock lk(mu_);
+  if (!cfg_.check_uninit) return;
+  const auto addr = reinterpret_cast<std::uintptr_t>(base);
+  for (auto& [rbase, region] : regions_) {
+    const std::uintptr_t lo = std::max(addr, region.base);
+    const std::uintptr_t hi =
+        std::min(addr + bytes, region.base + region.bytes);
+    if (lo >= hi) continue;
+    const std::size_t first = (lo - region.base) / region.elem_size;
+    const std::size_t last = std::min(
+        (hi - region.base + region.elem_size - 1) / region.elem_size,
+        region.cells.size());
+    std::size_t bad = 0;
+    std::size_t first_bad = 0;
+    for (std::size_t i = first; i < last; ++i) {
+      if (!region.cells[i].valid) {
+        if (bad == 0) first_bad = i;
+        ++bad;
+        region.cells[i].valid = true;  // squelch repeats of the same copy
+      }
+    }
+    if (bad > 0) {
+      SanitizerIssue issue;
+      issue.kind = IssueKind::kUninitDeviceRead;
+      issue.kernel = "<host>";
+      issue.buffer = region.name;
+      issue.index = first_bad;
+      std::ostringstream os;
+      os << "device-to-host copy '" << (label.empty() ? "<unlabeled>" : label)
+         << "' reads " << bad << " uninitialized element(s)";
+      issue.detail = os.str();
+      report_locked(std::move(issue));
+    }
+  }
+}
+
+std::uint32_t Sanitizer::begin_launch() {
+  std::scoped_lock lk(mu_);
+  return ++launch_counter_;
+}
+
+Sanitizer::Region* Sanitizer::find_region(std::uintptr_t addr,
+                                          std::size_t size) {
+  auto it = regions_.upper_bound(addr);
+  if (it == regions_.begin()) return nullptr;
+  --it;
+  Region& r = it->second;
+  if (addr >= r.base && addr + size <= r.base + r.bytes) return &r;
+  return nullptr;
+}
+
+bool Sanitizer::check_device_access(const void* base, std::size_t elem_size,
+                                    std::size_t index, std::size_t extent,
+                                    bool is_read, bool is_write,
+                                    bool is_atomic, const AccessSite& site,
+                                    std::uint32_t* hb_clock) {
+  std::scoped_lock lk(mu_);
+  const auto kernel_name = [&] {
+    return site.kernel != nullptr ? *site.kernel : std::string{};
+  };
+  if (index >= extent) {
+    if (cfg_.check_bounds) {
+      SanitizerIssue issue;
+      issue.kind = IssueKind::kOutOfBounds;
+      issue.kernel = kernel_name();
+      issue.block = site.block;
+      issue.warp = site.warp;
+      issue.lane = site.lane;
+      issue.index = index;
+      const auto addr = reinterpret_cast<std::uintptr_t>(base);
+      if (Region* region = find_region(addr, 1)) issue.buffer = region->name;
+      std::ostringstream os;
+      os << (is_atomic ? "atomic" : is_write ? "store" : "load")
+         << " at element " << index << " past buffer extent " << extent;
+      issue.detail = os.str();
+      report_locked(std::move(issue));
+    }
+    return false;  // suppress the physical access
+  }
+
+  const auto addr =
+      reinterpret_cast<std::uintptr_t>(base) + index * elem_size;
+  Region* region = find_region(addr, elem_size);
+  if (region == nullptr) return true;  // unregistered storage: skip shadow
+  const std::size_t cell_index = (addr - region->base) / region->elem_size;
+  if (region->elem_size != elem_size ||
+      (addr - region->base) % region->elem_size != 0 ||
+      cell_index >= region->cells.size()) {
+    return true;  // type-punned view; element shadow not meaningful
+  }
+  DevCell& c = region->cells[cell_index];
+
+  if (c.launch != site.launch_id) {
+    c.launch = site.launch_id;
+    c.sync_clock = 0;
+    c.writer = Slot{};
+    c.reader1 = Slot{};
+    c.reader2 = Slot{};
+  }
+
+  // Atomics are the release/acquire channel: join the block clock with the
+  // cell clock so chains of atomics order the accesses they guard.
+  std::uint32_t clk = *hb_clock;
+  if (is_atomic) {
+    clk = std::max(clk, c.sync_clock) + 1;
+    c.sync_clock = clk;
+    *hb_clock = clk;
+  }
+
+  const auto report_race = [&](const Slot& other, bool other_is_writer) {
+    SanitizerIssue issue;
+    issue.kind = IssueKind::kDeviceRace;
+    issue.kernel = kernel_name();
+    issue.buffer = region->name;
+    issue.index = cell_index;
+    issue.block = site.block;
+    issue.warp = site.warp;
+    issue.lane = site.lane;
+    std::ostringstream os;
+    os << (is_atomic ? "atomic " : "non-atomic ")
+       << (is_write ? "write" : "read") << " conflicts with "
+       << (other.atomic ? "an atomic " : "a non-atomic ")
+       << (other_is_writer ? "write" : "read") << " by block " << other.block
+       << " in the same launch (no atomic happens-before chain orders them)";
+    issue.detail = os.str();
+    report_locked(std::move(issue));
+  };
+
+  if (cfg_.check_device_races && site.block >= 0) {
+    // A prior access conflicts if it came from another block, at least one
+    // side writes, they are not both atomic, and no clock chain orders it
+    // before us (recorded clock >= our clock means "not provably ordered").
+    const auto conflicts = [&](const Slot& other, bool other_is_writer) {
+      return other.block >= 0 && other.block != site.block &&
+             (is_write || other_is_writer) && !(other.atomic && is_atomic) &&
+             other.clock >= clk;
+    };
+    if (conflicts(c.writer, true)) {
+      report_race(c.writer, true);
+    } else if (is_write) {
+      if (conflicts(c.reader1, false)) {
+        report_race(c.reader1, false);
+      } else if (conflicts(c.reader2, false)) {
+        report_race(c.reader2, false);
+      }
+    }
+  }
+
+  if (is_read && cfg_.check_uninit && !c.valid) {
+    SanitizerIssue issue;
+    issue.kind = IssueKind::kUninitDeviceRead;
+    issue.kernel = kernel_name();
+    issue.buffer = region->name;
+    issue.index = cell_index;
+    issue.block = site.block;
+    issue.warp = site.warp;
+    issue.lane = site.lane;
+    issue.detail = "read of device memory no store or host copy initialized";
+    report_locked(std::move(issue));
+    c.valid = true;  // squelch cascades from the same element
+  }
+
+  // Update the shadow slots.
+  if (is_write) {
+    c.valid = true;
+    if (c.writer.block < 0 || clk >= c.writer.clock) {
+      c.writer = Slot{site.block, clk, is_atomic};
+    }
+  }
+  if (is_read && site.block >= 0) {
+    if (c.reader1.block == site.block) {
+      c.reader1.clock = std::max(c.reader1.clock, clk);
+      c.reader1.atomic = c.reader1.atomic && is_atomic;
+    } else {
+      if (c.reader1.block >= 0) c.reader2 = c.reader1;
+      c.reader1 = Slot{site.block, clk, is_atomic};
+    }
+  }
+  return true;
+}
+
+void Sanitizer::note_shared_access(SharedShadow& shadow, std::size_t offset,
+                                   std::size_t bytes, std::size_t elem_size,
+                                   bool is_read, bool is_write,
+                                   std::uint32_t epoch,
+                                   const AccessSite& site) {
+  std::scoped_lock lk(mu_);
+  const SharedShadow::Alloc* alloc = shadow.find(offset);
+  const auto attribution = [&](SanitizerIssue& issue) {
+    issue.kernel = site.kernel != nullptr ? *site.kernel : std::string{};
+    issue.block = site.block;
+    issue.warp = site.warp;
+    issue.lane = site.lane;
+    if (alloc != nullptr) {
+      issue.buffer = alloc->name;
+      issue.index = (offset - alloc->offset) / (elem_size ? elem_size : 1);
+    }
+  };
+  bool race_reported = false;
+  bool uninit_reported = false;
+  const std::uint32_t tag = epoch + 1;  // 0 marks a fresh cell
+  const std::size_t end = std::min(offset + bytes, shadow.cells.size());
+  for (std::size_t b = offset; b < end; ++b) {
+    SharedShadow::Cell& c = shadow.cells[b];
+    if (c.epoch != tag) {
+      c.epoch = tag;
+      c.writer = SharedShadow::kNone;
+      c.reader = SharedShadow::kNone;
+    }
+    if (cfg_.check_shared_races && site.warp >= 0) {
+      const auto warp = static_cast<std::int16_t>(site.warp);
+      if (!race_reported) {
+        const bool writer_conflict =
+            c.writer != SharedShadow::kNone && c.writer != warp;
+        const bool reader_conflict =
+            is_write && c.reader != SharedShadow::kNone &&
+            (c.reader == SharedShadow::kMulti || c.reader != warp);
+        if (writer_conflict || reader_conflict) {
+          SanitizerIssue issue;
+          issue.kind = IssueKind::kSharedRace;
+          attribution(issue);
+          std::ostringstream os;
+          os << "shared-memory " << (is_write ? "write" : "read")
+             << " conflicts with a "
+             << (writer_conflict ? "write" : "read") << " by warp "
+             << (writer_conflict ? c.writer : c.reader)
+             << " in the same sync phase (no barrier separates them)";
+          issue.detail = os.str();
+          report_locked(std::move(issue));
+          race_reported = true;
+        }
+      }
+      if (is_write) c.writer = warp;
+      if (is_read) {
+        c.reader = c.reader == SharedShadow::kNone || c.reader == warp
+                       ? warp
+                       : SharedShadow::kMulti;
+      }
+    }
+    if (is_read && cfg_.check_uninit && !c.valid) {
+      if (!uninit_reported) {
+        SanitizerIssue issue;
+        issue.kind = IssueKind::kUninitSharedRead;
+        attribution(issue);
+        issue.detail =
+            "read of shared memory never written in this block (shared_zero "
+            "or a prior store would initialize it)";
+        report_locked(std::move(issue));
+        uninit_reported = true;
+      }
+      c.valid = true;
+    }
+    if (is_write) c.valid = true;
+  }
+}
+
+void Sanitizer::report(SanitizerIssue issue) {
+  std::scoped_lock lk(mu_);
+  report_locked(std::move(issue));
+}
+
+void Sanitizer::report_locked(SanitizerIssue issue) {
+  ++total_issues_;
+  if (report_.issues.size() >= cfg_.max_issues) {
+    ++report_.dropped;
+    return;
+  }
+  report_.issues.push_back(std::move(issue));
+}
+
+std::size_t Sanitizer::issue_count() const {
+  std::scoped_lock lk(mu_);
+  return total_issues_;
+}
+
+SanitizerReport Sanitizer::snapshot() const {
+  std::scoped_lock lk(mu_);
+  return report_;
+}
+
+void Sanitizer::clear() {
+  std::scoped_lock lk(mu_);
+  report_ = SanitizerReport{};
+  total_issues_ = 0;
+}
+
+}  // namespace simgpu

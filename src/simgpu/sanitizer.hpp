@@ -1,0 +1,236 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+/// simcheck: an opt-in, compute-sanitizer-style shadow-memory layer for the
+/// simgpu substrate.
+///
+/// The emulator executes the warps of a block sequentially and blocks of a
+/// grid concurrently, so several bug classes that corrupt results on a real
+/// GPU run silently here.  When a Sanitizer is attached to a Device (see
+/// Device::enable_sanitizer), BlockCtx and the Device memory API feed every
+/// access into the shadow state below and the following defects are reported
+/// with kernel/block/warp/lane and buffer/offset attribution:
+///
+///  1. out-of-bounds load/store/atomic against DeviceBuffer extents and the
+///     shared-memory arena (the faulting access is suppressed, loads return
+///     T{}, so checking continues instead of corrupting the host heap);
+///  2. conflicting non-atomic device-memory accesses to the same element
+///     from different blocks within one kernel launch (real inter-block data
+///     races that the concurrent block pool may or may not surface);
+///  3. intra-block shared-memory write/write and read/write conflicts
+///     between different warps within the same sync phase — races the
+///     sequential warp loop hides entirely;
+///  4. reads of uninitialized device or shared memory (shadow valid bits,
+///     seeded by to_device/upload/alloc_zero/fill/shared_zero and by
+///     instrumented stores);
+///  5. sync-count divergence: sync() issued from inside a warp region, which
+///     on hardware would be a barrier not reached uniformly by the block.
+///
+/// Inter-block ordering (class 2) is tracked with per-block scalar Lamport
+/// clocks joined through atomics — the only cross-block communication
+/// channel simgpu offers.  Every atomic on a cell advances the block clock
+/// past the cell's clock, so release/acquire chains (atomic result cursors,
+/// last-block election counters) order the accesses they guard and do not
+/// produce false positives.  A prior access whose recorded clock is below
+/// the current block clock is treated as ordered; this can under-report
+/// races whose interleaving was benign by accident, but never flags a
+/// correctly synchronized pattern.
+///
+/// The layer is strictly opt-in: with no Sanitizer attached every hook is a
+/// null-pointer test, and modeled times / counted traffic are bit-identical
+/// to an unchecked run.
+namespace simgpu {
+
+enum class IssueKind {
+  kOutOfBounds,
+  kDeviceRace,
+  kSharedRace,
+  kUninitDeviceRead,
+  kUninitSharedRead,
+  kSyncDivergence,
+};
+
+[[nodiscard]] const char* issue_kind_name(IssueKind kind);
+
+/// One reported defect.  `buffer` is the allocation label (or the shared
+/// allocation label for shared-memory issues), `index` the element offset
+/// within it.  block/warp/lane are -1 where not applicable (warp -1 means
+/// block-serial code outside for_each_warp; kernel "<host>" means a
+/// host-side D2H check).
+struct SanitizerIssue {
+  IssueKind kind = IssueKind::kOutOfBounds;
+  std::string kernel;
+  std::string buffer;
+  std::size_t index = 0;
+  int block = -1;
+  int warp = -1;
+  int lane = -1;
+  std::string detail;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Which defect classes to check.  Everything defaults on; max_issues caps
+/// the stored report (further findings only bump SanitizerReport::dropped).
+struct SanitizerConfig {
+  bool check_bounds = true;
+  bool check_device_races = true;
+  bool check_shared_races = true;
+  bool check_uninit = true;
+  bool check_sync = true;
+  std::size_t max_issues = 256;
+};
+
+struct SanitizerReport {
+  std::vector<SanitizerIssue> issues;
+  std::size_t dropped = 0;
+
+  [[nodiscard]] bool clean() const { return issues.empty() && dropped == 0; }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Where an access came from; threaded from BlockCtx into every check.
+struct AccessSite {
+  const std::string* kernel = nullptr;  ///< kernel name (null => host)
+  std::uint32_t launch_id = 0;          ///< begin_launch() ticket
+  int block = -1;
+  int warp = -1;  ///< -1 while running block-serial code
+  int lane = -1;
+};
+
+/// Per-block shadow of the shared-memory arena (one cell per byte) plus the
+/// labels of the shared allocations carved from it.  Owned by BlockCtx,
+/// logic lives in Sanitizer::note_shared_access.
+struct SharedShadow {
+  static constexpr std::int16_t kNone = -2;
+  static constexpr std::int16_t kMulti = -3;
+
+  struct Cell {
+    std::uint32_t epoch = 0;  ///< sync epoch + 1 of the race slots (0 fresh)
+    std::int16_t writer = kNone;  ///< warp of last warp-scoped writer
+    std::int16_t reader = kNone;  ///< warp of last warp-scoped reader
+    bool valid = false;           ///< byte holds initialized data
+  };
+
+  struct Alloc {
+    std::size_t offset = 0;
+    std::size_t bytes = 0;
+    std::string name;
+  };
+
+  std::vector<Cell> cells;
+  std::vector<Alloc> allocs;
+
+  /// The allocation covering arena byte `offset`, or null.
+  [[nodiscard]] const Alloc* find(std::size_t offset) const;
+};
+
+/// The shared checking engine: owns the device-memory shadow (keyed by the
+/// registered allocations), the issue report, and the launch/clock state.
+/// Host-side hooks are called from the driving thread; device-side hooks are
+/// called concurrently from pool threads, so everything is mutex-guarded —
+/// acceptable because the sanitizer is off on every measured path.
+class Sanitizer {
+ public:
+  explicit Sanitizer(SanitizerConfig cfg = {}) : cfg_(cfg) {}
+
+  [[nodiscard]] const SanitizerConfig& config() const { return cfg_; }
+
+  /// ---- Host-side shadow maintenance (Device calls these) ---------------
+
+  /// Register a device allocation. Overlapping earlier regions (storage
+  /// reuse after release_to) are evicted first.
+  void on_alloc(const void* base, std::size_t elems, std::size_t elem_size,
+                std::string name, std::uint64_t seq);
+
+  /// Drop every region allocated after `seq_watermark` (release_to rollback;
+  /// accesses to dropped storage are no longer attributable and are skipped).
+  void on_release(std::uint64_t seq_watermark);
+
+  /// Seed valid bits for [base, base+bytes) (H2D copy, memset, fill).
+  void mark_initialized(const void* base, std::size_t bytes);
+
+  /// D2H copy of [base, base+bytes): report (once per region) if it reads
+  /// elements no kernel or host API ever initialized.
+  void check_host_read(const void* base, std::size_t bytes,
+                       const std::string& label);
+
+  /// New launch ticket; device shadow cells lazily reset when they see it.
+  [[nodiscard]] std::uint32_t begin_launch();
+
+  /// ---- Device-side hooks (BlockCtx calls these from pool threads) ------
+
+  /// Validate + shadow one device-memory element access.  Returns false if
+  /// the access is out of bounds and must be suppressed by the caller.
+  /// `hb_clock` is the calling block's Lamport clock (advanced by atomics).
+  bool check_device_access(const void* base, std::size_t elem_size,
+                           std::size_t index, std::size_t extent, bool is_read,
+                           bool is_write, bool is_atomic,
+                           const AccessSite& site, std::uint32_t* hb_clock);
+
+  /// Shadow one shared-memory access of `bytes` bytes at arena `offset`.
+  /// `elem_size` attributes the element index within the covering alloc.
+  void note_shared_access(SharedShadow& shadow, std::size_t offset,
+                          std::size_t bytes, std::size_t elem_size,
+                          bool is_read, bool is_write, std::uint32_t epoch,
+                          const AccessSite& site);
+
+  /// ---- Reporting --------------------------------------------------------
+
+  void report(SanitizerIssue issue);
+
+  /// Total defects seen so far (stored + dropped); cheap monotonic counter
+  /// for callers that diff across a region of interest.
+  [[nodiscard]] std::size_t issue_count() const;
+
+  [[nodiscard]] SanitizerReport snapshot() const;
+
+  void clear();
+
+ private:
+  struct Slot {
+    std::int32_t block = -1;  ///< -1 empty
+    std::uint32_t clock = 0;
+    bool atomic = false;
+  };
+
+  /// Per-element device shadow cell.  Race slots reset lazily per launch;
+  /// the valid bit persists for the lifetime of the allocation.
+  struct DevCell {
+    std::uint32_t launch = 0;
+    std::uint32_t sync_clock = 0;  ///< joined by atomics (release chain)
+    Slot writer;
+    Slot reader1;  ///< most recent reader
+    Slot reader2;  ///< most recent reader from a block != reader1.block
+    bool valid = false;
+  };
+
+  struct Region {
+    std::uintptr_t base = 0;
+    std::size_t bytes = 0;
+    std::size_t elem_size = 1;
+    std::string name;
+    std::uint64_t seq = 0;
+    std::vector<DevCell> cells;
+  };
+
+  /// Region containing [addr, addr+size), or null.  Requires mu_.
+  Region* find_region(std::uintptr_t addr, std::size_t size);
+
+  void report_locked(SanitizerIssue issue);
+
+  mutable std::mutex mu_;
+  SanitizerConfig cfg_;
+  SanitizerReport report_;
+  std::size_t total_issues_ = 0;
+  std::map<std::uintptr_t, Region> regions_;
+  std::uint32_t launch_counter_ = 0;
+};
+
+}  // namespace simgpu

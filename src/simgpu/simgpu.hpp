@@ -16,5 +16,6 @@
 #include "simgpu/device_spec.hpp"
 #include "simgpu/event.hpp"
 #include "simgpu/kernel.hpp"
+#include "simgpu/sanitizer.hpp"
 #include "simgpu/thread_pool.hpp"
 #include "simgpu/timeline.hpp"

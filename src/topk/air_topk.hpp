@@ -133,20 +133,21 @@ void air_topk(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
       opt.adaptive ? static_cast<std::size_t>(n_over_alpha) + 1 : n;
 
   simgpu::ScopedWorkspace ws(dev);
-  auto st = dev.alloc<std::uint64_t>(batch * kNumFields);
+  auto st = dev.alloc<std::uint64_t>(batch * kNumFields, "air state");
   std::vector<simgpu::DeviceBuffer<std::uint32_t>> hist;
   hist.reserve(passes.size());
   for (const PassPlan& p : passes) {
-    hist.push_back(dev.alloc<std::uint32_t>(batch << p.width));
+    hist.push_back(dev.alloc<std::uint32_t>(batch << p.width, "air hist"));
   }
   // One last-block election counter per (pass + last filter) per problem.
   auto finish = dev.alloc<std::uint32_t>(
-      (static_cast<std::size_t>(num_passes) + 1) * batch);
-  simgpu::DeviceBuffer<T> buf_val[2] = {dev.alloc<T>(batch * bufcap),
-                                        dev.alloc<T>(batch * bufcap)};
+      (static_cast<std::size_t>(num_passes) + 1) * batch, "air finish");
+  simgpu::DeviceBuffer<T> buf_val[2] = {
+      dev.alloc<T>(batch * bufcap, "air cand vals 0"),
+      dev.alloc<T>(batch * bufcap, "air cand vals 1")};
   simgpu::DeviceBuffer<std::uint32_t> buf_idx[2] = {
-      dev.alloc<std::uint32_t>(batch * bufcap),
-      dev.alloc<std::uint32_t>(batch * bufcap)};
+      dev.alloc<std::uint32_t>(batch * bufcap, "air cand idx 0"),
+      dev.alloc<std::uint32_t>(batch * bufcap, "air cand idx 1")};
 
   const GridShape shape = make_grid(batch, n, dev.spec(), opt.block_threads,
                                     opt.items_per_block);
@@ -267,9 +268,9 @@ void air_topk(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
         tie_staged = 0;
       };
 
-      std::span<std::uint32_t> shist;
+      simgpu::SharedSpan<std::uint32_t> shist;
       if (!is_last_filter && !copy_mode) {
-        shist = ctx.shared_zero<std::uint32_t>(nb);
+        shist = ctx.shared_zero<std::uint32_t>(nb, "air digit histogram");
       }
 
       for (std::size_t i = begin; i < end; ++i) {

@@ -20,15 +20,37 @@ constexpr K sort_sentinel() {
   }
 }
 
+/// A key/index store the bitonic networks can sort: any indexable view with
+/// an element_type (std::span, simgpu::SharedSpan).  Plain containers like
+/// std::vector do not satisfy this — wrap them in a span (the std::span
+/// overloads below do it implicitly).
+template <typename S>
+concept SortableView = requires(const S& s, std::size_t i) {
+  typename S::element_type;
+  typename S::value_type;
+  s.size();
+  s[i];
+};
+
 namespace detail {
 
-template <typename K>
-inline void compare_exchange(std::span<K> keys, std::span<std::uint32_t> idx,
-                             std::size_t i, std::size_t j, bool ascending) {
-  const bool swap = ascending ? (keys[j] < keys[i]) : (keys[i] < keys[j]);
-  if (swap) {
-    std::swap(keys[i], keys[j]);
-    std::swap(idx[i], idx[j]);
+template <SortableView KS, SortableView IS>
+inline void compare_exchange(const KS& keys, const IS& idx, std::size_t i,
+                             std::size_t j, bool ascending) {
+  using K = typename KS::value_type;
+  using I = typename IS::value_type;
+  // Read-both / write-both instead of std::swap: the views may hand out
+  // proxy references (SharedSpan) rather than K&.
+  const K ki = keys[i];
+  const K kj = keys[j];
+  const bool do_swap = ascending ? (kj < ki) : (ki < kj);
+  if (do_swap) {
+    keys[i] = kj;
+    keys[j] = ki;
+    const I ii = idx[i];
+    const I ij = idx[j];
+    idx[i] = ij;
+    idx[j] = ii;
   }
 }
 
@@ -38,10 +60,9 @@ inline void compare_exchange(std::span<K> keys, std::span<std::uint32_t> idx,
 /// afterwards it is sorted (ascending if `ascending`).  `n` must be a power
 /// of two.  Charges one lane op per compare-exchange, as each exchange is one
 /// SIMT instruction on the device.
-template <typename K>
-void bitonic_merge(simgpu::BlockCtx& ctx, std::span<K> keys,
-                   std::span<std::uint32_t> idx, std::size_t lo, std::size_t n,
-                   bool ascending) {
+template <SortableView KS, SortableView IS>
+void bitonic_merge(simgpu::BlockCtx& ctx, KS keys, IS idx, std::size_t lo,
+                   std::size_t n, bool ascending) {
   for (std::size_t stride = n / 2; stride > 0; stride /= 2) {
     for (std::size_t i = lo; i < lo + n; ++i) {
       if ((i - lo) & stride) continue;  // partner handled from lower index
@@ -53,10 +74,9 @@ void bitonic_merge(simgpu::BlockCtx& ctx, std::span<K> keys,
 
 /// Full bitonic sort network over `keys[lo, lo+n)`; `n` must be a power of
 /// two.  O(n log^2 n) compare-exchanges, all charged as lane ops.
-template <typename K>
-void bitonic_sort(simgpu::BlockCtx& ctx, std::span<K> keys,
-                  std::span<std::uint32_t> idx, std::size_t lo, std::size_t n,
-                  bool ascending = true) {
+template <SortableView KS, SortableView IS>
+void bitonic_sort(simgpu::BlockCtx& ctx, KS keys, IS idx, std::size_t lo,
+                  std::size_t n, bool ascending = true) {
   for (std::size_t size = 2; size <= n; size *= 2) {
     for (std::size_t chunk = lo; chunk < lo + n; chunk += size) {
       const bool dir = ascending == (((chunk - lo) / size) % 2 == 0);
@@ -65,11 +85,20 @@ void bitonic_sort(simgpu::BlockCtx& ctx, std::span<K> keys,
   }
 }
 
-/// Convenience overloads covering a whole span.
+/// Convenience overloads covering a whole view.
+template <SortableView KS, SortableView IS>
+void bitonic_sort(simgpu::BlockCtx& ctx, KS keys, IS idx,
+                  bool ascending = true) {
+  bitonic_sort(ctx, keys, idx, 0, keys.size(), ascending);
+}
+
+/// std::span form, kept so callers holding containers keep the implicit
+/// container-to-span conversion (`bitonic_sort<float>(ctx, vec, ivec)`).
 template <typename K>
 void bitonic_sort(simgpu::BlockCtx& ctx, std::span<K> keys,
                   std::span<std::uint32_t> idx, bool ascending = true) {
-  bitonic_sort(ctx, keys, idx, 0, keys.size(), ascending);
+  bitonic_sort<std::span<K>, std::span<std::uint32_t>>(ctx, keys, idx, 0,
+                                                       keys.size(), ascending);
 }
 
 /// Merge-and-prune, the core partial-sorting step of WarpSelect and
@@ -80,20 +109,36 @@ void bitonic_sort(simgpu::BlockCtx& ctx, std::span<K> keys,
 /// Works by the classic trick: element-wise min/max of a[i] and b[n-1-i]
 /// leaves the n smallest in `a` as a bitonic sequence, which one merge
 /// network pass then sorts.
-template <typename K>
-void merge_prune(simgpu::BlockCtx& ctx, std::span<K> a_keys,
-                 std::span<std::uint32_t> a_idx, std::span<K> b_keys,
-                 std::span<std::uint32_t> b_idx) {
+template <SortableView AK, SortableView AI, SortableView BK, SortableView BI>
+void merge_prune(simgpu::BlockCtx& ctx, AK a_keys, AI a_idx, BK b_keys,
+                 BI b_idx) {
+  using K = typename AK::value_type;
+  using I = typename AI::value_type;
   const std::size_t n = a_keys.size();
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t j = n - 1 - i;
-    if (b_keys[j] < a_keys[i]) {
-      std::swap(a_keys[i], b_keys[j]);
-      std::swap(a_idx[i], b_idx[j]);
+    const K av = a_keys[i];
+    const K bv = b_keys[j];
+    if (bv < av) {
+      a_keys[i] = bv;
+      b_keys[j] = av;
+      const I ai = a_idx[i];
+      const I bi = b_idx[j];
+      a_idx[i] = bi;
+      b_idx[j] = ai;
     }
   }
   ctx.ops(n);
   bitonic_merge(ctx, a_keys, a_idx, 0, n, /*ascending=*/true);
+}
+
+/// std::span form (container-to-span convenience, as for bitonic_sort).
+template <typename K>
+void merge_prune(simgpu::BlockCtx& ctx, std::span<K> a_keys,
+                 std::span<std::uint32_t> a_idx, std::span<K> b_keys,
+                 std::span<std::uint32_t> b_idx) {
+  merge_prune<std::span<K>, std::span<std::uint32_t>, std::span<K>,
+              std::span<std::uint32_t>>(ctx, a_keys, a_idx, b_keys, b_idx);
 }
 
 /// Round up to the next power of two (minimum 1).

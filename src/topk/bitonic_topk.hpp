@@ -48,11 +48,12 @@ void bitonic_topk(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
   simgpu::ScopedWorkspace ws(dev);
   const std::size_t half0 = (chunks0 + 1) / 2;
   simgpu::DeviceBuffer<T> work_val[2] = {
-      dev.alloc<T>(batch * half0 * cap),
-      dev.alloc<T>(batch * ((half0 + 1) / 2) * cap)};
+      dev.alloc<T>(batch * half0 * cap, "bitonic work vals 0"),
+      dev.alloc<T>(batch * ((half0 + 1) / 2) * cap, "bitonic work vals 1")};
   simgpu::DeviceBuffer<std::uint32_t> work_idx[2] = {
-      dev.alloc<std::uint32_t>(batch * half0 * cap),
-      dev.alloc<std::uint32_t>(batch * ((half0 + 1) / 2) * cap)};
+      dev.alloc<std::uint32_t>(batch * half0 * cap, "bitonic work idx 0"),
+      dev.alloc<std::uint32_t>(batch * ((half0 + 1) / 2) * cap,
+                               "bitonic work idx 1")};
 
   // ---- pass 0: sort chunk pairs from the raw input, prune to one chunk ---
   {
@@ -68,13 +69,13 @@ void bitonic_topk(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
       const std::size_t prob = shape.problem_of(ctx.block_idx());
       const int bip = shape.block_in_problem(ctx.block_idx());
       const auto [pbegin, pend] = block_chunk(pairs, bpp, bip);
-      auto a_keys = ctx.shared<T>(cap);
-      auto a_idx = ctx.shared<std::uint32_t>(cap);
-      auto b_keys = ctx.shared<T>(cap);
-      auto b_idx = ctx.shared<std::uint32_t>(cap);
+      auto a_keys = ctx.shared<T>(cap, "bitonic chunk a keys");
+      auto a_idx = ctx.shared<std::uint32_t>(cap, "bitonic chunk a idx");
+      auto b_keys = ctx.shared<T>(cap, "bitonic chunk b keys");
+      auto b_idx = ctx.shared<std::uint32_t>(cap, "bitonic chunk b idx");
       for (std::size_t p = pbegin; p < pend; ++p) {
-        const auto load_chunk = [&](std::size_t chunk, std::span<T> keys,
-                                    std::span<std::uint32_t> idx) {
+        // Generic over the view type so SharedSpan stays instrumented.
+        const auto load_chunk = [&](std::size_t chunk, auto keys, auto idx) {
           for (std::size_t i = 0; i < cap; ++i) {
             const std::size_t src = chunk * cap + i;
             if (chunk < chunks0 && src < n) {
@@ -88,9 +89,9 @@ void bitonic_topk(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
         };
         load_chunk(2 * p, a_keys, a_idx);
         load_chunk(2 * p + 1, b_keys, b_idx);
-        bitonic_sort<T>(ctx, a_keys, a_idx);
-        bitonic_sort<T>(ctx, b_keys, b_idx);
-        merge_prune<T>(ctx, a_keys, a_idx, b_keys, b_idx);
+        bitonic_sort(ctx, a_keys, a_idx);
+        bitonic_sort(ctx, b_keys, b_idx);
+        merge_prune(ctx, a_keys, a_idx, b_keys, b_idx);
         for (std::size_t i = 0; i < cap; ++i) {
           ctx.store(dst_val, (prob * pairs + p) * cap + i, a_keys[i]);
           ctx.store(dst_idx, (prob * pairs + p) * cap + i, a_idx[i]);
@@ -122,10 +123,10 @@ void bitonic_topk(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
       const std::size_t prob = shape.problem_of(ctx.block_idx());
       const int bip = shape.block_in_problem(ctx.block_idx());
       const auto [pbegin, pend] = block_chunk(pairs, bpp, bip);
-      auto a_keys = ctx.shared<T>(cap);
-      auto a_idx = ctx.shared<std::uint32_t>(cap);
-      auto b_keys = ctx.shared<T>(cap);
-      auto b_idx = ctx.shared<std::uint32_t>(cap);
+      auto a_keys = ctx.shared<T>(cap, "bitonic merge a keys");
+      auto a_idx = ctx.shared<std::uint32_t>(cap, "bitonic merge a idx");
+      auto b_keys = ctx.shared<T>(cap, "bitonic merge b keys");
+      auto b_idx = ctx.shared<std::uint32_t>(cap, "bitonic merge b idx");
       for (std::size_t p = pbegin; p < pend; ++p) {
         for (std::size_t i = 0; i < cap; ++i) {
           const std::size_t src = (prob * src_stride + 2 * p) * cap + i;
@@ -138,7 +139,7 @@ void bitonic_topk(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
             b_keys[i] = ctx.load(src_val, src);
             b_idx[i] = ctx.load(src_idx, src);
           }
-          merge_prune<T>(ctx, a_keys, a_idx, b_keys, b_idx);
+          merge_prune(ctx, a_keys, a_idx, b_keys, b_idx);
         }
         for (std::size_t i = 0; i < cap; ++i) {
           ctx.store(dst_val, (prob * dst_stride + p) * cap + i, a_keys[i]);

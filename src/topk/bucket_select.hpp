@@ -38,12 +38,16 @@ void bucket_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
 
   const int nb = opt.num_buckets;
   simgpu::ScopedWorkspace ws(dev);
-  simgpu::DeviceBuffer<T> cand_val[2] = {dev.alloc<T>(n), dev.alloc<T>(n)};
+  simgpu::DeviceBuffer<T> cand_val[2] = {
+      dev.alloc<T>(n, "bucket cand vals 0"),
+      dev.alloc<T>(n, "bucket cand vals 1")};
   simgpu::DeviceBuffer<std::uint32_t> cand_idx[2] = {
-      dev.alloc<std::uint32_t>(n), dev.alloc<std::uint32_t>(n)};
-  auto minmax = dev.alloc<T>(2);
-  auto ghist = dev.alloc<std::uint32_t>(static_cast<std::size_t>(nb));
-  auto counters = dev.alloc<std::uint32_t>(2);  // out cursor, candidate cursor
+      dev.alloc<std::uint32_t>(n, "bucket cand idx 0"),
+      dev.alloc<std::uint32_t>(n, "bucket cand idx 1")};
+  auto minmax = dev.alloc<T>(2, "bucket minmax");
+  auto ghist = dev.alloc<std::uint32_t>(static_cast<std::size_t>(nb),
+                                        "bucket histogram");
+  auto counters = dev.alloc<std::uint32_t>(2, "bucket cursors");
   std::vector<std::uint32_t> host_hist(static_cast<std::size_t>(nb));
 
   for (std::size_t prob = 0; prob < batch; ++prob) {

@@ -37,11 +37,17 @@ struct GridSelectOptions {
 template <typename T>
 class SharedQueueEngine {
  public:
+  /// TopkList view over the engine's shared-memory storage.
+  using SharedList =
+      TopkList<T, simgpu::SharedSpan<T>, simgpu::SharedSpan<std::uint32_t>>;
+
   SharedQueueEngine(simgpu::BlockCtx& ctx, std::size_t k)
-      : q_keys_(ctx.shared<T>(simgpu::kWarpSize)),
-        q_idx_(ctx.shared<std::uint32_t>(simgpu::kWarpSize)),
-        list_keys_(ctx.shared<T>(next_pow2(k))),
-        list_idx_(ctx.shared<std::uint32_t>(next_pow2(k))),
+      : q_keys_(ctx.shared<T>(simgpu::kWarpSize, "gridselect queue keys")),
+        q_idx_(ctx.shared<std::uint32_t>(simgpu::kWarpSize,
+                                         "gridselect queue idx")),
+        list_keys_(ctx.shared<T>(next_pow2(k), "gridselect list keys")),
+        list_idx_(ctx.shared<std::uint32_t>(next_pow2(k),
+                                            "gridselect list idx")),
         list_(list_keys_, list_idx_, k) {}
 
   [[nodiscard]] T kth() const { return list_.kth(); }
@@ -95,7 +101,7 @@ class SharedQueueEngine {
     if (q_count_ > 0) flush(ctx, q_count_);
   }
 
-  [[nodiscard]] TopkList<T>& list() { return list_; }
+  [[nodiscard]] SharedList& list() { return list_; }
 
  private:
   void flush(simgpu::BlockCtx& ctx, std::size_t count) {
@@ -104,11 +110,11 @@ class SharedQueueEngine {
     q_count_ = 0;
   }
 
-  std::span<T> q_keys_;
-  std::span<std::uint32_t> q_idx_;
-  std::span<T> list_keys_;
-  std::span<std::uint32_t> list_idx_;
-  TopkList<T> list_;
+  simgpu::SharedSpan<T> q_keys_;
+  simgpu::SharedSpan<std::uint32_t> q_idx_;
+  simgpu::SharedSpan<T> list_keys_;
+  simgpu::SharedSpan<std::uint32_t> list_idx_;
+  SharedList list_;
   std::size_t q_count_ = 0;
   std::size_t q_count_overflow_base_ = 0;
 };
@@ -169,9 +175,10 @@ void grid_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
   simgpu::DeviceBuffer<T> part_val;
   simgpu::DeviceBuffer<std::uint32_t> part_idx;
   if (!direct_output) {
-    part_val = dev.alloc<T>(batch * static_cast<std::size_t>(bpp) * cap);
-    part_idx =
-        dev.alloc<std::uint32_t>(batch * static_cast<std::size_t>(bpp) * cap);
+    part_val = dev.alloc<T>(batch * static_cast<std::size_t>(bpp) * cap,
+                            "gridselect partial vals");
+    part_idx = dev.alloc<std::uint32_t>(
+        batch * static_cast<std::size_t>(bpp) * cap, "gridselect partial idx");
   }
 
   // ---- kernel 1: per-block partial selection ----------------------------
@@ -232,31 +239,44 @@ void grid_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
       });
       ctx.sync();
 
-      TopkList<T>& merged =
-          shared_queue ? sq[0]->list() : tq[0]->list();
-      for (int w = 1; w < num_warps; ++w) {
-        merged.merge_list(ctx, shared_queue
-                                   ? sq[static_cast<std::size_t>(w)]->list()
-                                   : tq[static_cast<std::size_t>(w)]->list());
-      }
-      if (direct_output) {
-        for (std::size_t i = 0; i < k; ++i) {
-          ctx.store(out_vals, prob * k + i, merged.keys()[i]);
-          ctx.store(out_idx, prob * k + i, merged.indices()[i]);
+      // The shared-queue and thread-queue lists view different storage
+      // types, so merge within each branch and emit through one generic
+      // lambda.
+      const auto emit = [&](auto& merged) {
+        if (direct_output) {
+          for (std::size_t i = 0; i < k; ++i) {
+            ctx.store(out_vals, prob * k + i, merged.keys()[i]);
+            ctx.store(out_idx, prob * k + i, merged.indices()[i]);
+          }
+          return;
         }
-        return;
-      }
-      // Publish the block's sorted partial list (padded to cap).
-      const std::size_t out_base =
-          (prob * static_cast<std::size_t>(bpp) +
-           static_cast<std::size_t>(bip)) *
-          cap;
-      for (std::size_t i = 0; i < cap; ++i) {
-        const bool live = i < k;
-        ctx.store(part_val, out_base + i,
-                  live ? merged.keys()[i] : sort_sentinel<T>());
-        ctx.store(part_idx, out_base + i,
-                  live ? merged.indices()[i] : std::uint32_t{0});
+        // Publish the block's sorted partial list (padded to cap).
+        const std::size_t out_base =
+            (prob * static_cast<std::size_t>(bpp) +
+             static_cast<std::size_t>(bip)) *
+            cap;
+        for (std::size_t i = 0; i < cap; ++i) {
+          const bool live = i < k;
+          ctx.store(part_val, out_base + i,
+                    live ? static_cast<T>(merged.keys()[i])
+                         : sort_sentinel<T>());
+          ctx.store(part_idx, out_base + i,
+                    live ? static_cast<std::uint32_t>(merged.indices()[i])
+                         : std::uint32_t{0});
+        }
+      };
+      if (shared_queue) {
+        auto& merged = sq[0]->list();
+        for (int w = 1; w < num_warps; ++w) {
+          merged.merge_list(ctx, sq[static_cast<std::size_t>(w)]->list());
+        }
+        emit(merged);
+      } else {
+        auto& merged = tq[0]->list();
+        for (int w = 1; w < num_warps; ++w) {
+          merged.merge_list(ctx, tq[static_cast<std::size_t>(w)]->list());
+        }
+        emit(merged);
       }
     });
   }
@@ -271,10 +291,10 @@ void grid_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
                              1024};
     simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
       const auto prob = static_cast<std::size_t>(ctx.block_idx());
-      auto acc_keys = ctx.shared<T>(cap);
-      auto acc_idx = ctx.shared<std::uint32_t>(cap);
-      auto tmp_keys = ctx.shared<T>(cap);
-      auto tmp_idx = ctx.shared<std::uint32_t>(cap);
+      auto acc_keys = ctx.shared<T>(cap, "gridselect merge acc keys");
+      auto acc_idx = ctx.shared<std::uint32_t>(cap, "gridselect merge acc idx");
+      auto tmp_keys = ctx.shared<T>(cap, "gridselect merge tmp keys");
+      auto tmp_idx = ctx.shared<std::uint32_t>(cap, "gridselect merge tmp idx");
       for (std::size_t i = 0; i < cap; ++i) {
         const std::size_t src = prob * static_cast<std::size_t>(bpp) * cap + i;
         acc_keys[i] = ctx.load(part_val, src);
@@ -289,7 +309,7 @@ void grid_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
           tmp_keys[i] = ctx.load(part_val, src_base + i);
           tmp_idx[i] = ctx.load(part_idx, src_base + i);
         }
-        merge_prune<T>(ctx, acc_keys, acc_idx, tmp_keys, tmp_idx);
+        merge_prune(ctx, acc_keys, acc_idx, tmp_keys, tmp_idx);
       }
       for (std::size_t i = 0; i < k; ++i) {
         ctx.store(out_vals, prob * k + i, acc_keys[i]);

@@ -19,15 +19,18 @@ inline constexpr std::size_t kMaxBitonicTopkK = 256;  // Bitonic Top-K
 /// WarpSelect, BlockSelect, GridSelect and Bitonic Top-K.  `keys`/`idx` are
 /// caller-provided storage of `capacity()` elements (registers for the Faiss
 /// selections, shared memory for GridSelect), kept ascending-sorted and
-/// padded with the +inf sentinel.
+/// padded with the +inf sentinel.  The storage view types are template
+/// parameters so the list works over plain spans (register-resident state)
+/// and simgpu::SharedSpan (sanitizer-shadowed shared memory) alike.
 ///
 /// All compare-exchange work is charged to the BlockCtx as lane ops; the
 /// storage itself is on-chip and therefore free of device-memory traffic,
 /// exactly like the real kernels.
-template <typename T>
+template <typename T, typename KeyStore = std::span<T>,
+          typename IdxStore = std::span<std::uint32_t>>
 class TopkList {
  public:
-  TopkList(std::span<T> keys, std::span<std::uint32_t> idx, std::size_t k)
+  TopkList(KeyStore keys, IdxStore idx, std::size_t k)
       : keys_(keys), idx_(idx), k_(k) {
     if (keys_.size() != idx_.size() || keys_.size() < k) {
       throw std::invalid_argument("TopkList: bad storage");
@@ -49,10 +52,11 @@ class TopkList {
   [[nodiscard]] T kth() const { return keys_[k_ - 1]; }
 
   /// Merge `count` candidate pairs into the list, keeping the smallest k.
-  /// Candidates are consumed (their storage is clobbered).  Requires
-  /// `cand_keys.size() == cand_idx.size()` and both at least `count`.
-  void merge(simgpu::BlockCtx& ctx, std::span<T> cand_keys,
-             std::span<std::uint32_t> cand_idx, std::size_t count) {
+  /// Requires `cand_keys.size() == cand_idx.size()` and both at least
+  /// `count`.  Any indexable stores work (spans, vectors, SharedSpan).
+  template <typename CandKeys, typename CandIdx>
+  void merge(simgpu::BlockCtx& ctx, const CandKeys& cand_keys,
+             const CandIdx& cand_idx, std::size_t count) {
     if (count == 0) return;
     // Process candidates in sorted chunks of the list capacity so the
     // merge network size matches the real kernels' fixed-size networks.
@@ -74,12 +78,14 @@ class TopkList {
   }
 
   /// Merge an already ascending-sorted chunk of at most capacity() pairs.
-  void merge_sorted_chunk(simgpu::BlockCtx& ctx, std::span<T> chunk_keys,
-                          std::span<std::uint32_t> chunk_idx) {
+  /// The chunk is consumed (its storage is clobbered).
+  template <SortableView ChunkKeys, SortableView ChunkIdx>
+  void merge_sorted_chunk(simgpu::BlockCtx& ctx, ChunkKeys chunk_keys,
+                          ChunkIdx chunk_idx) {
     const std::size_t len = chunk_keys.size();
     if (len == cap_) {
-      merge_prune<T>(ctx, keys_.subspan(0, cap_), idx_.subspan(0, cap_),
-                     chunk_keys, chunk_idx);
+      merge_prune(ctx, keys_.subspan(0, cap_), idx_.subspan(0, cap_),
+                  chunk_keys, chunk_idx);
       return;
     }
     // Short chunk: pad into a capacity-sized scratch and run the same
@@ -90,27 +96,29 @@ class TopkList {
       pad_keys_[i] = chunk_keys[i];
       pad_idx_[i] = chunk_idx[i];
     }
-    merge_prune<T>(ctx, keys_.subspan(0, cap_), idx_.subspan(0, cap_),
-                   pad_keys_, pad_idx_);
+    merge_prune(ctx, keys_.subspan(0, cap_), idx_.subspan(0, cap_),
+                std::span<T>(pad_keys_), std::span<std::uint32_t>(pad_idx_));
   }
 
   /// Merge another sorted TopkList of the same capacity into this one.
-  void merge_list(simgpu::BlockCtx& ctx, TopkList<T>& other) {
+  template <typename KS2, typename IS2>
+  void merge_list(simgpu::BlockCtx& ctx, TopkList<T, KS2, IS2>& other) {
     if (other.cap_ != cap_) {
       throw std::invalid_argument("TopkList::merge_list: capacity mismatch");
     }
-    merge_prune<T>(ctx, keys_.subspan(0, cap_), idx_.subspan(0, cap_),
-                   other.keys_.subspan(0, cap_), other.idx_.subspan(0, cap_));
+    merge_prune(ctx, keys_.subspan(0, cap_), idx_.subspan(0, cap_),
+                other.keys_.subspan(0, cap_), other.idx_.subspan(0, cap_));
   }
 
-  [[nodiscard]] std::span<const T> keys() const { return keys_.subspan(0, k_); }
-  [[nodiscard]] std::span<const std::uint32_t> indices() const {
-    return idx_.subspan(0, k_);
-  }
+  [[nodiscard]] KeyStore keys() const { return keys_.subspan(0, k_); }
+  [[nodiscard]] IdxStore indices() const { return idx_.subspan(0, k_); }
 
  private:
-  std::span<T> keys_;
-  std::span<std::uint32_t> idx_;
+  template <typename, typename, typename>
+  friend class TopkList;
+
+  KeyStore keys_;
+  IdxStore idx_;
   std::size_t k_;
   std::size_t cap_ = 0;
   // Flush scratch: lives in registers/shared memory on the device, so it is

@@ -39,14 +39,16 @@ void quick_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
   simgpu::ScopedWorkspace ws(dev);
   // Three rotating candidate buffers: source, the "less" destination and
   // the "greater" destination; plus a buffer for pivot-equal elements.
-  simgpu::DeviceBuffer<T> bv[3] = {dev.alloc<T>(n), dev.alloc<T>(n),
-                                   dev.alloc<T>(n)};
-  simgpu::DeviceBuffer<std::uint32_t> bi[3] = {dev.alloc<std::uint32_t>(n),
-                                               dev.alloc<std::uint32_t>(n),
-                                               dev.alloc<std::uint32_t>(n)};
-  auto eq_val = dev.alloc<T>(n);
-  auto eq_idx = dev.alloc<std::uint32_t>(n);
-  auto counters = dev.alloc<std::uint32_t>(3);
+  simgpu::DeviceBuffer<T> bv[3] = {dev.alloc<T>(n, "quick vals 0"),
+                                   dev.alloc<T>(n, "quick vals 1"),
+                                   dev.alloc<T>(n, "quick vals 2")};
+  simgpu::DeviceBuffer<std::uint32_t> bi[3] = {
+      dev.alloc<std::uint32_t>(n, "quick idx 0"),
+      dev.alloc<std::uint32_t>(n, "quick idx 1"),
+      dev.alloc<std::uint32_t>(n, "quick idx 2")};
+  auto eq_val = dev.alloc<T>(n, "quick eq vals");
+  auto eq_idx = dev.alloc<std::uint32_t>(n, "quick eq idx");
+  auto counters = dev.alloc<std::uint32_t>(3, "quick partition counts");
 
   const auto copy_out = [&](simgpu::DeviceBuffer<T> v,
                             simgpu::DeviceBuffer<std::uint32_t> ix,
@@ -104,7 +106,7 @@ void quick_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
       const auto src_idx = bi[src];
       std::vector<T> probe(3);
       {
-        auto probe_buf = dev.alloc<T>(3);
+        auto probe_buf = dev.alloc<T>(3, "quick pivot probe");
         const std::size_t s0 = 0, s1 = count / 2, s2 = count - 1;
         simgpu::LaunchConfig cfg{"pivot_probe", 1, 32};
         simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {

@@ -53,11 +53,15 @@ void radix_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
       (Traits::kBits + opt.digit_bits - 1) / opt.digit_bits;
 
   simgpu::ScopedWorkspace ws(dev);
-  auto ghist = dev.alloc<std::uint32_t>(static_cast<std::size_t>(nb));
-  auto counters = dev.alloc<std::uint32_t>(2);  // out cursor, candidate cursor
-  simgpu::DeviceBuffer<T> cand_val[2] = {dev.alloc<T>(n), dev.alloc<T>(n)};
+  auto ghist = dev.alloc<std::uint32_t>(static_cast<std::size_t>(nb),
+                                        "radix digit histogram");
+  auto counters = dev.alloc<std::uint32_t>(2, "radix cursors");
+  simgpu::DeviceBuffer<T> cand_val[2] = {
+      dev.alloc<T>(n, "radix cand vals 0"),
+      dev.alloc<T>(n, "radix cand vals 1")};
   simgpu::DeviceBuffer<std::uint32_t> cand_idx[2] = {
-      dev.alloc<std::uint32_t>(n), dev.alloc<std::uint32_t>(n)};
+      dev.alloc<std::uint32_t>(n, "radix cand idx 0"),
+      dev.alloc<std::uint32_t>(n, "radix cand idx 1")};
   std::vector<std::uint32_t> host_hist(static_cast<std::size_t>(nb));
 
   for (std::size_t prob = 0; prob < batch; ++prob) {

@@ -42,12 +42,16 @@ void sample_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
 
   const int nb = opt.num_buckets;
   simgpu::ScopedWorkspace ws(dev);
-  simgpu::DeviceBuffer<T> cand_val[2] = {dev.alloc<T>(n), dev.alloc<T>(n)};
+  simgpu::DeviceBuffer<T> cand_val[2] = {
+      dev.alloc<T>(n, "sample cand vals 0"),
+      dev.alloc<T>(n, "sample cand vals 1")};
   simgpu::DeviceBuffer<std::uint32_t> cand_idx[2] = {
-      dev.alloc<std::uint32_t>(n), dev.alloc<std::uint32_t>(n)};
-  auto ghist = dev.alloc<std::uint32_t>(static_cast<std::size_t>(nb));
-  auto counters = dev.alloc<std::uint32_t>(2);
-  auto sample_buf = dev.alloc<T>(opt.sample_size);
+      dev.alloc<std::uint32_t>(n, "sample cand idx 0"),
+      dev.alloc<std::uint32_t>(n, "sample cand idx 1")};
+  auto ghist = dev.alloc<std::uint32_t>(static_cast<std::size_t>(nb),
+                                        "sample bucket histogram");
+  auto counters = dev.alloc<std::uint32_t>(2, "sample cursors");
+  auto sample_buf = dev.alloc<T>(opt.sample_size, "sample probe");
   std::vector<std::uint32_t> host_hist(static_cast<std::size_t>(nb));
 
   for (std::size_t prob = 0; prob < batch; ++prob) {
@@ -95,8 +99,8 @@ void sample_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
         const std::uint64_t dst = out_cursor;
         simgpu::LaunchConfig cfg{"small_sort", 1, opt.block_threads};
         simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
-          auto keys = ctx.shared<T>(padded);
-          auto idx = ctx.shared<std::uint32_t>(padded);
+          auto keys = ctx.shared<T>(padded, "sample sort keys");
+          auto idx = ctx.shared<std::uint32_t>(padded, "sample sort idx");
           for (std::size_t i = 0; i < padded; ++i) {
             if (i < count) {
               keys[i] = ctx.load(src_val, i);
@@ -106,7 +110,7 @@ void sample_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
               idx[i] = 0;
             }
           }
-          bitonic_sort<T>(ctx, keys, idx);
+          bitonic_sort(ctx, keys, idx);
           for (std::uint64_t i = 0; i < take; ++i) {
             ctx.store(out_vals, dst + i, keys[i]);
             ctx.store(out_idx, dst + i, idx[i]);

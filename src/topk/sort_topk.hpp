@@ -49,9 +49,11 @@ void sort_topk(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
   const int bpp = shape.blocks_per_problem;
 
   simgpu::ScopedWorkspace ws(dev);
-  simgpu::DeviceBuffer<Bits> keys[2] = {dev.alloc<Bits>(n), dev.alloc<Bits>(n)};
-  simgpu::DeviceBuffer<std::uint32_t> idx[2] = {dev.alloc<std::uint32_t>(n),
-                                                dev.alloc<std::uint32_t>(n)};
+  simgpu::DeviceBuffer<Bits> keys[2] = {dev.alloc<Bits>(n, "sort keys 0"),
+                                        dev.alloc<Bits>(n, "sort keys 1")};
+  simgpu::DeviceBuffer<std::uint32_t> idx[2] = {
+      dev.alloc<std::uint32_t>(n, "sort idx 0"),
+      dev.alloc<std::uint32_t>(n, "sort idx 1")};
   // Per-(block, digit) counts; rewritten as scatter offsets by the scan.
   auto block_hist = dev.alloc<std::uint32_t>(
       static_cast<std::size_t>(bpp) * static_cast<std::size_t>(nb));

@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Forbid raw device-memory access inside simgpu kernel lambdas.
+
+Kernel bodies (the lambda argument of ``simgpu::launch``) must go through the
+accounted BlockCtx accessors (load/store/atomic_*) or the SharedSpan proxies.
+Touching a DeviceBuffer through ``.data()`` or ``.host_span()`` inside a
+kernel bypasses both the traffic accounting and the simcheck sanitizer, so
+this linter rejects any ``.data()`` / ``.host_span()`` call textually inside
+a ``launch(...)`` call expression under ``src/topk``.
+
+A line may opt out with a ``// lint:allow-raw-access`` comment (none needed
+today).  Run with ``--self-test`` to check the linter against embedded
+positive/negative samples.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+LAUNCH_RE = re.compile(r"(?<![\w:])(?:simgpu\s*::\s*)?launch\s*\(")
+RAW_ACCESS_RE = re.compile(r"\.\s*(data|host_span)\s*\(")
+ALLOW_MARKER = "lint:allow-raw-access"
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving newlines."""
+    out = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        two = text[i : i + 2]
+        if two == "//":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            # Keep lint markers visible to the checker.
+            chunk = text[i:j]
+            out.append(chunk if ALLOW_MARKER in chunk else " " * (j - i))
+            i = j
+        elif two == "/*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(quote + " " * (j - i - 2) + (quote if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def launch_call_spans(text: str):
+    """Yield (start, end) offsets of every launch(...) call expression."""
+    for m in LAUNCH_RE.finditer(text):
+        depth = 0
+        i = m.end() - 1  # the opening paren
+        while i < len(text):
+            if text[i] == "(":
+                depth += 1
+            elif text[i] == ")":
+                depth -= 1
+                if depth == 0:
+                    yield m.end(), i
+                    break
+            i += 1
+
+
+def lint_text(text: str, path: str):
+    """Return a list of ``path:line: message`` strings for one file."""
+    clean = strip_comments_and_strings(text)
+    lines = clean.splitlines(keepends=True)
+    findings = []
+    for start, end in launch_call_spans(clean):
+        for m in RAW_ACCESS_RE.finditer(clean, start, end):
+            line_no = clean.count("\n", 0, m.start()) + 1
+            line = lines[line_no - 1] if line_no <= len(lines) else ""
+            if ALLOW_MARKER in line:
+                continue
+            findings.append(
+                f"{path}:{line_no}: raw .{m.group(1)}() inside a kernel "
+                "lambda; use the BlockCtx accessors (load/store/atomic_*) "
+                "or SharedSpan"
+            )
+    return findings
+
+
+def lint_tree(root: pathlib.Path):
+    findings = []
+    for path in sorted(root.rglob("*.hpp")) + sorted(root.rglob("*.cpp")):
+        findings.extend(lint_text(path.read_text(), str(path)))
+    return findings
+
+
+BAD_SAMPLE = """
+void f(simgpu::Device& dev, simgpu::DeviceBuffer<float> buf) {
+  simgpu::launch(dev, {"bad", 1, 32}, [=](simgpu::BlockCtx& ctx) {
+    buf.data()[0] = 1.0f;            // bypasses accounting
+    auto s = buf.host_span();        // ditto
+  });
+}
+"""
+
+GOOD_SAMPLE = """
+void g(simgpu::Device& dev, simgpu::DeviceBuffer<float> buf) {
+  simgpu::launch(dev, {"good", 1, 32}, [=](simgpu::BlockCtx& ctx) {
+    ctx.store(buf, 0, ctx.load(buf, 1));  // string red herring: ".data()"
+  });
+  buf.data()[0] = 1.0f;  // host-side, outside the launch: allowed
+  std::vector<float> host(4);
+  use(host.data());
+}
+"""
+
+ALLOWED_SAMPLE = """
+void h(simgpu::Device& dev, simgpu::DeviceBuffer<float> buf) {
+  simgpu::launch(dev, {"waived", 1, 32}, [=](simgpu::BlockCtx& ctx) {
+    buf.data()[0] = 1.0f;  // lint:allow-raw-access
+  });
+}
+"""
+
+
+def self_test() -> int:
+    bad = lint_text(BAD_SAMPLE, "<bad>")
+    if len(bad) != 2:
+        print(f"self-test FAILED: expected 2 findings in BAD_SAMPLE, "
+              f"got {len(bad)}: {bad}")
+        return 1
+    good = lint_text(GOOD_SAMPLE, "<good>")
+    if good:
+        print(f"self-test FAILED: false positives in GOOD_SAMPLE: {good}")
+        return 1
+    allowed = lint_text(ALLOWED_SAMPLE, "<allowed>")
+    if allowed:
+        print(f"self-test FAILED: marker not honoured: {allowed}")
+        return 1
+    print("lint_kernels self-test passed")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("roots", nargs="*", default=["src/topk"],
+                        help="directories to lint (default: src/topk)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the embedded linter self-test and exit")
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+
+    repo = pathlib.Path(__file__).resolve().parent.parent
+    findings = []
+    for root in args.roots:
+        p = pathlib.Path(root)
+        if not p.is_absolute():
+            p = repo / p
+        if not p.exists():
+            print(f"lint_kernels: no such directory: {p}")
+            return 2
+        findings.extend(lint_tree(p))
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"lint_kernels: {len(findings)} finding(s)")
+        return 1
+    print("lint_kernels: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
