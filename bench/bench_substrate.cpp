@@ -1,0 +1,156 @@
+// bench_substrate — wall-clock throughput harness for the simgpu substrate.
+//
+// Unlike the fig*/table* binaries this does not reproduce a paper figure: it
+// measures how fast the *emulator itself* moves elements (elements/second of
+// wall-clock time, not modeled device time) for the ported hot-loop
+// algorithms, with the tile-granular fast path on and off.  The A/B ratio is
+// the substrate speedup that lets default sweeps raise TOPK_MAX_LOG_N toward
+// the paper's N = 2^30 regime.
+//
+// Output: a human-readable table on stdout and BENCH_substrate.json in the
+// working directory (schema documented in docs/performance.md).  `--smoke`
+// shrinks N and the repetition count for CI.
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/topk.hpp"
+#include "data/distributions.hpp"
+#include "simgpu/simgpu.hpp"
+
+namespace {
+
+struct Row {
+  std::string algo;
+  std::size_t n = 0;
+  std::size_t k = 0;
+  bool tile = false;
+  double wall_ms = 0.0;
+  double elems_per_sec = 0.0;
+  double model_us = 0.0;
+};
+
+/// Best-of-`reps` wall clock of one algorithm run.  The device and its
+/// buffers are set up once and reused across reps: the emulator retains
+/// workspace chunks between runs, so from the second rep on the timed region
+/// measures the substrate's hot loops rather than first-touch page faults on
+/// fresh allocations (which cost the same regardless of the tile path and
+/// would only dilute the A/B ratio).
+Row measure(simgpu::Device& dev, std::span<const float> data, std::size_t n,
+            std::size_t k, topk::Algo algo, bool tile, int reps) {
+  simgpu::set_tile_path_enabled(tile);
+  Row row;
+  row.algo = topk::algo_name(algo);
+  row.n = n;
+  row.k = k;
+  row.tile = tile;
+  row.wall_ms = 1e300;
+  simgpu::ScopedWorkspace ws(dev);
+  auto in = dev.alloc<float>(n);
+  std::copy(data.begin(), data.end(), in.data());
+  auto out_vals = dev.alloc<float>(k);
+  auto out_idx = dev.alloc<std::uint32_t>(k);
+  for (int r = 0; r < reps; ++r) {
+    dev.clear_events();
+    const auto t0 = std::chrono::steady_clock::now();
+    topk::select_device(dev, in, 1, n, k, out_vals, out_idx, algo);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (ms < row.wall_ms) {
+      row.wall_ms = ms;
+      row.model_us = simgpu::CostModel(dev.spec()).total_us(dev.events());
+    }
+  }
+  row.elems_per_sec = static_cast<double>(n) / (row.wall_ms / 1e3);
+  return row;
+}
+
+std::string fmt_double(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  const auto scale = topk::bench::BenchScale::from_env();
+  const int max_log_n = smoke ? 18 : std::min(scale.max_log_n, 22);
+  const int reps = smoke ? 2 : 4;  // rep 1 warms allocations, min is warm
+  const std::size_t k = 256;
+  const simgpu::DeviceSpec spec = simgpu::DeviceSpec::a100();
+  const bool tile_default = simgpu::tile_path_enabled();
+
+  std::vector<int> log_ns;
+  for (int ln = smoke ? 16 : 18; ln <= max_log_n; ln += 2) {
+    log_ns.push_back(ln);
+  }
+
+  const topk::Algo algos[] = {topk::Algo::kAirTopk, topk::Algo::kSort,
+                              topk::Algo::kRadixSelect,
+                              topk::Algo::kGridSelect};
+
+  std::vector<Row> rows;
+  std::cout << "algo,n,k,tile,wall_ms,elems_per_sec,model_us,speedup\n";
+  for (const topk::Algo algo : algos) {
+    for (const int ln : log_ns) {
+      const std::size_t n = std::size_t{1} << ln;
+      const auto data = topk::data::uniform_values(n, 42 + ln);
+      simgpu::Device dev(spec);
+      const Row off = measure(dev, data, n, k, algo, false, reps);
+      const Row on = measure(dev, data, n, k, algo, true, reps);
+      rows.push_back(off);
+      rows.push_back(on);
+      const double speedup = off.wall_ms / on.wall_ms;
+      for (const Row* r : {&off, &on}) {
+        std::cout << r->algo << "," << r->n << "," << r->k << ","
+                  << (r->tile ? "on" : "off") << "," << r->wall_ms << ","
+                  << static_cast<std::uint64_t>(r->elems_per_sec) << ","
+                  << r->model_us << ","
+                  << (r->tile ? fmt_double(speedup) : "-")
+                  << "\n";
+      }
+    }
+  }
+  simgpu::set_tile_path_enabled(tile_default);
+
+  std::ofstream out("BENCH_substrate.json");
+  out << "{\n  \"meta\": {\n"
+      << "    \"bench\": \"bench_substrate\",\n"
+      << "    \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+      << "    \"reps\": " << reps << ",\n"
+      << "    \"pool_threads\": " << simgpu::ThreadPool::instance().size()
+      << ",\n"
+      << "    \"tile_path_default\": " << (tile_default ? "true" : "false")
+      << ",\n"
+      << "    \"device\": \"" << spec.name << "\",\n"
+      << "    \"metric\": \"wall-clock elements/sec of the emulator "
+         "(modeled device time is tile-invariant by construction)\"\n"
+      << "  },\n  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "    {\"algo\": \"" << r.algo << "\", \"n\": " << r.n
+        << ", \"k\": " << r.k << ", \"tile\": " << (r.tile ? "true" : "false")
+        << ", \"wall_ms\": " << r.wall_ms
+        << ", \"elems_per_sec\": " << fmt_double(r.elems_per_sec)
+        << ", \"model_us\": " << r.model_us << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote BENCH_substrate.json (" << rows.size() << " rows)\n";
+  return 0;
+}

@@ -1,0 +1,35 @@
+#include "simgpu/kernel.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
+
+namespace simgpu {
+
+namespace {
+
+/// -1 until first read, then 0/1.  Relaxed is enough: the switch is flipped
+/// from the driving host thread between launches, never mid-kernel.
+std::atomic<int> g_tile_path{-1};
+
+int tile_path_from_env() {
+  const char* v = std::getenv("TOPK_SIM_TILE");
+  return (v != nullptr && std::string_view(v) == "0") ? 0 : 1;
+}
+
+}  // namespace
+
+bool tile_path_enabled() {
+  int v = g_tile_path.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = tile_path_from_env();
+    g_tile_path.store(v, std::memory_order_relaxed);
+  }
+  return v != 0;
+}
+
+void set_tile_path_enabled(bool enabled) {
+  g_tile_path.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+}  // namespace simgpu

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <bit>
@@ -20,6 +21,21 @@
 namespace simgpu {
 
 inline constexpr int kWarpSize = 32;
+
+/// Elements per tile used by the bulk device-memory accessors below and the
+/// algorithm scan helpers: large enough to amortize the per-tile accounting
+/// to noise, small enough that a staged tile (keys + indices) stays resident
+/// in L1.
+inline constexpr std::size_t kTileElems = 1024;
+
+/// Runtime switch for the tile-granular fast path (BlockCtx::load_tile /
+/// store_tile / for_each_elem and the algorithm scan loops built on them).
+/// Default on; set the environment variable TOPK_SIM_TILE=0 to start
+/// disabled.  The switch exists for A/B benchmarking (bench_substrate) and
+/// the counter-invariance suite — KernelStats and modeled time are
+/// bit-identical in both modes by construction, only wall-clock changes.
+[[nodiscard]] bool tile_path_enabled();
+void set_tile_path_enabled(bool enabled);
 
 /// A warp: 32 lanes executed in lockstep by the emulator.  Kernels written
 /// against this class are structured exactly like warp-synchronous CUDA
@@ -158,11 +174,59 @@ class SharedSpan {
   /// Read-only raw view (element reads through it are not shadowed).
   operator std::span<const T>() const { return {data_, size_}; }  // NOLINT
 
+  /// Raw mutable pointer for the tile fast path, or nullptr when the caller
+  /// must go through SharedRef.  Non-null only when the tile path is enabled
+  /// AND no sanitizer is attached: shared-memory accesses are not charged to
+  /// BlockCounters, so writing through the raw pointer cannot perturb
+  /// KernelStats, and with the sanitizer off there is no shadow state to
+  /// keep element-exact.  Hot loops hoist this once and fall back to
+  /// operator[] on nullptr.
+  [[nodiscard]] T* unchecked_data() const;
+
  private:
   BlockCtx* ctx_ = nullptr;
   T* data_ = nullptr;
   std::size_t size_ = 0;
   std::size_t off_ = 0;  ///< byte offset within the block's shared arena
+};
+
+/// Accounted scattered element stores (see BlockCtx::scatter_writer).
+///
+/// Kernels whose store destinations are data-dependent (radix scatter by
+/// digit, filter compaction) cannot use store_tile, but when the per-element
+/// store COUNT is known up front the byte accounting can still be bulk: the
+/// factory pre-charges `count` element writes and put() degenerates to a raw
+/// write.  With the tile path off, or with a sanitizer attached, put()
+/// instead charges/shadows per element exactly like BlockCtx::store — the
+/// caller contract (exactly `count` puts per writer) makes the charged
+/// totals identical in every mode.
+template <typename T>
+class ScatterWriter {
+ public:
+  /// The hot branch is a raw store so it inlines into big scatter loops;
+  /// the per-element charge/shadow mode lives out of line.
+  void put(std::size_t i, T v) {
+    if (bulk_charged_) {
+      data_[i] = v;  // bounds unchecked, exactly like store() w/o simcheck
+      return;
+    }
+    put_slow(i, v);
+  }
+
+ private:
+  void put_slow(std::size_t i, T v);
+
+  friend class BlockCtx;
+  ScatterWriter(BlockCtx* ctx, const DeviceBuffer<T>& b, bool bulk_charged)
+      : ctx_(ctx),
+        data_(b.data()),
+        size_(b.size()),
+        bulk_charged_(bulk_charged) {}
+
+  BlockCtx* ctx_;
+  T* data_;
+  std::size_t size_;
+  bool bulk_charged_;
 };
 
 /// Execution context of one thread block.
@@ -396,6 +460,109 @@ class BlockCtx {
     ref.store(v, std::memory_order_seq_cst);
   }
 
+  /// ---- Tile-granular device memory access (fast path) --------------------
+  ///
+  /// Bulk counterparts of load/store.  They charge BlockCounters once per
+  /// tile instead of once per element and expose contiguous spans the
+  /// compiler can autovectorize, which is what lets the emulator touch each
+  /// element through a wide, cheap path.  With a sanitizer attached every
+  /// element of the tile is shadow-checked exactly as the scalar accessors
+  /// would check it (simcheck loses no precision); counters are charged
+  /// identically with checking on or off and identically to an equivalent
+  /// sequence of scalar load/store calls, so KernelStats and modeled time
+  /// are bit-identical across the scalar path, the tile path, and both
+  /// simcheck modes.
+
+  /// Accounted read of `count` contiguous elements starting at `first`.
+  /// Returns a read-only view of the tile.  A tile reaching past the buffer
+  /// extent is suppressed wholesale (empty span) and reported through the
+  /// sanitizer when one is attached — the scalar path suppresses the same
+  /// accesses element by element.
+  template <typename T>
+  [[nodiscard]] std::span<const T> load_tile(const DeviceBuffer<T>& b,
+                                             std::size_t first,
+                                             std::size_t count) {
+    counters_.bytes_read += count * sizeof(T);
+    if (count == 0) return {};
+    if (first > b.size() || count > b.size() - first) {
+      if (san_ != nullptr) {
+        (void)device_access_ok(b.data(), sizeof(T),
+                               first > b.size() ? first : b.size(), b.size(),
+                               true, false, false);
+      }
+      return {};
+    }
+    if (san_ != nullptr) {
+      for (std::size_t i = 0; i < count; ++i) {
+        (void)device_access_ok(b.data(), sizeof(T), first + i, b.size(), true,
+                               false, false);
+      }
+    }
+    return {b.data() + first, count};
+  }
+
+  /// Accounted write of `src` into b[first, first + src.size()).  One memcpy
+  /// when unchecked; per-element shadowed stores when the sanitizer is
+  /// attached, so shadow valid bits and race slots stay element-exact.
+  template <typename T>
+  void store_tile(const DeviceBuffer<T>& b, std::size_t first,
+                  std::span<const T> src) {
+    counters_.bytes_written += src.size_bytes();
+    if (src.empty()) return;
+    if (first > b.size() || src.size() > b.size() - first) {
+      if (san_ != nullptr) {
+        (void)device_access_ok(b.data(), sizeof(T),
+                               first > b.size() ? first : b.size(), b.size(),
+                               false, true, false);
+      }
+      return;
+    }
+    if (san_ != nullptr) {
+      for (std::size_t i = 0; i < src.size(); ++i) {
+        if (device_access_ok(b.data(), sizeof(T), first + i, b.size(), false,
+                             true, false)) {
+          b.data()[first + i] = src[i];
+        }
+      }
+      return;
+    }
+    std::memcpy(b.data() + first, src.data(), src.size_bytes());
+  }
+
+  /// Visit b[first + j] for j in [0, count), calling `f(j, value)` —
+  /// tile-granular (kTileElems per tile) when the fast path is enabled,
+  /// scalar load() per element otherwise.  The single entry point hot loops
+  /// use so both paths share one body and charge identical counters.
+  template <typename T, typename F>
+  void for_each_elem(const DeviceBuffer<T>& b, std::size_t first,
+                     std::size_t count, F&& f) {
+    if (tile_path_enabled()) {
+      std::size_t j = 0;
+      while (j < count) {
+        const std::size_t c = std::min(kTileElems, count - j);
+        const std::span<const T> tile = load_tile(b, first + j, c);
+        for (std::size_t u = 0; u < tile.size(); ++u) f(j + u, tile[u]);
+        j += c;
+      }
+    } else {
+      for (std::size_t j = 0; j < count; ++j) f(j, load(b, first + j));
+    }
+  }
+
+  /// Writer for exactly `count` data-dependent (scattered) element stores
+  /// into `b`.  On the tile fast path without a sanitizer the byte cost is
+  /// charged here in bulk and each put() is a raw write; otherwise put()
+  /// charges and shadows per element, identically to store().  Calling put()
+  /// a different number of times than `count` breaks counter invariance
+  /// between the two modes — the count is the caller's promise.
+  template <typename T>
+  [[nodiscard]] ScatterWriter<T> scatter_writer(const DeviceBuffer<T>& b,
+                                                std::size_t count) {
+    const bool bulk = tile_path_enabled() && san_ == nullptr;
+    if (bulk) counters_.bytes_written += count * sizeof(T);
+    return ScatterWriter<T>(this, b, bulk);
+  }
+
   /// ---- Compute accounting ------------------------------------------------
 
   /// Charge `n` lane operations to the compute model (comparisons, digit
@@ -410,6 +577,8 @@ class BlockCtx {
   friend class SharedRef;
   template <typename>
   friend class SharedSpan;
+  template <typename>
+  friend class ScatterWriter;
 
   [[nodiscard]] bool sanitizing() const { return san_ != nullptr; }
 
@@ -516,6 +685,24 @@ SharedRef<T>& SharedRef<T>::operator-=(T v) {
   ctx_->note_shared(p_, sizeof(T), sizeof(T), true, true);
   *p_ -= v;
   return *this;
+}
+
+template <typename T>
+T* SharedSpan<T>::unchecked_data() const {
+  if (!tile_path_enabled()) return nullptr;
+  if (ctx_ != nullptr && ctx_->sanitizing()) return nullptr;
+  return data_;
+}
+
+template <typename T>
+void ScatterWriter<T>::put_slow(std::size_t i, T v) {
+  ctx_->counters_.bytes_written += sizeof(T);
+  if (ctx_->san_ != nullptr &&
+      !ctx_->device_access_ok(data_, sizeof(T), i, size_, false, true,
+                              false)) {
+    return;
+  }
+  data_[i] = v;
 }
 
 template <typename T>

@@ -1,6 +1,7 @@
 #include "simgpu/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace simgpu {
 
@@ -22,21 +23,31 @@ ThreadPool::~ThreadPool() {
 }
 
 ThreadPool& ThreadPool::instance() {
-  static ThreadPool pool(std::max(2u, std::thread::hardware_concurrency()));
+  static ThreadPool pool([] {
+    if (const char* v = std::getenv("TOPK_SIM_THREADS")) {
+      const long n = std::atol(v);
+      if (n > 0) return static_cast<std::size_t>(n);
+    }
+    return static_cast<std::size_t>(
+        std::max(2u, std::thread::hardware_concurrency()));
+  }());
   return pool;
 }
 
 void ThreadPool::drain(Batch& batch) {
+  const std::size_t chunk = batch.chunk;
   for (;;) {
-    const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
-    if (i >= batch.num_blocks) break;
+    const std::size_t begin =
+        batch.next.fetch_add(chunk, std::memory_order_relaxed);
+    if (begin >= batch.num_blocks) break;
+    const std::size_t end = std::min(begin + chunk, batch.num_blocks);
     try {
-      (*batch.fn)(i);
+      batch.invoke(batch.ctx, begin, end);
     } catch (...) {
       std::scoped_lock lock(batch.error_mutex);
       if (!batch.error) batch.error = std::current_exception();
     }
-    batch.done.fetch_add(1, std::memory_order_acq_rel);
+    batch.done.fetch_add(end - begin, std::memory_order_acq_rel);
   }
 }
 
@@ -67,12 +78,17 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::run_blocks(std::size_t num_blocks,
-                            const std::function<void(std::size_t)>& fn) {
+void ThreadPool::run_ranges(std::size_t num_blocks, RangeFn invoke,
+                            void* ctx) {
   if (num_blocks == 0) return;
   Batch batch;
   batch.num_blocks = num_blocks;
-  batch.fn = &fn;
+  batch.invoke = invoke;
+  batch.ctx = ctx;
+  // Aim for several chunks per thread so stragglers can be absorbed, but
+  // never claim one block at a time for large grids: the shared cursor then
+  // stops being a contention point.
+  batch.chunk = std::clamp<std::size_t>(num_blocks / (size() * 8), 1, 64);
   {
     std::scoped_lock lock(mutex_);
     current_ = &batch;

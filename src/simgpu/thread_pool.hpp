@@ -5,9 +5,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <exception>
-#include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace simgpu {
@@ -17,11 +18,19 @@ namespace simgpu {
 ///
 /// The pool exposes a single bulk primitive, `run_blocks(n, fn)`, which calls
 /// `fn(block_index)` exactly once for every index in [0, n).  Worker threads
-/// claim block indices from a shared atomic cursor, so load imbalance between
-/// blocks is absorbed the same way a GPU's block scheduler absorbs it.
+/// claim contiguous *chunks* of block indices from a shared atomic cursor —
+/// one fetch_add per chunk instead of one per block — so large grids do not
+/// serialize on the cursor, while small chunks still absorb load imbalance
+/// the same way a GPU's block scheduler absorbs it.
+///
+/// `fn` is passed as a non-owning callable reference: no type-erasure
+/// allocation happens per launch (the old `const std::function&` signature
+/// constructed a heap-backed functor for every kernel launch).
 ///
 /// Exceptions thrown by `fn` are captured and the first one is rethrown on
 /// the calling thread once the grid has drained (kernels must not half-run).
+/// When `fn(i)` throws, the remaining indices of the chunk that contained
+/// `i` are skipped; other chunks still execute.
 class ThreadPool {
  public:
   explicit ThreadPool(std::size_t num_threads);
@@ -31,19 +40,36 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Execute `fn(i)` for every i in [0, num_blocks).  Blocks until complete.
-  /// The calling thread participates in the work.
-  void run_blocks(std::size_t num_blocks,
-                  const std::function<void(std::size_t)>& fn);
+  /// The calling thread participates in the work.  `fn` is borrowed for the
+  /// duration of the call — no copy, no allocation.
+  template <typename F>
+  void run_blocks(std::size_t num_blocks, F&& fn) {
+    using Fn = std::remove_reference_t<F>;
+    run_ranges(num_blocks,
+               [](void* ctx, std::size_t begin, std::size_t end) {
+                 Fn& f = *static_cast<Fn*>(ctx);
+                 for (std::size_t i = begin; i < end; ++i) f(i);
+               },
+               const_cast<void*>(
+                   static_cast<const void*>(std::addressof(fn))));
+  }
 
   [[nodiscard]] std::size_t size() const { return workers_.size() + 1; }
 
-  /// Process-wide pool sized to the host's hardware concurrency.
+  /// Process-wide pool sized to the host's hardware concurrency, or to
+  /// TOPK_SIM_THREADS when that environment variable is a positive integer.
   static ThreadPool& instance();
 
  private:
+  /// Type-erased-but-non-owning range invoker: `ctx` points at the caller's
+  /// callable, which outlives the batch by construction.
+  using RangeFn = void (*)(void* ctx, std::size_t begin, std::size_t end);
+
   struct Batch {
     std::size_t num_blocks = 0;
-    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t chunk = 1;  ///< indices claimed per cursor fetch_add
+    RangeFn invoke = nullptr;
+    void* ctx = nullptr;
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
     std::atomic<int> active{0};
@@ -51,6 +77,7 @@ class ThreadPool {
     std::mutex error_mutex;
   };
 
+  void run_ranges(std::size_t num_blocks, RangeFn invoke, void* ctx);
   void worker_loop();
   static void drain(Batch& batch);
 

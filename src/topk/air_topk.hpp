@@ -272,58 +272,105 @@ void air_topk(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
       if (!is_last_filter && !copy_mode) {
         shist = ctx.shared_zero<std::uint32_t>(nb, "air digit histogram");
       }
+      // Raw histogram pointer on the unsanitized tile path (shared accesses
+      // are uncounted, so this cannot perturb KernelStats); nullptr means go
+      // through the shadowed SharedRef.
+      std::uint32_t* const hraw = shist.unchecked_data();
 
-      for (std::size_t i = begin; i < end; ++i) {
-        T value;
-        std::uint32_t index;
-        if (from_buf) {
-          value = ctx.load(buf_in_val, prob * bufcap + i);
-          index = ctx.load(buf_in_idx, prob * bufcap + i);
-        } else {
-          value = ctx.load(in, prob * n + i);
-          index = has_in_idx ? ctx.load(in_idx, prob * n + i)
-                             : static_cast<std::uint32_t>(i);
-        }
+      // The per-element body; fed by the tile-granular scan helpers below
+      // (or scalar loads when the fast path is off — identical counters).
+      const auto process = [&](std::size_t, T value, std::uint32_t index) {
         const Bits key = Traits::to_radix(value) ^ order_mask;
 
-        bool is_candidate;
-        if (p == 0) {
-          is_candidate = true;  // first pass: histogram only, no filtering
-        } else {
+        if (p != 0) {
           const Bits pk = static_cast<Bits>(key >> prev.start_bit);
           const auto target = static_cast<Bits>(prefix);
           if (pk == target) {
-            is_candidate = true;
+            // still a candidate
           } else if (pk < target &&
                      (pk >> prev.width) == (target >> prev.width)) {
             // Newly discovered top-K result: earlier digits all match the
             // K-th prefix and the previous pass's digit is smaller.
             emit(value, index);
-            continue;
+            return;
           } else {
-            continue;  // definitely not in the top-K (or already emitted)
+            return;  // definitely not in the top-K (or already emitted)
           }
         }
 
-        if (!is_candidate) continue;
         if (copy_mode) {
           // Early stopping: every remaining candidate is a result.
           emit(value, index);
-          continue;
+          return;
         }
         if (is_last_filter) {
           // Tie at the K-th value: take the first k_rem by batched ticket.
           tie_v[tie_staged] = value;
           tie_i[tie_staged] = index;
           if (++tie_staged == 32) flush_ties();
-          continue;
+          return;
         }
         if (store_flag) {
           buf_app.push(ctx, value, index);
         }
         const std::uint32_t digit =
             static_cast<std::uint32_t>(key >> cur.start_bit) & digit_mask;
-        ++shist[digit];
+        if (hraw != nullptr) {
+          ++hraw[digit];
+        } else {
+          ++shist[digit];
+        }
+      };
+
+      const auto scan_with = [&](auto&& body) {
+        if (from_buf) {
+          scan_pairs(ctx, buf_in_val, buf_in_idx, prob * bufcap, begin, end,
+                     body);
+        } else if (has_in_idx) {
+          scan_pairs(ctx, in, in_idx, prob * n, begin, end, body);
+        } else {
+          ctx.for_each_elem(in, prob * n + begin, end - begin,
+                            [&](std::size_t j, T value) {
+                              body(begin + j, value,
+                                   static_cast<std::uint32_t>(begin + j));
+                            });
+        }
+      };
+
+      // Specialized bodies for the histogram passes on the unsanitized tile
+      // path.  They are behaviorally identical to `process` with the branches
+      // that are loop-invariant for these passes (copy_mode, is_last_filter,
+      // p == 0, hraw) resolved outside the loop — at -O2 nothing unswitches
+      // them for us, and they dominate the whole-input scans of passes 0/1.
+      // All loop invariants are copied to function-scope locals so raw
+      // histogram stores cannot force reloads of captured state.
+      if (hraw != nullptr && !copy_mode && !is_last_filter) {
+        const Bits fom = order_mask;
+        const int fsb = cur.start_bit;
+        const std::uint32_t fdm = digit_mask;
+        if (p == 0) {
+          scan_with([&](std::size_t, T value, std::uint32_t) {
+            const Bits key = Traits::to_radix(value) ^ fom;
+            ++hraw[static_cast<std::uint32_t>(key >> fsb) & fdm];
+          });
+        } else {
+          const int psb = prev.start_bit;
+          const int pw = prev.width;
+          const auto target = static_cast<Bits>(prefix);
+          const bool fstore = store_flag;
+          scan_with([&](std::size_t, T value, std::uint32_t index) {
+            const Bits key = Traits::to_radix(value) ^ fom;
+            const Bits pk = static_cast<Bits>(key >> psb);
+            if (pk == target) {
+              if (fstore) buf_app.push(ctx, value, index);
+              ++hraw[static_cast<std::uint32_t>(key >> fsb) & fdm];
+            } else if (pk < target && (pk >> pw) == (target >> pw)) {
+              emit(value, index);
+            }
+          });
+        }
+      } else {
+        scan_with(process);
       }
       // ~10 lane ops per element: load issue, radix transform, prefix
       // compare chain, digit extract (shift+mask), shared-histogram address
@@ -391,17 +438,7 @@ void air_topk(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
         const std::uint64_t ties_needed = k_rem - less;
         std::uint64_t ties_taken = 0;
         const std::size_t fcount = store_flag ? cand : n;
-        for (std::size_t i = 0; i < fcount; ++i) {
-          T value;
-          std::uint32_t index;
-          if (store_flag) {
-            value = ctx.load(buf_out_val, prob * bufcap + i);
-            index = ctx.load(buf_out_idx, prob * bufcap + i);
-          } else {
-            value = ctx.load(in, prob * n + i);
-            index = has_in_idx ? ctx.load(in_idx, prob * n + i)
-                               : static_cast<std::uint32_t>(i);
-          }
+        const auto filter = [&](std::size_t, T value, std::uint32_t index) {
           const Bits key = Traits::to_radix(value) ^ order_mask;
           if (key == kth) {
             if (ties_taken < ties_needed) {
@@ -412,6 +449,18 @@ void air_topk(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
                      (key >> cur.width) == (kth >> cur.width)) {
             emit(value, index);
           }
+        };
+        if (store_flag) {
+          scan_pairs(ctx, buf_out_val, buf_out_idx, prob * bufcap, 0, fcount,
+                     filter);
+        } else if (has_in_idx) {
+          scan_pairs(ctx, in, in_idx, prob * n, 0, fcount, filter);
+        } else {
+          ctx.for_each_elem(in, prob * n, fcount,
+                            [&](std::size_t j, T value) {
+                              filter(j, value,
+                                     static_cast<std::uint32_t>(j));
+                            });
         }
         ctx.ops(6 * fcount);
         out_app.flush(ctx);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -63,6 +64,61 @@ inline std::pair<std::size_t, std::size_t> block_chunk(std::size_t count,
   const std::size_t begin = p * base + std::min(p, rem);
   const std::size_t end = begin + base + (p < rem ? 1 : 0);
   return {begin, end};
+}
+
+/// Visit the (value, index) pairs of rows [begin, end) of two parallel
+/// buffers offset by `base`, calling `f(i, value, index)` with i in
+/// [begin, end).  Rides the tile-granular fast path when it is enabled and
+/// degrades to scalar BlockCtx::load per element otherwise; either way the
+/// counted traffic is identical.  The single entry point used by the input
+/// scans of the radix-family kernels.
+template <typename T, typename F>
+inline void scan_pairs(simgpu::BlockCtx& ctx, simgpu::DeviceBuffer<T> vals,
+                       simgpu::DeviceBuffer<std::uint32_t> idx,
+                       std::size_t base, std::size_t begin, std::size_t end,
+                       F&& f) {
+  if (simgpu::tile_path_enabled()) {
+    std::size_t i = begin;
+    while (i < end) {
+      const std::size_t c = std::min(simgpu::kTileElems, end - i);
+      const std::span<const T> tv = ctx.load_tile(vals, base + i, c);
+      const std::span<const std::uint32_t> ti = ctx.load_tile(idx, base + i, c);
+      const std::size_t n = std::min(tv.size(), ti.size());
+      for (std::size_t u = 0; u < n; ++u) f(i + u, tv[u], ti[u]);
+      i += c;
+    }
+  } else {
+    for (std::size_t i = begin; i < end; ++i) {
+      f(i, ctx.load(vals, base + i), ctx.load(idx, base + i));
+    }
+  }
+}
+
+/// Accounted tile-granular copy of `count` (value, index) pairs from
+/// src[src_base...] to dst[dst_base...]; scalar load/store when the fast
+/// path is off.
+template <typename T>
+inline void copy_pairs(simgpu::BlockCtx& ctx, simgpu::DeviceBuffer<T> src_val,
+                       simgpu::DeviceBuffer<std::uint32_t> src_idx,
+                       std::size_t src_base, simgpu::DeviceBuffer<T> dst_val,
+                       simgpu::DeviceBuffer<std::uint32_t> dst_idx,
+                       std::size_t dst_base, std::size_t count) {
+  if (simgpu::tile_path_enabled()) {
+    std::size_t i = 0;
+    while (i < count) {
+      const std::size_t c = std::min(simgpu::kTileElems, count - i);
+      ctx.store_tile(dst_val, dst_base + i,
+                     ctx.load_tile(src_val, src_base + i, c));
+      ctx.store_tile(dst_idx, dst_base + i,
+                     ctx.load_tile(src_idx, src_base + i, c));
+      i += c;
+    }
+  } else {
+    for (std::size_t i = 0; i < count; ++i) {
+      ctx.store(dst_val, dst_base + i, ctx.load(src_val, src_base + i));
+      ctx.store(dst_idx, dst_base + i, ctx.load(src_idx, src_base + i));
+    }
+  }
 }
 
 /// Warp-aggregated append into parallel (value, index) output arrays that

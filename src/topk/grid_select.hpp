@@ -160,6 +160,9 @@ void grid_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
                                     opt.items_per_block);
   const int bpp = shape.blocks_per_problem;
   const bool shared_queue = opt.shared_queue;
+  // Captured at launch time: each warp round loads one contiguous 32-wide
+  // tile instead of 32 scalar loads when the fast path is on.
+  const bool tile = simgpu::tile_path_enabled();
 
   const bool has_in_idx = !opt.in_idx.empty();
   if (has_in_idx && opt.in_idx.size() < batch * n) {
@@ -214,15 +217,34 @@ void grid_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
         const std::size_t warp_off =
             static_cast<std::size_t>(warp.index()) * simgpu::kWarpSize;
         for (std::size_t pos = begin + warp_off; pos < end; pos += stride) {
-          warp.each([&](int lane) {
-            const std::size_t i = pos + static_cast<std::size_t>(lane);
-            valid[lane] = i < end;
-            if (valid[lane]) {
-              values[lane] = ctx.load(in, base + i);
-              indices[lane] = has_in_idx ? ctx.load(ext_idx, base + i)
-                                         : static_cast<std::uint32_t>(i);
-            }
-          });
+          if (tile) {
+            const std::size_t c =
+                std::min<std::size_t>(simgpu::kWarpSize, end - pos);
+            const std::span<const T> tv = ctx.load_tile(in, base + pos, c);
+            const std::span<const std::uint32_t> ti =
+                has_in_idx ? ctx.load_tile(ext_idx, base + pos, c)
+                           : std::span<const std::uint32_t>{};
+            warp.each([&](int lane) {
+              const auto u = static_cast<std::size_t>(lane);
+              valid[lane] = u < tv.size();
+              if (valid[lane]) {
+                values[lane] = tv[u];
+                indices[lane] = has_in_idx
+                                    ? ti[u]
+                                    : static_cast<std::uint32_t>(pos + u);
+              }
+            });
+          } else {
+            warp.each([&](int lane) {
+              const std::size_t i = pos + static_cast<std::size_t>(lane);
+              valid[lane] = i < end;
+              if (valid[lane]) {
+                values[lane] = ctx.load(in, base + i);
+                indices[lane] = has_in_idx ? ctx.load(ext_idx, base + i)
+                                           : static_cast<std::uint32_t>(i);
+              }
+            });
+          }
           if (shared_queue) {
             sq[static_cast<std::size_t>(warp.index())]->round(ctx, values,
                                                               indices, valid);
@@ -295,20 +317,39 @@ void grid_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
       auto acc_idx = ctx.shared<std::uint32_t>(cap, "gridselect merge acc idx");
       auto tmp_keys = ctx.shared<T>(cap, "gridselect merge tmp keys");
       auto tmp_idx = ctx.shared<std::uint32_t>(cap, "gridselect merge tmp idx");
-      for (std::size_t i = 0; i < cap; ++i) {
-        const std::size_t src = prob * static_cast<std::size_t>(bpp) * cap + i;
-        acc_keys[i] = ctx.load(part_val, src);
-        acc_idx[i] = ctx.load(part_idx, src);
-      }
+      // Pull one block's sorted partial list into shared memory, riding the
+      // tile path for the device-memory side when it is enabled.
+      const auto load_partial = [&](auto& dst_keys, auto& dst_idx,
+                                    std::size_t src_base) {
+        if (tile) {
+          std::size_t i = 0;
+          while (i < cap) {
+            const std::size_t c = std::min(simgpu::kTileElems, cap - i);
+            const std::span<const T> tk =
+                ctx.load_tile(part_val, src_base + i, c);
+            const std::span<const std::uint32_t> tix =
+                ctx.load_tile(part_idx, src_base + i, c);
+            for (std::size_t u = 0; u < tk.size(); ++u) {
+              dst_keys[i + u] = tk[u];
+              dst_idx[i + u] = tix[u];
+            }
+            i += c;
+          }
+        } else {
+          for (std::size_t i = 0; i < cap; ++i) {
+            dst_keys[i] = ctx.load(part_val, src_base + i);
+            dst_idx[i] = ctx.load(part_idx, src_base + i);
+          }
+        }
+      };
+      load_partial(acc_keys, acc_idx,
+                   prob * static_cast<std::size_t>(bpp) * cap);
       for (int b = 1; b < bpp; ++b) {
         const std::size_t src_base =
             (prob * static_cast<std::size_t>(bpp) +
              static_cast<std::size_t>(b)) *
             cap;
-        for (std::size_t i = 0; i < cap; ++i) {
-          tmp_keys[i] = ctx.load(part_val, src_base + i);
-          tmp_idx[i] = ctx.load(part_idx, src_base + i);
-        }
+        load_partial(tmp_keys, tmp_idx, src_base);
         merge_prune(ctx, acc_keys, acc_idx, tmp_keys, tmp_idx);
       }
       for (std::size_t i = 0; i < k; ++i) {

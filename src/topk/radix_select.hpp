@@ -104,14 +104,27 @@ void radix_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
         simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
           auto shist = ctx.shared_zero<std::uint32_t>(
               static_cast<std::size_t>(nb));
+          std::uint32_t* const hraw = shist.unchecked_data();
           const auto [begin, end] = block_chunk(count, bpp, ctx.block_idx());
-          for (std::size_t i = begin; i < end; ++i) {
-            const T v = from_input ? ctx.load(in, prob * n + i)
-                                   : ctx.load(src_val, i);
-            const Bits key = Traits::to_radix(v);
-            const std::uint32_t digit =
-                static_cast<std::uint32_t>(key >> start_bit) & mask;
-            ++shist[digit];
+          const int sb = start_bit;
+          const std::uint32_t dm = mask;
+          const auto scan_with = [&](auto&& bump) {
+            if (from_input) {
+              ctx.for_each_elem(in, prob * n + begin, end - begin, bump);
+            } else {
+              ctx.for_each_elem(src_val, begin, end - begin, bump);
+            }
+          };
+          if (hraw != nullptr) {
+            scan_with([&](std::size_t, T v) {
+              ++hraw[static_cast<std::uint32_t>(Traits::to_radix(v) >> sb) &
+                     dm];
+            });
+          } else {
+            scan_with([&](std::size_t, T v) {
+              ++shist[static_cast<std::uint32_t>(Traits::to_radix(v) >> sb) &
+                      dm];
+            });
           }
           ctx.ops(3 * (end - begin));
           ctx.sync();
@@ -151,16 +164,7 @@ void radix_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
         const std::uint64_t out_cursor_base = out_base + out_written;
         simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
           const auto [begin, end] = block_chunk(count, bpp, ctx.block_idx());
-          for (std::size_t i = begin; i < end; ++i) {
-            T v;
-            std::uint32_t id;
-            if (from_input) {
-              v = ctx.load(in, prob * n + i);
-              id = static_cast<std::uint32_t>(i);
-            } else {
-              v = ctx.load(src_val, i);
-              id = ctx.load(src_idx, i);
-            }
+          const auto filter = [&](std::size_t, T v, std::uint32_t id) {
             const Bits key = Traits::to_radix(v);
             const std::uint32_t digit =
                 static_cast<std::uint32_t>(key >> start_bit) & mask;
@@ -173,6 +177,15 @@ void radix_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
               ctx.store(dst_val, pos, v);
               ctx.store(dst_idx, pos, id);
             }
+          };
+          if (from_input) {
+            ctx.for_each_elem(in, prob * n + begin, end - begin,
+                              [&](std::size_t j, T v) {
+                                filter(begin + j, v,
+                                       static_cast<std::uint32_t>(begin + j));
+                              });
+          } else {
+            scan_pairs(ctx, src_val, src_idx, 0, begin, end, filter);
           }
           ctx.ops(4 * (end - begin));
         });
@@ -195,10 +208,8 @@ void radix_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
         const std::uint64_t out_cursor_base = out_base + out_written;
         simgpu::LaunchConfig cfg{"CopyRemainder", 1, opt.block_threads};
         simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
-          for (std::uint64_t i = 0; i < take; ++i) {
-            ctx.store(out_vals, out_cursor_base + i, ctx.load(fin_val, i));
-            ctx.store(out_idx, out_cursor_base + i, ctx.load(fin_idx, i));
-          }
+          copy_pairs(ctx, fin_val, fin_idx, 0, out_vals, out_idx,
+                     out_cursor_base, take);
           ctx.ops(take);
         });
         dev.synchronize("final");

@@ -66,9 +66,30 @@ void sort_topk(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
       const auto dst_idx = idx[0];
       simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
         const auto [begin, end] = block_chunk(n, bpp, ctx.block_idx());
-        for (std::size_t i = begin; i < end; ++i) {
-          ctx.store(dst_keys, i, Traits::to_radix(ctx.load(in, prob * n + i)));
-          ctx.store(dst_idx, i, static_cast<std::uint32_t>(i));
+        if (simgpu::tile_path_enabled()) {
+          // Stage one tile of transformed keys + iota indices, then store
+          // both with a single accounted (and shadow-exact) bulk write.
+          Bits kbuf[simgpu::kTileElems];
+          std::uint32_t ibuf[simgpu::kTileElems];
+          std::size_t i = begin;
+          while (i < end) {
+            const std::size_t c = std::min(simgpu::kTileElems, end - i);
+            const std::span<const T> tv = ctx.load_tile(in, prob * n + i, c);
+            for (std::size_t u = 0; u < tv.size(); ++u) {
+              kbuf[u] = Traits::to_radix(tv[u]);
+              ibuf[u] = static_cast<std::uint32_t>(i + u);
+            }
+            ctx.store_tile(dst_keys, i, std::span<const Bits>(kbuf, c));
+            ctx.store_tile(dst_idx, i,
+                           std::span<const std::uint32_t>(ibuf, c));
+            i += c;
+          }
+        } else {
+          for (std::size_t i = begin; i < end; ++i) {
+            ctx.store(dst_keys, i,
+                      Traits::to_radix(ctx.load(in, prob * n + i)));
+            ctx.store(dst_idx, i, static_cast<std::uint32_t>(i));
+          }
         }
         ctx.ops(end - begin);
       });
@@ -88,10 +109,22 @@ void sort_topk(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
         simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
           auto shist =
               ctx.shared_zero<std::uint32_t>(static_cast<std::size_t>(nb));
+          std::uint32_t* const hraw = shist.unchecked_data();
           const auto [begin, end] = block_chunk(n, bpp, ctx.block_idx());
-          for (std::size_t i = begin; i < end; ++i) {
-            const Bits key = ctx.load(src_keys, i);
-            ++shist[static_cast<std::uint32_t>(key >> start_bit) & mask];
+          const int sb = start_bit;
+          const std::uint32_t dm = mask;
+          if (hraw != nullptr) {
+            ctx.for_each_elem(src_keys, begin, end - begin,
+                              [&](std::size_t, Bits key) {
+                                ++hraw[static_cast<std::uint32_t>(key >> sb) &
+                                       dm];
+                              });
+          } else {
+            ctx.for_each_elem(src_keys, begin, end - begin,
+                              [&](std::size_t, Bits key) {
+                                ++shist[static_cast<std::uint32_t>(key >> sb) &
+                                        dm];
+                              });
           }
           ctx.ops(2 * (end - begin));
           ctx.sync();
@@ -142,14 +175,33 @@ void sort_topk(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
           }
           ctx.sync();
           const auto [begin, end] = block_chunk(n, bpp, ctx.block_idx());
-          for (std::size_t i = begin; i < end; ++i) {
-            const Bits key = ctx.load(src_keys, i);
-            const std::uint32_t id = ctx.load(src_idx, i);
-            const std::uint32_t digit =
-                static_cast<std::uint32_t>(key >> start_bit) & mask;
-            const std::uint32_t at = cursor[digit]++;
-            ctx.store(dst_keys, at, key);
-            ctx.store(dst_idx, at, id);
+          // Loads ride the tile path.  The stores scatter by digit, so
+          // store_tile does not apply, but every element stores exactly one
+          // (key, idx) pair — a ScatterWriter bulk-charges that known count
+          // and writes raw on the unsanitized fast path.
+          auto wkey = ctx.scatter_writer(dst_keys, end - begin);
+          auto widx = ctx.scatter_writer(dst_idx, end - begin);
+          std::uint32_t* const craw = cursor.unchecked_data();
+          const int sb = start_bit;
+          const std::uint32_t dm = mask;
+          if (craw != nullptr) {
+            scan_pairs(ctx, src_keys, src_idx, 0, begin, end,
+                       [&](std::size_t, Bits key, std::uint32_t id) {
+                         const std::uint32_t at =
+                             craw[static_cast<std::uint32_t>(key >> sb) &
+                                  dm]++;
+                         wkey.put(at, key);
+                         widx.put(at, id);
+                       });
+          } else {
+            scan_pairs(ctx, src_keys, src_idx, 0, begin, end,
+                       [&](std::size_t, Bits key, std::uint32_t id) {
+                         const std::uint32_t at =
+                             cursor[static_cast<std::uint32_t>(key >> sb) &
+                                    dm]++;
+                         wkey.put(at, key);
+                         widx.put(at, id);
+                       });
           }
           ctx.ops(3 * (end - begin));
         });
@@ -168,10 +220,27 @@ void sort_topk(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
       const int cbpp = cshape.blocks_per_problem;
       simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
         const auto [begin, end] = block_chunk(k, cbpp, ctx.block_idx());
-        for (std::size_t i = begin; i < end; ++i) {
-          ctx.store(out_vals, prob * k + i,
-                    Traits::from_radix(ctx.load(fin_keys, i)));
-          ctx.store(out_idx, prob * k + i, ctx.load(fin_idx, i));
+        if (simgpu::tile_path_enabled()) {
+          T vbuf[simgpu::kTileElems];
+          std::size_t i = begin;
+          while (i < end) {
+            const std::size_t c = std::min(simgpu::kTileElems, end - i);
+            const std::span<const Bits> tk = ctx.load_tile(fin_keys, i, c);
+            const std::span<const std::uint32_t> ti =
+                ctx.load_tile(fin_idx, i, c);
+            for (std::size_t u = 0; u < tk.size(); ++u) {
+              vbuf[u] = Traits::from_radix(tk[u]);
+            }
+            ctx.store_tile(out_vals, prob * k + i, std::span<const T>(vbuf, c));
+            ctx.store_tile(out_idx, prob * k + i, ti);
+            i += c;
+          }
+        } else {
+          for (std::size_t i = begin; i < end; ++i) {
+            ctx.store(out_vals, prob * k + i,
+                      Traits::from_radix(ctx.load(fin_keys, i)));
+            ctx.store(out_idx, prob * k + i, ctx.load(fin_idx, i));
+          }
         }
         ctx.ops(end - begin);
       });

@@ -1,7 +1,9 @@
 #include "simgpu/kernel.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <numeric>
+#include <span>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -172,6 +174,181 @@ TEST(Launch, KernelEventRecordedOnDevice) {
   ASSERT_NE(k, nullptr);
   EXPECT_EQ(k->stats.name, "recorded");
   EXPECT_EQ(k->stats.grid_blocks, 2);
+}
+
+/// Restores the process-global tile toggle however a test exits.
+class TileGuard {
+ public:
+  TileGuard() : was_(tile_path_enabled()) {}
+  ~TileGuard() { set_tile_path_enabled(was_); }
+
+ private:
+  bool was_;
+};
+
+TEST(TileAccessors, LoadTileChargesAndReturnsData) {
+  TileGuard guard;
+  set_tile_path_enabled(true);
+  Device dev;
+  constexpr std::size_t kN = 2500;  // two full tiles + a ragged tail
+  auto in = dev.alloc<float>(kN);
+  std::iota(in.data(), in.data() + kN, 0.0f);
+  double sum = 0.0;
+  const KernelStats stats = launch(dev, {"tload", 1, 32}, [&](BlockCtx& ctx) {
+    std::size_t i = 0;
+    while (i < kN) {
+      const std::size_t c = std::min(kTileElems, kN - i);
+      const std::span<const float> t = ctx.load_tile(in, i, c);
+      ASSERT_EQ(t.size(), c);
+      for (const float v : t) sum += v;
+      i += c;
+    }
+  });
+  EXPECT_EQ(stats.bytes_read, kN * sizeof(float));
+  EXPECT_EQ(sum, kN * (kN - 1) / 2.0);
+}
+
+TEST(TileAccessors, StoreTileRoundtripAndCharge) {
+  TileGuard guard;
+  set_tile_path_enabled(true);
+  Device dev;
+  constexpr std::size_t kN = 1300;
+  auto out = dev.alloc_zero<std::uint32_t>(kN);
+  const KernelStats stats = launch(dev, {"tstore", 1, 32}, [=](BlockCtx& ctx) {
+    std::uint32_t buf[kTileElems];
+    std::size_t i = 0;
+    while (i < kN) {
+      const std::size_t c = std::min(kTileElems, kN - i);
+      for (std::size_t u = 0; u < c; ++u) {
+        buf[u] = static_cast<std::uint32_t>(i + u);
+      }
+      ctx.store_tile(out, i, std::span<const std::uint32_t>(buf, c));
+      i += c;
+    }
+  });
+  EXPECT_EQ(stats.bytes_written, kN * sizeof(std::uint32_t));
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(out.data()[i], static_cast<std::uint32_t>(i)) << i;
+  }
+}
+
+TEST(TileAccessors, CountersIdenticalToScalarEquivalents) {
+  TileGuard guard;
+  Device dev;
+  constexpr std::size_t kN = 3001;
+  auto in = dev.alloc<float>(kN);
+  auto out = dev.alloc<float>(kN);
+  std::iota(in.data(), in.data() + kN, 0.0f);
+  KernelStats got[2];
+  for (const bool tile : {false, true}) {
+    set_tile_path_enabled(tile);
+    got[tile ? 1 : 0] =
+        launch(dev, {"copy_modes", 4, 32}, [=](BlockCtx& ctx) {
+          const std::size_t per = (kN + 3) / 4;
+          const auto b = static_cast<std::size_t>(ctx.block_idx());
+          const std::size_t begin = std::min(b * per, kN);
+          const std::size_t end = std::min(begin + per, kN);
+          float buf[kTileElems];
+          ctx.for_each_elem(in, begin, end - begin,
+                            [&](std::size_t j, float v) {
+                              buf[j % kTileElems] = v + 1.0f;
+                              if ((j + 1) % kTileElems == 0 ||
+                                  j + 1 == end - begin) {
+                                const std::size_t c = j % kTileElems + 1;
+                                ctx.store_tile(
+                                    out, begin + j + 1 - c,
+                                    std::span<const float>(buf, c));
+                              }
+                            });
+        });
+  }
+  EXPECT_EQ(got[0].bytes_read, got[1].bytes_read);
+  EXPECT_EQ(got[0].bytes_written, got[1].bytes_written);
+  EXPECT_EQ(got[0].bytes_read, kN * sizeof(float));
+  EXPECT_EQ(got[0].bytes_written, kN * sizeof(float));
+}
+
+TEST(TileAccessors, OutOfBoundsTileSuppressedWithoutSanitizer) {
+  TileGuard guard;
+  set_tile_path_enabled(true);
+  Device dev;
+  auto small = dev.alloc_zero<std::uint32_t>(10);
+  std::size_t got_elems = 1;
+  const KernelStats stats = launch(dev, {"oob", 1, 32}, [&](BlockCtx& ctx) {
+    got_elems = ctx.load_tile(small, 5, 10).size();  // reaches past extent
+    std::uint32_t buf[4] = {1, 2, 3, 4};
+    ctx.store_tile(small, 8, std::span<const std::uint32_t>(buf, 4));
+  });
+  EXPECT_EQ(got_elems, 0u);  // suppressed wholesale
+  // Charged as requested even though suppressed (matches scalar accounting).
+  EXPECT_EQ(stats.bytes_read, 10 * sizeof(std::uint32_t));
+  EXPECT_EQ(stats.bytes_written, 4 * sizeof(std::uint32_t));
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(small.data()[i], 0u) << i;
+}
+
+TEST(TileAccessors, ForEachElemVisitsIdenticallyInBothModes) {
+  TileGuard guard;
+  Device dev;
+  constexpr std::size_t kN = 2100;
+  auto in = dev.alloc<std::uint32_t>(kN);
+  std::iota(in.data(), in.data() + kN, 0u);
+  for (const bool tile : {false, true}) {
+    set_tile_path_enabled(tile);
+    std::vector<std::uint32_t> seen;
+    launch(dev, {"visit", 1, 32}, [&](BlockCtx& ctx) {
+      ctx.for_each_elem(in, 100, kN - 100, [&](std::size_t j, std::uint32_t v) {
+        ASSERT_EQ(v, 100 + j);
+        seen.push_back(v);
+      });
+    });
+    ASSERT_EQ(seen.size(), kN - 100) << "tile=" << tile;
+    EXPECT_EQ(seen.front(), 100u) << "tile=" << tile;
+    EXPECT_EQ(seen.back(), kN - 1) << "tile=" << tile;
+  }
+}
+
+TEST(TileAccessors, ScatterWriterChargesIdenticallyInBothModes) {
+  TileGuard guard;
+  Device dev;
+  constexpr std::size_t kN = 1777;
+  auto out = dev.alloc_zero<std::uint32_t>(kN);
+  for (const bool tile : {false, true}) {
+    set_tile_path_enabled(tile);
+    const KernelStats stats =
+        launch(dev, {"scatter", 1, 32}, [=](BlockCtx& ctx) {
+          auto w = ctx.scatter_writer(out, kN);
+          for (std::size_t i = 0; i < kN; ++i) {
+            w.put((i * 7919) % kN, static_cast<std::uint32_t>(i));
+          }
+        });
+    EXPECT_EQ(stats.bytes_written, kN * sizeof(std::uint32_t))
+        << "tile=" << tile;
+  }
+  // 7919 is coprime with kN, so every slot was written by both passes.
+  std::vector<bool> hit(kN, false);
+  for (std::size_t i = 0; i < kN; ++i) {
+    hit[(i * 7919) % kN] = true;
+  }
+  EXPECT_TRUE(std::all_of(hit.begin(), hit.end(), [](bool b) { return b; }));
+}
+
+TEST(TileAccessors, UncheckedSharedDataGatedOnTilePath) {
+  TileGuard guard;
+  Device dev;
+  for (const bool tile : {false, true}) {
+    set_tile_path_enabled(tile);
+    launch(dev, {"shraw", 1, 32}, [&](BlockCtx& ctx) {
+      auto s = ctx.shared_zero<std::uint32_t>(64);
+      std::uint32_t* raw = s.unchecked_data();
+      if (tile) {
+        ASSERT_NE(raw, nullptr);
+        raw[7] = 42;
+        EXPECT_EQ(static_cast<std::uint32_t>(s[7]), 42u);
+      } else {
+        EXPECT_EQ(raw, nullptr);
+      }
+    });
+  }
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <numeric>
+#include <span>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -440,6 +441,116 @@ TEST(Simcheck, WorkspaceRollbackDropsShadowRegions) {
   const auto rep = dev.sanitizer()->snapshot();
   ASSERT_EQ(count_kind(rep, IssueKind::kUninitDeviceRead), 1u);
   EXPECT_EQ(rep.issues[0].buffer, "fresh");
+}
+
+// ---------------------------------------------------------------------------
+// Tile fast path: with a sanitizer attached the bulk accessors fall back to
+// per-element shadowing, so simcheck keeps element-exact precision.
+
+/// Restores the process-global tile toggle however a test exits.
+class TileGuard {
+ public:
+  TileGuard() : was_(tile_path_enabled()) {}
+  ~TileGuard() { set_tile_path_enabled(was_); }
+
+ private:
+  bool was_;
+};
+
+TEST(SimcheckTile, CatchesOutOfBoundsTileLoad) {
+  TileGuard guard;
+  set_tile_path_enabled(true);
+  Device dev;
+  dev.enable_sanitizer();
+  auto buf = dev.alloc_zero<float>(8, "short buffer");
+  std::size_t got = 1;
+  launch(dev, {"oob tile load", 1, 32}, [&](BlockCtx& ctx) {
+    got = ctx.load_tile(buf, 4, 8).size();  // bug: reaches past element 8
+  });
+  EXPECT_EQ(got, 0u);  // suppressed wholesale, like scalar loads
+  EXPECT_EQ(count_kind(dev.sanitizer()->snapshot(), IssueKind::kOutOfBounds),
+            1u);
+}
+
+TEST(SimcheckTile, CatchesOutOfBoundsTileStore) {
+  TileGuard guard;
+  set_tile_path_enabled(true);
+  Device dev;
+  dev.enable_sanitizer();
+  auto buf = dev.alloc_zero<float>(8, "short buffer");
+  launch(dev, {"oob tile store", 1, 32}, [&](BlockCtx& ctx) {
+    const float src[4] = {1, 2, 3, 4};
+    ctx.store_tile(buf, 6, std::span<const float>(src, 4));
+  });
+  const auto rep = dev.sanitizer()->snapshot();
+  ASSERT_EQ(count_kind(rep, IssueKind::kOutOfBounds), 1u);
+  EXPECT_EQ(rep.issues[0].buffer, "short buffer");
+  for (float v : dev.to_host(buf)) EXPECT_EQ(v, 0.0f);  // untouched
+}
+
+TEST(SimcheckTile, CatchesUninitializedReadThroughTilePath) {
+  TileGuard guard;
+  set_tile_path_enabled(true);
+  Device dev;
+  dev.enable_sanitizer();
+  auto buf = dev.alloc<float>(4, "never written");  // bug: alloc, no init
+  launch(dev, {"uninit tile read", 1, 32}, [&](BlockCtx& ctx) {
+    float sink = 0;
+    ctx.for_each_elem(buf, 0, 4, [&](std::size_t, float v) { sink += v; });
+    (void)sink;
+  });
+  // Element-exact: every uninitialized element is reported, not one per tile.
+  EXPECT_EQ(count_kind(dev.sanitizer()->snapshot(),
+                       IssueKind::kUninitDeviceRead),
+            4u);
+}
+
+TEST(SimcheckTile, StoreTileSeedsShadowValidity) {
+  TileGuard guard;
+  set_tile_path_enabled(true);
+  Device dev;
+  dev.enable_sanitizer();
+  auto buf = dev.alloc<float>(8, "produced");
+  launch(dev, {"tile roundtrip", 1, 32}, [&](BlockCtx& ctx) {
+    const float src[8] = {0, 1, 2, 3, 4, 5, 6, 7};
+    ctx.store_tile(buf, 0, std::span<const float>(src, 8));
+    const auto back = ctx.load_tile(buf, 0, 8);
+    ASSERT_EQ(back.size(), 8u);
+    EXPECT_EQ(back[5], 5.0f);
+  });
+  EXPECT_TRUE(dev.sanitizer()->snapshot().clean());
+}
+
+TEST(SimcheckTile, ScatterWriterShadowsPerElementUnderSanitizer) {
+  TileGuard guard;
+  set_tile_path_enabled(true);
+  Device dev;
+  dev.enable_sanitizer();
+  auto buf = dev.alloc<float>(8, "scatter target");
+  launch(dev, {"bad scatter", 1, 32}, [&](BlockCtx& ctx) {
+    auto w = ctx.scatter_writer(buf, 3);
+    w.put(0, 1.0f);
+    w.put(7, 2.0f);
+    w.put(12, 3.0f);  // bug: element 12 of an 8-element buffer
+  });
+  const auto rep = dev.sanitizer()->snapshot();
+  ASSERT_EQ(count_kind(rep, IssueKind::kOutOfBounds), 1u);
+  EXPECT_EQ(rep.issues[0].index, 12u);
+  const auto host = dev.to_host(buf);
+  EXPECT_EQ(host[0], 1.0f);
+  EXPECT_EQ(host[7], 2.0f);
+}
+
+TEST(SimcheckTile, UncheckedSharedDataNullUnderSanitizer) {
+  TileGuard guard;
+  set_tile_path_enabled(true);
+  Device dev;
+  dev.enable_sanitizer();
+  launch(dev, {"shraw gated", 1, 32}, [&](BlockCtx& ctx) {
+    auto sh = ctx.shared_zero<std::uint32_t>(16, "hist");
+    EXPECT_EQ(sh.unchecked_data(), nullptr);  // raw escape must stay shadowed
+  });
+  EXPECT_TRUE(dev.sanitizer()->snapshot().clean());
 }
 
 }  // namespace

@@ -1,0 +1,176 @@
+// Counter-invariance suite for the tile-granular fast path: for every ported
+// algorithm, across distributions and (N, K, batch) shapes, the recorded
+// KernelStats stream — every counter of every kernel, in launch order — and
+// the modeled device time must be BIT-IDENTICAL between the tile path and
+// the scalar path, and between simcheck on and off.  The selected value
+// multiset must also agree (indices may differ only where elements tie at
+// the K-th value, which is claimed by atomic ticket across concurrent
+// blocks), and simcheck must stay clean with the tile path enabled.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "core/topk.hpp"
+#include "data/distributions.hpp"
+#include "simgpu/simgpu.hpp"
+
+namespace topk {
+namespace {
+
+using test::standard_distributions;
+
+// Per-block counter *sums* are deterministic, but per-block *maxima*
+// (max_block_bytes / max_block_lane_ops, and the model term derived from
+// them) depend on which concurrent block wins atomic tickets for ties at
+// the K-th value — scheduler noise, not a tile-path effect.  Pin the pool
+// to one thread (the env is read when the process-wide pool is first built,
+// which is after this initializer) so runs are bit-for-bit reproducible and
+// the strict comparison below is meaningful.
+const bool g_single_threaded = [] {
+  ::setenv("TOPK_SIM_THREADS", "1", /*overwrite=*/1);
+  return true;
+}();
+
+/// Restores the process-global tile toggle however a test exits.
+class TileGuard {
+ public:
+  TileGuard() : was_(simgpu::tile_path_enabled()) {}
+  ~TileGuard() { simgpu::set_tile_path_enabled(was_); }
+
+ private:
+  bool was_;
+};
+
+struct RunTrace {
+  std::vector<simgpu::KernelStats> kernels;
+  double model_us = 0.0;
+  std::vector<std::vector<float>> sorted_values;  // one per problem
+  bool sanitizer_clean = true;
+  std::string sanitizer_report;
+};
+
+RunTrace run_once(std::span<const float> data, std::size_t batch,
+                  std::size_t n, std::size_t k, Algo algo, bool tile,
+                  bool simcheck) {
+  simgpu::set_tile_path_enabled(tile);
+  simgpu::Device dev;
+  if (simcheck) dev.enable_sanitizer();
+  const auto results = select_batch(dev, data, batch, n, k, algo);
+
+  RunTrace t;
+  for (const auto& e : dev.events()) {
+    if (const auto* ke = std::get_if<simgpu::KernelEvent>(&e)) {
+      t.kernels.push_back(ke->stats);
+    }
+  }
+  t.model_us = simgpu::CostModel(dev.spec()).total_us(dev.events());
+  for (std::size_t b = 0; b < batch; ++b) {
+    const std::string err = verify_topk(
+        std::span<const float>(data.data() + b * n, n), k, results[b]);
+    EXPECT_TRUE(err.empty())
+        << algo_name(algo) << " tile=" << tile << " simcheck=" << simcheck
+        << " problem " << b << ": " << err;
+    std::vector<float> vals = results[b].values;
+    std::sort(vals.begin(), vals.end());
+    t.sorted_values.push_back(std::move(vals));
+  }
+  if (simcheck) {
+    const auto rep = dev.sanitizer()->snapshot();
+    t.sanitizer_clean = rep.clean();
+    t.sanitizer_report = rep.to_string();
+  }
+  return t;
+}
+
+void expect_identical_stats(const RunTrace& a, const RunTrace& b,
+                            const std::string& what) {
+  ASSERT_EQ(a.kernels.size(), b.kernels.size()) << what;
+  for (std::size_t i = 0; i < a.kernels.size(); ++i) {
+    const simgpu::KernelStats& x = a.kernels[i];
+    const simgpu::KernelStats& y = b.kernels[i];
+    const std::string at = what + " kernel[" + std::to_string(i) + "] = " +
+                           x.name;
+    EXPECT_EQ(x.name, y.name) << at;
+    EXPECT_EQ(x.grid_blocks, y.grid_blocks) << at;
+    EXPECT_EQ(x.block_threads, y.block_threads) << at;
+    EXPECT_EQ(x.bytes_read, y.bytes_read) << at;
+    EXPECT_EQ(x.bytes_written, y.bytes_written) << at;
+    EXPECT_EQ(x.lane_ops, y.lane_ops) << at;
+    EXPECT_EQ(x.atomic_ops, y.atomic_ops) << at;
+    EXPECT_EQ(x.scattered_atomic_ops, y.scattered_atomic_ops) << at;
+    EXPECT_EQ(x.block_syncs, y.block_syncs) << at;
+    EXPECT_EQ(x.max_block_bytes, y.max_block_bytes) << at;
+    EXPECT_EQ(x.max_block_lane_ops, y.max_block_lane_ops) << at;
+  }
+  EXPECT_EQ(a.model_us, b.model_us) << what << " modeled time";
+  EXPECT_EQ(a.sorted_values, b.sorted_values) << what << " selected values";
+}
+
+struct InvarianceCase {
+  Algo algo;
+  std::size_t batch;
+  std::size_t n;
+  std::size_t k;
+};
+
+std::string case_name(const ::testing::TestParamInfo<InvarianceCase>& info) {
+  std::string name = algo_name(info.param.algo);
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name + "_b" + std::to_string(info.param.batch) + "_n" +
+         std::to_string(info.param.n) + "_k" + std::to_string(info.param.k);
+}
+
+class TileInvariance : public ::testing::TestWithParam<InvarianceCase> {};
+
+TEST_P(TileInvariance, StatsAndModeledTimeBitIdenticalAcrossModes) {
+  const auto [algo, batch, n, k] = GetParam();
+  TileGuard guard;
+  std::uint64_t seed = 77;
+  for (const auto& spec : standard_distributions()) {
+    const auto values = data::generate(spec, batch * n, seed++);
+    const RunTrace scalar = run_once(values, batch, n, k, algo, false, false);
+    const RunTrace tile = run_once(values, batch, n, k, algo, true, false);
+    const RunTrace tile_checked =
+        run_once(values, batch, n, k, algo, true, true);
+    const std::string what = std::string(algo_name(algo)) + " on " +
+                             spec.name();
+    ASSERT_FALSE(scalar.kernels.empty()) << what;
+    expect_identical_stats(scalar, tile, what + " [tile vs scalar]");
+    expect_identical_stats(scalar, tile_checked,
+                           what + " [tile+simcheck vs scalar]");
+    EXPECT_TRUE(tile_checked.sanitizer_clean)
+        << what << " raised issues with the tile path enabled:\n"
+        << tile_checked.sanitizer_report;
+  }
+}
+
+std::vector<InvarianceCase> cases() {
+  // The four algorithms whose inner loops ride the tile path, plus the
+  // fused-last-filter AIR variant (its fused filter scans through the same
+  // tile helpers).
+  const Algo algos[] = {Algo::kAirTopk, Algo::kSort, Algo::kRadixSelect,
+                        Algo::kGridSelect, Algo::kAirTopkFusedFilter};
+  std::vector<InvarianceCase> cases;
+  for (Algo algo : algos) {
+    cases.push_back({algo, 1, 999, 1});          // sub-tile problem
+    cases.push_back({algo, 1, 4096, 64});        // a few exact tiles
+    cases.push_back({algo, 1, 70001, 517});      // many tiles + ragged tail
+    cases.push_back({algo, 3, 10007, 100});      // batched, odd sizes
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, TileInvariance, ::testing::ValuesIn(cases()),
+                         case_name);
+
+}  // namespace
+}  // namespace topk
