@@ -1,0 +1,208 @@
+// bench_serving — throughput/latency harness for the topk::serve layer.
+//
+// Drives the TopkService with bursts of identical-shape queries at several
+// micro-batch caps and device counts, and reports both the *modeled* device
+// time per query (the paper's metric — batching is the dominant lever, batch
+// = 100 in every serving figure) and the emulator's wall-clock latency
+// percentiles and throughput (diagnostic only).
+//
+// Output: a CSV-ish table on stdout and BENCH_serving.json in the working
+// directory (schema documented in docs/serving.md).  `--smoke` shrinks N and
+// the query count for CI.  In full mode the run exits non-zero if
+// micro-batching fails to beat batch=1 submission in modeled device time per
+// query — the acceptance gate for the serving layer.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/topk.hpp"
+#include "data/distributions.hpp"
+#include "serve/service.hpp"
+#include "simgpu/simgpu.hpp"
+
+namespace {
+
+struct ConfigRow {
+  std::size_t cap = 1;
+  std::size_t devices = 1;
+  std::size_t queries = 0;
+};
+
+struct ResultRow {
+  ConfigRow cfg;
+  std::size_t completed = 0;
+  std::size_t timed_out = 0;
+  std::size_t rejected = 0;
+  double mean_batch_rows = 0.0;
+  std::string algo;
+  double model_us_per_query = 0.0;
+  double wall_p50_us = 0.0;
+  double wall_p95_us = 0.0;
+  double wall_p99_us = 0.0;
+  double wall_qps = 0.0;
+};
+
+ResultRow run_config(const ConfigRow& cfg, std::size_t k,
+                     const std::vector<std::vector<float>>& pool) {
+  topk::serve::ServiceConfig scfg;
+  scfg.num_devices = cfg.devices;
+  scfg.max_batch = cfg.cap;
+  // Large enough that a burst always fills its batches; with the query
+  // count a multiple of the cap, every batch flushes on size and the wait
+  // never actually elapses.
+  scfg.max_wait = std::chrono::microseconds(500000);
+  scfg.admission_capacity = cfg.queries;
+
+  topk::serve::TopkService svc(scfg);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::future<topk::serve::QueryResult>> futs;
+  futs.reserve(cfg.queries);
+  for (std::size_t q = 0; q < cfg.queries; ++q) {
+    futs.push_back(
+        svc.submit(std::vector<float>(pool[q % pool.size()]), k));
+  }
+  ResultRow row;
+  row.cfg = cfg;
+  double rows_sum = 0.0;
+  for (auto& f : futs) {
+    const topk::serve::QueryResult r = f.get();
+    if (r.status == topk::serve::QueryStatus::kOk) {
+      row.algo = topk::algo_name(r.algo);
+      rows_sum += static_cast<double>(r.batch_rows);
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double wall_s = std::chrono::duration<double>(t1 - t0).count();
+  const topk::serve::ServiceStats s = svc.stats();
+  svc.shutdown();
+
+  row.completed = s.completed;
+  row.timed_out = s.timed_out;
+  row.rejected = s.rejected;
+  row.mean_batch_rows =
+      s.completed > 0 ? rows_sum / static_cast<double>(s.completed) : 0.0;
+  row.model_us_per_query =
+      s.completed > 0 ? s.modeled_device_us / static_cast<double>(s.completed)
+                      : 0.0;
+  row.wall_p50_us = s.latency.p50_us;
+  row.wall_p95_us = s.latency.p95_us;
+  row.wall_p99_us = s.latency.p99_us;
+  row.wall_qps =
+      wall_s > 0.0 ? static_cast<double>(s.completed) / wall_s : 0.0;
+  return row;
+}
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  // The acceptance shape: N = 2^20, K = 256, uniform keys.  Smoke keeps the
+  // same K but shrinks N and the query count so CI (and the simcheck mode,
+  // which shadows every element) stays fast.
+  const std::size_t n = smoke ? (std::size_t{1} << 16) : (std::size_t{1} << 20);
+  const std::size_t k = 256;
+  const std::size_t queries = smoke ? 16 : 64;
+  const std::size_t big_cap = smoke ? 8 : 32;
+
+  std::vector<ConfigRow> configs = {
+      {1, 1, queries},        // batch=1 submission baseline
+      {big_cap, 1, queries},  // micro-batching on one device
+      {big_cap, 2, queries},  // ... and across two device workers
+  };
+
+  // A small pool of distinct key rows reused across queries keeps memory
+  // bounded while avoiding a single hot input.
+  std::vector<std::vector<float>> pool;
+  for (std::size_t i = 0; i < std::min<std::size_t>(queries, 8); ++i) {
+    pool.push_back(topk::data::uniform_values(n, 0x5E7 + i));
+  }
+
+  std::cout << "cap,devices,queries,completed,mean_batch_rows,algo,"
+               "model_us_per_query,wall_p50_us,wall_p95_us,wall_p99_us,"
+               "wall_qps\n";
+  std::vector<ResultRow> rows;
+  for (const ConfigRow& cfg : configs) {
+    const ResultRow row = run_config(cfg, k, pool);
+    rows.push_back(row);
+    std::cout << row.cfg.cap << "," << row.cfg.devices << ","
+              << row.cfg.queries << "," << row.completed << ","
+              << row.mean_batch_rows << "," << row.algo << ","
+              << row.model_us_per_query << "," << row.wall_p50_us << ","
+              << row.wall_p95_us << "," << row.wall_p99_us << ","
+              << row.wall_qps << "\n";
+  }
+
+  const ResultRow& base = rows[0];
+  const ResultRow& batched = rows[1];
+  const double model_speedup =
+      batched.model_us_per_query > 0.0
+          ? base.model_us_per_query / batched.model_us_per_query
+          : 0.0;
+  std::cout << "micro-batching (cap=" << big_cap
+            << ") vs batch=1: " << fmt(model_speedup)
+            << "x modeled device time per query at n=" << n << " k=" << k
+            << "\n";
+
+  std::ofstream out("BENCH_serving.json");
+  out << "{\n  \"meta\": {\n"
+      << "    \"bench\": \"bench_serving\",\n"
+      << "    \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+      << "    \"n\": " << n << ",\n"
+      << "    \"k\": " << k << ",\n"
+      << "    \"distribution\": \"uniform\",\n"
+      << "    \"model_speedup_cap" << big_cap << "_vs_1\": "
+      << fmt(model_speedup) << ",\n"
+      << "    \"metric\": \"modeled device us per completed query (primary); "
+         "wall latency percentiles and qps are emulator diagnostics\"\n"
+      << "  },\n  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ResultRow& r = rows[i];
+    out << "    {\"cap\": " << r.cfg.cap << ", \"devices\": " << r.cfg.devices
+        << ", \"queries\": " << r.cfg.queries
+        << ", \"completed\": " << r.completed
+        << ", \"rejected\": " << r.rejected
+        << ", \"timed_out\": " << r.timed_out
+        << ", \"mean_batch_rows\": " << fmt(r.mean_batch_rows)
+        << ", \"algo\": \"" << r.algo << "\""
+        << ", \"model_us_per_query\": " << fmt(r.model_us_per_query)
+        << ", \"wall_p50_us\": " << fmt(r.wall_p50_us)
+        << ", \"wall_p95_us\": " << fmt(r.wall_p95_us)
+        << ", \"wall_p99_us\": " << fmt(r.wall_p99_us)
+        << ", \"wall_qps\": " << fmt(r.wall_qps) << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote BENCH_serving.json (" << rows.size() << " rows)\n";
+
+  // Gate: micro-batching must beat batch=1 in modeled device time per query
+  // whenever batches actually formed.  (If scheduling noise left the batches
+  // near-empty — possible only on a badly overloaded host — the comparison
+  // is meaningless, so warn instead of failing.)
+  if (batched.mean_batch_rows >= 2.0 && model_speedup <= 1.0) {
+    std::cerr << "FAIL: micro-batching did not beat batch=1 ("
+              << fmt(model_speedup) << "x)\n";
+    return 1;
+  }
+  if (batched.mean_batch_rows < 2.0) {
+    std::cerr << "WARN: batches did not fill (mean rows "
+              << fmt(batched.mean_batch_rows)
+              << "); speedup gate skipped\n";
+  }
+  return 0;
+}

@@ -3,9 +3,12 @@
 //
 //   $ ./examples/topk_cli [algo] [log2_n] [k] [distribution] [batch]
 //   $ ./examples/topk_cli air 20 2048 adversarial 1
+//   $ ./examples/topk_cli auto 20 256 uniform 8     # dispatch planner picks
 //
-// Algorithms: air, grid, radixselect, warp, block, bitonic, quick, bucket,
-//             sample, sort.  Distributions: uniform, normal, adversarial.
+// Algorithms: auto, air, grid, radixselect, warp, block, bitonic, quick,
+//             bucket, sample, sort.  Distributions: uniform, normal,
+//             adversarial.  With "auto" the recommender chooses (and the
+//             chosen algorithm is printed).
 
 #include <cstdlib>
 #include <iostream>
@@ -22,7 +25,7 @@ namespace {
 int usage() {
   std::cerr << "usage: topk_cli [algo] [log2_n] [k] "
                "[uniform|normal|adversarial] [batch]\n"
-               "  algos: air grid radixselect warp block bitonic quick "
+               "  algos: auto air grid radixselect warp block bitonic quick "
                "bucket sample sort\n";
   return 2;
 }
@@ -52,17 +55,26 @@ int main(int argc, char** argv) {
   }
 
   const std::size_t n = std::size_t{1} << log_n;
-  if (k > topk::max_k(*algo, n)) {
+  // Resolve "auto" through the dispatch planner first so the max_k check
+  // (and the banner) name the algorithm that actually runs.
+  const bool was_auto = *algo == topk::Algo::kAuto;
+  const topk::Algo chosen = topk::resolve_algo(*algo, n, k, batch);
+  if (was_auto) {
+    std::cout << "auto -> " << topk::algo_name(chosen)
+              << " (recommended for n=2^" << log_n << " k=" << k
+              << " batch=" << batch << ")\n";
+  }
+  if (k > topk::max_k(chosen, n)) {
     std::cerr << "k=" << k << " unsupported by "
-              << topk::algo_name(*algo) << " (max "
-              << topk::max_k(*algo, n) << ")\n";
+              << topk::algo_name(chosen) << " (max "
+              << topk::max_k(chosen, n) << ")\n";
     return 2;
   }
 
   const auto values = topk::data::generate(dist, batch * n, 0xC11);
   simgpu::Device dev;
   const auto results =
-      topk::select_batch(dev, values, batch, n, k, *algo);
+      topk::select_batch(dev, values, batch, n, k, chosen);
 
   // Verify every problem.
   for (std::size_t b = 0; b < batch; ++b) {
@@ -85,7 +97,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::cout << topk::algo_name(*algo) << "  n=2^" << log_n
+  std::cout << topk::algo_name(chosen) << "  n=2^" << log_n
             << "  k=" << k << "  batch=" << batch << "  " << dist.name()
             << "  (" << dev.spec().name << " model)\n";
   std::cout << "verified OK | modeled " << tl.total_us << " us | " << kernels

@@ -37,6 +37,7 @@ std::string algo_name(Algo algo) {
     case Algo::kAirTopkNoEarlyStop: return "AIR Top-K (no early stop)";
     case Algo::kAirTopkFusedFilter: return "AIR Top-K (fused last filter)";
     case Algo::kGridSelectThreadQueue: return "GridSelect (thread queues)";
+    case Algo::kAuto: return "Auto";
   }
   return "unknown";
 }
@@ -52,6 +53,7 @@ std::optional<Algo> algo_from_string(std::string_view key) {
   if (key == "bucket") return Algo::kBucketSelect;
   if (key == "sample") return Algo::kSampleSelect;
   if (key == "sort") return Algo::kSort;
+  if (key == "auto") return Algo::kAuto;
   return std::nullopt;
 }
 
@@ -75,13 +77,15 @@ std::size_t max_k(Algo algo, std::size_t n) {
     case Algo::kGridSelectThreadQueue:
       return std::min<std::size_t>(n, 2048);
     default:
+      // kAuto included: the recommender only returns algorithms that are
+      // legal for the requested k, so auto dispatch has no k ceiling.
       return n;
   }
 }
 
 Algo recommend_algorithm(std::size_t n, std::size_t k,
                          const WorkloadHints& hints) {
-  validate_problem(n, k, 1);
+  validate_problem(n, k, hints.batch);
   if (hints.on_the_fly) {
     if (k > max_k(Algo::kGridSelect, n)) {
       throw std::invalid_argument(
@@ -95,11 +99,20 @@ Algo recommend_algorithm(std::size_t n, std::size_t k,
   return Algo::kAirTopk;
 }
 
+Algo resolve_algo(Algo algo, std::size_t n, std::size_t k,
+                  std::size_t batch) {
+  if (algo != Algo::kAuto) return algo;
+  WorkloadHints hints;
+  hints.batch = batch;
+  return recommend_algorithm(n, k, hints);
+}
+
 void select_device(simgpu::Device& dev, simgpu::DeviceBuffer<float> in,
                    std::size_t batch, std::size_t n, std::size_t k,
                    simgpu::DeviceBuffer<float> out_vals,
                    simgpu::DeviceBuffer<std::uint32_t> out_idx, Algo algo,
                    const SelectOptions& opt) {
+  algo = resolve_algo(algo, n, k, batch);
   switch (algo) {
     case Algo::kAirTopk: {
       AirTopkOptions o;
@@ -165,6 +178,8 @@ void select_device(simgpu::Device& dev, simgpu::DeviceBuffer<float> in,
     case Algo::kSort:
       sort_topk(dev, in, batch, n, k, out_vals, out_idx);
       return;
+    case Algo::kAuto:
+      break;  // resolved to a concrete algorithm above; unreachable
   }
   throw std::invalid_argument("select_device: unknown algorithm");
 }
@@ -192,6 +207,30 @@ void throw_if_new_issues(const simgpu::Sanitizer& san,
 
 namespace {
 
+/// Host-entry-point argument validation with messages that name the caller
+/// and echo the offending values — the serving layer surfaces these strings
+/// to clients, so they must diagnose the problem on their own.
+void validate_select_args(const char* fn, std::size_t data_size,
+                          std::size_t batch, std::size_t n, std::size_t k) {
+  std::ostringstream err;
+  if (batch == 0) {
+    err << fn << ": batch must be > 0 (got an empty batch)";
+  } else if (n == 0) {
+    err << fn << ": row length n must be > 0";
+  } else if (k == 0) {
+    err << fn << ": k must be >= 1 (got k=0)";
+  } else if (k > n) {
+    err << fn << ": k=" << k << " exceeds row length n=" << n;
+  } else if (data_size < batch * n) {
+    err << fn << ": data holds " << data_size << " keys but batch=" << batch
+        << " rows of n=" << n << " need " << batch * n
+        << " (mismatched row lengths?)";
+  } else {
+    return;
+  }
+  throw std::invalid_argument(err.str());
+}
+
 bool native_greatest(Algo algo) {
   switch (algo) {
     case Algo::kAirTopk:
@@ -209,6 +248,9 @@ std::vector<SelectResult> run_on_device(simgpu::Device& dev,
                                         std::size_t batch, std::size_t n,
                                         std::size_t k, Algo algo,
                                         const SelectOptions& opt) {
+  // Resolve auto dispatch before anything inspects `algo` (the greatest-K
+  // negation below depends on which concrete algorithm runs).
+  algo = resolve_algo(algo, n, k, batch);
   // Enable checking before the input/output allocations so they are known
   // to the shadow (attribution + uninitialized-read tracking end to end).
   if (simcheck_env_enabled() && dev.sanitizer() == nullptr) {
@@ -266,6 +308,7 @@ std::vector<SelectResult> run_on_device(simgpu::Device& dev,
 
 SelectResult select(simgpu::Device& dev, std::span<const float> data,
                     std::size_t k, Algo algo, const SelectOptions& opt) {
+  validate_select_args("select", data.size(), 1, data.size(), k);
   return run_on_device(dev, data, 1, data.size(), k, algo, opt).front();
 }
 
@@ -274,9 +317,7 @@ std::vector<SelectResult> select_batch(simgpu::Device& dev,
                                        std::size_t batch, std::size_t n,
                                        std::size_t k, Algo algo,
                                        const SelectOptions& opt) {
-  if (data.size() < batch * n) {
-    throw std::invalid_argument("select_batch: data smaller than batch * n");
-  }
+  validate_select_args("select_batch", data.size(), batch, n, k);
   return run_on_device(dev, data, batch, n, k, algo, opt);
 }
 

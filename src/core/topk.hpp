@@ -29,13 +29,17 @@ enum class Algo {
   kAirTopkNoEarlyStop,  ///< AIR without early stopping (Fig. 10)
   kAirTopkFusedFilter,  ///< AIR with the last filter fused (§3.1, rejected)
   kGridSelectThreadQueue,  ///< GridSelect with per-thread queues (Fig. 11)
+  // --- dispatch ---
+  kAuto,  ///< let recommend_algorithm() pick per (n, k, batch) at run time
 };
 
 [[nodiscard]] std::string algo_name(Algo algo);
 
 /// Parse a short algorithm key ("air", "grid", "radixselect", "warp",
-/// "block", "bitonic", "quick", "bucket", "sample", "sort") — the names the
-/// CLI and scripts use.  Returns nullopt for unknown keys.
+/// "block", "bitonic", "quick", "bucket", "sample", "sort", "auto") — the
+/// names the CLI and scripts use.  "auto" maps to Algo::kAuto, which defers
+/// the choice to recommend_algorithm() at execution time.  Returns nullopt
+/// for unknown keys.
 [[nodiscard]] std::optional<Algo> algo_from_string(std::string_view key);
 
 /// All benchmarkable algorithms in a stable order (main methods first).
@@ -51,6 +55,12 @@ struct WorkloadHints {
   /// Values are produced inside another kernel and must be consumed
   /// on-the-fly (only the WarpSelect family can do this — paper §2.2).
   bool on_the_fly = false;
+  /// Independent problems executed in one launch set (the paper benchmarks
+  /// batch = 100 throughout §5).  The serving layer's batch planner passes
+  /// the micro-batch size it assembled; today the guideline's choice is
+  /// batch-independent, but the hook keeps the planner honest about what it
+  /// is asking for and lets future policies use it.
+  std::size_t batch = 1;
 };
 
 /// The paper's §5.1 usage guidelines as an API:
@@ -60,6 +70,12 @@ struct WorkloadHints {
 /// Throws if the hints are unsatisfiable (on-the-fly with k > 2048).
 [[nodiscard]] Algo recommend_algorithm(std::size_t n, std::size_t k,
                                        const WorkloadHints& hints = {});
+
+/// Resolve Algo::kAuto into a concrete algorithm via recommend_algorithm
+/// (identity for every other value).  select()/select_batch()/select_device()
+/// call this, so kAuto is usable anywhere a concrete Algo is.
+[[nodiscard]] Algo resolve_algo(Algo algo, std::size_t n, std::size_t k,
+                                std::size_t batch = 1);
 
 /// Result of one top-K problem: the k smallest values and their indices in
 /// the input list.  Order within the result set is unspecified.

@@ -1,0 +1,386 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "simgpu/cost_model.hpp"
+#include "simgpu/simgpu.hpp"
+
+namespace topk::serve {
+
+namespace {
+
+double us_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+/// A request executes with its bucket's padded k; cut the padded result back
+/// down to the request's own k.  The k best of the bucket's k_exec best are
+/// exactly the k best of the whole row, so trimming preserves correctness.
+SelectResult trim_result(SelectResult&& r, std::size_t k, bool greatest,
+                         bool sorted) {
+  if (r.values.size() <= k) return std::move(r);
+  if (sorted) {
+    // Already ordered best-first by select_batch; the prefix is the answer.
+    r.values.resize(k);
+    r.indices.resize(k);
+    return std::move(r);
+  }
+  std::vector<std::uint32_t> order(r.values.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::nth_element(order.begin(), order.begin() + static_cast<long>(k) - 1,
+                   order.end(), [&](std::uint32_t a, std::uint32_t b) {
+                     return greatest ? r.values[a] > r.values[b]
+                                     : r.values[a] < r.values[b];
+                   });
+  SelectResult out;
+  out.values.reserve(k);
+  out.indices.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    out.values.push_back(r.values[order[i]]);
+    out.indices.push_back(r.indices[order[i]]);
+  }
+  return out;
+}
+
+double percentile(const std::vector<double>& sorted_samples, double q) {
+  if (sorted_samples.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted_samples.size())));
+  const std::size_t idx = rank == 0 ? 0 : rank - 1;
+  return sorted_samples[std::min(idx, sorted_samples.size() - 1)];
+}
+
+/// Latency sample cap: enough for any realistic soak/bench run while
+/// bounding service memory under sustained traffic.
+constexpr std::size_t kMaxLatencySamples = std::size_t{1} << 20;
+
+}  // namespace
+
+const char* query_status_name(QueryStatus s) {
+  switch (s) {
+    case QueryStatus::kOk: return "ok";
+    case QueryStatus::kRejected: return "rejected";
+    case QueryStatus::kTimedOut: return "timed-out";
+    case QueryStatus::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+TopkService::TopkService(ServiceConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.num_devices == 0) {
+    throw std::invalid_argument("TopkService: num_devices must be > 0");
+  }
+  if (cfg_.max_batch == 0) {
+    throw std::invalid_argument("TopkService: max_batch must be > 0");
+  }
+  if (cfg_.admission_capacity == 0) {
+    throw std::invalid_argument("TopkService: admission_capacity must be > 0");
+  }
+  batcher_ = std::thread([this] { batcher_loop(); });
+  workers_.reserve(cfg_.num_devices);
+  for (std::size_t i = 0; i < cfg_.num_devices; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+TopkService::~TopkService() { shutdown(); }
+
+void TopkService::shutdown() {
+  {
+    std::scoped_lock lock(mu_);
+    accepting_ = false;
+    stopping_ = true;
+  }
+  batcher_cv_.notify_all();
+  worker_cv_.notify_all();
+  // Joins are guarded by joinable(): a second shutdown() (e.g. explicit call
+  // followed by the destructor) finds the threads already reaped.  Callers
+  // must not race two shutdown() calls from different threads.
+  if (batcher_.joinable()) batcher_.join();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+std::future<QueryResult> TopkService::submit(
+    std::vector<float> keys, std::size_t k,
+    std::optional<std::chrono::microseconds> deadline,
+    std::optional<Algo> algo) {
+  const std::size_t n = keys.size();
+  if (n == 0) {
+    throw std::invalid_argument("TopkService::submit: keys must be non-empty");
+  }
+  if (k == 0) {
+    throw std::invalid_argument("TopkService::submit: k must be >= 1");
+  }
+  if (k > n) {
+    std::ostringstream err;
+    err << "TopkService::submit: k=" << k << " exceeds row length n=" << n;
+    throw std::invalid_argument(err.str());
+  }
+
+  const Clock::time_point now = Clock::now();
+  Request req;
+  req.keys = std::move(keys);
+  req.k = k;
+  req.submit_time = now;
+  if (deadline) req.deadline = now + *deadline;
+  std::future<QueryResult> fut = req.promise.get_future();
+
+  BucketKey key;
+  key.n = n;
+  key.k_exec = std::min(n, std::bit_ceil(k));
+  key.algo = algo.value_or(cfg_.default_algo);
+
+  std::optional<std::string> reject;
+  bool notify_worker = false;
+  bool notify_batcher = false;
+  {
+    std::scoped_lock lock(mu_);
+    ++submitted_;
+    if (!accepting_) {
+      ++rejected_;
+      reject = "service is shut down";
+    } else if (queued_ >= cfg_.admission_capacity) {
+      ++rejected_;
+      std::ostringstream err;
+      err << "admission queue full (capacity " << cfg_.admission_capacity
+          << ")";
+      reject = err.str();
+    } else {
+      ++accepted_;
+      ++queued_;
+      Bucket& b = buckets_[key];
+      if (b.reqs.empty()) {
+        b.oldest = now;
+        b.earliest_due = now + cfg_.max_wait;
+      }
+      if (req.deadline && *req.deadline < b.earliest_due) {
+        b.earliest_due = *req.deadline;
+      }
+      b.reqs.push_back(std::move(req));
+      if (b.reqs.size() >= cfg_.max_batch) {
+        ready_.push_back(Batch{key, std::move(b.reqs)});
+        buckets_.erase(key);
+        notify_worker = true;
+      } else {
+        notify_batcher = true;  // the flush timer may need re-arming
+      }
+    }
+  }
+  if (reject) {
+    QueryResult qr;
+    qr.status = QueryStatus::kRejected;
+    qr.error = *reject;
+    qr.wall_us = us_between(now, Clock::now());
+    req.promise.set_value(std::move(qr));
+  }
+  if (notify_worker) worker_cv_.notify_one();
+  if (notify_batcher) batcher_cv_.notify_one();
+  return fut;
+}
+
+void TopkService::batcher_loop() {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    if (stopping_) {
+      // Graceful drain: everything still bucketed becomes a final wave of
+      // (possibly partial) batches for the workers to run.
+      for (auto& [key, bucket] : buckets_) {
+        ready_.push_back(Batch{key, std::move(bucket.reqs)});
+      }
+      buckets_.clear();
+      batcher_done_ = true;
+      lock.unlock();
+      worker_cv_.notify_all();
+      return;
+    }
+    if (buckets_.empty()) {
+      batcher_cv_.wait(lock, [&] { return stopping_ || !buckets_.empty(); });
+      continue;
+    }
+    Clock::time_point due = buckets_.begin()->second.earliest_due;
+    for (const auto& [key, bucket] : buckets_) {
+      due = std::min(due, bucket.earliest_due);
+    }
+    const Clock::time_point now = Clock::now();
+    if (now >= due) {
+      bool flushed = false;
+      for (auto it = buckets_.begin(); it != buckets_.end();) {
+        if (now >= it->second.earliest_due) {
+          ready_.push_back(Batch{it->first, std::move(it->second.reqs)});
+          it = buckets_.erase(it);
+          flushed = true;
+        } else {
+          ++it;
+        }
+      }
+      if (flushed) worker_cv_.notify_all();
+      continue;
+    }
+    batcher_cv_.wait_until(lock, due);
+  }
+}
+
+void TopkService::worker_loop() {
+  // The Device is created and driven entirely by this thread, honoring the
+  // substrate's single-driver contract; select_batch attaches the simcheck
+  // sanitizer to it when TOPK_SIMCHECK requests one.
+  simgpu::Device dev(cfg_.device_spec);
+  for (;;) {
+    Batch batch;
+    {
+      std::unique_lock lock(mu_);
+      worker_cv_.wait(lock, [&] {
+        return !ready_.empty() || (stopping_ && batcher_done_);
+      });
+      if (ready_.empty()) return;  // stopped and fully drained
+      batch = std::move(ready_.front());
+      ready_.pop_front();
+      queued_ -= batch.reqs.size();
+    }
+    execute_batch(dev, std::move(batch));
+  }
+}
+
+void TopkService::execute_batch(simgpu::Device& dev, Batch batch) {
+  const Clock::time_point dispatch = Clock::now();
+  std::vector<Request> live;
+  std::vector<Request> expired;
+  live.reserve(batch.reqs.size());
+  for (Request& r : batch.reqs) {
+    if (r.deadline && *r.deadline <= dispatch) {
+      expired.push_back(std::move(r));
+    } else {
+      live.push_back(std::move(r));
+    }
+  }
+
+  const std::size_t n = batch.key.n;
+  const std::size_t k_exec = batch.key.k_exec;
+  std::vector<SelectResult> results;
+  Algo planned = batch.key.algo;
+  double model_us = 0.0;
+  std::string fail;
+  if (!live.empty()) {
+    try {
+      planned = resolve_algo(batch.key.algo, n, k_exec, live.size());
+      if (k_exec > max_k(planned, n)) {
+        std::ostringstream err;
+        err << "plan " << algo_name(planned) << " cannot serve k=" << k_exec
+            << " at n=" << n << " (max " << max_k(planned, n) << ")";
+        throw std::invalid_argument(err.str());
+      }
+      std::vector<float> data(live.size() * n);
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        std::memcpy(data.data() + i * n, live[i].keys.data(),
+                    n * sizeof(float));
+      }
+      SelectOptions opt;
+      opt.greatest = cfg_.greatest;
+      opt.sorted = cfg_.sorted_results;
+      dev.clear_events();
+      results = select_batch(dev, data, live.size(), n, k_exec, planned, opt);
+      model_us = simgpu::CostModel(dev.spec()).total_us(dev.events());
+    } catch (const std::exception& e) {
+      fail = e.what();
+    }
+  }
+
+  // Build every outcome first, fold it into the counters, and only then
+  // resolve the promises: a caller observing a resolved future must see
+  // counters that already account for it.
+  std::vector<QueryResult> outcomes;
+  outcomes.reserve(batch.reqs.size());
+  for (Request& r : expired) {
+    QueryResult qr;
+    qr.status = QueryStatus::kTimedOut;
+    qr.error = "deadline expired before dispatch";
+    qr.wall_us = us_between(r.submit_time, dispatch);
+    outcomes.push_back(std::move(qr));
+  }
+  const double device_share =
+      live.empty() ? 0.0 : model_us / static_cast<double>(live.size());
+  const Clock::time_point resolved = Clock::now();
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    Request& r = live[i];
+    QueryResult qr;
+    if (!fail.empty()) {
+      qr.status = QueryStatus::kFailed;
+      qr.error = fail;
+    } else {
+      qr.status = QueryStatus::kOk;
+      qr.algo = planned;
+      qr.batch_rows = live.size();
+      qr.device_us = device_share;
+      qr.topk = trim_result(std::move(results[i]), r.k, cfg_.greatest,
+                            cfg_.sorted_results);
+    }
+    qr.wall_us = us_between(r.submit_time, resolved);
+    outcomes.push_back(std::move(qr));
+  }
+
+  {
+    std::scoped_lock lock(mu_);
+    timed_out_ += expired.size();
+    if (!live.empty()) {
+      if (!fail.empty()) {
+        failed_ += live.size();
+      } else {
+        completed_ += live.size();
+        ++batches_;
+        ++batch_rows_histogram_[live.size()];
+        modeled_device_us_ += model_us;
+        for (const QueryResult& qr : outcomes) {
+          if (qr.status == QueryStatus::kOk &&
+              latency_us_.size() < kMaxLatencySamples) {
+            latency_us_.push_back(qr.wall_us);
+          }
+        }
+      }
+    }
+  }
+
+  std::size_t next = 0;
+  for (Request& r : expired) r.promise.set_value(std::move(outcomes[next++]));
+  for (Request& r : live) r.promise.set_value(std::move(outcomes[next++]));
+}
+
+ServiceStats TopkService::stats() const {
+  ServiceStats s;
+  std::vector<double> samples;
+  {
+    std::scoped_lock lock(mu_);
+    s.submitted = submitted_;
+    s.accepted = accepted_;
+    s.rejected = rejected_;
+    s.timed_out = timed_out_;
+    s.completed = completed_;
+    s.failed = failed_;
+    s.batches = batches_;
+    s.modeled_device_us = modeled_device_us_;
+    s.batch_rows_histogram = batch_rows_histogram_;
+    samples = latency_us_;
+  }
+  std::sort(samples.begin(), samples.end());
+  s.latency.count = samples.size();
+  s.latency.p50_us = percentile(samples, 0.50);
+  s.latency.p95_us = percentile(samples, 0.95);
+  s.latency.p99_us = percentile(samples, 0.99);
+  s.latency.max_us = samples.empty() ? 0.0 : samples.back();
+  s.latency.mean_us =
+      samples.empty()
+          ? 0.0
+          : std::accumulate(samples.begin(), samples.end(), 0.0) /
+                static_cast<double>(samples.size());
+  return s;
+}
+
+}  // namespace topk::serve

@@ -1,0 +1,214 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/topk.hpp"
+#include "simgpu/device_spec.hpp"
+
+namespace topk::serve {
+
+/// The steady clock every deadline and latency in the service is measured on.
+using Clock = std::chrono::steady_clock;
+
+/// Terminal state of one submitted query.
+enum class QueryStatus {
+  kOk,        ///< executed; `topk` holds the answer
+  kRejected,  ///< never admitted (queue full or service stopped)
+  kTimedOut,  ///< admitted but its deadline expired before execution
+  kFailed,    ///< admitted but execution raised an error (see `error`)
+};
+
+[[nodiscard]] const char* query_status_name(QueryStatus s);
+
+/// What a query's future resolves to.  Every future resolves exactly once —
+/// rejected and timed-out queries resolve with the corresponding status
+/// instead of blocking forever.
+struct QueryResult {
+  QueryStatus status = QueryStatus::kFailed;
+  SelectResult topk;           ///< valid when status == kOk
+  Algo algo = Algo::kAuto;     ///< concrete algorithm executed (kOk only)
+  std::size_t batch_rows = 0;  ///< rows in the micro-batch this query rode in
+  double wall_us = 0.0;        ///< submit -> resolution wall latency
+  double device_us = 0.0;      ///< modeled device-time share of the batch
+  std::string error;           ///< diagnostic for kRejected / kFailed
+};
+
+/// Service tuning knobs.  Defaults favor throughput over latency: requests
+/// wait up to `max_wait` for a compatible partner before a partial batch is
+/// flushed.
+struct ServiceConfig {
+  /// Device workers.  Each worker thread owns one simgpu::Device and drives
+  /// it exclusively, honoring the substrate's single-driver contract; the
+  /// workers share the process-wide block pool.
+  std::size_t num_devices = 1;
+  simgpu::DeviceSpec device_spec = simgpu::DeviceSpec::a100();
+  /// Micro-batch row cap: a bucket is dispatched the moment it holds this
+  /// many requests.
+  std::size_t max_batch = 32;
+  /// A non-full bucket is flushed when its oldest request has waited this
+  /// long (or sooner, if a request in it has an earlier deadline).
+  std::chrono::microseconds max_wait{500};
+  /// Admission bound: total requests queued (bucketed + ready, not yet
+  /// executing).  submit() beyond this resolves the future with kRejected.
+  std::size_t admission_capacity = 1024;
+  /// Plan used when submit() passes no override.  kAuto defers to
+  /// recommend_algorithm(n, k_exec, {.batch = rows}) per micro-batch.
+  Algo default_algo = Algo::kAuto;
+  bool greatest = false;        ///< select largest-K instead of smallest-K
+  bool sorted_results = false;  ///< order each result best-first
+};
+
+/// Latency distribution summary over completed queries (microseconds).
+struct LatencySummary {
+  std::size_t count = 0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+  double mean_us = 0.0;
+};
+
+/// Point-in-time snapshot of the service counters.  Invariants (asserted by
+/// the soak test):  submitted == accepted + rejected  and
+/// accepted == completed + timed_out + failed  once the service is drained.
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t timed_out = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t batches = 0;  ///< micro-batches executed (>= 1 live row)
+  double modeled_device_us = 0.0;  ///< sum of modeled batch times
+  /// rows-per-executed-batch -> number of batches of that size.
+  std::map<std::size_t, std::uint64_t> batch_rows_histogram;
+  LatencySummary latency;  ///< wall latency of completed queries
+};
+
+/// An asynchronous multi-device top-K query service.
+///
+/// submit() hands over one row of keys and returns a future immediately.
+/// Compatible requests — same row length and the same power-of-two k bucket
+/// (k is padded up to the bucket's k and trimmed back per request) — are
+/// coalesced into dynamic micro-batches, which is the batching lever the
+/// paper shows dominates serving throughput (batch = 100 in every figure).
+/// A bucket is dispatched when it reaches `max_batch` rows, when its oldest
+/// request has waited `max_wait`, or when a member's deadline comes due;
+/// dispatched batches are planned (auto dispatch via recommend_algorithm or
+/// an explicit per-request Algo override) and executed on a pool of device
+/// workers, one host thread per simgpu::Device.
+///
+/// Backpressure: at most `admission_capacity` requests queue; beyond that
+/// submit() resolves the future with kRejected instead of blocking.
+/// Deadlines are enforced at dispatch: an expired request resolves with
+/// kTimedOut and never reaches a device.  shutdown() stops admission, drains
+/// every queued and in-flight batch, and joins all threads; the destructor
+/// calls it.  All entry points are thread-safe.
+class TopkService {
+ public:
+  explicit TopkService(ServiceConfig cfg = {});
+  ~TopkService();
+
+  TopkService(const TopkService&) = delete;
+  TopkService& operator=(const TopkService&) = delete;
+
+  /// Enqueue one top-K query over `keys` (the row is consumed).  `deadline`
+  /// is relative to now; a request not dispatched by then resolves with
+  /// kTimedOut.  `algo` overrides the config's default plan for this request
+  /// (and only coalesces with requests of the same override).  Throws
+  /// std::invalid_argument for malformed arguments (empty keys, k == 0,
+  /// k > keys.size()) — malformed requests are caller bugs, not load.
+  std::future<QueryResult> submit(
+      std::vector<float> keys, std::size_t k,
+      std::optional<std::chrono::microseconds> deadline = std::nullopt,
+      std::optional<Algo> algo = std::nullopt);
+
+  /// Stop admitting, flush every bucket, drain the ready queue and in-flight
+  /// batches, then join the batcher and worker threads.  Idempotent.
+  void shutdown();
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] const ServiceConfig& config() const { return cfg_; }
+
+ private:
+  struct Request {
+    std::promise<QueryResult> promise;
+    std::vector<float> keys;
+    std::size_t k = 0;
+    Clock::time_point submit_time;
+    std::optional<Clock::time_point> deadline;
+  };
+
+  /// Coalescing key: requests agree on the row length, the executed
+  /// (padded) k, and the plan override.
+  struct BucketKey {
+    std::size_t n = 0;
+    std::size_t k_exec = 0;
+    Algo algo = Algo::kAuto;
+
+    bool operator<(const BucketKey& o) const {
+      if (n != o.n) return n < o.n;
+      if (k_exec != o.k_exec) return k_exec < o.k_exec;
+      return static_cast<int>(algo) < static_cast<int>(o.algo);
+    }
+  };
+
+  struct Bucket {
+    std::vector<Request> reqs;
+    Clock::time_point oldest;         ///< submit time of the first member
+    Clock::time_point earliest_due;   ///< min(oldest + max_wait, deadlines)
+  };
+
+  struct Batch {
+    BucketKey key;
+    std::vector<Request> reqs;
+  };
+
+  void batcher_loop();
+  void worker_loop();
+  void execute_batch(simgpu::Device& dev, Batch batch);
+
+  // All methods below require `mu_` to be held.
+  void enqueue_ready_locked(Batch&& batch);
+  void resolve_rejected_locked(Request& req, const std::string& why);
+
+  ServiceConfig cfg_;
+
+  mutable std::mutex mu_;
+  std::condition_variable batcher_cv_;  ///< bucket set / shutdown changes
+  std::condition_variable worker_cv_;   ///< ready queue / shutdown changes
+
+  bool accepting_ = true;
+  bool stopping_ = false;
+  bool batcher_done_ = false;
+  std::map<BucketKey, Bucket> buckets_;
+  std::deque<Batch> ready_;
+  std::size_t queued_ = 0;  ///< requests in buckets_ + ready_
+
+  // Counters (guarded by mu_).
+  std::uint64_t submitted_ = 0;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t timed_out_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t batches_ = 0;
+  double modeled_device_us_ = 0.0;
+  std::map<std::size_t, std::uint64_t> batch_rows_histogram_;
+  std::vector<double> latency_us_;  ///< wall latency of completed queries
+
+  std::thread batcher_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace topk::serve

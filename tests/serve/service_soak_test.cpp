@@ -1,0 +1,113 @@
+// Deterministic soak of the serving layer: fixed-seed mixed shapes, k's and
+// deadlines, submitted as fast as the host can, then drained via shutdown.
+// Asserts the service's externally visible contract:
+//   * every future resolves (no request is ever dropped),
+//   * every completed result equals the direct select() reference,
+//   * the counters reconcile: submitted == accepted + rejected and
+//     accepted == completed + timed_out + failed,
+//   * the batch-size histogram accounts for every completed request.
+// Run with 1 worker (fully deterministic batch composition up to timing) and
+// with 4 workers (the concurrent multi-device path TSan and simcheck cover).
+
+#include "serve/service.hpp"
+
+#include <chrono>
+#include <future>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/topk.hpp"
+#include "data/distributions.hpp"
+
+namespace topk::serve {
+namespace {
+
+using std::chrono::microseconds;
+
+struct SoakQuery {
+  std::vector<float> keys;
+  std::size_t k = 0;
+  bool expect_timeout = false;
+  std::future<QueryResult> fut;
+};
+
+void run_soak(std::size_t num_devices) {
+  ServiceConfig cfg;
+  cfg.num_devices = num_devices;
+  cfg.max_batch = 8;
+  cfg.max_wait = microseconds(300);
+  cfg.admission_capacity = 4096;  // never reject in this soak
+  TopkService svc(cfg);
+
+  std::mt19937 rng(0xC0FFEE);
+  const std::size_t shapes[] = {512, 1000, 2048, 4096};
+  std::vector<SoakQuery> queries(120);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    SoakQuery& q = queries[i];
+    const std::size_t n = shapes[rng() % std::size(shapes)];
+    q.keys = data::uniform_values(n, 7000 + i);
+    q.k = 1 + rng() % (n / 2);
+    std::optional<microseconds> deadline;
+    const unsigned roll = rng() % 10;
+    if (roll == 0) {
+      // Already expired at submission: deterministically times out.
+      deadline = microseconds(0);
+      q.expect_timeout = true;
+    } else if (roll == 1) {
+      deadline = std::chrono::duration_cast<microseconds>(
+          std::chrono::seconds(30));  // generous: always completes
+    }
+    q.fut = svc.submit(std::vector<float>(q.keys), q.k, deadline);
+  }
+
+  svc.shutdown();  // drains every bucket and in-flight batch
+
+  std::size_t ok = 0, timed_out = 0;
+  for (SoakQuery& q : queries) {
+    ASSERT_EQ(q.fut.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready)
+        << "a future did not resolve by shutdown";
+    const QueryResult r = q.fut.get();
+    if (q.expect_timeout) {
+      EXPECT_EQ(r.status, QueryStatus::kTimedOut);
+    } else {
+      ASSERT_EQ(r.status, QueryStatus::kOk) << r.error;
+      ASSERT_EQ(r.topk.values.size(), q.k);
+      const std::string err = verify_topk(q.keys, q.k, r.topk);
+      EXPECT_TRUE(err.empty()) << err;
+      EXPECT_GE(r.batch_rows, 1u);
+      EXPECT_LE(r.batch_rows, cfg.max_batch);
+      EXPECT_GT(r.device_us, 0.0);
+    }
+    ok += r.status == QueryStatus::kOk ? 1 : 0;
+    timed_out += r.status == QueryStatus::kTimedOut ? 1 : 0;
+  }
+
+  const ServiceStats s = svc.stats();
+  EXPECT_EQ(s.submitted, queries.size());
+  EXPECT_EQ(s.submitted, s.accepted + s.rejected);
+  EXPECT_EQ(s.accepted, s.completed + s.timed_out + s.failed);
+  EXPECT_EQ(s.rejected, 0u);
+  EXPECT_EQ(s.failed, 0u);
+  EXPECT_EQ(s.completed, ok);
+  EXPECT_EQ(s.timed_out, timed_out);
+  EXPECT_EQ(s.latency.count, s.completed);
+
+  std::uint64_t histogram_rows = 0;
+  for (const auto& [rows, count] : s.batch_rows_histogram) {
+    EXPECT_GE(rows, 1u);
+    EXPECT_LE(rows, cfg.max_batch);
+    histogram_rows += rows * count;
+  }
+  EXPECT_EQ(histogram_rows, s.completed);
+  EXPECT_GT(s.modeled_device_us, 0.0);
+}
+
+TEST(TopkServiceSoak, SingleWorker) { run_soak(1); }
+
+TEST(TopkServiceSoak, FourWorkers) { run_soak(4); }
+
+}  // namespace
+}  // namespace topk::serve
