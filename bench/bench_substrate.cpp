@@ -3,20 +3,42 @@
 // Unlike the fig*/table* binaries this does not reproduce a paper figure: it
 // measures how fast the *emulator itself* moves elements (elements/second of
 // wall-clock time, not modeled device time) for the ported hot-loop
-// algorithms, with the tile-granular fast path on and off.  The A/B ratio is
-// the substrate speedup that lets default sweeps raise TOPK_MAX_LOG_N toward
-// the paper's N = 2^30 regime.
+// algorithms, across the substrate fast paths:
+//
+//   - the tile-granular fast path (TOPK_SIM_TILE, PR "tile"), A/B'd as
+//     tile off vs on for every algorithm, and
+//   - the threshold-gated warp fast path (TOPK_SIM_WARPFAST, "warpfast"),
+//     A/B'd as warpfast off vs on (tile on in both) for the WarpSelect
+//     family rows (GridSelect, WarpSelect), whose cost is per-lane round
+//     emulation rather than memory accounting.
+//
+// The A/B ratios are the substrate speedups that let default sweeps raise
+// TOPK_MAX_LOG_N toward the paper's N = 2^30 regime.  The binary also counts
+// heap allocations inside each timed run (a global operator-new hook) — the
+// regression canary for the per-block engine-construction cost — and it
+// GATES: it exits non-zero when the GridSelect or WarpSelect warpfast
+// speedup at the largest swept N falls below a floor (20× / 6× full run,
+// 3× in --smoke, where shared-runner noise and tiny N compress ratios;
+// WarpSelect's floor is lower because its exact path — per-thread register
+// queues, no shared-queue insertion machinery — is already cheap, and its
+// warpfast leg sits at the single-core memory-bandwidth floor).
+// The gated ratio is fast-paths-on (tile + warpfast, the default config)
+// versus fast-paths-off — the scalar per-lane emulation, i.e. what every
+// run cost before the fast paths existed and still costs under simcheck.
 //
 // Output: a human-readable table on stdout and BENCH_substrate.json in the
 // working directory (schema documented in docs/performance.md).  `--smoke`
 // shrinks N and the repetition count for CI.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <new>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -26,6 +48,48 @@
 #include "data/distributions.hpp"
 #include "simgpu/simgpu.hpp"
 
+// ---- allocation counting ---------------------------------------------------
+// Counts every global operator-new call so a timed region can report how many
+// heap allocations it performed.  Deliberately simple: malloc/free plus one
+// relaxed atomic increment; the increment is noise next to malloc itself.
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t a = static_cast<std::size_t>(align);
+  const std::size_t rounded = (size + a - 1) / a * a;
+  if (void* p = std::aligned_alloc(a, rounded == 0 ? a : rounded)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
 namespace {
 
 struct Row {
@@ -33,25 +97,32 @@ struct Row {
   std::size_t n = 0;
   std::size_t k = 0;
   bool tile = false;
+  bool warpfast = false;
   double wall_ms = 0.0;
   double elems_per_sec = 0.0;
   double model_us = 0.0;
+  std::uint64_t allocs = 0;  ///< heap allocations inside the best rep
 };
 
 /// Best-of-`reps` wall clock of one algorithm run.  The device and its
 /// buffers are set up once and reused across reps: the emulator retains
 /// workspace chunks between runs, so from the second rep on the timed region
 /// measures the substrate's hot loops rather than first-touch page faults on
-/// fresh allocations (which cost the same regardless of the tile path and
-/// would only dilute the A/B ratio).
+/// fresh allocations (which cost the same regardless of the fast paths and
+/// would only dilute the A/B ratios).  The same warm-rep logic applies to
+/// the allocation count: the reported number is from the best (warm) rep,
+/// i.e. the per-run steady state.
 Row measure(simgpu::Device& dev, std::span<const float> data, std::size_t n,
-            std::size_t k, topk::Algo algo, bool tile, int reps) {
+            std::size_t k, topk::Algo algo, bool tile, bool warpfast,
+            int reps) {
   simgpu::set_tile_path_enabled(tile);
+  simgpu::set_warpfast_path_enabled(warpfast);
   Row row;
   row.algo = topk::algo_name(algo);
   row.n = n;
   row.k = k;
   row.tile = tile;
+  row.warpfast = warpfast;
   row.wall_ms = 1e300;
   simgpu::ScopedWorkspace ws(dev);
   auto in = dev.alloc<float>(n);
@@ -60,6 +131,8 @@ Row measure(simgpu::Device& dev, std::span<const float> data, std::size_t n,
   auto out_idx = dev.alloc<std::uint32_t>(k);
   for (int r = 0; r < reps; ++r) {
     dev.clear_events();
+    const std::uint64_t allocs0 =
+        g_alloc_count.load(std::memory_order_relaxed);
     const auto t0 = std::chrono::steady_clock::now();
     topk::select_device(dev, in, 1, n, k, out_vals, out_idx, algo);
     const auto t1 = std::chrono::steady_clock::now();
@@ -68,6 +141,8 @@ Row measure(simgpu::Device& dev, std::span<const float> data, std::size_t n,
     if (ms < row.wall_ms) {
       row.wall_ms = ms;
       row.model_us = simgpu::CostModel(dev.spec()).total_us(dev.events());
+      row.allocs =
+          g_alloc_count.load(std::memory_order_relaxed) - allocs0;
     }
   }
   row.elems_per_sec = static_cast<double>(n) / (row.wall_ms / 1e3);
@@ -78,6 +153,12 @@ std::string fmt_double(double v) {
   std::ostringstream os;
   os << v;
   return os.str();
+}
+
+/// The WarpSelect-family algorithms whose rows get the warpfast A/B leg and
+/// a speedup gate.
+bool warpfast_family(topk::Algo algo) {
+  return algo == topk::Algo::kGridSelect || algo == topk::Algo::kWarpSelect;
 }
 
 }  // namespace
@@ -94,6 +175,7 @@ int main(int argc, char** argv) {
   const std::size_t k = 256;
   const simgpu::DeviceSpec spec = simgpu::DeviceSpec::a100();
   const bool tile_default = simgpu::tile_path_enabled();
+  const bool warpfast_default = simgpu::warpfast_path_enabled();
 
   std::vector<int> log_ns;
   for (int ln = smoke ? 16 : 18; ln <= max_log_n; ln += 2) {
@@ -102,31 +184,56 @@ int main(int argc, char** argv) {
 
   const topk::Algo algos[] = {topk::Algo::kAirTopk, topk::Algo::kSort,
                               topk::Algo::kRadixSelect,
-                              topk::Algo::kGridSelect};
+                              topk::Algo::kGridSelect,
+                              topk::Algo::kWarpSelect};
+
+  // Warpfast speedup (both fast paths on vs both off) at the largest swept
+  // N, per gated algorithm; checked against the floors after the sweep.
+  double grid_wf_speedup = 0.0;
+  double warp_wf_speedup = 0.0;
 
   std::vector<Row> rows;
-  std::cout << "algo,n,k,tile,wall_ms,elems_per_sec,model_us,speedup\n";
+  std::cout
+      << "algo,n,k,tile,warpfast,wall_ms,elems_per_sec,model_us,allocs,"
+         "speedup\n";
   for (const topk::Algo algo : algos) {
     for (const int ln : log_ns) {
       const std::size_t n = std::size_t{1} << ln;
       const auto data = topk::data::uniform_values(n, 42 + ln);
       simgpu::Device dev(spec);
-      const Row off = measure(dev, data, n, k, algo, false, reps);
-      const Row on = measure(dev, data, n, k, algo, true, reps);
-      rows.push_back(off);
-      rows.push_back(on);
-      const double speedup = off.wall_ms / on.wall_ms;
-      for (const Row* r : {&off, &on}) {
+      const Row off = measure(dev, data, n, k, algo, false, false, reps);
+      const Row on = measure(dev, data, n, k, algo, true, false, reps);
+      std::vector<const Row*> printed = {&off, &on};
+      Row wf;
+      if (warpfast_family(algo)) {
+        wf = measure(dev, data, n, k, algo, true, true, reps);
+        printed.push_back(&wf);
+        const double wf_speedup = off.wall_ms / wf.wall_ms;
+        if (ln == log_ns.back()) {
+          (algo == topk::Algo::kGridSelect ? grid_wf_speedup
+                                           : warp_wf_speedup) = wf_speedup;
+        }
+      }
+      const double tile_speedup = off.wall_ms / on.wall_ms;
+      for (const Row* r : printed) {
+        // The speedup column reports tile-on vs tile-off for the tile leg,
+        // and the gated ratio — both fast paths on vs both off — for the
+        // warpfast leg.
+        std::string speedup = "-";
+        if (r == &on) speedup = fmt_double(tile_speedup);
+        if (r->warpfast) speedup = fmt_double(off.wall_ms / r->wall_ms);
         std::cout << r->algo << "," << r->n << "," << r->k << ","
-                  << (r->tile ? "on" : "off") << "," << r->wall_ms << ","
+                  << (r->tile ? "on" : "off") << ","
+                  << (r->warpfast ? "on" : "off") << "," << r->wall_ms << ","
                   << static_cast<std::uint64_t>(r->elems_per_sec) << ","
-                  << r->model_us << ","
-                  << (r->tile ? fmt_double(speedup) : "-")
+                  << r->model_us << "," << r->allocs << "," << speedup
                   << "\n";
+        rows.push_back(*r);
       }
     }
   }
   simgpu::set_tile_path_enabled(tile_default);
+  simgpu::set_warpfast_path_enabled(warpfast_default);
 
   std::ofstream out("BENCH_substrate.json");
   out << "{\n  \"meta\": {\n"
@@ -137,20 +244,38 @@ int main(int argc, char** argv) {
       << ",\n"
       << "    \"tile_path_default\": " << (tile_default ? "true" : "false")
       << ",\n"
+      << "    \"warpfast_path_default\": "
+      << (warpfast_default ? "true" : "false") << ",\n"
       << "    \"device\": \"" << spec.name << "\",\n"
       << "    \"metric\": \"wall-clock elements/sec of the emulator "
-         "(modeled device time is tile-invariant by construction)\"\n"
+         "(modeled device time is tile- and warpfast-invariant by "
+         "construction)\"\n"
       << "  },\n  \"results\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     out << "    {\"algo\": \"" << r.algo << "\", \"n\": " << r.n
         << ", \"k\": " << r.k << ", \"tile\": " << (r.tile ? "true" : "false")
+        << ", \"warpfast\": " << (r.warpfast ? "true" : "false")
         << ", \"wall_ms\": " << r.wall_ms
         << ", \"elems_per_sec\": " << fmt_double(r.elems_per_sec)
-        << ", \"model_us\": " << r.model_us << "}"
-        << (i + 1 < rows.size() ? "," : "") << "\n";
+        << ", \"model_us\": " << r.model_us << ", \"allocs\": " << r.allocs
+        << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
   std::cout << "wrote BENCH_substrate.json (" << rows.size() << " rows)\n";
-  return 0;
+
+  // ---- warpfast speedup gates ---------------------------------------------
+  const double grid_floor = smoke ? 3.0 : 20.0;
+  const double warp_floor = smoke ? 3.0 : 6.0;
+  bool ok = true;
+  const auto gate = [&](const char* name, double got, double floor) {
+    std::cout << "gate: " << name << " warpfast speedup at N=2^"
+              << log_ns.back() << " = " << fmt_double(got) << " (floor "
+              << fmt_double(floor) << ") -> "
+              << (got >= floor ? "PASS" : "FAIL") << "\n";
+    if (got < floor) ok = false;
+  };
+  gate("GridSelect", grid_wf_speedup, grid_floor);
+  gate("WarpSelect", warp_wf_speedup, warp_floor);
+  return ok ? 0 : 1;
 }

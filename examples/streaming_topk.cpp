@@ -11,6 +11,7 @@
 //
 //   $ ./examples/streaming_topk
 
+#include <algorithm>
 #include <iostream>
 
 #include "core/topk.hpp"
@@ -77,18 +78,19 @@ int main() {
                    topk::SharedQueueEngine<float> selector(ctx, kK);
                    float vals[simgpu::kWarpSize];
                    std::uint32_t idxs[simgpu::kWarpSize];
-                   bool valid[simgpu::kWarpSize];
                    for (std::size_t base = 0; base < kN;
                         base += simgpu::kWarpSize) {
-                     for (int lane = 0; lane < simgpu::kWarpSize; ++lane) {
-                       const std::size_t row =
-                           base + static_cast<std::size_t>(lane);
-                       valid[lane] = row < kN;
-                       if (!valid[lane]) continue;
+                     const std::size_t count =
+                         std::min<std::size_t>(simgpu::kWarpSize, kN - base);
+                     for (std::size_t lane = 0; lane < count; ++lane) {
+                       const std::size_t row = base + lane;
                        vals[lane] = row_distance(ctx, d_vectors, row, squery);
                        idxs[lane] = static_cast<std::uint32_t>(row);
                      }
-                     selector.round(ctx, vals, idxs, valid);
+                     // The gated round skips the ballot emulation for
+                     // batches with no candidate distances (same charges,
+                     // see docs/performance.md "warp fast path").
+                     selector.round_gated(ctx, vals, idxs, count);
                    }
                    selector.finalize(ctx);
                    for (std::size_t i = 0; i < kK; ++i) {

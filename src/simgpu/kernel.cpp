@@ -8,28 +8,39 @@ namespace simgpu {
 
 namespace {
 
-/// -1 until first read, then 0/1.  Relaxed is enough: the switch is flipped
-/// from the driving host thread between launches, never mid-kernel.
+/// -1 until first read, then 0/1.  Relaxed is enough: the switches are
+/// flipped from the driving host thread between launches, never mid-kernel.
 std::atomic<int> g_tile_path{-1};
+std::atomic<int> g_warpfast_path{-1};
 
-int tile_path_from_env() {
-  const char* v = std::getenv("TOPK_SIM_TILE");
+int toggle_from_env(const char* name) {
+  const char* v = std::getenv(name);
   return (v != nullptr && std::string_view(v) == "0") ? 0 : 1;
 }
 
-}  // namespace
-
-bool tile_path_enabled() {
-  int v = g_tile_path.load(std::memory_order_relaxed);
+bool lazy_toggle(std::atomic<int>& toggle, const char* env) {
+  int v = toggle.load(std::memory_order_relaxed);
   if (v < 0) {
-    v = tile_path_from_env();
-    g_tile_path.store(v, std::memory_order_relaxed);
+    v = toggle_from_env(env);
+    toggle.store(v, std::memory_order_relaxed);
   }
   return v != 0;
 }
 
+}  // namespace
+
+bool tile_path_enabled() { return lazy_toggle(g_tile_path, "TOPK_SIM_TILE"); }
+
 void set_tile_path_enabled(bool enabled) {
   g_tile_path.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+bool warpfast_path_enabled() {
+  return lazy_toggle(g_warpfast_path, "TOPK_SIM_WARPFAST");
+}
+
+void set_warpfast_path_enabled(bool enabled) {
+  g_warpfast_path.store(enabled ? 1 : 0, std::memory_order_relaxed);
 }
 
 }  // namespace simgpu

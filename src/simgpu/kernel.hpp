@@ -17,6 +17,7 @@
 #include "simgpu/buffer.hpp"
 #include "simgpu/device.hpp"
 #include "simgpu/sanitizer.hpp"
+#include "simgpu/simd.hpp"
 
 namespace simgpu {
 
@@ -36,6 +37,21 @@ inline constexpr std::size_t kTileElems = 1024;
 /// bit-identical in both modes by construction, only wall-clock changes.
 [[nodiscard]] bool tile_path_enabled();
 void set_tile_path_enabled(bool enabled);
+
+/// Runtime switch for the threshold-gated warp fast path of the WarpSelect
+/// algorithm family (GridSelect shared/thread queues, WarpSelect,
+/// BlockSelect, and the streaming SharedQueueEngine): warp rounds proven
+/// candidate-free by a vectorized compare skip the exact ballot/insertion
+/// emulation and bulk-charge the identical counters.  Default on; set
+/// TOPK_SIM_WARPFAST=0 to start disabled.  The path additionally requires
+/// the tile path (it scans load_tile spans) and is forced off while a
+/// sanitizer is attached so simcheck observes every lane access —
+/// BlockCtx::warpfast_enabled() is the combined gate kernels consult.
+[[nodiscard]] bool warpfast_path_enabled();
+void set_warpfast_path_enabled(bool enabled);
+
+/// Largest number of warps one thread block can hold (1024 threads).
+inline constexpr int kMaxWarpsPerBlock = 1024 / kWarpSize;
 
 /// A warp: 32 lanes executed in lockstep by the emulator.  Kernels written
 /// against this class are structured exactly like warp-synchronous CUDA
@@ -264,6 +280,10 @@ class BlockCtx {
       sshadow_ = std::make_unique<SharedShadow>();
       sshadow_->cells.resize(shared_capacity_);
     }
+    // Sampled once per block: the toggles are only flipped from the driving
+    // host thread between launches, never while a grid is in flight.
+    warpfast_ = tile_path_enabled() && warpfast_path_enabled() &&
+                san_ == nullptr;
   }
 
   [[nodiscard]] int block_idx() const { return block_idx_; }
@@ -563,6 +583,33 @@ class BlockCtx {
     return ScatterWriter<T>(this, b, bulk);
   }
 
+  /// ---- Threshold-gated warp fast path ------------------------------------
+
+  /// True when kernels may take the threshold-gated warp fast path for this
+  /// block: the warpfast AND tile toggles are on and no sanitizer is
+  /// attached.  With a sanitizer the exact per-lane round machinery runs so
+  /// simcheck keeps element-exact attribution (the fallback is enforced by
+  /// tile_invariance_test's {tile × warpfast × simcheck} grid).
+  [[nodiscard]] bool warpfast_enabled() const { return warpfast_; }
+
+  /// Vectorizable scan primitive for threshold-gated warp rounds: how many
+  /// elements of `tile` are strictly below `threshold`.  The compare is
+  /// branch-free so -O2 autovectorizes it.  Purely an emulator-side compute
+  /// helper — it charges nothing; callers charge the authoritative round
+  /// formula (a candidate-free round costs exactly what the exact
+  /// ballot-based round charges, see topk::kEmptyRoundLaneOps).
+  template <typename T>
+  [[nodiscard]] static std::size_t count_below(std::span<const T> tile,
+                                               T threshold) {
+    if constexpr (std::is_same_v<T, float>) {
+      return simd::count_below_f32(tile.data(), tile.size(), threshold);
+    } else {
+      std::size_t below = 0;
+      for (const T& v : tile) below += static_cast<std::size_t>(v < threshold);
+      return below;
+    }
+  }
+
   /// ---- Compute accounting ------------------------------------------------
 
   /// Charge `n` lane operations to the compute model (comparisons, digit
@@ -635,6 +682,7 @@ class BlockCtx {
   std::uint32_t sync_epoch_ = 0;
   int active_warp_ = -1;
   int active_lane_ = -1;
+  bool warpfast_ = false;
   std::unique_ptr<SharedShadow> sshadow_;
 };
 

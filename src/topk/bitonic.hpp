@@ -32,6 +32,31 @@ concept SortableView = requires(const S& s, std::size_t i) {
   s[i];
 };
 
+/// True for views whose operator[] returns a sanitizer-aware proxy
+/// (simgpu::SharedSpan); false for raw std::span views.
+template <typename V>
+inline constexpr bool kProxyView = requires(const V& v) {
+  v.unchecked_data();
+};
+
+/// Unwrap a view to an equivalent raw std::span when uncounted raw element
+/// access is legal.  For std::span views this is the identity; for
+/// simgpu::SharedSpan it is unchecked_data(), which is non-null only while
+/// the tile fast path is on and no sanitizer is attached (shared-memory
+/// accesses are never charged to BlockCounters, so bypassing the proxies
+/// cannot perturb KernelStats).  An empty return means "not available" —
+/// callers fall back to the proxy view.
+template <SortableView V>
+[[nodiscard]] std::span<typename V::element_type> raw_view(const V& v) {
+  if constexpr (kProxyView<V>) {
+    typename V::element_type* p = v.unchecked_data();
+    if (p == nullptr) return {};
+    return {p, v.size()};
+  } else {
+    return {v.data(), v.size()};
+  }
+}
+
 namespace detail {
 
 template <SortableView KS, SortableView IS>
@@ -63,6 +88,19 @@ inline void compare_exchange(const KS& keys, const IS& idx, std::size_t i,
 template <SortableView KS, SortableView IS>
 void bitonic_merge(simgpu::BlockCtx& ctx, KS keys, IS idx, std::size_t lo,
                    std::size_t n, bool ascending) {
+  // Proxy views (SharedSpan) route every element access through the
+  // sanitizer hook; when raw access is legal, run the same network over the
+  // unwrapped spans so the inner compare-exchange loop stays tight.  The
+  // charges below do not depend on the view type, so KernelStats are
+  // identical either way.
+  if constexpr (kProxyView<KS> || kProxyView<IS>) {
+    const auto rk = raw_view(keys);
+    const auto ri = raw_view(idx);
+    if (!rk.empty() && !ri.empty()) {
+      bitonic_merge(ctx, rk, ri, lo, n, ascending);
+      return;
+    }
+  }
   for (std::size_t stride = n / 2; stride > 0; stride /= 2) {
     for (std::size_t i = lo; i < lo + n; ++i) {
       if ((i - lo) & stride) continue;  // partner handled from lower index
@@ -77,6 +115,14 @@ void bitonic_merge(simgpu::BlockCtx& ctx, KS keys, IS idx, std::size_t lo,
 template <SortableView KS, SortableView IS>
 void bitonic_sort(simgpu::BlockCtx& ctx, KS keys, IS idx, std::size_t lo,
                   std::size_t n, bool ascending = true) {
+  if constexpr (kProxyView<KS> || kProxyView<IS>) {
+    const auto rk = raw_view(keys);
+    const auto ri = raw_view(idx);
+    if (!rk.empty() && !ri.empty()) {
+      bitonic_sort(ctx, rk, ri, lo, n, ascending);
+      return;
+    }
+  }
   for (std::size_t size = 2; size <= n; size *= 2) {
     for (std::size_t chunk = lo; chunk < lo + n; chunk += size) {
       const bool dir = ascending == (((chunk - lo) / size) % 2 == 0);
@@ -101,6 +147,41 @@ void bitonic_sort(simgpu::BlockCtx& ctx, std::span<K> keys,
                                                        keys.size(), ascending);
 }
 
+/// ---- Closed-form lane-op charges of the networks above ------------------
+///
+/// The warpfast fast path (docs/performance.md) replaces the network
+/// *execution* with cheaper host-side data structures but must charge
+/// BlockCounters exactly what the emulated network would.  The networks are
+/// data-oblivious, so their charges are pure functions of the length; these
+/// helpers are the single source of truth and are asserted against the
+/// actual networks in partial_sort_test.
+///
+/// Lane ops charged by bitonic_merge over a length-n network.
+constexpr std::uint64_t bitonic_merge_ops(std::size_t n) {
+  std::uint64_t ops = 0;
+  for (std::size_t stride = n / 2; stride > 0; stride /= 2) ops += n / 2;
+  return ops;
+}
+
+/// Lane ops charged by bitonic_sort over a length-n network.
+constexpr std::uint64_t bitonic_sort_ops(std::size_t n) {
+  std::uint64_t ops = 0;
+  for (std::size_t size = 2; size <= n; size *= 2) {
+    ops += (n / size) * bitonic_merge_ops(size);
+  }
+  return ops;
+}
+
+/// Lane ops charged by merge_prune over two length-n lists.
+constexpr std::uint64_t merge_prune_ops(std::size_t n) {
+  return n + bitonic_merge_ops(n);
+}
+
+/// Stack-scratch bound of merge_prune's warpfast two-pointer fast path;
+/// covers every selection-family capacity (kMaxSelectionK).  Longer lists
+/// fall back to the exact network.
+inline constexpr std::size_t kMergePruneScratch = 2048;
+
 /// Merge-and-prune, the core partial-sorting step of WarpSelect and
 /// Bitonic Top-K: `a` and `b` are both ascending sorted, same power-of-two
 /// length n.  Afterwards `a` holds the n smallest of the 2n elements, sorted
@@ -112,9 +193,54 @@ void bitonic_sort(simgpu::BlockCtx& ctx, std::span<K> keys,
 template <SortableView AK, SortableView AI, SortableView BK, SortableView BI>
 void merge_prune(simgpu::BlockCtx& ctx, AK a_keys, AI a_idx, BK b_keys,
                  BI b_idx) {
+  // Unwrap proxy views to raw spans when legal (see bitonic_merge) — this
+  // is the hot inner loop of every queue/list merge in the WarpSelect
+  // family.  unchecked_data() is all-or-nothing per kernel (one global gate
+  // + one sanitizer test), so a partial unwrap cannot happen in practice;
+  // the fallback keeps the code correct if it ever does.
+  if constexpr (kProxyView<AK> || kProxyView<AI> || kProxyView<BK> ||
+                kProxyView<BI>) {
+    const auto rak = raw_view(a_keys);
+    const auto rai = raw_view(a_idx);
+    const auto rbk = raw_view(b_keys);
+    const auto rbi = raw_view(b_idx);
+    if (!rak.empty() && !rai.empty() && !rbk.empty() && !rbi.empty()) {
+      merge_prune(ctx, rak, rai, rbk, rbi);
+      return;
+    }
+  }
   using K = typename AK::value_type;
   using I = typename AI::value_type;
   const std::size_t n = a_keys.size();
+  // Warpfast fast path: both inputs are ascending sorted, so the n smallest
+  // of the union fall out of one two-pointer pass — no min/max exchange and
+  // no merge network.  The network is data-oblivious, so its closed-form
+  // charge (asserted against the real network in partial_sort_test) keeps
+  // KernelStats and modeled time bit-identical.  Only the order of equal
+  // keys can differ from the network's, which the result contract leaves
+  // open; b's leftovers are documented clobbered either way.
+  if (n <= kMergePruneScratch && ctx.warpfast_enabled()) {
+    ctx.ops(merge_prune_ops(n));
+    K ak[kMergePruneScratch];
+    I ai[kMergePruneScratch];
+    for (std::size_t i = 0; i < n; ++i) {
+      ak[i] = a_keys[i];
+      ai[i] = a_idx[i];
+    }
+    std::size_t i = 0;
+    std::size_t j = 0;
+    for (std::size_t t = 0; t < n; ++t) {
+      // i, j < n for every step: each advances at most once per element
+      // taken and only n elements are taken.  Ties keep the a side.
+      const K bv = b_keys[j];
+      const bool takeb = bv < ak[i];
+      a_keys[t] = takeb ? bv : ak[i];
+      a_idx[t] = takeb ? static_cast<I>(b_idx[j]) : ai[i];
+      j += takeb ? 1 : 0;
+      i += takeb ? 0 : 1;
+    }
+    return;
+  }
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t j = n - 1 - i;
     const K av = a_keys[i];

@@ -1,10 +1,13 @@
 #pragma once
 
+#include <algorithm>
+#include <array>
+#include <bit>
 #include <cstdint>
-#include <memory>
+#include <optional>
+#include <span>
 #include <stdexcept>
 #include <string>
-#include <vector>
 
 #include "simgpu/simgpu.hpp"
 #include "topk/common.hpp"
@@ -48,7 +51,18 @@ class SharedQueueEngine {
         list_keys_(ctx.shared<T>(next_pow2(k), "gridselect list keys")),
         list_idx_(ctx.shared<std::uint32_t>(next_pow2(k),
                                             "gridselect list idx")),
-        list_(list_keys_, list_idx_, k) {}
+        list_(list_keys_, list_idx_, k) {
+    // Under the warpfast gate, candidates are staged pre-packed (see
+    // pack_key_idx) in a plain member buffer instead of the shared-memory
+    // queue: one 8-byte store per insert and the flush offers uint64s
+    // straight into the list's packed heap.  The shared queue is still
+    // allocated (shared-memory capacity modeling is unchanged) but not
+    // written — its contents are unobservable except through the merge,
+    // and the gate is per-block constant so a queue never mixes layouts.
+    if constexpr (kPackableKey<T>) {
+      packed_q_ = ctx.warpfast_enabled();
+    }
+  }
 
   [[nodiscard]] T kth() const { return list_.kth(); }
 
@@ -60,19 +74,25 @@ class SharedQueueEngine {
     const std::uint32_t mask = simgpu::Warp::ballot([&](int lane) {
       return valid[lane] && values[lane] < threshold;
     });
-    ctx.ops(simgpu::kWarpSize + 1);  // compare per lane + ballot
+    // The per-round floor (threshold compare per lane + the ballot) is the
+    // one authoritative formula shared with the warpfast bulk charge; a
+    // mask == 0 round costs exactly this and nothing else.
+    ctx.ops(kEmptyRoundLaneOps);
     if (mask == 0) return;
 
-    const std::size_t incoming = static_cast<std::size_t>(simgpu::Warp::popc(mask));
-    // Step 1: lanes whose storing position fits insert immediately.
-    for (int lane = 0; lane < simgpu::kWarpSize; ++lane) {
-      if (!((mask >> lane) & 1u)) continue;
-      const std::size_t pos =
-          q_count_ + static_cast<std::size_t>(simgpu::Warp::rank_below(mask, lane));
-      if (pos < simgpu::kWarpSize) {
-        q_keys_[pos] = values[lane];
-        q_idx_[pos] = indices[lane];
-      }
+    const std::size_t incoming =
+        static_cast<std::size_t>(simgpu::Warp::popc(mask));
+    // Step 1: lanes whose storing position fits insert immediately.  Walk
+    // only the set mask bits (rank == popcount of lower bits, i.e.
+    // Warp::rank_below); positions grow with the rank, so the first
+    // overflow ends the loop — on the device the predicated store issues
+    // for the candidate lanes either way, hence the same `incoming` charge.
+    std::size_t rank = 0;
+    for (std::uint32_t m = mask; m != 0; m &= m - 1, ++rank) {
+      const std::size_t pos = q_count_ + rank;
+      if (pos >= simgpu::kWarpSize) break;
+      const int lane = std::countr_zero(m);
+      q_put(pos, values[lane], indices[lane]);
     }
     ctx.ops(incoming);
     const std::size_t total = q_count_ + incoming;
@@ -80,19 +100,145 @@ class SharedQueueEngine {
       q_count_ = total;
       return;
     }
-    // Queue full: sort + merge, clear, then step 2 inserts the overflow.
+    // Queue full: sort + merge, clear, then step 2 inserts the overflow
+    // (the set bits whose position ran past the queue end in step 1).
     flush(ctx, simgpu::kWarpSize);
-    for (int lane = 0; lane < simgpu::kWarpSize; ++lane) {
-      if (!((mask >> lane) & 1u)) continue;
-      const std::size_t pos =
-          q_count_overflow_base_ +
-          static_cast<std::size_t>(simgpu::Warp::rank_below(mask, lane));
-      if (pos >= simgpu::kWarpSize) {
-        q_keys_[pos - simgpu::kWarpSize] = values[lane];
-        q_idx_[pos - simgpu::kWarpSize] = indices[lane];
-      }
+    rank = 0;
+    for (std::uint32_t m = mask; m != 0; m &= m - 1, ++rank) {
+      const std::size_t pos = q_count_overflow_base_ + rank;
+      if (pos < simgpu::kWarpSize) continue;
+      const int lane = std::countr_zero(m);
+      q_put(pos - simgpu::kWarpSize, values[lane], indices[lane]);
     }
     ctx.ops(incoming);
+    q_count_ = total - simgpu::kWarpSize;
+  }
+
+  /// round() for prefix-valid lane batches (the first `count` lanes hold
+  /// loaded elements), with the threshold-gated fast path: when the block's
+  /// warpfast gate is on and no element beats the current threshold, charge
+  /// the exact per-round cost in bulk and return without touching any
+  /// state — bit-identical to the full emulation, which would have found
+  /// mask == 0.  Rounds with candidates take the exact path.
+  void round_gated(simgpu::BlockCtx& ctx, const T* values,
+                   const std::uint32_t* indices, std::size_t count) {
+    if (ctx.warpfast_enabled() &&
+        simgpu::BlockCtx::count_below(std::span<const T>(values, count),
+                                      list_.kth()) == 0) {
+      ctx.ops(kEmptyRoundLaneOps);
+      return;
+    }
+    bool valid[simgpu::kWarpSize];
+    for (int lane = 0; lane < simgpu::kWarpSize; ++lane) {
+      valid[lane] = static_cast<std::size_t>(lane) < count;
+    }
+    round(ctx, values, indices, valid);
+  }
+
+  /// Vectorized round over one contiguous prefix-valid tile (warpfast
+  /// path).  Queue/list state and BlockCounters end up identical to
+  /// round() over the same elements: candidates are extracted in lane
+  /// order — exactly the ballot's bit order — and appended with the same
+  /// two-step placement, and the charges are the same per-round floor +
+  /// `incoming` per insert step.  Only the emulation work (per-lane ballot
+  /// closure, bit walking) is elided.  Indices come from `ext_idx` when
+  /// non-empty, else `base_index + offset`.
+  void round_span(simgpu::BlockCtx& ctx, std::span<const T> tile,
+                  std::span<const std::uint32_t> ext_idx,
+                  std::uint32_t base_index) {
+    const T threshold = list_.kth();
+    ctx.ops(kEmptyRoundLaneOps);
+    if constexpr (kPackableKey<T>) {
+      if (packed_q_) {
+        // Fused filter + pack, compressed straight onto the staging queue
+        // tail (qpack_ has kWarpSize slots of slack for exactly this).
+        // Candidates land in lane order — the ballot's bit order — packed
+        // once as 8-byte units that stay packed through staging and the
+        // list merge.  Float keys take the vcompress path in simgpu::simd;
+        // other packable keys use the branchless cursor loop.
+        std::uint64_t* dst = qpack_.data() + q_count_;
+        std::size_t m;
+        if constexpr (std::is_same_v<T, float>) {
+          m = simgpu::simd::pack_below_f32(
+              tile.data(), ext_idx.empty() ? nullptr : ext_idx.data(),
+              base_index, tile.size(), threshold, dst);
+        } else {
+          m = 0;
+          for (std::size_t u = 0; u < tile.size(); ++u) {
+            dst[m] = pack_key_idx<T>(
+                tile[u], ext_idx.empty()
+                             ? base_index + static_cast<std::uint32_t>(u)
+                             : ext_idx[u]);
+            m += tile[u] < threshold ? 1 : 0;
+          }
+        }
+        if (m == 0) return;
+        ctx.ops(m);
+        const std::size_t total = q_count_ + m;
+        if (total < simgpu::kWarpSize) {
+          q_count_ = total;
+          return;
+        }
+        // Queue full: sort + merge, then step 2 moves the overflow to the
+        // front — the same two-step placement as the exact round.
+        flush(ctx, simgpu::kWarpSize);
+        const std::size_t rem = total - simgpu::kWarpSize;
+        for (std::size_t i = 0; i < rem; ++i) {
+          qpack_[i] = qpack_[simgpu::kWarpSize + i];
+        }
+        ctx.ops(m);
+        q_count_ = rem;
+        return;
+      }
+    }
+    // Vectorized precheck: most rounds carry no candidate once the
+    // threshold tightens, and the compare-only scan is far cheaper than
+    // the compacting one below.
+    if (simgpu::BlockCtx::count_below(tile, threshold) == 0) return;
+    // Unpackable key types stage through the shared-memory queue as the
+    // exact path does (raw spans when legal — shared-memory traffic is
+    // never charged, so this is free of KernelStats effects).
+    T ck[simgpu::kWarpSize];
+    std::uint32_t ci[simgpu::kWarpSize];
+    std::size_t m = 0;
+    if (ext_idx.empty()) {
+      for (std::size_t u = 0; u < tile.size(); ++u) {
+        ck[m] = tile[u];
+        ci[m] = base_index + static_cast<std::uint32_t>(u);
+        m += tile[u] < threshold ? 1 : 0;
+      }
+    } else {
+      for (std::size_t u = 0; u < tile.size(); ++u) {
+        ck[m] = tile[u];
+        ci[m] = ext_idx[u];
+        m += tile[u] < threshold ? 1 : 0;
+      }
+    }
+    if (m == 0) return;
+    T* qk = raw_view(q_keys_).data();
+    std::uint32_t* qi = raw_view(q_idx_).data();
+    const auto put = [&](std::size_t dst, std::size_t i) {
+      if (qk != nullptr) {
+        qk[dst] = ck[i];
+        qi[dst] = ci[i];
+      } else {
+        q_keys_[dst] = ck[i];
+        q_idx_[dst] = ci[i];
+      }
+    };
+    // Step 1: the candidates that fit the queue tail.
+    const std::size_t take = std::min(m, simgpu::kWarpSize - q_count_);
+    for (std::size_t i = 0; i < take; ++i) put(q_count_ + i, i);
+    ctx.ops(m);
+    const std::size_t total = q_count_ + m;
+    if (total < simgpu::kWarpSize) {
+      q_count_ = total;
+      return;
+    }
+    // Queue full: sort + merge, then step 2 re-issues the overflow.
+    flush(ctx, simgpu::kWarpSize);
+    for (std::size_t i = take; i < m; ++i) put(i - take, i);
+    ctx.ops(m);
     q_count_ = total - simgpu::kWarpSize;
   }
 
@@ -106,8 +252,27 @@ class SharedQueueEngine {
  private:
   void flush(simgpu::BlockCtx& ctx, std::size_t count) {
     q_count_overflow_base_ = q_count_;
+    if constexpr (kPackableKey<T>) {
+      if (packed_q_) {
+        list_.merge_packed(ctx, qpack_.data(), count);
+        q_count_ = 0;
+        return;
+      }
+    }
     list_.merge(ctx, q_keys_, q_idx_, count);
     q_count_ = 0;
+  }
+
+  /// One queue insert, honoring the staging layout (see the constructor).
+  void q_put(std::size_t pos, T v, std::uint32_t index) {
+    if constexpr (kPackableKey<T>) {
+      if (packed_q_) {
+        qpack_[pos] = pack_key_idx<T>(v, index);
+        return;
+      }
+    }
+    q_keys_[pos] = v;
+    q_idx_[pos] = index;
   }
 
   simgpu::SharedSpan<T> q_keys_;
@@ -115,6 +280,11 @@ class SharedQueueEngine {
   simgpu::SharedSpan<T> list_keys_;
   simgpu::SharedSpan<std::uint32_t> list_idx_;
   SharedList list_;
+  // Staging queue for packed candidates: kWarpSize live slots plus
+  // kWarpSize slots of slack so round_span can compress a full round onto
+  // the tail before splitting it across a flush.
+  std::array<std::uint64_t, 2 * simgpu::kWarpSize> qpack_{};
+  bool packed_q_ = false;
   std::size_t q_count_ = 0;
   std::size_t q_count_overflow_base_ = 0;
 };
@@ -142,7 +312,7 @@ void grid_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
   // Shrink the block until the per-warp queue + list state fits the
   // device's shared memory (large K on small-shared-memory devices like
   // the A10 runs with fewer warps per block).
-  int num_warps = opt.warps_per_block;
+  int num_warps = std::min(opt.warps_per_block, simgpu::kMaxWarpsPerBlock);
   const std::size_t per_warp_shared =
       (simgpu::kWarpSize + cap) * (sizeof(T) + sizeof(std::uint32_t));
   while (num_warps > 1 && static_cast<std::size_t>(num_warps) *
@@ -194,23 +364,112 @@ void grid_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
       const int bip = shape.block_in_problem(ctx.block_idx());
       const auto [begin, end] = block_chunk(n, bpp, bip);
       const std::size_t base = prob * n;
+      // Per-block gate: tile path + TOPK_SIM_WARPFAST + no sanitizer.
+      const bool warpfast = ctx.warpfast_enabled();
 
-      // One engine per warp; shared-queue engines allocate from block shared
-      // memory, the thread-queue variant keeps queues in registers.
-      std::vector<std::unique_ptr<SharedQueueEngine<T>>> sq;
-      std::vector<std::unique_ptr<faiss_detail::WarpSelectEngine<T>>> tq;
+      // One engine per warp, constructed in place (no per-block heap
+      // traffic); shared-queue engines allocate from block shared memory,
+      // the thread-queue variant keeps queues in registers.
+      std::array<std::optional<SharedQueueEngine<T>>,
+                 simgpu::kMaxWarpsPerBlock>
+          sq;
+      std::array<std::optional<faiss_detail::WarpSelectEngine<T>>,
+                 simgpu::kMaxWarpsPerBlock>
+          tq;
       for (int w = 0; w < num_warps; ++w) {
         if (shared_queue) {
-          sq.push_back(std::make_unique<SharedQueueEngine<T>>(ctx, k));
+          sq[static_cast<std::size_t>(w)].emplace(ctx, k);
         } else {
-          tq.push_back(
-              std::make_unique<faiss_detail::WarpSelectEngine<T>>(ctx, k));
+          tq[static_cast<std::size_t>(w)].emplace(ctx, k);
         }
       }
 
       const std::size_t stride =
           static_cast<std::size_t>(num_warps) * simgpu::kWarpSize;
-      ctx.for_each_warp([&](simgpu::Warp& warp) {
+
+      // Warpfast scan: region-hoisted tile loads.  One load_tile per
+      // stride-aligned region (instead of per 32-wide round) keeps the data
+      // L1-hot across each warp's threshold scans and amortizes the
+      // per-call accounting.  Byte charges are identical to per-round
+      // loads — every element of the chunk is loaded exactly once either
+      // way and BlockCounters are per block, not per warp — and engine
+      // states are warp-independent, so interleaving warps per region
+      // instead of scanning warp-major changes only the order of charges,
+      // never their totals.  The exact path loads the index tile every
+      // round too, so the byte charges match whether or not a round has
+      // candidates.
+      const auto scan_warpfast = [&](auto& engs) {
+        const std::size_t region = stride * 64;
+        // Adaptive region gating: a failed gate (candidates present) wastes
+        // its count pass, and failures cluster while the warp's threshold is
+        // still loose.  After each failure the gate sleeps for twice as many
+        // regions as before (capped), and any success resets the backoff.
+        // Gated and ungated regions charge BlockCounters identically (the
+        // per-round path floors empty rounds itself), so the heuristic only
+        // ever affects wall clock.
+        std::array<std::uint8_t, simgpu::kMaxWarpsPerBlock> gate_sleep{};
+        std::array<std::uint8_t, simgpu::kMaxWarpsPerBlock> gate_backoff{};
+        for (std::size_t r = begin; r < end; r += region) {
+          const std::size_t rc = std::min(region, end - r);
+          const std::span<const T> tv = ctx.load_tile(in, base + r, rc);
+          const std::span<const std::uint32_t> ti =
+              has_in_idx ? ctx.load_tile(ext_idx, base + r, rc)
+                         : std::span<const std::uint32_t>{};
+          for (int w = 0; w < num_warps; ++w) {
+            auto& eng = *engs[static_cast<std::size_t>(w)];
+            const std::size_t warp_off =
+                static_cast<std::size_t>(w) * simgpu::kWarpSize;
+            // Region gate: count candidates across all of this warp's
+            // sub-rounds under the region-entry threshold.  The threshold
+            // only tightens, and only at flushes — which need candidates —
+            // so it is the loosest threshold any round in the region will
+            // see: zero here means every round is provably empty.  Empty
+            // rounds charge exactly the per-round floor and touch no state,
+            // so one bulk charge replaces them bit-identically and the
+            // engine round machinery runs only for candidate regions.
+            if (gate_sleep[static_cast<std::size_t>(w)] == 0) {
+              const T gate = eng.kth();
+              std::size_t rounds = 0;
+              std::size_t below = 0;
+              for (std::size_t off = warp_off; off < rc; off += stride) {
+                const std::size_t c =
+                    std::min<std::size_t>(simgpu::kWarpSize, rc - off);
+                below +=
+                    simgpu::BlockCtx::count_below(tv.subspan(off, c), gate);
+                ++rounds;
+              }
+              if (below == 0) {
+                gate_backoff[static_cast<std::size_t>(w)] = 0;
+                ctx.ops(rounds * kEmptyRoundLaneOps);
+                continue;
+              }
+              const std::uint8_t next = gate_backoff[static_cast<std::size_t>(
+                  w)];
+              gate_backoff[static_cast<std::size_t>(w)] =
+                  next == 0 ? 1 : static_cast<std::uint8_t>(
+                                      next < 8 ? next * 2 : 8);
+              gate_sleep[static_cast<std::size_t>(w)] =
+                  gate_backoff[static_cast<std::size_t>(w)];
+            } else {
+              --gate_sleep[static_cast<std::size_t>(w)];
+            }
+            for (std::size_t off = warp_off; off < rc; off += stride) {
+              const std::size_t c =
+                  std::min<std::size_t>(simgpu::kWarpSize, rc - off);
+              eng.round_span(ctx, tv.subspan(off, c),
+                             has_in_idx ? ti.subspan(off, c) : ti,
+                             static_cast<std::uint32_t>(r + off));
+            }
+          }
+        }
+        for (int w = 0; w < num_warps; ++w)
+          engs[static_cast<std::size_t>(w)]->finalize(ctx);
+      };
+
+      // Exact scan, one loop for both engine families (they share the
+      // round / finalize surface), with two load variants: tile (tile
+      // load, exact round every time) and scalar.
+      const auto scan = [&](simgpu::Warp& warp, auto& eng) {
         T values[simgpu::kWarpSize];
         std::uint32_t indices[simgpu::kWarpSize];
         bool valid[simgpu::kWarpSize];
@@ -218,12 +477,15 @@ void grid_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
             static_cast<std::size_t>(warp.index()) * simgpu::kWarpSize;
         for (std::size_t pos = begin + warp_off; pos < end; pos += stride) {
           if (tile) {
-            const std::size_t c =
-                std::min<std::size_t>(simgpu::kWarpSize, end - pos);
-            const std::span<const T> tv = ctx.load_tile(in, base + pos, c);
+            const std::span<const T> tv = ctx.load_tile(
+                in, base + pos,
+                std::min<std::size_t>(simgpu::kWarpSize, end - pos));
             const std::span<const std::uint32_t> ti =
-                has_in_idx ? ctx.load_tile(ext_idx, base + pos, c)
-                           : std::span<const std::uint32_t>{};
+                has_in_idx
+                    ? ctx.load_tile(
+                          ext_idx, base + pos,
+                          std::min<std::size_t>(simgpu::kWarpSize, end - pos))
+                    : std::span<const std::uint32_t>{};
             warp.each([&](int lane) {
               const auto u = static_cast<std::size_t>(lane);
               valid[lane] = u < tv.size();
@@ -245,30 +507,40 @@ void grid_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
               }
             });
           }
-          if (shared_queue) {
-            sq[static_cast<std::size_t>(warp.index())]->round(ctx, values,
-                                                              indices, valid);
-          } else {
-            tq[static_cast<std::size_t>(warp.index())]->round(ctx, values,
-                                                              indices, valid);
-          }
+          eng.round(ctx, values, indices, valid);
         }
+        eng.finalize(ctx);
+      };
+      if (warpfast) {
         if (shared_queue) {
-          sq[static_cast<std::size_t>(warp.index())]->finalize(ctx);
+          scan_warpfast(sq);
         } else {
-          tq[static_cast<std::size_t>(warp.index())]->flush(ctx);
+          scan_warpfast(tq);
         }
-      });
+      } else {
+        ctx.for_each_warp([&](simgpu::Warp& warp) {
+          const auto w = static_cast<std::size_t>(warp.index());
+          if (shared_queue) {
+            scan(warp, *sq[w]);
+          } else {
+            scan(warp, *tq[w]);
+          }
+        });
+      }
       ctx.sync();
 
       // The shared-queue and thread-queue lists view different storage
       // types, so merge within each branch and emit through one generic
       // lambda.
       const auto emit = [&](auto& merged) {
+        // Hoist the accessors: keys()/indices() materialize lazily on the
+        // warpfast path, so per-element calls would re-check per element.
+        const auto mk = merged.keys();
+        const auto mi = merged.indices();
         if (direct_output) {
           for (std::size_t i = 0; i < k; ++i) {
-            ctx.store(out_vals, prob * k + i, merged.keys()[i]);
-            ctx.store(out_idx, prob * k + i, merged.indices()[i]);
+            ctx.store(out_vals, prob * k + i, mk[i]);
+            ctx.store(out_idx, prob * k + i, mi[i]);
           }
           return;
         }
@@ -280,10 +552,9 @@ void grid_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
         for (std::size_t i = 0; i < cap; ++i) {
           const bool live = i < k;
           ctx.store(part_val, out_base + i,
-                    live ? static_cast<T>(merged.keys()[i])
-                         : sort_sentinel<T>());
+                    live ? static_cast<T>(mk[i]) : sort_sentinel<T>());
           ctx.store(part_idx, out_base + i,
-                    live ? static_cast<std::uint32_t>(merged.indices()[i])
+                    live ? static_cast<std::uint32_t>(mi[i])
                          : std::uint32_t{0});
         }
       };
@@ -322,6 +593,11 @@ void grid_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
       const auto load_partial = [&](auto& dst_keys, auto& dst_idx,
                                     std::size_t src_base) {
         if (tile) {
+          // Shared-memory destinations: write through the raw spans when
+          // the tile gate makes that legal (shared accesses are never
+          // charged, so the proxy fallback is charge-identical).
+          const auto rk = raw_view(dst_keys);
+          const auto ri = raw_view(dst_idx);
           std::size_t i = 0;
           while (i < cap) {
             const std::size_t c = std::min(simgpu::kTileElems, cap - i);
@@ -329,9 +605,16 @@ void grid_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
                 ctx.load_tile(part_val, src_base + i, c);
             const std::span<const std::uint32_t> tix =
                 ctx.load_tile(part_idx, src_base + i, c);
-            for (std::size_t u = 0; u < tk.size(); ++u) {
-              dst_keys[i + u] = tk[u];
-              dst_idx[i + u] = tix[u];
+            if (!rk.empty() && !ri.empty()) {
+              std::copy(tk.begin(), tk.end(),
+                        rk.begin() + static_cast<std::ptrdiff_t>(i));
+              std::copy(tix.begin(), tix.end(),
+                        ri.begin() + static_cast<std::ptrdiff_t>(i));
+            } else {
+              for (std::size_t u = 0; u < tk.size(); ++u) {
+                dst_keys[i + u] = tk[u];
+                dst_idx[i + u] = tix[u];
+              }
             }
             i += c;
           }

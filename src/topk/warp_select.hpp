@@ -1,7 +1,10 @@
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
-#include <memory>
+#include <optional>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -52,7 +55,11 @@ class WarpSelectEngine {
         any_insert = true;
       }
     }
-    ctx.ops(simgpu::kWarpSize);  // threshold compare per lane
+    // Per-round floor: threshold compare per lane + the queue-full ballot
+    // below.  This is the same authoritative kEmptyRoundLaneOps formula the
+    // warpfast bulk charge uses — an insert-free round cannot trip the
+    // full vote (flushes reset the counts), so it costs exactly the floor.
+    ctx.ops(kEmptyRoundLaneOps);
     if (any_insert) {
       // SIMT predication: the sorted-insert shift chain (O(queue length))
       // is issued warp-wide whenever any lane takes the insert branch —
@@ -64,8 +71,61 @@ class WarpSelectEngine {
     const std::uint32_t full_mask = simgpu::Warp::ballot([&](int lane) {
       return tq_count_[static_cast<std::size_t>(lane)] >= qlen_;
     });
-    ctx.ops(1);
     if (full_mask != 0) flush(ctx);
+  }
+
+  /// round() for prefix-valid lane batches, with the threshold-gated fast
+  /// path: a round in which no element beats the current threshold inserts
+  /// nothing, cannot trip the queue-full vote, and leaves every queue
+  /// untouched — so charge its exact cost in bulk and skip the emulation.
+  void round_gated(simgpu::BlockCtx& ctx, const T* values,
+                   const std::uint32_t* indices, std::size_t count) {
+    if (ctx.warpfast_enabled() &&
+        simgpu::BlockCtx::count_below(std::span<const T>(values, count),
+                                      list_.kth()) == 0) {
+      ctx.ops(kEmptyRoundLaneOps);
+      return;
+    }
+    bool valid[simgpu::kWarpSize];
+    for (int lane = 0; lane < simgpu::kWarpSize; ++lane) {
+      valid[lane] = static_cast<std::size_t>(lane) < count;
+    }
+    round(ctx, values, indices, valid);
+  }
+
+  /// Vectorized round over one contiguous prefix-valid tile (warpfast
+  /// path).  Lane u holds tile[u], exactly as round() sees it, so the
+  /// queue state and the charges are identical: per-round floor, plus the
+  /// warp-wide shift chain when any lane inserts.  A lane can only be full
+  /// after inserting this round (flushes reset all counts), so tracking
+  /// fills during insertion reproduces the queue-full ballot.  Indices
+  /// come from `ext_idx` when non-empty, else `base_index + offset`.
+  void round_span(simgpu::BlockCtx& ctx, std::span<const T> tile,
+                  std::span<const std::uint32_t> ext_idx,
+                  std::uint32_t base_index) {
+    const T threshold = list_.kth();
+    ctx.ops(kEmptyRoundLaneOps);
+    // Vectorized precheck: a candidate-free round inserts nothing and
+    // cannot trip the queue-full vote, so the per-lane loop below would
+    // only rediscover the empty mask.
+    if (simgpu::BlockCtx::count_below(tile, threshold) == 0) return;
+    bool any_insert = false;
+    bool any_full = false;
+    for (std::size_t u = 0; u < tile.size(); ++u) {
+      if (tile[u] < threshold) {
+        auto& c = tq_count_[u];
+        tq_keys_[u * qlen_ + c] = tile[u];
+        tq_idx_[u * qlen_ + c] =
+            ext_idx.empty() ? base_index + static_cast<std::uint32_t>(u)
+                            : ext_idx[u];
+        ++c;
+        any_insert = true;
+        any_full |= c >= qlen_;
+      }
+    }
+    if (!any_insert) return;
+    ctx.ops(simgpu::kWarpSize * qlen_);
+    if (any_full) flush(ctx);
   }
 
   /// Drain all thread queues into the list (also called at end of input).
@@ -86,6 +146,10 @@ class WarpSelectEngine {
     list_.merge(ctx, std::span<T>(flush_keys_), std::span<std::uint32_t>(flush_idx_),
                 count);
   }
+
+  /// Alias for flush() so generic scan loops can treat both engine
+  /// families (this and SharedQueueEngine) uniformly at end of input.
+  void finalize(simgpu::BlockCtx& ctx) { flush(ctx); }
 
   [[nodiscard]] TopkList<T>& list() { return list_; }
 
@@ -121,43 +185,122 @@ void faiss_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
     throw std::invalid_argument(kernel_name + ": buffer too small");
   }
 
+  // Captured at launch time, like grid_select: warp rounds load one
+  // contiguous 32-wide tile instead of 32 scalar loads when enabled.
+  const bool tile = simgpu::tile_path_enabled();
+
   simgpu::LaunchConfig cfg{kernel_name, static_cast<int>(batch),
                            num_warps * simgpu::kWarpSize};
   simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
     const auto prob = static_cast<std::size_t>(ctx.block_idx());
     const std::size_t base = prob * n;
-    std::vector<std::unique_ptr<WarpSelectEngine<T>>> engines;
-    engines.reserve(static_cast<std::size_t>(num_warps));
+    // Per-block gate: tile path + TOPK_SIM_WARPFAST + no sanitizer.
+    const bool warpfast = ctx.warpfast_enabled();
+    // One engine per warp, constructed in place (no per-block heap churn
+    // from the old vector-of-unique_ptr storage).
+    std::array<std::optional<WarpSelectEngine<T>>, simgpu::kMaxWarpsPerBlock>
+        engines;
     for (int w = 0; w < num_warps; ++w) {
-      engines.push_back(std::make_unique<WarpSelectEngine<T>>(ctx, k));
+      engines[static_cast<std::size_t>(w)].emplace(ctx, k);
     }
 
     const std::size_t stride =
         static_cast<std::size_t>(num_warps) * simgpu::kWarpSize;
-    ctx.for_each_warp([&](simgpu::Warp& warp) {
-      auto& eng = *engines[static_cast<std::size_t>(warp.index())];
-      T values[simgpu::kWarpSize];
-      std::uint32_t indices[simgpu::kWarpSize];
-      bool valid[simgpu::kWarpSize];
-      for (std::size_t step = 0;
-           step * stride + static_cast<std::size_t>(warp.index()) *
-                               simgpu::kWarpSize < n;
-           ++step) {
-        warp.each([&](int lane) {
-          const std::size_t i =
-              step * stride +
-              static_cast<std::size_t>(warp.index()) * simgpu::kWarpSize +
-              static_cast<std::size_t>(lane);
-          valid[lane] = i < n;
-          if (valid[lane]) {
-            values[lane] = ctx.load(in, base + i);
-            indices[lane] = static_cast<std::uint32_t>(i);
+    if (warpfast) {
+      // Region-hoisted scan, as in grid_select: one load_tile per
+      // stride-aligned region with every warp consuming its strided rounds
+      // from the span.  Byte charges equal the per-round loads (each
+      // element loaded exactly once into the per-block counters) and warp
+      // engines are independent, so only the charge order changes.
+      const std::size_t region = stride * 8;
+      // Adaptive region gating with per-warp exponential backoff (see
+      // grid_select): failed gates waste their count pass, so after each
+      // failure the gate sleeps for twice as many regions (capped); any
+      // success resets it.  Gated and ungated regions charge identically.
+      std::array<std::uint8_t, simgpu::kMaxWarpsPerBlock> gate_sleep{};
+      std::array<std::uint8_t, simgpu::kMaxWarpsPerBlock> gate_backoff{};
+      for (std::size_t r = 0; r < n; r += region) {
+        const std::size_t rc = std::min(region, n - r);
+        const std::span<const T> tv = ctx.load_tile(in, base + r, rc);
+        for (int w = 0; w < num_warps; ++w) {
+          auto& eng = *engines[static_cast<std::size_t>(w)];
+          const std::size_t warp_off =
+              static_cast<std::size_t>(w) * simgpu::kWarpSize;
+          // Region gate (see grid_select): the region-entry threshold is
+          // the loosest any round here will see, so zero candidates under
+          // it proves every round empty — bulk-charge the per-round floor
+          // and skip the round machinery bit-identically.
+          if (gate_sleep[static_cast<std::size_t>(w)] == 0) {
+            const T gate = eng.kth();
+            std::size_t rounds = 0;
+            std::size_t below = 0;
+            for (std::size_t off = warp_off; off < rc; off += stride) {
+              const std::size_t c =
+                  std::min<std::size_t>(simgpu::kWarpSize, rc - off);
+              below += simgpu::BlockCtx::count_below(tv.subspan(off, c), gate);
+              ++rounds;
+            }
+            if (below == 0) {
+              gate_backoff[static_cast<std::size_t>(w)] = 0;
+              ctx.ops(rounds * kEmptyRoundLaneOps);
+              continue;
+            }
+            const std::uint8_t next = gate_backoff[static_cast<std::size_t>(w)];
+            gate_backoff[static_cast<std::size_t>(w)] =
+                next == 0 ? 1
+                          : static_cast<std::uint8_t>(next < 8 ? next * 2 : 8);
+            gate_sleep[static_cast<std::size_t>(w)] =
+                gate_backoff[static_cast<std::size_t>(w)];
+          } else {
+            --gate_sleep[static_cast<std::size_t>(w)];
           }
-        });
-        eng.round(ctx, values, indices, valid);
+          for (std::size_t off = warp_off; off < rc; off += stride) {
+            const std::size_t c =
+                std::min<std::size_t>(simgpu::kWarpSize, rc - off);
+            eng.round_span(ctx, tv.subspan(off, c), {},
+                           static_cast<std::uint32_t>(r + off));
+          }
+        }
       }
-      eng.flush(ctx);
-    });
+      for (int w = 0; w < num_warps; ++w) {
+        engines[static_cast<std::size_t>(w)]->finalize(ctx);
+      }
+    } else {
+      ctx.for_each_warp([&](simgpu::Warp& warp) {
+        auto& eng = *engines[static_cast<std::size_t>(warp.index())];
+        T values[simgpu::kWarpSize];
+        std::uint32_t indices[simgpu::kWarpSize];
+        bool valid[simgpu::kWarpSize];
+        const std::size_t warp_off =
+            static_cast<std::size_t>(warp.index()) * simgpu::kWarpSize;
+        for (std::size_t pos = warp_off; pos < n; pos += stride) {
+          const std::size_t c =
+              std::min<std::size_t>(simgpu::kWarpSize, n - pos);
+          if (tile) {
+            const std::span<const T> tv = ctx.load_tile(in, base + pos, c);
+            warp.each([&](int lane) {
+              const auto u = static_cast<std::size_t>(lane);
+              valid[lane] = u < tv.size();
+              if (valid[lane]) {
+                values[lane] = tv[u];
+                indices[lane] = static_cast<std::uint32_t>(pos + u);
+              }
+            });
+          } else {
+            warp.each([&](int lane) {
+              const std::size_t i = pos + static_cast<std::size_t>(lane);
+              valid[lane] = i < n;
+              if (valid[lane]) {
+                values[lane] = ctx.load(in, base + i);
+                indices[lane] = static_cast<std::uint32_t>(i);
+              }
+            });
+          }
+          eng.round(ctx, values, indices, valid);
+        }
+        eng.finalize(ctx);
+      });
+    }
     ctx.sync();
 
     // BlockSelect: merge the warp lists into warp 0's list.

@@ -332,6 +332,70 @@ TEST(TileAccessors, ScatterWriterChargesIdenticallyInBothModes) {
   EXPECT_TRUE(std::all_of(hit.begin(), hit.end(), [](bool b) { return b; }));
 }
 
+/// Restores the warpfast toggle however a test exits.
+class WarpfastGuard {
+ public:
+  WarpfastGuard() : was_(warpfast_path_enabled()) {}
+  ~WarpfastGuard() { set_warpfast_path_enabled(was_); }
+
+ private:
+  bool was_;
+};
+
+TEST(Warpfast, EnabledOnlyWithTileToggleAndNoSanitizer) {
+  TileGuard tile_guard;
+  WarpfastGuard wf_guard;
+  for (const bool tile : {false, true}) {
+    for (const bool wf : {false, true}) {
+      for (const bool sanitize : {false, true}) {
+        set_tile_path_enabled(tile);
+        set_warpfast_path_enabled(wf);
+        Device dev;
+        if (sanitize) dev.enable_sanitizer();
+        bool got = false;
+        launch(dev, {"wfgate", 1, 32},
+               [&](BlockCtx& ctx) { got = ctx.warpfast_enabled(); });
+        EXPECT_EQ(got, tile && wf && !sanitize)
+            << "tile=" << tile << " wf=" << wf << " sanitize=" << sanitize;
+      }
+    }
+  }
+}
+
+TEST(Warpfast, ToggleSampledPerLaunchNotPerCall) {
+  TileGuard tile_guard;
+  WarpfastGuard wf_guard;
+  set_tile_path_enabled(true);
+  set_warpfast_path_enabled(true);
+  Device dev;
+  bool first = false;
+  launch(dev, {"wf1", 1, 32},
+         [&](BlockCtx& ctx) { first = ctx.warpfast_enabled(); });
+  set_warpfast_path_enabled(false);
+  bool second = true;
+  launch(dev, {"wf2", 1, 32},
+         [&](BlockCtx& ctx) { second = ctx.warpfast_enabled(); });
+  EXPECT_TRUE(first);
+  EXPECT_FALSE(second);
+}
+
+TEST(Warpfast, CountBelowIsExactAndChargeFree) {
+  TileGuard guard;
+  set_tile_path_enabled(true);
+  Device dev;
+  std::vector<float> fv = {3.0f, -1.0f, 2.0f, 2.0f, -7.5f, 0.0f, 9.0f};
+  std::vector<int> iv = {5, -2, 7, 7, 0, -9};
+  const KernelStats stats = launch(dev, {"cb", 1, 32}, [&](BlockCtx&) {
+    // Strict compare: the two 2.0f / 7 duplicates of the threshold are out.
+    EXPECT_EQ(BlockCtx::count_below<float>(fv, 2.0f), 3u);
+    EXPECT_EQ(BlockCtx::count_below<int>(iv, 7), 4u);
+    EXPECT_EQ(BlockCtx::count_below<float>({}, 2.0f), 0u);
+  });
+  // count_below is a pure compute helper: nothing may hit the counters.
+  EXPECT_EQ(stats.bytes_read, 0u);
+  EXPECT_EQ(stats.lane_ops, 0u);
+}
+
 TEST(TileAccessors, UncheckedSharedDataGatedOnTilePath) {
   TileGuard guard;
   Device dev;

@@ -1,0 +1,226 @@
+// Unit tests for the host-side SIMD helpers behind the warpfast scan path
+// (simgpu/simd.hpp).  Each dispatcher is checked against an independent
+// reference, and — when the host supports AVX-512F — the vector body is
+// additionally checked against the portable scalar fallback so both halves
+// of the runtime dispatch stay in agreement.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "simgpu/simd.hpp"
+
+namespace simgpu::simd {
+namespace {
+
+std::uint32_t ref_ord(float f) {
+  std::uint32_t b;
+  std::memcpy(&b, &f, sizeof(b));
+  return (b & 0x80000000u) ? ~b : (b | 0x80000000u);
+}
+
+TEST(Sort32, MatchesStdSortAcrossRandomBatches) {
+  std::mt19937_64 rng(0x5017);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::uint64_t v[32];
+    for (auto& x : v) x = rng();
+    // Mix in duplicates and the ~0 pad value short batches use.
+    if (trial % 3 == 0) {
+      for (int i = 0; i < 8; ++i) v[(trial + i * 5) % 32] = v[trial % 32];
+    }
+    if (trial % 4 == 0) {
+      for (int i = 28; i < 32; ++i) v[i] = ~std::uint64_t{0};
+    }
+    std::uint64_t expect[32];
+    std::copy(std::begin(v), std::end(v), std::begin(expect));
+    std::sort(std::begin(expect), std::end(expect));
+    sort32_u64(v);
+    EXPECT_TRUE(std::equal(std::begin(v), std::end(v), std::begin(expect)))
+        << "trial " << trial;
+  }
+}
+
+TEST(Sort32, ScalarFallbackMatchesStdSort) {
+  std::mt19937_64 rng(0xFA11);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::uint64_t v[32];
+    for (auto& x : v) x = rng() % (trial % 7 == 0 ? 16 : ~std::uint64_t{0});
+    std::uint64_t expect[32];
+    std::copy(std::begin(v), std::end(v), std::begin(expect));
+    std::sort(std::begin(expect), std::end(expect));
+    detail::sort32_u64_scalar(v);
+    EXPECT_TRUE(std::equal(std::begin(v), std::end(v), std::begin(expect)))
+        << "trial " << trial;
+  }
+}
+
+TEST(CountBelow, MatchesScalarLoopAtEveryLength) {
+  std::mt19937_64 rng(0xC0DE);
+  std::normal_distribution<float> dist(0.0f, 2.0f);
+  for (std::size_t n = 0; n <= 67; ++n) {  // covers empty, tails, 4x16 + tail
+    std::vector<float> v(n);
+    for (auto& x : v) x = dist(rng);
+    if (n > 3) v[n / 2] = v[0];  // exact duplicate of a potential threshold
+    for (const float threshold :
+         {0.0f, v.empty() ? 1.0f : v[0], -1.5f,
+          std::numeric_limits<float>::infinity()}) {
+      std::size_t expect = 0;
+      for (float x : v) expect += static_cast<std::size_t>(x < threshold);
+      EXPECT_EQ(count_below_f32(v.data(), n, threshold), expect)
+          << "n=" << n << " threshold=" << threshold;
+    }
+  }
+}
+
+TEST(CountBelow, StrictCompareExcludesEqualAndNan) {
+  const float v[] = {1.0f, 2.0f, 2.0f, std::numeric_limits<float>::quiet_NaN(),
+                     -2.0f, 3.0f};
+  // Strictly-below 2.0: only 1.0 and -2.0.  NaN compares false (ordered
+  // compare in the vector body, IEEE semantics in the scalar one).
+  EXPECT_EQ(count_below_f32(v, 6, 2.0f), 2u);
+}
+
+TEST(PackBelow, PacksOrdinalsAndIndicesInLaneOrder) {
+  std::mt19937_64 rng(0xBE10);
+  std::normal_distribution<float> dist(0.0f, 1.0f);
+  for (std::size_t n = 0; n <= 32; ++n) {
+    std::vector<float> v(n);
+    for (auto& x : v) x = dist(rng);
+    if (n > 2) v[1] = 0.25f;  // equal-to-threshold lane must be excluded
+    const float threshold = 0.25f;
+
+    std::vector<std::uint64_t> expect;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (v[i] < threshold) {
+        expect.push_back((static_cast<std::uint64_t>(ref_ord(v[i])) << 32) |
+                         (1000u + static_cast<std::uint32_t>(i)));
+      }
+    }
+    std::vector<std::uint64_t> out(n + 1, 0xAAu);
+    const std::size_t m =
+        pack_below_f32(v.data(), nullptr, 1000u, n, threshold, out.data());
+    ASSERT_EQ(m, expect.size()) << "n=" << n;
+    EXPECT_TRUE(std::equal(expect.begin(), expect.end(), out.begin()))
+        << "n=" << n;
+  }
+}
+
+TEST(PackBelow, UsesExternalIndicesWhenGiven) {
+  const float v[] = {-3.0f, 5.0f, -1.0f, 0.0f};
+  const std::uint32_t idx[] = {70u, 71u, 72u, 73u};
+  std::uint64_t out[4];
+  const std::size_t m = pack_below_f32(v, idx, 0u, 4, 0.0f, out);
+  ASSERT_EQ(m, 2u);
+  EXPECT_EQ(static_cast<std::uint32_t>(out[0]), 70u);
+  EXPECT_EQ(static_cast<std::uint32_t>(out[1]), 72u);
+  EXPECT_EQ(static_cast<std::uint32_t>(out[0] >> 32), ref_ord(-3.0f));
+  EXPECT_EQ(static_cast<std::uint32_t>(out[1] >> 32), ref_ord(-1.0f));
+}
+
+TEST(MergeSorted, KeepsSmallestOfUnionAcrossShapes) {
+  std::mt19937_64 rng(0x4E46);
+  for (int trial = 0; trial < 1500; ++trial) {
+    // Cover the vector-path shape (an % 8 == 0, outn == an) and ragged
+    // scalar shapes, with b lengths crossing the 8-lane tail handling.
+    const std::size_t an = trial % 2 == 0 ? 8 * (1 + rng() % 40)
+                                          : 1 + rng() % 300;
+    const std::size_t bn = 1 + rng() % 41;
+    const std::size_t outn = trial % 3 == 0
+                                 ? std::min<std::size_t>(an, 8 * (rng() % 5))
+                                 : an;
+    std::vector<std::uint64_t> a(an), b(bn);
+    for (auto& x : a) x = rng() % 512;  // force duplicates within and across
+    for (auto& x : b) x = rng() % 512;
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    std::vector<std::uint64_t> expect;
+    expect.reserve(an + bn);
+    std::merge(a.begin(), a.end(), b.begin(), b.end(),
+               std::back_inserter(expect));
+    expect.resize(outn);
+    std::vector<std::uint64_t> out(outn + 1, 0x5EEDu);
+    merge_sorted_u64(a.data(), an, b.data(), bn, out.data(), outn);
+    ASSERT_TRUE(std::equal(expect.begin(), expect.end(), out.begin()))
+        << "trial " << trial << " an=" << an << " bn=" << bn
+        << " outn=" << outn;
+    EXPECT_EQ(out[outn], 0x5EEDu);  // no overwrite past outn
+  }
+}
+
+TEST(MergeSorted, EmptySideCopiesTheOther) {
+  const std::uint64_t a[] = {1, 3, 5};
+  std::uint64_t out[3] = {};
+  merge_sorted_u64(a, 3, nullptr, 0, out, 3);
+  EXPECT_TRUE(std::equal(a, a + 3, out));
+  merge_sorted_u64(nullptr, 0, a, 3, out, 2);
+  EXPECT_EQ(out[0], 1u);
+  EXPECT_EQ(out[1], 3u);
+}
+
+TEST(PackBelow, OrdinalMapIsMonotone) {
+  // The packed high word must order exactly like the source floats so the
+  // engine's sorted-queue invariants carry over.
+  const float seq[] = {-std::numeric_limits<float>::infinity(), -100.5f,
+                       -1.0f,  -0.0f,
+                       0.0f,   1e-20f,
+                       3.25f,  std::numeric_limits<float>::infinity()};
+  std::uint32_t prev = 0;
+  for (std::size_t i = 0; i < std::size(seq); ++i) {
+    const std::uint32_t ord = ref_ord(seq[i]);
+    if (i > 0) {
+      EXPECT_LE(prev, ord) << "at " << seq[i];
+    }
+    prev = ord;
+  }
+  // And -0.0f / 0.0f map to ordered (equal-comparing floats may differ in
+  // ordinal, but must respect float ordering).
+  EXPECT_LE(ref_ord(-0.0f), ref_ord(0.0f));
+}
+
+#if SIMGPU_SIMD_X86
+TEST(Dispatch, Avx512BodiesAgreeWithScalarFallbacks) {
+  if (!have_avx512f()) GTEST_SKIP() << "host lacks AVX-512F";
+  std::mt19937_64 rng(0xD15A);
+  std::normal_distribution<float> dist(0.0f, 3.0f);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::size_t n = 1 + rng() % 32;
+    std::vector<float> v(n);
+    for (auto& x : v) x = dist(rng);
+    const float threshold = dist(rng);
+
+    std::size_t scalar_count = 0;
+    for (float x : v) scalar_count += static_cast<std::size_t>(x < threshold);
+    EXPECT_EQ(detail::count_below_f32_avx512(v.data(), n, threshold),
+              scalar_count);
+
+    std::vector<std::uint64_t> a(n), b(n);
+    const std::size_t ma = detail::pack_below_f32_avx512(
+        v.data(), nullptr, 42u, n, threshold, a.data());
+    std::size_t mb = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (v[i] < threshold) {
+        b[mb++] = (static_cast<std::uint64_t>(ref_ord(v[i])) << 32) |
+                  (42u + static_cast<std::uint32_t>(i));
+      }
+    }
+    ASSERT_EQ(ma, mb) << "trial " << trial;
+    EXPECT_TRUE(std::equal(b.begin(), b.begin() + mb, a.begin()));
+
+    std::uint64_t s[32];
+    for (auto& x : s) x = rng();
+    std::uint64_t t[32];
+    std::copy(std::begin(s), std::end(s), std::begin(t));
+    detail::sort32_u64_avx512(s);
+    detail::sort32_u64_scalar(t);
+    EXPECT_TRUE(std::equal(std::begin(s), std::end(s), std::begin(t)));
+  }
+}
+#endif  // SIMGPU_SIMD_X86
+
+}  // namespace
+}  // namespace simgpu::simd

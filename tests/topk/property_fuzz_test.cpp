@@ -51,13 +51,22 @@ std::vector<float> random_workload(std::mt19937_64& rng, std::size_t n) {
   }
 }
 
+// all_algorithms() covers the public family; fold in the per-thread-queue
+// GridSelect flavour (Fig. 11) so both warp-queue layouts get fuzzed.
+std::vector<Algo> fuzzed_algorithms() {
+  const auto base = all_algorithms();
+  std::vector<Algo> algos(base.begin(), base.end());
+  algos.push_back(Algo::kGridSelectThreadQueue);
+  return algos;
+}
+
 TEST_P(FuzzAllAlgorithms, RandomProblemsAreAlwaysCorrect) {
   std::mt19937_64 rng(GetParam().seed);
   simgpu::Device dev;
   for (int round = 0; round < 6; ++round) {
     const std::size_t n = 1 + rng() % 60000;
     const auto values = random_workload(rng, n);
-    for (Algo algo : all_algorithms()) {
+    for (Algo algo : fuzzed_algorithms()) {
       const std::size_t k_cap = max_k(algo, n);
       const std::size_t k = 1 + rng() % k_cap;
       const SelectResult r = select(dev, values, k, algo);
@@ -85,8 +94,9 @@ TEST(FuzzBatched, RandomBatchesAreCorrectPerProblem) {
     const std::size_t batch = 1 + rng() % 8;
     const std::size_t n = 64 + rng() % 8000;
     const auto values = random_workload(rng, batch * n);
-    for (Algo algo : {Algo::kAirTopk, Algo::kGridSelect, Algo::kRadixSelect,
-                      Algo::kBlockSelect, Algo::kSort}) {
+    for (Algo algo : {Algo::kAirTopk, Algo::kGridSelect,
+                      Algo::kGridSelectThreadQueue, Algo::kRadixSelect,
+                      Algo::kWarpSelect, Algo::kBlockSelect, Algo::kSort}) {
       const std::size_t k = 1 + rng() % std::min<std::size_t>(n, 512);
       const auto results = select_batch(dev, values, batch, n, k, algo);
       for (std::size_t b = 0; b < batch; ++b) {
@@ -126,7 +136,8 @@ TEST(FuzzDeterminism, SelectedValueMultisetIsRunInvariant) {
   // selected value multiset must not.
   simgpu::Device dev;
   const auto values = data::uniform_values(50000, 0xD37);
-  for (Algo algo : {Algo::kAirTopk, Algo::kGridSelect, Algo::kQuickSelect}) {
+  for (Algo algo : {Algo::kAirTopk, Algo::kGridSelect,
+                    Algo::kGridSelectThreadQueue, Algo::kQuickSelect}) {
     auto sorted_vals = [&](const SelectResult& r) {
       auto v = r.values;
       std::sort(v.begin(), v.end());

@@ -1,11 +1,14 @@
-// Counter-invariance suite for the tile-granular fast path: for every ported
+// Counter-invariance suite for the tile-granular fast path and the
+// threshold-gated warp fast path layered on top of it: for every ported
 // algorithm, across distributions and (N, K, batch) shapes, the recorded
 // KernelStats stream — every counter of every kernel, in launch order — and
-// the modeled device time must be BIT-IDENTICAL between the tile path and
-// the scalar path, and between simcheck on and off.  The selected value
-// multiset must also agree (indices may differ only where elements tie at
-// the K-th value, which is claimed by atomic ticket across concurrent
-// blocks), and simcheck must stay clean with the tile path enabled.
+// the modeled device time must be BIT-IDENTICAL across the full
+// {tile × warpfast × simcheck} grid relative to the scalar baseline.  The
+// selected value multiset must also agree (indices may differ only where
+// elements tie at the K-th value, which is claimed by atomic ticket across
+// concurrent blocks), and simcheck must stay clean with both fast paths
+// enabled (the warp fast path is gated off under the sanitizer, so that leg
+// also proves the exact path reproduces the bulk charges).
 
 #include <algorithm>
 #include <cctype>
@@ -38,14 +41,20 @@ const bool g_single_threaded = [] {
   return true;
 }();
 
-/// Restores the process-global tile toggle however a test exits.
+/// Restores the process-global tile + warpfast toggles however a test exits.
 class TileGuard {
  public:
-  TileGuard() : was_(simgpu::tile_path_enabled()) {}
-  ~TileGuard() { simgpu::set_tile_path_enabled(was_); }
+  TileGuard()
+      : tile_was_(simgpu::tile_path_enabled()),
+        warpfast_was_(simgpu::warpfast_path_enabled()) {}
+  ~TileGuard() {
+    simgpu::set_tile_path_enabled(tile_was_);
+    simgpu::set_warpfast_path_enabled(warpfast_was_);
+  }
 
  private:
-  bool was_;
+  bool tile_was_;
+  bool warpfast_was_;
 };
 
 struct RunTrace {
@@ -58,8 +67,9 @@ struct RunTrace {
 
 RunTrace run_once(std::span<const float> data, std::size_t batch,
                   std::size_t n, std::size_t k, Algo algo, bool tile,
-                  bool simcheck) {
+                  bool warpfast, bool simcheck) {
   simgpu::set_tile_path_enabled(tile);
+  simgpu::set_warpfast_path_enabled(warpfast);
   simgpu::Device dev;
   if (simcheck) dev.enable_sanitizer();
   const auto results = select_batch(dev, data, batch, n, k, algo);
@@ -75,8 +85,8 @@ RunTrace run_once(std::span<const float> data, std::size_t batch,
     const std::string err = verify_topk(
         std::span<const float>(data.data() + b * n, n), k, results[b]);
     EXPECT_TRUE(err.empty())
-        << algo_name(algo) << " tile=" << tile << " simcheck=" << simcheck
-        << " problem " << b << ": " << err;
+        << algo_name(algo) << " tile=" << tile << " warpfast=" << warpfast
+        << " simcheck=" << simcheck << " problem " << b << ": " << err;
     std::vector<float> vals = results[b].values;
     std::sort(vals.begin(), vals.end());
     t.sorted_values.push_back(std::move(vals));
@@ -137,28 +147,45 @@ TEST_P(TileInvariance, StatsAndModeledTimeBitIdenticalAcrossModes) {
   std::uint64_t seed = 77;
   for (const auto& spec : standard_distributions()) {
     const auto values = data::generate(spec, batch * n, seed++);
-    const RunTrace scalar = run_once(values, batch, n, k, algo, false, false);
-    const RunTrace tile = run_once(values, batch, n, k, algo, true, false);
-    const RunTrace tile_checked =
-        run_once(values, batch, n, k, algo, true, true);
+    const RunTrace scalar =
+        run_once(values, batch, n, k, algo, false, false, false);
+    const RunTrace tile =
+        run_once(values, batch, n, k, algo, true, false, false);
+    // Warpfast without the tile path must be inert: the warp fast path only
+    // activates on tile-backed spans, so this leg is bit-identical to scalar.
+    const RunTrace wf_no_tile =
+        run_once(values, batch, n, k, algo, false, true, false);
+    const RunTrace wf =
+        run_once(values, batch, n, k, algo, true, true, false);
+    // Under simcheck the warp fast path gates itself off; this leg proves
+    // the exact per-round path reproduces the fast path's bulk charges.
+    const RunTrace wf_checked =
+        run_once(values, batch, n, k, algo, true, true, true);
     const std::string what = std::string(algo_name(algo)) + " on " +
                              spec.name();
     ASSERT_FALSE(scalar.kernels.empty()) << what;
     expect_identical_stats(scalar, tile, what + " [tile vs scalar]");
-    expect_identical_stats(scalar, tile_checked,
-                           what + " [tile+simcheck vs scalar]");
-    EXPECT_TRUE(tile_checked.sanitizer_clean)
-        << what << " raised issues with the tile path enabled:\n"
-        << tile_checked.sanitizer_report;
+    expect_identical_stats(scalar, wf_no_tile,
+                           what + " [warpfast w/o tile vs scalar]");
+    expect_identical_stats(scalar, wf, what + " [tile+warpfast vs scalar]");
+    expect_identical_stats(scalar, wf_checked,
+                           what + " [tile+warpfast+simcheck vs scalar]");
+    EXPECT_TRUE(wf_checked.sanitizer_clean)
+        << what << " raised issues with the fast paths enabled:\n"
+        << wf_checked.sanitizer_report;
   }
 }
 
 std::vector<InvarianceCase> cases() {
-  // The four algorithms whose inner loops ride the tile path, plus the
+  // Every algorithm whose inner loops ride the tile path, plus the
   // fused-last-filter AIR variant (its fused filter scans through the same
-  // tile helpers).
-  const Algo algos[] = {Algo::kAirTopk, Algo::kSort, Algo::kRadixSelect,
-                        Algo::kGridSelect, Algo::kAirTopkFusedFilter};
+  // tile helpers).  The warp-queue family — GridSelect in both queue
+  // flavours, WarpSelect, and BlockSelect — additionally exercises the
+  // threshold-gated warp fast path.
+  const Algo algos[] = {Algo::kAirTopk,          Algo::kSort,
+                        Algo::kRadixSelect,      Algo::kGridSelect,
+                        Algo::kAirTopkFusedFilter, Algo::kWarpSelect,
+                        Algo::kBlockSelect,      Algo::kGridSelectThreadQueue};
   std::vector<InvarianceCase> cases;
   for (Algo algo : algos) {
     cases.push_back({algo, 1, 999, 1});          // sub-tile problem

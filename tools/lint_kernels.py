@@ -8,6 +8,18 @@ kernel bypasses both the traffic accounting and the simcheck sanitizer, so
 this linter rejects any ``.data()`` / ``.host_span()`` call textually inside
 a ``launch(...)`` call expression under ``src/topk``.
 
+Raw-span *escapes* — ``unchecked_data()`` on a SharedSpan and the
+``raw_view(...)`` unwrap helper — are a second, related hazard: they are only
+legal behind the tile/warpfast gates, because ``unchecked_data()`` returns a
+usable pointer exclusively while the tile fast path is on and no sanitizer is
+attached.  Every escape site must therefore show gate evidence nearby: a
+nullptr/empty check of the unwrapped result (the canonical gate — the null
+return *is* the gate state), or an explicit ``tile_path_enabled()`` /
+``warpfast_enabled()`` / per-block gate flag test.  The linter flags escape
+sites in ``src/topk`` with no such evidence within a window around the call
+(20 lines before to 60 after, spanning hoisted pointers checked at first
+use).
+
 A line may opt out with a ``// lint:allow-raw-access`` comment (none needed
 today).  Run with ``--self-test`` to check the linter against embedded
 positive/negative samples.
@@ -22,6 +34,13 @@ import sys
 
 LAUNCH_RE = re.compile(r"(?<![\w:])(?:simgpu\s*::\s*)?launch\s*\(")
 RAW_ACCESS_RE = re.compile(r"\.\s*(data|host_span)\s*\(")
+ESCAPE_RE = re.compile(r"\.\s*(unchecked_data)\s*\(|(?<![\w:])(raw_view)\s*\(")
+GATE_EVIDENCE_RE = re.compile(
+    r"[!=]=\s*nullptr|\.\s*empty\s*\(|tile_path_enabled\s*\("
+    r"|warpfast_enabled\s*\(|packed_q_|kProxyView"
+)
+ESCAPE_WINDOW_BEFORE = 20
+ESCAPE_WINDOW_AFTER = 60
 ALLOW_MARKER = "lint:allow-raw-access"
 
 
@@ -91,6 +110,26 @@ def lint_text(text: str, path: str):
                 "lambda; use the BlockCtx accessors (load/store/atomic_*) "
                 "or SharedSpan"
             )
+    # Raw-span escapes: unchecked_data()/raw_view() anywhere in the file
+    # must sit behind the tile/warpfast gates — evidenced by a nullptr or
+    # empty() check of the unwrapped result, or an explicit gate test,
+    # within the surrounding window.
+    for m in ESCAPE_RE.finditer(clean):
+        name = m.group(1) or m.group(2)
+        line_no = clean.count("\n", 0, m.start()) + 1
+        line = lines[line_no - 1] if line_no <= len(lines) else ""
+        if ALLOW_MARKER in line:
+            continue
+        lo = max(0, line_no - 1 - ESCAPE_WINDOW_BEFORE)
+        hi = min(len(lines), line_no + ESCAPE_WINDOW_AFTER)
+        window = "".join(lines[lo:hi])
+        if GATE_EVIDENCE_RE.search(window):
+            continue
+        findings.append(
+            f"{path}:{line_no}: raw-span escape {name}() with no tile/"
+            "warpfast gate evidence nearby; check the unwrapped result "
+            "against nullptr/empty() or test the gate explicitly"
+        )
     return findings
 
 
@@ -130,6 +169,28 @@ void h(simgpu::Device& dev, simgpu::DeviceBuffer<float> buf) {
 """
 
 
+BAD_ESCAPE_SAMPLE = """
+void leak(simgpu::SharedSpan<float> s) {
+  float* p = s.unchecked_data();
+  p[0] = 1.0f;  // never checked, no gate in sight
+  auto rv = raw_view(s);
+  use(rv);
+}
+"""
+
+GOOD_ESCAPE_SAMPLE = """
+void gated(simgpu::SharedSpan<float> s) {
+  float* p = s.unchecked_data();
+  if (p != nullptr) p[0] = 1.0f;
+  const auto rk = raw_view(s);
+  if (!rk.empty()) use(rk);
+  if (ctx.warpfast_enabled()) {
+    use(raw_view(s).data());  // explicit gate right above
+  }
+}
+"""
+
+
 def self_test() -> int:
     bad = lint_text(BAD_SAMPLE, "<bad>")
     if len(bad) != 2:
@@ -143,6 +204,16 @@ def self_test() -> int:
     allowed = lint_text(ALLOWED_SAMPLE, "<allowed>")
     if allowed:
         print(f"self-test FAILED: marker not honoured: {allowed}")
+        return 1
+    bad_escape = lint_text(BAD_ESCAPE_SAMPLE, "<bad-escape>")
+    if len(bad_escape) != 2:
+        print(f"self-test FAILED: expected 2 findings in BAD_ESCAPE_SAMPLE, "
+              f"got {len(bad_escape)}: {bad_escape}")
+        return 1
+    good_escape = lint_text(GOOD_ESCAPE_SAMPLE, "<good-escape>")
+    if good_escape:
+        print(f"self-test FAILED: false positives in GOOD_ESCAPE_SAMPLE: "
+              f"{good_escape}")
         return 1
     print("lint_kernels self-test passed")
     return 0
