@@ -11,6 +11,14 @@
 // the query count for CI.  In full mode the run exits non-zero if
 // micro-batching fails to beat batch=1 submission in modeled device time per
 // query — the acceptance gate for the serving layer.
+//
+// `--pool={on,off,both}` (default both) controls the workspace-pool A/B leg:
+// `both` re-runs the batched single-device config with the memory pool
+// disabled and gates the pooled leg's wall p99 at no worse than the unpooled
+// leg's (with tolerance for emulator wall noise); `on`/`off` pin the toggle
+// for every config and skip the A/B gate.  Each row reports workspace-slab
+// allocations per query (pool misses / completed) — near zero in steady
+// state with the pool on, one-per-bind with it off.
 
 #include <algorithm>
 #include <cstddef>
@@ -36,6 +44,7 @@ struct ConfigRow {
 
 struct ResultRow {
   ConfigRow cfg;
+  bool pooled = true;  ///< memory-pool toggle this row ran under
   std::size_t completed = 0;
   std::size_t timed_out = 0;
   std::size_t rejected = 0;
@@ -46,10 +55,15 @@ struct ResultRow {
   double wall_p95_us = 0.0;
   double wall_p99_us = 0.0;
   double wall_qps = 0.0;
+  double allocs_per_query = 0.0;  ///< workspace-slab allocations per query
+  double pool_hit_rate = 0.0;     ///< warm-bind fraction over all binds
 };
 
 ResultRow run_config(const ConfigRow& cfg, std::size_t k,
-                     const std::vector<std::vector<float>>& pool) {
+                     const std::vector<std::vector<float>>& pool,
+                     bool pool_on) {
+  const bool pool_before = simgpu::pool_enabled();
+  simgpu::set_pool_enabled(pool_on);
   topk::serve::ServiceConfig scfg;
   scfg.num_devices = cfg.devices;
   scfg.max_batch = cfg.cap;
@@ -81,8 +95,15 @@ ResultRow run_config(const ConfigRow& cfg, std::size_t k,
   const double wall_s = std::chrono::duration<double>(t1 - t0).count();
   const topk::serve::ServiceStats s = svc.stats();
   svc.shutdown();
+  simgpu::set_pool_enabled(pool_before);
 
+  row.pooled = pool_on;
   row.completed = s.completed;
+  row.allocs_per_query =
+      s.completed > 0
+          ? static_cast<double>(s.pool_misses) / static_cast<double>(s.completed)
+          : 0.0;
+  row.pool_hit_rate = s.pool_hit_rate();
   row.timed_out = s.timed_out;
   row.rejected = s.rejected;
   row.mean_batch_rows =
@@ -108,8 +129,14 @@ std::string fmt(double v) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  std::string pool_mode = "both";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strncmp(argv[i], "--pool=", 7) == 0) pool_mode = argv[i] + 7;
+  }
+  if (pool_mode != "on" && pool_mode != "off" && pool_mode != "both") {
+    std::cerr << "bench_serving: --pool must be on, off, or both\n";
+    return 2;
   }
 
   // The acceptance shape: N = 2^20, K = 256, uniform keys.  Smoke keeps the
@@ -133,19 +160,46 @@ int main(int argc, char** argv) {
     pool.push_back(topk::data::uniform_values(n, 0x5E7 + i));
   }
 
-  std::cout << "cap,devices,queries,completed,mean_batch_rows,algo,"
+  std::cout << "cap,devices,queries,pool,completed,mean_batch_rows,algo,"
                "model_us_per_query,wall_p50_us,wall_p95_us,wall_p99_us,"
-               "wall_qps\n";
+               "wall_qps,allocs_per_query,pool_hit_rate\n";
+  const auto print_row = [](const ResultRow& row) {
+    std::cout << row.cfg.cap << "," << row.cfg.devices << ","
+              << row.cfg.queries << "," << (row.pooled ? "on" : "off") << ","
+              << row.completed << "," << row.mean_batch_rows << ","
+              << row.algo << "," << row.model_us_per_query << ","
+              << row.wall_p50_us << "," << row.wall_p95_us << ","
+              << row.wall_p99_us << "," << row.wall_qps << ","
+              << row.allocs_per_query << "," << row.pool_hit_rate << "\n";
+  };
+  const bool main_legs_pooled = pool_mode != "off";
   std::vector<ResultRow> rows;
   for (const ConfigRow& cfg : configs) {
-    const ResultRow row = run_config(cfg, k, pool);
+    const ResultRow row = run_config(cfg, k, pool, main_legs_pooled);
     rows.push_back(row);
-    std::cout << row.cfg.cap << "," << row.cfg.devices << ","
-              << row.cfg.queries << "," << row.completed << ","
-              << row.mean_batch_rows << "," << row.algo << ","
-              << row.model_us_per_query << "," << row.wall_p50_us << ","
-              << row.wall_p95_us << "," << row.wall_p99_us << ","
-              << row.wall_qps << "\n";
+    print_row(row);
+  }
+
+  // Workspace-pool A/B: the batched single-device config with the pool on
+  // vs off.  Same shapes, same plans — only slab reuse differs, so the
+  // comparison isolates allocation cost (modeled time is bit-identical by
+  // design).  Wall p99 of one short burst is scheduling noise, so each leg
+  // runs several times interleaved and keeps its best p99.
+  const bool ab = pool_mode == "both";
+  ResultRow ab_pooled = rows[1];
+  ResultRow ab_unpooled;
+  if (ab) {
+    constexpr int kAbReps = 3;
+    for (int r = 0; r < kAbReps; ++r) {
+      if (r > 0) {
+        const ResultRow p = run_config(configs[1], k, pool, /*pool_on=*/true);
+        if (p.wall_p99_us < ab_pooled.wall_p99_us) ab_pooled = p;
+      }
+      const ResultRow u = run_config(configs[1], k, pool, /*pool_on=*/false);
+      if (r == 0 || u.wall_p99_us < ab_unpooled.wall_p99_us) ab_unpooled = u;
+    }
+    rows.push_back(ab_unpooled);
+    print_row(ab_unpooled);
   }
 
   const ResultRow& base = rows[0];
@@ -166,6 +220,7 @@ int main(int argc, char** argv) {
       << "    \"n\": " << n << ",\n"
       << "    \"k\": " << k << ",\n"
       << "    \"distribution\": \"uniform\",\n"
+      << "    \"pool_mode\": \"" << pool_mode << "\",\n"
       << "    \"model_speedup_cap" << big_cap << "_vs_1\": "
       << fmt(model_speedup) << ",\n"
       << "    \"metric\": \"modeled device us per completed query (primary); "
@@ -175,6 +230,7 @@ int main(int argc, char** argv) {
     const ResultRow& r = rows[i];
     out << "    {\"cap\": " << r.cfg.cap << ", \"devices\": " << r.cfg.devices
         << ", \"queries\": " << r.cfg.queries
+        << ", \"pool\": " << (r.pooled ? "true" : "false")
         << ", \"completed\": " << r.completed
         << ", \"rejected\": " << r.rejected
         << ", \"timed_out\": " << r.timed_out
@@ -184,7 +240,9 @@ int main(int argc, char** argv) {
         << ", \"wall_p50_us\": " << fmt(r.wall_p50_us)
         << ", \"wall_p95_us\": " << fmt(r.wall_p95_us)
         << ", \"wall_p99_us\": " << fmt(r.wall_p99_us)
-        << ", \"wall_qps\": " << fmt(r.wall_qps) << "}"
+        << ", \"wall_qps\": " << fmt(r.wall_qps)
+        << ", \"allocs_per_query\": " << fmt(r.allocs_per_query)
+        << ", \"pool_hit_rate\": " << fmt(r.pool_hit_rate) << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
@@ -203,6 +261,27 @@ int main(int argc, char** argv) {
     std::cerr << "WARN: batches did not fill (mean rows "
               << fmt(batched.mean_batch_rows)
               << "); speedup gate skipped\n";
+  }
+
+  // Gate: the pool must not cost latency — pooled wall p99 at most the
+  // unpooled leg's, with headroom for emulator wall noise (wider in smoke
+  // mode, where p99 of a handful of queries is effectively the max).
+  if (ab) {
+    const double tol = smoke ? 1.25 : 1.05;
+    std::cout << "pool A/B (cap=" << big_cap << ", best of reps): pooled p99 "
+              << fmt(ab_pooled.wall_p99_us) << " us vs unpooled p99 "
+              << fmt(ab_unpooled.wall_p99_us) << " us, allocs/query "
+              << fmt(ab_pooled.allocs_per_query) << " vs "
+              << fmt(ab_unpooled.allocs_per_query) << "\n";
+    if (ab_pooled.wall_p99_us > ab_unpooled.wall_p99_us * tol) {
+      std::cerr << "FAIL: pooled wall p99 (" << fmt(ab_pooled.wall_p99_us)
+                << " us) exceeds unpooled p99 ("
+                << fmt(ab_unpooled.wall_p99_us) << " us) by more than "
+                << fmt(tol) << "x\n";
+      return 1;
+    }
+    std::cout << "gate: pooled p99 <= unpooled p99 x" << fmt(tol)
+              << " -> PASS\n";
   }
   return 0;
 }

@@ -4,57 +4,33 @@
 #include <array>
 #include <cmath>
 #include <cstdlib>
-#include <map>
 #include <sstream>
 #include <stdexcept>
 #include <string_view>
 
-#include "topk/air_topk.hpp"
-#include "topk/bitonic_topk.hpp"
-#include "topk/bucket_select.hpp"
-#include "topk/grid_select.hpp"
-#include "topk/quick_select.hpp"
-#include "topk/radix_select.hpp"
-#include "topk/sample_select.hpp"
-#include "topk/sort_topk.hpp"
-#include "topk/warp_select.hpp"
+#include "topk/registry.hpp"
 
 namespace topk {
 
 std::string algo_name(Algo algo) {
-  switch (algo) {
-    case Algo::kAirTopk: return "AIR Top-K";
-    case Algo::kGridSelect: return "GridSelect";
-    case Algo::kRadixSelect: return "RadixSelect";
-    case Algo::kWarpSelect: return "WarpSelect";
-    case Algo::kBlockSelect: return "BlockSelect";
-    case Algo::kBitonicTopk: return "Bitonic Top-K";
-    case Algo::kQuickSelect: return "QuickSelect";
-    case Algo::kBucketSelect: return "BucketSelect";
-    case Algo::kSampleSelect: return "SampleSelect";
-    case Algo::kSort: return "Sort";
-    case Algo::kAirTopkNoAdaptive: return "AIR Top-K (no adaptive)";
-    case Algo::kAirTopkNoEarlyStop: return "AIR Top-K (no early stop)";
-    case Algo::kAirTopkFusedFilter: return "AIR Top-K (fused last filter)";
-    case Algo::kGridSelectThreadQueue: return "GridSelect (thread queues)";
-    case Algo::kAuto: return "Auto";
+  const AlgoRow* row = find_algo_row(algo);
+  return row != nullptr ? std::string(row->name) : "unknown";
+}
+
+std::string_view algo_key(Algo algo) {
+  const AlgoRow* row = find_algo_row(algo);
+  return row != nullptr ? row->key : std::string_view{"unknown"};
+}
+
+std::optional<Algo> parse_algo(std::string_view key) {
+  for (const AlgoRow& row : kAlgoTable) {
+    if (row.key == key) return row.algo;
   }
-  return "unknown";
+  return std::nullopt;
 }
 
 std::optional<Algo> algo_from_string(std::string_view key) {
-  if (key == "air") return Algo::kAirTopk;
-  if (key == "grid") return Algo::kGridSelect;
-  if (key == "radixselect") return Algo::kRadixSelect;
-  if (key == "warp") return Algo::kWarpSelect;
-  if (key == "block") return Algo::kBlockSelect;
-  if (key == "bitonic") return Algo::kBitonicTopk;
-  if (key == "quick") return Algo::kQuickSelect;
-  if (key == "bucket") return Algo::kBucketSelect;
-  if (key == "sample") return Algo::kSampleSelect;
-  if (key == "sort") return Algo::kSort;
-  if (key == "auto") return Algo::kAuto;
-  return std::nullopt;
+  return parse_algo(key);
 }
 
 std::span<const Algo> all_algorithms() {
@@ -68,19 +44,13 @@ std::span<const Algo> all_algorithms() {
 }
 
 std::size_t max_k(Algo algo, std::size_t n) {
-  switch (algo) {
-    case Algo::kBitonicTopk:
-      return std::min<std::size_t>(n, 256);
-    case Algo::kWarpSelect:
-    case Algo::kBlockSelect:
-    case Algo::kGridSelect:
-    case Algo::kGridSelectThreadQueue:
-      return std::min<std::size_t>(n, 2048);
-    default:
-      // kAuto included: the recommender only returns algorithms that are
-      // legal for the requested k, so auto dispatch has no k ceiling.
-      return n;
+  const AlgoRow* row = find_algo_row(algo);
+  if (row == nullptr || row->k_limit == 0) {
+    // kAuto included: the recommender only returns algorithms that are
+    // legal for the requested k, so auto dispatch has no k ceiling.
+    return n;
   }
+  return std::min(n, row->k_limit);
 }
 
 Algo recommend_algorithm(std::size_t n, std::size_t k,
@@ -107,81 +77,109 @@ Algo resolve_algo(Algo algo, std::size_t n, std::size_t k,
   return recommend_algorithm(n, k, hints);
 }
 
+namespace {
+
+const PlanImpl& deref_plan(const std::shared_ptr<const PlanImpl>& impl,
+                           const char* accessor) {
+  if (impl == nullptr) {
+    throw std::logic_error(std::string(accessor) +
+                           ": empty ExecutionPlan handle");
+  }
+  return *impl;
+}
+
+}  // namespace
+
+Algo ExecutionPlan::algo() const {
+  return deref_plan(impl_, "ExecutionPlan::algo").algo;
+}
+
+std::size_t ExecutionPlan::batch() const {
+  return deref_plan(impl_, "ExecutionPlan::batch").shape.batch;
+}
+
+std::size_t ExecutionPlan::n() const {
+  return deref_plan(impl_, "ExecutionPlan::n").shape.n;
+}
+
+std::size_t ExecutionPlan::k() const {
+  return deref_plan(impl_, "ExecutionPlan::k").shape.k;
+}
+
+bool ExecutionPlan::greatest() const {
+  return deref_plan(impl_, "ExecutionPlan::greatest").shape.greatest;
+}
+
+const simgpu::WorkspaceLayout& ExecutionPlan::layout() const {
+  return deref_plan(impl_, "ExecutionPlan::layout").layout;
+}
+
+std::size_t ExecutionPlan::workspace_bytes() const {
+  return deref_plan(impl_, "ExecutionPlan::workspace_bytes")
+      .layout.total_bytes();
+}
+
+ExecutionPlan plan_select(const simgpu::DeviceSpec& spec, std::size_t batch,
+                          std::size_t n, std::size_t k, Algo algo,
+                          const SelectOptions& opt) {
+  algo = resolve_algo(algo, n, k, batch);
+  const AlgoRow* row = find_algo_row(algo);
+  if (row == nullptr || row->plan == nullptr) {
+    throw std::invalid_argument("plan_select: unknown algorithm");
+  }
+  auto impl = std::make_shared<PlanImpl>();
+  impl->algo = algo;
+  impl->shape = Shape{batch, n, k, opt.greatest};
+  // WLOG the paper selects the smallest K; algorithms without a native
+  // largest-K order get a negate wrap: plan a device segment for the
+  // negated copy here, apply it in run_select.
+  impl->negate = opt.greatest && !row->native_greatest;
+  if (impl->negate) {
+    impl->seg_negated = impl->layout.add<float>("negated input", batch * n);
+  }
+  row->plan(*impl, spec, opt);
+  return ExecutionPlan(std::move(impl));
+}
+
+void run_select(simgpu::Device& dev, const ExecutionPlan& plan,
+                simgpu::Workspace& ws, simgpu::DeviceBuffer<float> in,
+                simgpu::DeviceBuffer<float> out_vals,
+                simgpu::DeviceBuffer<std::uint32_t> out_idx) {
+  const PlanImpl& impl = deref_plan(plan.impl_, "run_select");
+  const AlgoRow* row = find_algo_row(impl.algo);  // non-null by construction
+  ws.bind(impl.layout);
+  simgpu::DeviceBuffer<float> input = in;
+  if (impl.negate) {
+    const std::size_t total = impl.shape.batch * impl.shape.n;
+    if (in.size() < total) {
+      throw std::invalid_argument("run_select: input smaller than batch*n");
+    }
+    simgpu::DeviceBuffer<float> neg = ws.get<float>(impl.seg_negated);
+    for (std::size_t i = 0; i < total; ++i) neg.data()[i] = -in.data()[i];
+    if (simgpu::Sanitizer* san = dev.sanitizer()) {
+      // The host-side copy bypasses the shadow; mark it like an upload so
+      // the kernels' reads are not flagged uninitialized.
+      san->mark_initialized(neg.data(), total * sizeof(float));
+    }
+    input = neg;
+  }
+  row->run(dev, impl, ws, input, out_vals, out_idx);
+  if (impl.negate) {
+    const std::size_t out_total = impl.shape.batch * impl.shape.k;
+    for (std::size_t i = 0; i < out_total; ++i) {
+      out_vals.data()[i] = -out_vals.data()[i];
+    }
+  }
+}
+
 void select_device(simgpu::Device& dev, simgpu::DeviceBuffer<float> in,
                    std::size_t batch, std::size_t n, std::size_t k,
                    simgpu::DeviceBuffer<float> out_vals,
                    simgpu::DeviceBuffer<std::uint32_t> out_idx, Algo algo,
                    const SelectOptions& opt) {
-  algo = resolve_algo(algo, n, k, batch);
-  switch (algo) {
-    case Algo::kAirTopk: {
-      AirTopkOptions o;
-      o.alpha = opt.alpha;
-      o.greatest = opt.greatest;
-      air_topk(dev, in, batch, n, k, out_vals, out_idx, o);
-      return;
-    }
-    case Algo::kAirTopkNoAdaptive: {
-      AirTopkOptions o;
-      o.alpha = opt.alpha;
-      o.greatest = opt.greatest;
-      o.adaptive = false;
-      air_topk(dev, in, batch, n, k, out_vals, out_idx, o);
-      return;
-    }
-    case Algo::kAirTopkNoEarlyStop: {
-      AirTopkOptions o;
-      o.alpha = opt.alpha;
-      o.greatest = opt.greatest;
-      o.early_stopping = false;
-      air_topk(dev, in, batch, n, k, out_vals, out_idx, o);
-      return;
-    }
-    case Algo::kAirTopkFusedFilter: {
-      AirTopkOptions o;
-      o.alpha = opt.alpha;
-      o.greatest = opt.greatest;
-      o.fuse_last_filter = true;
-      air_topk(dev, in, batch, n, k, out_vals, out_idx, o);
-      return;
-    }
-    case Algo::kRadixSelect:
-      radix_select(dev, in, batch, n, k, out_vals, out_idx);
-      return;
-    case Algo::kGridSelect:
-      grid_select(dev, in, batch, n, k, out_vals, out_idx);
-      return;
-    case Algo::kGridSelectThreadQueue: {
-      GridSelectOptions o;
-      o.shared_queue = false;
-      grid_select(dev, in, batch, n, k, out_vals, out_idx, o);
-      return;
-    }
-    case Algo::kWarpSelect:
-      warp_select(dev, in, batch, n, k, out_vals, out_idx);
-      return;
-    case Algo::kBlockSelect:
-      block_select(dev, in, batch, n, k, out_vals, out_idx);
-      return;
-    case Algo::kBitonicTopk:
-      bitonic_topk(dev, in, batch, n, k, out_vals, out_idx);
-      return;
-    case Algo::kQuickSelect:
-      quick_select(dev, in, batch, n, k, out_vals, out_idx);
-      return;
-    case Algo::kBucketSelect:
-      bucket_select(dev, in, batch, n, k, out_vals, out_idx);
-      return;
-    case Algo::kSampleSelect:
-      sample_select(dev, in, batch, n, k, out_vals, out_idx);
-      return;
-    case Algo::kSort:
-      sort_topk(dev, in, batch, n, k, out_vals, out_idx);
-      return;
-    case Algo::kAuto:
-      break;  // resolved to a concrete algorithm above; unreachable
-  }
-  throw std::invalid_argument("select_device: unknown algorithm");
+  const ExecutionPlan plan = plan_select(dev.spec(), batch, n, k, algo, opt);
+  simgpu::Workspace ws(dev);
+  run_select(dev, plan, ws, in, out_vals, out_idx);
 }
 
 bool simcheck_env_enabled() {
@@ -231,25 +229,13 @@ void validate_select_args(const char* fn, std::size_t data_size,
   throw std::invalid_argument(err.str());
 }
 
-bool native_greatest(Algo algo) {
-  switch (algo) {
-    case Algo::kAirTopk:
-    case Algo::kAirTopkNoAdaptive:
-    case Algo::kAirTopkNoEarlyStop:
-    case Algo::kAirTopkFusedFilter:
-      return true;  // AIR complements its radix keys natively
-    default:
-      return false;
-  }
-}
-
 std::vector<SelectResult> run_on_device(simgpu::Device& dev,
                                         std::span<const float> data,
                                         std::size_t batch, std::size_t n,
                                         std::size_t k, Algo algo,
                                         const SelectOptions& opt) {
-  // Resolve auto dispatch before anything inspects `algo` (the greatest-K
-  // negation below depends on which concrete algorithm runs).
+  // Resolve auto dispatch up front so sanitizer issue attribution names the
+  // concrete algorithm that actually runs.
   algo = resolve_algo(algo, n, k, batch);
   // Enable checking before the input/output allocations so they are known
   // to the shadow (attribution + uninitialized-read tracking end to end).
@@ -262,14 +248,11 @@ std::vector<SelectResult> run_on_device(simgpu::Device& dev,
   simgpu::ScopedWorkspace ws(dev);
   auto in = dev.alloc<float>(batch * n, "select input");
   dev.upload(in, data.first(batch * n));
-  const bool negate = opt.greatest && !native_greatest(algo);
-  if (negate) {
-    // WLOG the paper selects the smallest K; for algorithms without a
-    // native largest-K order, negate on the way in and out.
-    for (std::size_t i = 0; i < batch * n; ++i) in.data()[i] = -in.data()[i];
-  }
   auto out_vals = dev.alloc<float>(batch * k, "select output vals");
   auto out_idx = dev.alloc<std::uint32_t>(batch * k, "select output idx");
+  // select_device handles largest-K uniformly (natively for AIR, via the
+  // registry's negate wrap for everything else), so out_vals already holds
+  // values in the requested order.
   select_device(dev, in, batch, n, k, out_vals, out_idx, algo, opt);
   if (san != nullptr) {
     // Only issues raised by THIS selection abort it; a long-lived Device
@@ -281,9 +264,6 @@ std::vector<SelectResult> run_on_device(simgpu::Device& dev,
     SelectResult& r = results[b];
     r.values.assign(out_vals.data() + b * k, out_vals.data() + (b + 1) * k);
     r.indices.assign(out_idx.data() + b * k, out_idx.data() + (b + 1) * k);
-    if (negate) {
-      for (float& v : r.values) v = -v;
-    }
     if (opt.sorted) {
       std::vector<std::size_t> order(k);
       for (std::size_t i = 0; i < k; ++i) order[i] = i;

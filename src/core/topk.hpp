@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -35,11 +36,20 @@ enum class Algo {
 
 [[nodiscard]] std::string algo_name(Algo algo);
 
+/// The short registry key for an algorithm ("air", "grid", ...; the ablation
+/// variants get "air-noadaptive", "air-noearlystop", "air-fusedfilter" and
+/// "grid-threadqueue").  Round-trips through parse_algo for every Algo value.
+[[nodiscard]] std::string_view algo_key(Algo algo);
+
+/// Parse a registry key back to its Algo ("auto" maps to Algo::kAuto, which
+/// defers the choice to recommend_algorithm() at execution time).  Returns
+/// nullopt for unknown keys.
+[[nodiscard]] std::optional<Algo> parse_algo(std::string_view key);
+
 /// Parse a short algorithm key ("air", "grid", "radixselect", "warp",
 /// "block", "bitonic", "quick", "bucket", "sample", "sort", "auto") — the
-/// names the CLI and scripts use.  "auto" maps to Algo::kAuto, which defers
-/// the choice to recommend_algorithm() at execution time.  Returns nullopt
-/// for unknown keys.
+/// names the CLI and scripts use.  Forwards to parse_algo (so the ablation
+/// variant keys parse here too).  Returns nullopt for unknown keys.
 [[nodiscard]] std::optional<Algo> algo_from_string(std::string_view key);
 
 /// All benchmarkable algorithms in a stable order (main methods first).
@@ -105,8 +115,71 @@ std::vector<SelectResult> select_batch(simgpu::Device& dev,
                                        std::size_t k, Algo algo,
                                        const SelectOptions& opt = {});
 
+struct PlanImpl;  // registry internals (topk/registry.hpp)
+
+/// Cacheable handle to a planned selection: the resolved algorithm, shape,
+/// and the workspace layout run_select() binds.  Produced by plan_select();
+/// copies are cheap (one shared_ptr) and the underlying plan is immutable,
+/// so one plan can serve concurrent workers and repeated runs.  A default-
+/// constructed handle is invalid (valid() == false) and run_select() rejects
+/// it.
+class ExecutionPlan {
+ public:
+  ExecutionPlan() = default;
+
+  [[nodiscard]] bool valid() const noexcept { return impl_ != nullptr; }
+  [[nodiscard]] Algo algo() const;      ///< concrete (never kAuto)
+  [[nodiscard]] std::size_t batch() const;
+  [[nodiscard]] std::size_t n() const;
+  [[nodiscard]] std::size_t k() const;
+  [[nodiscard]] bool greatest() const;
+  /// Named workspace segments (sizes/alignments) this plan's run binds.
+  [[nodiscard]] const simgpu::WorkspaceLayout& layout() const;
+  /// Scratch bytes one bound workspace slab needs for this plan.
+  [[nodiscard]] std::size_t workspace_bytes() const;
+
+ private:
+  friend ExecutionPlan plan_select(const simgpu::DeviceSpec&, std::size_t,
+                                   std::size_t, std::size_t, Algo,
+                                   const SelectOptions&);
+  friend void run_select(simgpu::Device&, const ExecutionPlan&,
+                         simgpu::Workspace&, simgpu::DeviceBuffer<float>,
+                         simgpu::DeviceBuffer<float>,
+                         simgpu::DeviceBuffer<std::uint32_t>);
+
+  explicit ExecutionPlan(std::shared_ptr<const PlanImpl> impl)
+      : impl_(std::move(impl)) {}
+
+  std::shared_ptr<const PlanImpl> impl_;
+};
+
+/// Phase 1 of the two-phase execution contract: validate the problem, pick
+/// the concrete algorithm (kAuto resolves via recommend_algorithm), and
+/// precompute everything the run needs — kernel schedule, grids, interned
+/// kernel names, and the named workspace segments.  Pure function of
+/// (spec, shape, algo, opt): no Device needed, safe to cache and share.
+/// Largest-K on an algorithm without a native descending order plans an
+/// extra "negated input" segment; run_select applies the negation wrap.
+[[nodiscard]] ExecutionPlan plan_select(const simgpu::DeviceSpec& spec,
+                                        std::size_t batch, std::size_t n,
+                                        std::size_t k, Algo algo,
+                                        const SelectOptions& opt = {});
+
+/// Phase 2: bind the plan's layout into `ws` (pooled; a warm workspace whose
+/// slab already fits re-binds without touching the pool) and execute.  This
+/// path performs zero allocations — device or host — once `ws` is warm;
+/// bench_substrate gates its steady-state alloc counter at exactly 0 on it.
+/// `in` holds batch*n keys resident on the device; results land unordered
+/// in out_vals/out_idx (batch*k each).
+void run_select(simgpu::Device& dev, const ExecutionPlan& plan,
+                simgpu::Workspace& ws, simgpu::DeviceBuffer<float> in,
+                simgpu::DeviceBuffer<float> out_vals,
+                simgpu::DeviceBuffer<std::uint32_t> out_idx);
+
 /// Device-side entry point used by the benches: input already resident on
 /// the device, outputs written to device buffers, events recorded on `dev`.
+/// One-shot wrapper over plan_select + run_select with a local workspace
+/// (steady-state callers should cache the plan and reuse a Workspace).
 void select_device(simgpu::Device& dev, simgpu::DeviceBuffer<float> in,
                    std::size_t batch, std::size_t n, std::size_t k,
                    simgpu::DeviceBuffer<float> out_vals,

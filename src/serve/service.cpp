@@ -7,6 +7,7 @@
 #include <numeric>
 #include <sstream>
 #include <stdexcept>
+#include <tuple>
 #include <utility>
 
 #include "simgpu/cost_model.hpp"
@@ -73,6 +74,33 @@ const char* query_status_name(QueryStatus s) {
   return "unknown";
 }
 
+/// One cached micro-batch shape: the algorithm's ExecutionPlan plus the IO
+/// layout (input row block and the two output blocks) the worker's io
+/// workspace binds for it.  Cached per worker in a std::map, whose node
+/// stability keeps the layouts alive for as long as they stay bound.
+struct PlanEntry {
+  ExecutionPlan plan;
+  simgpu::WorkspaceLayout io;
+  std::size_t seg_in = 0;
+  std::size_t seg_vals = 0;
+  std::size_t seg_idx = 0;
+};
+
+struct TopkService::Worker {
+  simgpu::Device dev;
+  /// Algorithm scratch (the plan's layout) — persists across flushes, so a
+  /// steady stream of same-shaped batches binds it with zero allocations.
+  simgpu::Workspace algo_ws;
+  /// Input/output blocks for the assembled micro-batch, same reuse story.
+  simgpu::Workspace io_ws;
+  /// (n, k_exec, requested algo, rows) -> planned execution.
+  std::map<std::tuple<std::size_t, std::size_t, Algo, std::size_t>, PlanEntry>
+      plans;
+
+  explicit Worker(const simgpu::DeviceSpec& spec)
+      : dev(spec), algo_ws(dev), io_ws(dev) {}
+};
+
 TopkService::TopkService(ServiceConfig cfg) : cfg_(std::move(cfg)) {
   if (cfg_.num_devices == 0) {
     throw std::invalid_argument("TopkService: num_devices must be > 0");
@@ -83,10 +111,11 @@ TopkService::TopkService(ServiceConfig cfg) : cfg_(std::move(cfg)) {
   if (cfg_.admission_capacity == 0) {
     throw std::invalid_argument("TopkService: admission_capacity must be > 0");
   }
+  worker_counters_.resize(cfg_.num_devices);
   batcher_ = std::thread([this] { batcher_loop(); });
   workers_.reserve(cfg_.num_devices);
   for (std::size_t i = 0; i < cfg_.num_devices; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -229,11 +258,13 @@ void TopkService::batcher_loop() {
   }
 }
 
-void TopkService::worker_loop() {
+void TopkService::worker_loop(std::size_t worker_id) {
   // The Device is created and driven entirely by this thread, honoring the
-  // substrate's single-driver contract; select_batch attaches the simcheck
-  // sanitizer to it when TOPK_SIMCHECK requests one.
-  simgpu::Device dev(cfg_.device_spec);
+  // substrate's single-driver contract; execute_batch attaches the simcheck
+  // sanitizer to it when TOPK_SIMCHECK requests one.  The plan cache and
+  // pooled workspaces in the Worker live for the thread's whole life, which
+  // is what makes repeat shapes zero-allocation.
+  Worker w(cfg_.device_spec);
   for (;;) {
     Batch batch;
     {
@@ -246,11 +277,13 @@ void TopkService::worker_loop() {
       ready_.pop_front();
       queued_ -= batch.reqs.size();
     }
-    execute_batch(dev, std::move(batch));
+    execute_batch(w, worker_id, std::move(batch));
   }
 }
 
-void TopkService::execute_batch(simgpu::Device& dev, Batch batch) {
+void TopkService::execute_batch(Worker& w, std::size_t worker_id,
+                                Batch batch) {
+  simgpu::Device& dev = w.dev;
   const Clock::time_point dispatch = Clock::now();
   std::vector<Request> live;
   std::vector<Request> expired;
@@ -265,30 +298,101 @@ void TopkService::execute_batch(simgpu::Device& dev, Batch batch) {
 
   const std::size_t n = batch.key.n;
   const std::size_t k_exec = batch.key.k_exec;
+  const std::size_t rows = live.size();
   std::vector<SelectResult> results;
   Algo planned = batch.key.algo;
   double model_us = 0.0;
   std::string fail;
+  bool plan_cache_hit = false;
+  bool plan_looked_up = false;
   if (!live.empty()) {
     try {
-      planned = resolve_algo(batch.key.algo, n, k_exec, live.size());
+      planned = resolve_algo(batch.key.algo, n, k_exec, rows);
       if (k_exec > max_k(planned, n)) {
         std::ostringstream err;
         err << "plan " << algo_name(planned) << " cannot serve k=" << k_exec
             << " at n=" << n << " (max " << max_k(planned, n) << ")";
         throw std::invalid_argument(err.str());
       }
-      std::vector<float> data(live.size() * n);
-      for (std::size_t i = 0; i < live.size(); ++i) {
-        std::memcpy(data.data() + i * n, live[i].keys.data(),
-                    n * sizeof(float));
-      }
       SelectOptions opt;
       opt.greatest = cfg_.greatest;
       opt.sorted = cfg_.sorted_results;
+
+      // Plans are keyed on the micro-batch bucket (row length, padded k,
+      // requested algorithm) plus the assembled row count; a repeat shape
+      // reuses the cached ExecutionPlan and both pooled workspaces.
+      const auto key = std::make_tuple(n, k_exec, batch.key.algo, rows);
+      plan_looked_up = true;
+      auto it = w.plans.find(key);
+      plan_cache_hit = it != w.plans.end();
+      if (!plan_cache_hit) {
+        PlanEntry e;
+        e.plan = plan_select(dev.spec(), rows, n, k_exec, planned, opt);
+        e.seg_in = e.io.add<float>("serve input", rows * n);
+        e.seg_vals = e.io.add<float>("serve output vals", rows * k_exec);
+        e.seg_idx = e.io.add<std::uint32_t>("serve output idx", rows * k_exec);
+        it = w.plans.emplace(key, std::move(e)).first;
+      }
+      const PlanEntry& entry = it->second;
+
+      // Same sanitizer contract as select_batch: enable on request before
+      // the IO segments bind so they are known to the shadow, and abort on
+      // any issue this batch raises (earlier findings keep the device
+      // serving).
+      if (simcheck_env_enabled() && dev.sanitizer() == nullptr) {
+        dev.enable_sanitizer();
+      }
+      simgpu::Sanitizer* const san = dev.sanitizer();
+      const std::size_t issues_before =
+          san != nullptr ? san->issue_count() : 0;
+
+      w.io_ws.bind(entry.io);
+      simgpu::DeviceBuffer<float> in = w.io_ws.get<float>(entry.seg_in);
+      for (std::size_t i = 0; i < rows; ++i) {
+        std::memcpy(in.data() + i * n, live[i].keys.data(), n * sizeof(float));
+      }
+      if (san != nullptr) {
+        // The rows are copied straight into the device segment (no staging
+        // vector, no upload); mark them like an upload would.
+        san->mark_initialized(in.data(), rows * n * sizeof(float));
+      }
+      simgpu::DeviceBuffer<float> out_vals =
+          w.io_ws.get<float>(entry.seg_vals);
+      simgpu::DeviceBuffer<std::uint32_t> out_idx =
+          w.io_ws.get<std::uint32_t>(entry.seg_idx);
+
       dev.clear_events();
-      results = select_batch(dev, data, live.size(), n, k_exec, planned, opt);
+      run_select(dev, entry.plan, w.algo_ws, in, out_vals, out_idx);
+      if (san != nullptr) {
+        throw_if_new_issues(*san, issues_before, planned);
+      }
       model_us = simgpu::CostModel(dev.spec()).total_us(dev.events());
+
+      results.resize(rows);
+      for (std::size_t b = 0; b < rows; ++b) {
+        SelectResult& r = results[b];
+        r.values.assign(out_vals.data() + b * k_exec,
+                        out_vals.data() + (b + 1) * k_exec);
+        r.indices.assign(out_idx.data() + b * k_exec,
+                         out_idx.data() + (b + 1) * k_exec);
+        if (opt.sorted) {
+          std::vector<std::size_t> order(k_exec);
+          std::iota(order.begin(), order.end(), std::size_t{0});
+          std::sort(order.begin(), order.end(),
+                    [&](std::size_t a, std::size_t c) {
+                      return opt.greatest ? r.values[a] > r.values[c]
+                                          : r.values[a] < r.values[c];
+                    });
+          SelectResult sorted;
+          sorted.values.reserve(k_exec);
+          sorted.indices.reserve(k_exec);
+          for (std::size_t i : order) {
+            sorted.values.push_back(r.values[i]);
+            sorted.indices.push_back(r.indices[i]);
+          }
+          r = std::move(sorted);
+        }
+      }
     } catch (const std::exception& e) {
       fail = e.what();
     }
@@ -330,6 +434,21 @@ void TopkService::execute_batch(simgpu::Device& dev, Batch batch) {
   {
     std::scoped_lock lock(mu_);
     timed_out_ += expired.size();
+    if (plan_looked_up) {
+      if (plan_cache_hit) {
+        ++plan_cache_hits_;
+      } else {
+        ++plan_cache_misses_;
+      }
+    }
+    // Publish this worker's cumulative pool/alloc counters; stats() sums
+    // the per-worker snapshots.
+    WorkerCounters& wc = worker_counters_[worker_id];
+    const simgpu::MemoryPool::Stats ps = dev.memory_pool().stats();
+    wc.pool_hits = ps.hits;
+    wc.pool_misses = ps.misses;
+    wc.pool_high_water = ps.high_water;
+    wc.device_allocs = dev.alloc_calls();
     if (!live.empty()) {
       if (!fail.empty()) {
         failed_ += live.size();
@@ -367,6 +486,14 @@ ServiceStats TopkService::stats() const {
     s.batches = batches_;
     s.modeled_device_us = modeled_device_us_;
     s.batch_rows_histogram = batch_rows_histogram_;
+    s.plan_cache_hits = plan_cache_hits_;
+    s.plan_cache_misses = plan_cache_misses_;
+    for (const WorkerCounters& wc : worker_counters_) {
+      s.pool_hits += wc.pool_hits;
+      s.pool_misses += wc.pool_misses;
+      s.pool_high_water += wc.pool_high_water;
+      s.device_allocs += wc.device_allocs;
+    }
     samples = latency_us_;
   }
   std::sort(samples.begin(), samples.end());

@@ -93,6 +93,26 @@ struct ServiceStats {
   /// rows-per-executed-batch -> number of batches of that size.
   std::map<std::size_t, std::uint64_t> batch_rows_histogram;
   LatencySummary latency;  ///< wall latency of completed queries
+
+  // Execution-layer counters (two-phase plan/workspace path, summed over
+  // device workers).  Each worker caches one ExecutionPlan per micro-batch
+  // shape and reuses two pooled workspaces across flushes, so in steady
+  // state every batch is a plan-cache hit, every workspace bind is a pool
+  // hit, and device_allocs stops growing.
+  std::uint64_t plan_cache_hits = 0;
+  std::uint64_t plan_cache_misses = 0;
+  std::uint64_t pool_hits = 0;    ///< workspace binds served by a warm slab
+  std::uint64_t pool_misses = 0;  ///< binds that had to fetch/grow a slab
+  std::size_t pool_high_water = 0;  ///< peak pooled bytes, summed over devices
+  std::uint64_t device_allocs = 0;  ///< Device::alloc_calls(), summed
+
+  /// Steady-state workspace reuse quality: pool hits over all binds.
+  [[nodiscard]] double pool_hit_rate() const {
+    const std::uint64_t total = pool_hits + pool_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(pool_hits) /
+                            static_cast<double>(total);
+  }
 };
 
 /// An asynchronous multi-device top-K query service.
@@ -174,9 +194,14 @@ class TopkService {
     std::vector<Request> reqs;
   };
 
+  /// Per-worker execution context: the Device plus the plan cache and the
+  /// two pooled workspaces that persist across micro-batch flushes (defined
+  /// in service.cpp; workers own one each on their stack).
+  struct Worker;
+
   void batcher_loop();
-  void worker_loop();
-  void execute_batch(simgpu::Device& dev, Batch batch);
+  void worker_loop(std::size_t worker_id);
+  void execute_batch(Worker& w, std::size_t worker_id, Batch batch);
 
   // All methods below require `mu_` to be held.
   void enqueue_ready_locked(Batch&& batch);
@@ -206,6 +231,19 @@ class TopkService {
   double modeled_device_us_ = 0.0;
   std::map<std::size_t, std::uint64_t> batch_rows_histogram_;
   std::vector<double> latency_us_;  ///< wall latency of completed queries
+  std::uint64_t plan_cache_hits_ = 0;
+  std::uint64_t plan_cache_misses_ = 0;
+
+  /// Latest pool/alloc snapshot per worker (cumulative counters owned by the
+  /// worker's Device; published under mu_ after each batch and summed by
+  /// stats()).
+  struct WorkerCounters {
+    std::uint64_t pool_hits = 0;
+    std::uint64_t pool_misses = 0;
+    std::size_t pool_high_water = 0;
+    std::uint64_t device_allocs = 0;
+  };
+  std::vector<WorkerCounters> worker_counters_;
 
   std::thread batcher_;
   std::vector<std::thread> workers_;

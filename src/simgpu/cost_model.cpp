@@ -72,14 +72,15 @@ Timeline CostModel::simulate(const EventLog& events) const {
       host += spec_.kernel_launch_overhead_us;
       tl.host_us += spec_.kernel_launch_overhead_us;
       tl.spans.push_back({i, SpanTiming::Lane::kHost, issue, host,
-                          "launch " + k->stats.name});
+                          "launch " + std::string(k->stats.name)});
       const KernelCost cost = kernel_cost(k->stats);
       const double start = std::max(host, dev_free);
       const double end = start + cost.duration_us;
       dev_free = end;
       tl.device_busy_us += cost.duration_us;
       tl.spans.push_back(
-          {i, SpanTiming::Lane::kDevice, start, end, k->stats.name});
+          {i, SpanTiming::Lane::kDevice, start, end,
+           std::string(k->stats.name)});
     } else if (const auto* m = std::get_if<MemcpyEvent>(&e)) {
       // cudaMemcpy semantics: wait for the device, then transfer.
       host = std::max(host, dev_free);

@@ -16,6 +16,7 @@
 #include "simgpu/buffer.hpp"
 #include "simgpu/device_spec.hpp"
 #include "simgpu/event.hpp"
+#include "simgpu/memory_pool.hpp"
 #include "simgpu/sanitizer.hpp"
 #include "simgpu/thread_pool.hpp"
 
@@ -53,6 +54,7 @@ class Device {
                   "device memory holds trivially copyable types only");
     void* p = raw_alloc(n * sizeof(T), alignof(T));
     ++alloc_seq_;
+    ++alloc_calls_;
     if (sanitizer_) {
       sanitizer_->on_alloc(p, n, sizeof(T), std::string(name), alloc_seq_);
     }
@@ -90,6 +92,25 @@ class Device {
     }
     std::memcpy(dst.data(), src.data(), src.size_bytes());
     if (sanitizer_) sanitizer_->mark_initialized(dst.data(), src.size_bytes());
+  }
+
+  /// Copy host data into an existing device buffer AND record a H2D
+  /// transfer — the allocation-free counterpart of to_device() for two-phase
+  /// algorithms whose run() must not allocate: the destination is a
+  /// pre-planned workspace segment.  Records the same MemcpyEvent
+  /// (bytes + label) a to_device() of `src` would, so the event stream stays
+  /// bit-identical across the one-phase and two-phase entry points.
+  template <typename T>
+  void upload_recorded(DeviceBuffer<T> dst, std::span<const T> src,
+                       std::string label = {}) {
+    if (src.size() > dst.size()) {
+      throw std::out_of_range(
+          "upload_recorded: source larger than destination");
+    }
+    std::memcpy(dst.data(), src.data(), src.size_bytes());
+    if (sanitizer_) sanitizer_->mark_initialized(dst.data(), src.size_bytes());
+    events_.push_back(MemcpyEvent{MemcpyEvent::Dir::kHostToDevice,
+                                  src.size_bytes(), std::move(label)});
   }
 
   /// Host-side element fill of a device buffer (cudaMemset-style setup,
@@ -174,9 +195,54 @@ class Device {
     if (sanitizer_) sanitizer_->on_release(m.alloc_seq);
   }
 
-  [[nodiscard]] std::size_t live_bytes() const { return live_bytes_; }
+  [[nodiscard]] std::size_t live_bytes() const {
+    return live_bytes_ + pool_live_bytes_;
+  }
   [[nodiscard]] std::size_t peak_live_bytes() const { return peak_bytes_; }
-  void reset_peak_live_bytes() { peak_bytes_ = live_bytes_; }
+  void reset_peak_live_bytes() { peak_bytes_ = live_bytes(); }
+
+  /// Count of alloc<T>() calls since construction.  Two-phase run() paths
+  /// must not allocate: benches snapshot this counter around timed regions
+  /// and gate the delta at zero (register_region() does not count — binding
+  /// a pooled workspace is not an allocation).
+  [[nodiscard]] std::uint64_t alloc_calls() const { return alloc_calls_; }
+
+  /// ---- Pooled workspaces ------------------------------------------------
+
+  /// Pool of retained slabs Workspace binds draw from (see workspace.hpp).
+  [[nodiscard]] MemoryPool& memory_pool() { return memory_pool_; }
+
+  /// Workspace slab checkout, with modeled-memory accounting: slab bytes
+  /// count toward live_bytes()/peak_live_bytes() like arena allocations, but
+  /// are tracked outside the arena's mark()/release_to() stack (a workspace
+  /// may be bound inside a ScopedWorkspace region and released after it).
+  [[nodiscard]] MemoryPool::Slab pool_acquire(std::size_t bytes) {
+    MemoryPool::Slab s = memory_pool_.acquire(bytes);
+    pool_live_bytes_ += s.bytes;
+    peak_bytes_ = std::max(peak_bytes_, live_bytes());
+    return s;
+  }
+
+  /// Return a workspace slab to the pool (see MemoryPool::release).
+  void pool_release(MemoryPool::Slab&& slab, bool poison) {
+    if (!slab.empty()) pool_live_bytes_ -= slab.bytes;
+    memory_pool_.release(std::move(slab), poison);
+  }
+
+  /// Introduce an externally owned storage region (a workspace segment) to
+  /// the device, as if it had just been allocated: the sanitizer opens a
+  /// fresh shadow region for it — evicting any overlapping region from an
+  /// earlier bind, so data left by a previous layout reads as uninitialized
+  /// — and attributes subsequent accesses to `name`.  No storage changes
+  /// hands and alloc_calls() is not bumped.
+  void register_region(const void* base, std::size_t elems,
+                       std::size_t elem_size, std::string_view name) {
+    ++alloc_seq_;
+    if (sanitizer_) {
+      sanitizer_->on_alloc(base, elems, elem_size, std::string(name),
+                           alloc_seq_);
+    }
+  }
 
   /// ---- Host/device interaction events ----------------------------------
 
@@ -247,8 +313,11 @@ class Device {
   std::size_t live_bytes_ = 0;
   std::size_t peak_bytes_ = 0;
   std::uint64_t alloc_seq_ = 0;
+  std::uint64_t alloc_calls_ = 0;
   EventLog events_;
   std::unique_ptr<Sanitizer> sanitizer_;
+  MemoryPool memory_pool_;
+  std::size_t pool_live_bytes_ = 0;
 };
 
 /// RAII guard releasing all device allocations made during its lifetime.

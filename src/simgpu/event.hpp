@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <variant>
 #include <vector>
 
@@ -12,7 +13,12 @@ namespace simgpu {
 /// model; they are what a profiler would report as memory/compute throughput
 /// sources on real hardware.
 struct KernelStats {
-  std::string name;
+  /// Kernel name.  A view, not an owning string, so recording a kernel event
+  /// performs no heap allocation on the hot path: launch sites name kernels
+  /// with string literals, and dynamically built names (per-pass suffixes)
+  /// must be interned once via simgpu::intern_name(), whose storage is
+  /// permanent.
+  std::string_view name;
   int grid_blocks = 0;
   int block_threads = 0;
   std::uint64_t bytes_read = 0;

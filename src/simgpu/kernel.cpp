@@ -2,6 +2,9 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <mutex>
+#include <set>
+#include <string>
 #include <string_view>
 
 namespace simgpu {
@@ -12,6 +15,7 @@ namespace {
 /// flipped from the driving host thread between launches, never mid-kernel.
 std::atomic<int> g_tile_path{-1};
 std::atomic<int> g_warpfast_path{-1};
+std::atomic<int> g_pool{-1};
 
 int toggle_from_env(const char* name) {
   const char* v = std::getenv(name);
@@ -41,6 +45,26 @@ bool warpfast_path_enabled() {
 
 void set_warpfast_path_enabled(bool enabled) {
   g_warpfast_path.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+bool pool_enabled() { return lazy_toggle(g_pool, "TOPK_SIM_POOL"); }
+
+void set_pool_enabled(bool enabled) {
+  g_pool.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+std::string_view intern_name(std::string_view name) {
+  // std::set gives stable node addresses for the lifetime of the program;
+  // the transparent comparator lets the lookup avoid a temporary string on
+  // repeat interning.  Called at plan time only, so the mutex is cold.
+  static std::mutex mu;
+  static std::set<std::string, std::less<>>* names =
+      new std::set<std::string, std::less<>>();  // leaked: views must outlive
+                                                 // every event log
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = names->find(name);
+  if (it == names->end()) it = names->emplace(name).first;
+  return *it;
 }
 
 }  // namespace simgpu

@@ -11,12 +11,14 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <type_traits>
 #include <vector>
 
 #include "simgpu/buffer.hpp"
 #include "simgpu/device.hpp"
 #include "simgpu/sanitizer.hpp"
+#include "simgpu/shared_arena.hpp"
 #include "simgpu/simd.hpp"
 
 namespace simgpu {
@@ -49,6 +51,24 @@ void set_tile_path_enabled(bool enabled);
 /// BlockCtx::warpfast_enabled() is the combined gate kernels consult.
 [[nodiscard]] bool warpfast_path_enabled();
 void set_warpfast_path_enabled(bool enabled);
+
+/// Runtime switch for the per-device MemoryPool (see memory_pool.hpp):
+/// with the pool on, Workspace slabs released back to the pool are retained
+/// and reused by size class; off, every release frees and every acquire
+/// mallocs.  Default on; set TOPK_SIM_POOL=0 to start disabled.  The switch
+/// exists for A/B benchmarking — allocation provenance never feeds the cost
+/// model, so KernelStats and modeled time are bit-identical in both modes.
+[[nodiscard]] bool pool_enabled();
+void set_pool_enabled(bool enabled);
+
+/// Intern a kernel/segment name into permanent storage and return a stable
+/// view of it.  LaunchConfig and KernelStats hold string_views so recording
+/// a kernel event never heap-allocates on the hot path; names built
+/// dynamically (per-pass suffixes such as "Filter(2)") must be interned
+/// once at *plan* time and the views reused across runs.  Interned storage
+/// is never freed, so views outlive every plan and event log.  Idempotent:
+/// interning the same spelling twice returns the same view.
+[[nodiscard]] std::string_view intern_name(std::string_view name);
 
 /// Largest number of warps one thread block can hold (1024 threads).
 inline constexpr int kMaxWarpsPerBlock = 1024 / kWarpSize;
@@ -266,7 +286,7 @@ class BlockCtx {
   BlockCtx(int block_idx, int grid_dim, int block_threads,
            std::byte* shared_arena, std::size_t shared_capacity,
            Sanitizer* sanitizer = nullptr,
-           const std::string* kernel_name = nullptr,
+           std::string_view kernel_name = {},
            std::uint32_t launch_id = 0)
       : block_idx_(block_idx),
         grid_dim_(grid_dim),
@@ -312,7 +332,7 @@ class BlockCtx {
       if (active_warp_ >= 0 && san_->config().check_sync) {
         SanitizerIssue issue;
         issue.kind = IssueKind::kSyncDivergence;
-        issue.kernel = kernel_name_ != nullptr ? *kernel_name_ : "";
+        issue.kernel = std::string(kernel_name_);
         issue.block = block_idx_;
         issue.warp = active_warp_;
         issue.lane = active_lane_;
@@ -654,7 +674,7 @@ class BlockCtx {
                          std::size_t extent) {
     SanitizerIssue issue;
     issue.kind = IssueKind::kOutOfBounds;
-    issue.kernel = kernel_name_ != nullptr ? *kernel_name_ : "";
+    issue.kernel = std::string(kernel_name_);
     issue.block = block_idx_;
     issue.warp = active_warp_;
     issue.lane = active_lane_;
@@ -676,7 +696,7 @@ class BlockCtx {
   std::size_t shared_offset_ = 0;
   BlockCounters counters_;
   Sanitizer* san_ = nullptr;
-  const std::string* kernel_name_ = nullptr;
+  std::string_view kernel_name_;
   std::uint32_t launch_id_ = 0;
   std::uint32_t hb_clock_ = 0;
   std::uint32_t sync_epoch_ = 0;
@@ -762,9 +782,11 @@ SharedRef<T> SharedSpan<T>::operator[](std::size_t i) const {
   return SharedRef<T>(ctx_, data_ + i);
 }
 
-/// Launch shape of a kernel.
+/// Launch shape of a kernel.  `name` is a view so the hot launch path never
+/// heap-allocates: use a string literal, or intern_name() for names built
+/// dynamically at plan time (the view must outlive the recorded event log).
 struct LaunchConfig {
-  std::string name;
+  std::string_view name;
   int grid = 1;                 ///< number of thread blocks
   int block_threads = 256;      ///< threads per block, multiple of 32
 };
@@ -797,10 +819,10 @@ KernelStats launch(Device& dev, const LaunchConfig& cfg, Body&& body) {
 
   dev.pool().run_blocks(
       static_cast<std::size_t>(cfg.grid), [&](std::size_t b) {
-        thread_local std::vector<std::byte> arena;
+        std::vector<std::byte>& arena = detail::shared_arena();
         if (arena.size() < shared_cap) arena.resize(shared_cap);
         BlockCtx ctx(static_cast<int>(b), cfg.grid, cfg.block_threads,
-                     arena.data(), shared_cap, san, &cfg.name, launch_id);
+                     arena.data(), shared_cap, san, cfg.name, launch_id);
         body(ctx);
         const BlockCounters& c = ctx.counters();
         bytes_read.fetch_add(c.bytes_read, std::memory_order_relaxed);

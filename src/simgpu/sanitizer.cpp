@@ -156,9 +156,7 @@ bool Sanitizer::check_device_access(const void* base, std::size_t elem_size,
                                     bool is_atomic, const AccessSite& site,
                                     std::uint32_t* hb_clock) {
   std::scoped_lock lk(mu_);
-  const auto kernel_name = [&] {
-    return site.kernel != nullptr ? *site.kernel : std::string{};
-  };
+  const auto kernel_name = [&] { return std::string(site.kernel); };
   if (index >= extent) {
     if (cfg_.check_bounds) {
       SanitizerIssue issue;
@@ -288,7 +286,7 @@ void Sanitizer::note_shared_access(SharedShadow& shadow, std::size_t offset,
   std::scoped_lock lk(mu_);
   const SharedShadow::Alloc* alloc = shadow.find(offset);
   const auto attribution = [&](SanitizerIssue& issue) {
-    issue.kernel = site.kernel != nullptr ? *site.kernel : std::string{};
+    issue.kernel = std::string(site.kernel);
     issue.block = site.block;
     issue.warp = site.warp;
     issue.lane = site.lane;

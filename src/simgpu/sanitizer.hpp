@@ -5,6 +5,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 /// simcheck: an opt-in, compute-sanitizer-style shadow-memory layer for the
@@ -97,7 +98,7 @@ struct SanitizerReport {
 
 /// Where an access came from; threaded from BlockCtx into every check.
 struct AccessSite {
-  const std::string* kernel = nullptr;  ///< kernel name (null => host)
+  std::string_view kernel;              ///< kernel name (empty => host)
   std::uint32_t launch_id = 0;          ///< begin_launch() ticket
   int block = -1;
   int warp = -1;  ///< -1 while running block-serial code

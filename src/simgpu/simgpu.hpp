@@ -9,6 +9,8 @@
 ///  - CostModel: turns the counted event stream into modeled time on a real
 ///    device profile (A100/H100/A10), including PCIe and launch overheads
 ///  - render_timeline: ASCII Gantt of the modeled execution
+///  - MemoryPool/Workspace: pooled slab reuse + named scratch segments for
+///    the two-phase (plan/run) algorithm entry points
 
 #include "simgpu/buffer.hpp"
 #include "simgpu/cost_model.hpp"
@@ -16,6 +18,9 @@
 #include "simgpu/device_spec.hpp"
 #include "simgpu/event.hpp"
 #include "simgpu/kernel.hpp"
+#include "simgpu/memory_pool.hpp"
 #include "simgpu/sanitizer.hpp"
+#include "simgpu/scratch_alloc.hpp"
 #include "simgpu/thread_pool.hpp"
 #include "simgpu/timeline.hpp"
+#include "simgpu/workspace.hpp"

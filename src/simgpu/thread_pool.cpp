@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "simgpu/shared_arena.hpp"
+
 namespace simgpu {
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
@@ -52,6 +54,10 @@ void ThreadPool::drain(Batch& batch) {
 }
 
 void ThreadPool::worker_loop() {
+  // Size this worker's simulated shared-memory arena before any kernel can
+  // hand it blocks: block-to-thread assignment varies run to run, so a lazy
+  // first touch here could otherwise allocate inside a caller's timed region.
+  detail::shared_arena();
   std::uint64_t seen_generation = 0;
   for (;;) {
     Batch* batch = nullptr;

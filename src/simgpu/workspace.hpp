@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <utility>
+
+#include "simgpu/buffer.hpp"
+#include "simgpu/device.hpp"
+#include "simgpu/memory_pool.hpp"
+
+namespace simgpu {
+
+/// Arena of named scratch segments backing one two-phase algorithm run:
+/// plan() describes the segments in a WorkspaceLayout; bind() materializes
+/// them inside one pooled slab; run() reads them back as DeviceBuffers via
+/// get().  A Workspace is reusable — the steady-state pattern (bench loops,
+/// topk::serve workers) binds the same or similar layouts repeatedly, and
+/// as long as the held slab is large enough no allocation happens at all
+/// (counted as a pool hit).
+///
+/// Sanitizer semantics: every bind re-registers each non-host segment as a
+/// fresh device region (Device::register_region), so simcheck attributes
+/// accesses to the segment name and, crucially, treats recycled bytes as
+/// uninitialized — slab reuse cannot silently satisfy a stale read.
+///
+/// The bound layout is captured by reference and must outlive the binding
+/// (plans own their layouts and are cached by callers, so this holds by
+/// construction).
+class Workspace {
+ public:
+  explicit Workspace(Device& dev) : dev_(&dev) {}
+  ~Workspace() { release(); }
+
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// Materialize `layout` in pooled storage.  Reuses the held slab when it
+  /// is big enough and pooling is on; otherwise swaps it for one from the
+  /// device pool.
+  void bind(const WorkspaceLayout& layout) {
+    const std::size_t need = layout.total_bytes();
+    if (!slab_.empty() && slab_.bytes >= need && pool_enabled()) {
+      dev_->memory_pool().note_hit();
+    } else {
+      release();
+      slab_ = dev_->pool_acquire(need);
+    }
+    layout_ = &layout;
+    for (const WorkspaceLayout::Segment& seg : layout.segments) {
+      if (seg.host) continue;
+      dev_->register_region(slab_.base + seg.offset, seg.bytes / seg.elem_size,
+                            seg.elem_size, seg.name);
+    }
+  }
+
+  /// The bound segment `id` (the index WorkspaceLayout::add returned) as a
+  /// typed device buffer.  T must match the planned element size.
+  template <typename T>
+  [[nodiscard]] DeviceBuffer<T> get(std::size_t id) const {
+    const WorkspaceLayout::Segment& seg = segment(id);
+    if (seg.elem_size != sizeof(T)) {
+      throw std::invalid_argument(
+          "Workspace::get: element type does not match the planned segment");
+    }
+    return DeviceBuffer<T>(reinterpret_cast<T*>(slab_.base + seg.offset),
+                           seg.bytes / sizeof(T));
+  }
+
+  /// Host staging segment `id` as raw bytes (layout must have added it with
+  /// host = true; host segments are not device regions).
+  template <typename T>
+  [[nodiscard]] T* host_ptr(std::size_t id) const {
+    const WorkspaceLayout::Segment& seg = segment(id);
+    if (seg.elem_size != sizeof(T)) {
+      throw std::invalid_argument(
+          "Workspace::host_ptr: element type does not match the segment");
+    }
+    return reinterpret_cast<T*>(slab_.base + seg.offset);
+  }
+
+  /// Return the held slab to the device pool.  Poisons it first when a
+  /// sanitizer is attached, so reuse after release cannot leak plausible
+  /// old values past the shadow (defense in depth on top of the re-register
+  /// -on-bind rule).
+  void release() {
+    if (slab_.empty()) return;
+    dev_->pool_release(std::move(slab_),
+                       /*poison=*/dev_->sanitizer() != nullptr);
+    slab_ = {};
+    layout_ = nullptr;
+  }
+
+  [[nodiscard]] bool bound() const { return layout_ != nullptr; }
+  [[nodiscard]] std::size_t slab_bytes() const { return slab_.bytes; }
+
+ private:
+  [[nodiscard]] const WorkspaceLayout::Segment& segment(std::size_t id) const {
+    if (layout_ == nullptr || id >= layout_->segments.size()) {
+      throw std::out_of_range("Workspace: no such segment bound");
+    }
+    return layout_->segments[id];
+  }
+
+  Device* dev_;
+  MemoryPool::Slab slab_;
+  const WorkspaceLayout* layout_ = nullptr;
+};
+
+}  // namespace simgpu

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "simgpu/simgpu.hpp"
@@ -63,6 +64,9 @@ struct PassPlan {
   int width = 0;      ///< digit width in bits
 };
 
+/// Upper bound on the radix pass count: 64-bit keys with 1-bit digits.
+inline constexpr int kMaxPasses = 64;
+
 /// MSB-to-LSB digit plan: e.g. 32-bit keys with 11-bit digits give passes
 /// over bits [21,32), [10,21), [0,10).
 inline std::vector<PassPlan> plan_passes(int total_bits, int digit_bits) {
@@ -78,7 +82,94 @@ inline std::vector<PassPlan> plan_passes(int total_bits, int digit_bits) {
 
 }  // namespace air_detail
 
-/// AIR Top-K: Adaptive and Iteration-fused Radix Top-K (paper §3).
+/// Execution plan for AIR Top-K: the MSB-to-LSB digit schedule with interned
+/// per-pass kernel names, the launch grid (AIR uses one grid shape for every
+/// kernel) and the workspace segments for control state, per-pass histograms,
+/// last-block election counters and the adaptive candidate double buffer.
+template <typename T>
+struct AirTopkPlan {
+  AirTopkOptions opt;
+  std::size_t batch = 0;
+  std::size_t n = 0;
+  std::size_t k = 0;
+  std::vector<air_detail::PassPlan> passes;
+  std::vector<std::string_view> pass_names;  // interned per-pass kernel names
+  int num_passes = 0;
+  std::uint64_t n_over_alpha = 0;
+  std::size_t bufcap = 0;
+  GridShape shape;
+  std::size_t seg_st = 0;
+  std::size_t seg_finish = 0;
+  std::size_t seg_val[2] = {0, 0};
+  std::size_t seg_idx[2] = {0, 0};
+  std::vector<std::size_t> seg_hist;  // one segment per radix pass
+};
+
+/// Phase 1 of AIR Top-K: validate, build the digit schedule and lay out the
+/// workspace.  The candidate buffer capacity depends on the adaptive flag —
+/// N/alpha + 1 when adaptive buffering is on, N when off — so toggling the
+/// Fig. 9 ablation changes the plan's memory footprint, as in RAFT.
+template <typename T>
+AirTopkPlan<T> air_topk_plan(const Shape& s, const simgpu::DeviceSpec& spec,
+                             const AirTopkOptions& opt,
+                             simgpu::WorkspaceLayout& layout) {
+  using Traits = RadixTraits<T>;
+  using namespace air_detail;
+
+  validate_problem(s.n, s.k, s.batch);
+  if (opt.alpha < 4) {
+    // 4C memory accesses for buffered candidates vs N loads (paper §3.2).
+    throw std::invalid_argument("air_topk: alpha must be >= 4");
+  }
+  if (opt.digit_bits < 1 ||
+      (std::size_t{4} << opt.digit_bits) > spec.shared_mem_per_block) {
+    // The per-block histogram (2^b counters) must fit in shared memory —
+    // the constraint that makes b = 11 "a suitable value" in §3.1.
+    throw std::invalid_argument(
+        "air_topk: digit_bits histogram exceeds shared memory");
+  }
+  if (!opt.in_idx.empty() && opt.in_idx.size() < s.batch * s.n) {
+    throw std::invalid_argument("air_topk: in_idx too small");
+  }
+
+  AirTopkPlan<T> p;
+  p.opt = opt;
+  p.batch = s.batch;
+  p.n = s.n;
+  p.k = s.k;
+  p.passes = plan_passes(Traits::kBits, opt.digit_bits);
+  p.num_passes = static_cast<int>(p.passes.size());
+  p.pass_names.reserve(p.passes.size());
+  for (int i = 0; i < p.num_passes; ++i) {
+    p.pass_names.push_back(simgpu::intern_name(
+        "iteration_fused_kernel(" + std::to_string(i + 1) + ")"));
+  }
+  p.n_over_alpha =
+      static_cast<std::uint64_t>(s.n) / static_cast<std::uint64_t>(opt.alpha);
+  p.bufcap =
+      opt.adaptive ? static_cast<std::size_t>(p.n_over_alpha) + 1 : s.n;
+  p.shape = make_grid(s.batch, s.n, spec, opt.block_threads,
+                      opt.items_per_block);
+
+  p.seg_st = layout.add<std::uint64_t>("air state", s.batch * kNumFields);
+  p.seg_hist.reserve(p.passes.size());
+  for (const PassPlan& pp : p.passes) {
+    p.seg_hist.push_back(
+        layout.add<std::uint32_t>("air hist", s.batch << pp.width));
+  }
+  // One last-block election counter per (pass + last filter) per problem.
+  p.seg_finish = layout.add<std::uint32_t>(
+      "air finish", (static_cast<std::size_t>(p.num_passes) + 1) * s.batch);
+  p.seg_val[0] = layout.add<T>("air cand vals 0", s.batch * p.bufcap);
+  p.seg_val[1] = layout.add<T>("air cand vals 1", s.batch * p.bufcap);
+  p.seg_idx[0] = layout.add<std::uint32_t>("air cand idx 0",
+                                           s.batch * p.bufcap);
+  p.seg_idx[1] = layout.add<std::uint32_t>("air cand idx 1",
+                                           s.batch * p.bufcap);
+  return p;
+}
+
+/// Phase 2 of AIR Top-K: Adaptive and Iteration-fused Radix Top-K (paper §3).
 ///
 /// Finds, for each of `batch` independent problems of `n` elements laid out
 /// contiguously in `in`, the `k` smallest values and their indices.  The
@@ -91,66 +182,52 @@ inline std::vector<PassPlan> plan_passes(int total_bits, int digit_bits) {
 /// implementation); the result *set* is deterministic except for which
 /// elements tie at the K-th value.
 template <typename T>
-void air_topk(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
-              std::size_t batch, std::size_t n, std::size_t k,
-              simgpu::DeviceBuffer<T> out_vals,
-              simgpu::DeviceBuffer<std::uint32_t> out_idx,
-              const AirTopkOptions& opt = {}) {
+void air_topk_run(simgpu::Device& dev, const AirTopkPlan<T>& plan,
+                  simgpu::Workspace& ws, simgpu::DeviceBuffer<T> in,
+                  simgpu::DeviceBuffer<T> out_vals,
+                  simgpu::DeviceBuffer<std::uint32_t> out_idx) {
   using Traits = RadixTraits<T>;
   using Bits = typename Traits::Bits;
   using namespace air_detail;
 
-  validate_problem(n, k, batch);
-  if (in.size() < batch * n) throw std::invalid_argument("air_topk: input too small");
+  const std::size_t batch = plan.batch;
+  const std::size_t n = plan.n;
+  const std::size_t k = plan.k;
+  const AirTopkOptions& opt = plan.opt;
+  if (in.size() < batch * n) {
+    throw std::invalid_argument("air_topk: input too small");
+  }
   if (out_vals.size() < batch * k || out_idx.size() < batch * k) {
     throw std::invalid_argument("air_topk: output buffers too small");
   }
-  if (opt.alpha < 4) {
-    // 4C memory accesses for buffered candidates vs N loads (paper §3.2).
-    throw std::invalid_argument("air_topk: alpha must be >= 4");
-  }
-  if (opt.digit_bits < 1 ||
-      (std::size_t{4} << opt.digit_bits) > dev.spec().shared_mem_per_block) {
-    // The per-block histogram (2^b counters) must fit in shared memory —
-    // the constraint that makes b = 11 "a suitable value" in §3.1.
-    throw std::invalid_argument(
-        "air_topk: digit_bits histogram exceeds shared memory");
-  }
   const bool has_in_idx = !opt.in_idx.empty();
-  if (has_in_idx && opt.in_idx.size() < batch * n) {
-    throw std::invalid_argument("air_topk: in_idx too small");
-  }
   const auto in_idx = opt.in_idx;
   // Largest-k == smallest-k in complemented key space.
   const Bits order_mask = opt.greatest ? static_cast<Bits>(~Bits{0}) : Bits{0};
 
-  const std::vector<PassPlan> passes =
-      plan_passes(Traits::kBits, opt.digit_bits);
-  const int num_passes = static_cast<int>(passes.size());
-  const std::uint64_t n_over_alpha =
-      static_cast<std::uint64_t>(n) / static_cast<std::uint64_t>(opt.alpha);
-  const std::size_t bufcap =
-      opt.adaptive ? static_cast<std::size_t>(n_over_alpha) + 1 : n;
+  const int num_passes = plan.num_passes;
+  const std::uint64_t n_over_alpha = plan.n_over_alpha;
+  const std::size_t bufcap = plan.bufcap;
 
-  simgpu::ScopedWorkspace ws(dev);
-  auto st = dev.alloc<std::uint64_t>(batch * kNumFields, "air state");
-  std::vector<simgpu::DeviceBuffer<std::uint32_t>> hist;
-  hist.reserve(passes.size());
-  for (const PassPlan& p : passes) {
-    hist.push_back(dev.alloc<std::uint32_t>(batch << p.width, "air hist"));
+  auto st = ws.get<std::uint64_t>(plan.seg_st);
+  // Kernels capture raw pointers into these function-scope arrays (launch
+  // runs the blocks to completion before returning, so the storage outlives
+  // every block); capturing the plan's std::vectors by value would allocate.
+  simgpu::DeviceBuffer<std::uint32_t> hist_local[kMaxPasses];
+  for (int i = 0; i < num_passes; ++i) {
+    hist_local[i] =
+        ws.get<std::uint32_t>(plan.seg_hist[static_cast<std::size_t>(i)]);
   }
-  // One last-block election counter per (pass + last filter) per problem.
-  auto finish = dev.alloc<std::uint32_t>(
-      (static_cast<std::size_t>(num_passes) + 1) * batch, "air finish");
-  simgpu::DeviceBuffer<T> buf_val[2] = {
-      dev.alloc<T>(batch * bufcap, "air cand vals 0"),
-      dev.alloc<T>(batch * bufcap, "air cand vals 1")};
+  const simgpu::DeviceBuffer<std::uint32_t>* const hist = hist_local;
+  const PassPlan* const passes = plan.passes.data();
+  auto finish = ws.get<std::uint32_t>(plan.seg_finish);
+  simgpu::DeviceBuffer<T> buf_val[2] = {ws.get<T>(plan.seg_val[0]),
+                                        ws.get<T>(plan.seg_val[1])};
   simgpu::DeviceBuffer<std::uint32_t> buf_idx[2] = {
-      dev.alloc<std::uint32_t>(batch * bufcap, "air cand idx 0"),
-      dev.alloc<std::uint32_t>(batch * bufcap, "air cand idx 1")};
+      ws.get<std::uint32_t>(plan.seg_idx[0]),
+      ws.get<std::uint32_t>(plan.seg_idx[1])};
 
-  const GridShape shape = make_grid(batch, n, dev.spec(), opt.block_threads,
-                                    opt.items_per_block);
+  const GridShape shape = plan.shape;
   const int bpp = shape.blocks_per_problem;
 
   const auto sidx = [](std::size_t prob, Field f) {
@@ -180,8 +257,7 @@ void air_topk(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
       for (int p = 0; p < num_passes; ++p) {
         const std::size_t nb = std::size_t{1} << passes[p].width;
         for (std::size_t d = 0; d < nb; ++d) {
-          ctx.store<std::uint32_t>(hist[static_cast<std::size_t>(p)],
-                                   (prob << passes[p].width) + d, 0);
+          ctx.store<std::uint32_t>(hist[p], (prob << passes[p].width) + d, 0);
         }
       }
       ctx.ops(1u << opt.digit_bits);
@@ -199,7 +275,7 @@ void air_topk(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
     const std::size_t nb = std::size_t{1} << cur.width;
     const std::uint32_t digit_mask = (1u << cur.width) - 1u;
     const auto ghist =
-        is_last_filter ? simgpu::DeviceBuffer<std::uint32_t>{} : hist[static_cast<std::size_t>(p)];
+        is_last_filter ? simgpu::DeviceBuffer<std::uint32_t>{} : hist[p];
     const auto buf_in_val = buf_val[(p + 1) & 1];
     const auto buf_in_idx = buf_idx[(p + 1) & 1];
     const auto buf_out_val = buf_val[p & 1];
@@ -209,8 +285,8 @@ void air_topk(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
     const bool early = opt.early_stopping;
 
     simgpu::LaunchConfig cfg{
-        is_last_filter ? "last_filter_kernel"
-                       : "iteration_fused_kernel(" + std::to_string(p + 1) + ")",
+        is_last_filter ? std::string_view{"last_filter_kernel"}
+                       : plan.pass_names[static_cast<std::size_t>(p)],
         shape.total_blocks(), opt.block_threads};
 
     simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
@@ -467,6 +543,22 @@ void air_topk(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
       }
     });
   }
+}
+
+/// One-shot entry point: plan + bind a local workspace + run.
+template <typename T>
+void air_topk(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
+              std::size_t batch, std::size_t n, std::size_t k,
+              simgpu::DeviceBuffer<T> out_vals,
+              simgpu::DeviceBuffer<std::uint32_t> out_idx,
+              const AirTopkOptions& opt = {}) {
+  simgpu::WorkspaceLayout layout;
+  const auto plan =
+      air_topk_plan<T>(Shape{batch, n, k, opt.greatest}, dev.spec(), opt,
+                       layout);
+  simgpu::Workspace ws(dev);
+  ws.bind(layout);
+  air_topk_run(dev, plan, ws, in, out_vals, out_idx);
 }
 
 }  // namespace topk

@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "simgpu/simgpu.hpp"
 #include "topk/common.hpp"
@@ -15,11 +17,88 @@ struct BitonicTopkOptions {
   int block_threads = 256;
 };
 
-/// Bitonic Top-K (Shanbhag, Pirk, Madden 2018): a pure partial-sorting
-/// method that halves the working set once per pass.  The input is viewed
-/// as next_pow2(k)-sized chunks; pass 0 sorts each pair of chunks and
-/// merge-prunes it to one sorted chunk, and every later pass merges chunk
-/// pairs again, until a single chunk — the top K — remains.
+/// Execution plan for Bitonic Top-K: the full halving-pass schedule (with
+/// per-pass kernel names interned once, so running the plan never builds a
+/// string) plus the double-buffer workspace segments.
+template <typename T>
+struct BitonicTopkPlan {
+  BitonicTopkOptions opt;
+  std::size_t batch = 0;
+  std::size_t n = 0;
+  std::size_t k = 0;
+  std::size_t cap = 0;     // next_pow2(k), the chunk length
+  std::size_t chunks0 = 0;
+  std::size_t half0 = 0;
+  GridShape shape0;  // pass-0 sort+prune grid
+
+  struct MergePass {
+    std::string_view name;  // interned "BitonicTopK_merge(<pass>)"
+    std::size_t pairs = 0;
+    std::size_t src_chunks = 0;
+    GridShape shape;
+  };
+  std::vector<MergePass> passes;
+
+  std::size_t seg_val[2] = {0, 0};
+  std::size_t seg_idx[2] = {0, 0};
+};
+
+/// Phase 1 of Bitonic Top-K: validate, precompute the halving schedule
+/// (every pass's grid and interned kernel name — the pass count is a pure
+/// function of n and k), and describe the two double buffers as workspace
+/// segments.
+template <typename T>
+BitonicTopkPlan<T> bitonic_topk_plan(const Shape& s,
+                                     const simgpu::DeviceSpec& spec,
+                                     const BitonicTopkOptions& opt,
+                                     simgpu::WorkspaceLayout& layout) {
+  validate_problem(s.n, s.k, s.batch);
+  if (s.k > kMaxBitonicTopkK) {
+    throw std::invalid_argument("bitonic_topk: k exceeds the " +
+                                std::to_string(kMaxBitonicTopkK) + " limit");
+  }
+
+  BitonicTopkPlan<T> p;
+  p.opt = opt;
+  p.batch = s.batch;
+  p.n = s.n;
+  p.k = s.k;
+  p.cap = next_pow2(s.k);
+  p.chunks0 = (s.n + p.cap - 1) / p.cap;
+  p.half0 = (p.chunks0 + 1) / 2;
+  p.shape0 = make_grid(s.batch, p.half0 * p.cap, spec, opt.block_threads,
+                       8 * p.cap);
+
+  std::size_t chunks = p.half0;
+  int pass = 1;
+  while (chunks > 1) {
+    typename BitonicTopkPlan<T>::MergePass mp;
+    mp.pairs = (chunks + 1) / 2;
+    mp.src_chunks = chunks;
+    mp.shape = make_grid(s.batch, mp.pairs * p.cap, spec, opt.block_threads,
+                         8 * p.cap);
+    mp.name = simgpu::intern_name("BitonicTopK_merge(" +
+                                  std::to_string(pass) + ")");
+    p.passes.push_back(mp);
+    chunks = mp.pairs;
+    ++pass;
+  }
+
+  p.seg_val[0] = layout.add<T>("bitonic work vals 0", s.batch * p.half0 * p.cap);
+  p.seg_val[1] = layout.add<T>("bitonic work vals 1",
+                               s.batch * ((p.half0 + 1) / 2) * p.cap);
+  p.seg_idx[0] = layout.add<std::uint32_t>("bitonic work idx 0",
+                                           s.batch * p.half0 * p.cap);
+  p.seg_idx[1] = layout.add<std::uint32_t>(
+      "bitonic work idx 1", s.batch * ((p.half0 + 1) / 2) * p.cap);
+  return p;
+}
+
+/// Phase 2 of Bitonic Top-K (Shanbhag, Pirk, Madden 2018): a pure
+/// partial-sorting method that halves the working set once per pass.  The
+/// input is viewed as next_pow2(k)-sized chunks; pass 0 sorts each pair of
+/// chunks and merge-prunes it to one sorted chunk, and every later pass
+/// merges chunk pairs again, until a single chunk — the top K — remains.
 ///
 /// Faithful cost structure: the whole (shrinking) working set is read and
 /// written back to device memory every pass (~log2(N/K) kernels), and every
@@ -27,39 +106,30 @@ struct BitonicTopkOptions {
 /// climbs steeply with K (paper Fig. 6) and why K is capped at 256 by
 /// shared-memory capacity (paper §2.2).
 template <typename T>
-void bitonic_topk(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
-                  std::size_t batch, std::size_t n, std::size_t k,
-                  simgpu::DeviceBuffer<T> out_vals,
-                  simgpu::DeviceBuffer<std::uint32_t> out_idx,
-                  const BitonicTopkOptions& opt = {}) {
-  validate_problem(n, k, batch);
-  if (k > kMaxBitonicTopkK) {
-    throw std::invalid_argument("bitonic_topk: k exceeds the " +
-                                std::to_string(kMaxBitonicTopkK) + " limit");
-  }
+void bitonic_topk_run(simgpu::Device& dev, const BitonicTopkPlan<T>& plan,
+                      simgpu::Workspace& ws, simgpu::DeviceBuffer<T> in,
+                      simgpu::DeviceBuffer<T> out_vals,
+                      simgpu::DeviceBuffer<std::uint32_t> out_idx) {
+  const std::size_t batch = plan.batch;
+  const std::size_t n = plan.n;
+  const std::size_t k = plan.k;
   if (in.size() < batch * n || out_vals.size() < batch * k ||
       out_idx.size() < batch * k) {
     throw std::invalid_argument("bitonic_topk: buffer too small");
   }
 
-  const std::size_t cap = next_pow2(k);
-  const std::size_t chunks0 = (n + cap - 1) / cap;
-
-  simgpu::ScopedWorkspace ws(dev);
-  const std::size_t half0 = (chunks0 + 1) / 2;
-  simgpu::DeviceBuffer<T> work_val[2] = {
-      dev.alloc<T>(batch * half0 * cap, "bitonic work vals 0"),
-      dev.alloc<T>(batch * ((half0 + 1) / 2) * cap, "bitonic work vals 1")};
+  const std::size_t cap = plan.cap;
+  const std::size_t chunks0 = plan.chunks0;
+  simgpu::DeviceBuffer<T> work_val[2] = {ws.get<T>(plan.seg_val[0]),
+                                         ws.get<T>(plan.seg_val[1])};
   simgpu::DeviceBuffer<std::uint32_t> work_idx[2] = {
-      dev.alloc<std::uint32_t>(batch * half0 * cap, "bitonic work idx 0"),
-      dev.alloc<std::uint32_t>(batch * ((half0 + 1) / 2) * cap,
-                               "bitonic work idx 1")};
+      ws.get<std::uint32_t>(plan.seg_idx[0]),
+      ws.get<std::uint32_t>(plan.seg_idx[1])};
 
   // ---- pass 0: sort chunk pairs from the raw input, prune to one chunk ---
   {
-    const std::size_t pairs = half0;
-    const GridShape shape = make_grid(batch, pairs * cap, dev.spec(),
-                                      opt.block_threads, 8 * cap);
+    const std::size_t pairs = plan.half0;
+    const GridShape shape = plan.shape0;
     const int bpp = shape.blocks_per_problem;
     simgpu::LaunchConfig cfg{"BitonicTopK_sort_prune(0)",
                              shape.total_blocks(), shape.block_threads};
@@ -101,24 +171,20 @@ void bitonic_topk(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
   }
 
   // ---- halving passes: merge sorted chunk pairs until one remains --------
-  std::size_t chunks = half0;
   int cur = 0;
-  int pass = 1;
-  while (chunks > 1) {
-    const std::size_t pairs = (chunks + 1) / 2;
-    const std::size_t src_chunks = chunks;
-    const GridShape shape = make_grid(batch, pairs * cap, dev.spec(),
-                                      opt.block_threads, 8 * cap);
+  for (const auto& mp : plan.passes) {
+    const std::size_t pairs = mp.pairs;
+    const std::size_t src_chunks = mp.src_chunks;
+    const GridShape shape = mp.shape;
     const int bpp = shape.blocks_per_problem;
-    simgpu::LaunchConfig cfg{
-        "BitonicTopK_merge(" + std::to_string(pass) + ")",
-        shape.total_blocks(), shape.block_threads};
+    simgpu::LaunchConfig cfg{mp.name, shape.total_blocks(),
+                             shape.block_threads};
     const auto src_val = work_val[cur];
     const auto src_idx = work_idx[cur];
     const auto dst_val = work_val[1 - cur];
     const auto dst_idx = work_idx[1 - cur];
-    const std::size_t src_stride = chunks;   // chunks per problem in src
-    const std::size_t dst_stride = pairs;    // chunks per problem in dst
+    const std::size_t src_stride = src_chunks;  // chunks per problem in src
+    const std::size_t dst_stride = pairs;       // chunks per problem in dst
     simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
       const std::size_t prob = shape.problem_of(ctx.block_idx());
       const int bip = shape.block_in_problem(ctx.block_idx());
@@ -147,15 +213,13 @@ void bitonic_topk(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
         }
       }
     });
-    chunks = pairs;
     cur = 1 - cur;
-    ++pass;
   }
 
   // ---- emit the surviving chunk's first K pairs ---------------------------
   {
     simgpu::LaunchConfig cfg{"BitonicTopK_emit", static_cast<int>(batch),
-                             opt.block_threads};
+                             plan.opt.block_threads};
     const auto fin_val = work_val[cur];
     const auto fin_idx = work_idx[cur];
     simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
@@ -166,6 +230,21 @@ void bitonic_topk(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
       }
     });
   }
+}
+
+/// One-shot entry point: plan + bind a local workspace + run.
+template <typename T>
+void bitonic_topk(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
+                  std::size_t batch, std::size_t n, std::size_t k,
+                  simgpu::DeviceBuffer<T> out_vals,
+                  simgpu::DeviceBuffer<std::uint32_t> out_idx,
+                  const BitonicTopkOptions& opt = {}) {
+  simgpu::WorkspaceLayout layout;
+  const auto plan =
+      bitonic_topk_plan<T>(Shape{batch, n, k, false}, dev.spec(), opt, layout);
+  simgpu::Workspace ws(dev);
+  ws.bind(layout);
+  bitonic_topk_run(dev, plan, ws, in, out_vals, out_idx);
 }
 
 }  // namespace topk

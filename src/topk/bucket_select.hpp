@@ -1,10 +1,10 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <stdexcept>
 #include <string>
-#include <vector>
 
 #include "simgpu/simgpu.hpp"
 #include "topk/common.hpp"
@@ -18,37 +18,81 @@ struct BucketSelectOptions {
   std::size_t items_per_block = 16 * 1024;
 };
 
-/// BucketSelect (Alabi et al. 2012 / GpuSelection): partition-based
-/// selection whose pivots are derived from the minimum and maximum of the
-/// candidates (paper §2.2).  Each iteration runs a min/max reduction, copies
-/// the extrema to the host, buckets the candidates by linear interpolation,
-/// copies the histogram back, and filters into the target bucket — two host
-/// round trips per iteration.
+/// Execution plan for BucketSelect: validated shape plus workspace segments,
+/// including a host staging segment for the copied-back histogram (the
+/// per-iteration grids are data-dependent arithmetic computed in run()).
 template <typename T>
-void bucket_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
-                   std::size_t batch, std::size_t n, std::size_t k,
-                   simgpu::DeviceBuffer<T> out_vals,
-                   simgpu::DeviceBuffer<std::uint32_t> out_idx,
-                   const BucketSelectOptions& opt = {}) {
-  validate_problem(n, k, batch);
+struct BucketSelectPlan {
+  BucketSelectOptions opt;
+  std::size_t batch = 0;
+  std::size_t n = 0;
+  std::size_t k = 0;
+  std::size_t seg_val[2] = {0, 0};
+  std::size_t seg_idx[2] = {0, 0};
+  std::size_t seg_minmax = 0;
+  std::size_t seg_hist = 0;
+  std::size_t seg_counters = 0;
+  std::size_t seg_host_hist = 0;  // host staging
+};
+
+/// Phase 1 of BucketSelect.
+template <typename T>
+BucketSelectPlan<T> bucket_select_plan(const Shape& s,
+                                       const simgpu::DeviceSpec& /*spec*/,
+                                       const BucketSelectOptions& opt,
+                                       simgpu::WorkspaceLayout& layout) {
+  validate_problem(s.n, s.k, s.batch);
+
+  BucketSelectPlan<T> p;
+  p.opt = opt;
+  p.batch = s.batch;
+  p.n = s.n;
+  p.k = s.k;
+  const auto nb = static_cast<std::size_t>(opt.num_buckets);
+  p.seg_val[0] = layout.add<T>("bucket cand vals 0", s.n);
+  p.seg_val[1] = layout.add<T>("bucket cand vals 1", s.n);
+  p.seg_idx[0] = layout.add<std::uint32_t>("bucket cand idx 0", s.n);
+  p.seg_idx[1] = layout.add<std::uint32_t>("bucket cand idx 1", s.n);
+  p.seg_minmax = layout.add<T>("bucket minmax", 2);
+  p.seg_hist = layout.add<std::uint32_t>("bucket histogram", nb);
+  p.seg_counters = layout.add<std::uint32_t>("bucket cursors", 2);
+  p.seg_host_hist = layout.add<std::uint32_t>("bucket host hist", nb,
+                                              /*host=*/true);
+  return p;
+}
+
+/// Phase 2 of BucketSelect (Alabi et al. 2012 / GpuSelection):
+/// partition-based selection whose pivots are derived from the minimum and
+/// maximum of the candidates (paper §2.2).  Each iteration runs a min/max
+/// reduction, copies the extrema to the host, buckets the candidates by
+/// linear interpolation, copies the histogram back, and filters into the
+/// target bucket — two host round trips per iteration.
+template <typename T>
+void bucket_select_run(simgpu::Device& dev, const BucketSelectPlan<T>& plan,
+                       simgpu::Workspace& ws, simgpu::DeviceBuffer<T> in,
+                       simgpu::DeviceBuffer<T> out_vals,
+                       simgpu::DeviceBuffer<std::uint32_t> out_idx) {
+  const std::size_t batch = plan.batch;
+  const std::size_t n = plan.n;
+  const std::size_t k = plan.k;
+  const BucketSelectOptions& opt = plan.opt;
   if (in.size() < batch * n || out_vals.size() < batch * k ||
       out_idx.size() < batch * k) {
     throw std::invalid_argument("bucket_select: buffer too small");
   }
 
   const int nb = opt.num_buckets;
-  simgpu::ScopedWorkspace ws(dev);
-  simgpu::DeviceBuffer<T> cand_val[2] = {
-      dev.alloc<T>(n, "bucket cand vals 0"),
-      dev.alloc<T>(n, "bucket cand vals 1")};
+  simgpu::DeviceBuffer<T> cand_val[2] = {ws.get<T>(plan.seg_val[0]),
+                                         ws.get<T>(plan.seg_val[1])};
   simgpu::DeviceBuffer<std::uint32_t> cand_idx[2] = {
-      dev.alloc<std::uint32_t>(n, "bucket cand idx 0"),
-      dev.alloc<std::uint32_t>(n, "bucket cand idx 1")};
-  auto minmax = dev.alloc<T>(2, "bucket minmax");
-  auto ghist = dev.alloc<std::uint32_t>(static_cast<std::size_t>(nb),
-                                        "bucket histogram");
-  auto counters = dev.alloc<std::uint32_t>(2, "bucket cursors");
-  std::vector<std::uint32_t> host_hist(static_cast<std::size_t>(nb));
+      ws.get<std::uint32_t>(plan.seg_idx[0]),
+      ws.get<std::uint32_t>(plan.seg_idx[1])};
+  auto minmax = ws.get<T>(plan.seg_minmax);
+  auto ghist = ws.get<std::uint32_t>(plan.seg_hist);
+  auto counters = ws.get<std::uint32_t>(plan.seg_counters);
+  const std::span<std::uint32_t> host_hist(
+      ws.host_ptr<std::uint32_t>(plan.seg_host_hist),
+      static_cast<std::size_t>(nb));
 
   for (std::size_t prob = 0; prob < batch; ++prob) {
     std::uint64_t k_rem = k;
@@ -124,7 +168,7 @@ void bucket_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
           }
         });
       }
-      std::vector<T> host_minmax(2);
+      std::array<T, 2> host_minmax;
       dev.copy_to_host(minmax, std::span<T>(host_minmax), "minmax");
       const double lo = static_cast<double>(host_minmax[0]);
       const double hi = static_cast<double>(host_minmax[1]);
@@ -170,9 +214,8 @@ void bucket_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
           }
         });
       }
-      dev.copy_to_host(ghist, std::span<std::uint32_t>(host_hist),
-                       "bucket histogram");
-      dev.host_compute("prefix_sum+find_bucket",
+      dev.copy_to_host(ghist, host_hist, "bucket hist");
+      dev.host_compute("scan+find_bkt",
                        static_cast<std::uint64_t>(3 * nb));
       std::uint64_t less = 0;
       std::uint32_t target = 0;
@@ -238,6 +281,21 @@ void bucket_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
       throw std::logic_error("bucket_select: result count mismatch");
     }
   }
+}
+
+/// One-shot entry point: plan + bind a local workspace + run.
+template <typename T>
+void bucket_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
+                   std::size_t batch, std::size_t n, std::size_t k,
+                   simgpu::DeviceBuffer<T> out_vals,
+                   simgpu::DeviceBuffer<std::uint32_t> out_idx,
+                   const BucketSelectOptions& opt = {}) {
+  simgpu::WorkspaceLayout layout;
+  const auto plan =
+      bucket_select_plan<T>(Shape{batch, n, k, false}, dev.spec(), opt, layout);
+  simgpu::Workspace ws(dev);
+  ws.bind(layout);
+  bucket_select_run(dev, plan, ws, in, out_vals, out_idx);
 }
 
 }  // namespace topk

@@ -12,6 +12,20 @@
 
 namespace topk {
 
+/// The problem shape every two-phase plan is built from: the batched
+/// (batch, n, k) triple plus the selection direction.  Algorithm flags that
+/// vary per algorithm (alpha, digit widths, queue shapes) live in the
+/// per-algorithm Options structs, which the plan functions take alongside
+/// the Shape; `greatest` sits here because the registry resolves it once for
+/// all algorithms (only the AIR family selects natively in both directions —
+/// everything else gets the negate-wrap at the dispatch layer).
+struct Shape {
+  std::size_t batch = 1;
+  std::size_t n = 0;
+  std::size_t k = 0;
+  bool greatest = false;
+};
+
 /// Grid shape for a batched data-parallel kernel: every problem of the batch
 /// gets the same number of blocks, laid out problem-major
 /// (block_idx = problem * blocks_per_problem + block_in_problem).

@@ -289,45 +289,99 @@ class SharedQueueEngine {
   std::size_t q_count_overflow_base_ = 0;
 };
 
-/// GridSelect (paper §4): WarpSelect with (a) a shared-memory queue with
-/// parallel two-step insertion and (b) a multi-block launch so the whole
-/// device participates, followed by a cross-block merge kernel.
+/// Execution plan for GridSelect: the shared-memory-constrained warp count,
+/// the launch grid, and — for multi-block problems — the partial-result
+/// segments consumed by the cross-block merge kernel.
 template <typename T>
-void grid_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
-                 std::size_t batch, std::size_t n, std::size_t k,
-                 simgpu::DeviceBuffer<T> out_vals,
-                 simgpu::DeviceBuffer<std::uint32_t> out_idx,
-                 const GridSelectOptions& opt = {}) {
-  validate_problem(n, k, batch);
-  if (k > kMaxSelectionK) {
+struct GridSelectPlan {
+  GridSelectOptions opt;
+  std::size_t batch = 0;
+  std::size_t n = 0;
+  std::size_t k = 0;
+  std::size_t cap = 0;  // next_pow2(k)
+  int num_warps = 0;
+  GridShape shape;
+  bool direct_output = false;
+  std::size_t seg_part_val = 0;  // valid iff !direct_output
+  std::size_t seg_part_idx = 0;
+};
+
+/// Phase 1 of GridSelect: validate, size the block to the device's shared
+/// memory and lay out the partial-list segments (none when a single block
+/// per problem writes the final results directly).
+template <typename T>
+GridSelectPlan<T> grid_select_plan(const Shape& s,
+                                   const simgpu::DeviceSpec& spec,
+                                   const GridSelectOptions& opt,
+                                   simgpu::WorkspaceLayout& layout) {
+  validate_problem(s.n, s.k, s.batch);
+  if (s.k > kMaxSelectionK) {
     throw std::invalid_argument("grid_select: k exceeds the " +
                                 std::to_string(kMaxSelectionK) + " limit");
   }
+  if (!opt.in_idx.empty() && opt.in_idx.size() < s.batch * s.n) {
+    throw std::invalid_argument("grid_select: in_idx too small");
+  }
+
+  GridSelectPlan<T> p;
+  p.opt = opt;
+  p.batch = s.batch;
+  p.n = s.n;
+  p.k = s.k;
+  p.cap = next_pow2(s.k);
+  // Shrink the block until the per-warp queue + list state fits the
+  // device's shared memory (large K on small-shared-memory devices like
+  // the A10 runs with fewer warps per block).
+  p.num_warps = std::min(opt.warps_per_block, simgpu::kMaxWarpsPerBlock);
+  const std::size_t per_warp_shared =
+      (simgpu::kWarpSize + p.cap) * (sizeof(T) + sizeof(std::uint32_t));
+  while (p.num_warps > 1 && static_cast<std::size_t>(p.num_warps) *
+                                    per_warp_shared >
+                                spec.shared_mem_per_block) {
+    p.num_warps /= 2;
+  }
+  if (static_cast<std::size_t>(p.num_warps) * per_warp_shared >
+      spec.shared_mem_per_block) {
+    throw std::invalid_argument(
+        "grid_select: k too large for this device's shared memory");
+  }
+  p.shape = make_grid(s.batch, s.n, spec, p.num_warps * simgpu::kWarpSize,
+                      opt.items_per_block);
+  // With a single block per problem no cross-block merge is needed: the
+  // partial kernel writes the final results directly (this is the regime
+  // where GridSelect degenerates to a BlockSelect-shaped launch).
+  p.direct_output = (p.shape.blocks_per_problem == 1);
+  if (!p.direct_output) {
+    const std::size_t bpp =
+        static_cast<std::size_t>(p.shape.blocks_per_problem);
+    p.seg_part_val =
+        layout.add<T>("gridselect partial vals", s.batch * bpp * p.cap);
+    p.seg_part_idx = layout.add<std::uint32_t>("gridselect partial idx",
+                                               s.batch * bpp * p.cap);
+  }
+  return p;
+}
+
+/// Phase 2 of GridSelect (paper §4): WarpSelect with (a) a shared-memory
+/// queue with parallel two-step insertion and (b) a multi-block launch so
+/// the whole device participates, followed by a cross-block merge kernel.
+template <typename T>
+void grid_select_run(simgpu::Device& dev, const GridSelectPlan<T>& plan,
+                     simgpu::Workspace& ws, simgpu::DeviceBuffer<T> in,
+                     simgpu::DeviceBuffer<T> out_vals,
+                     simgpu::DeviceBuffer<std::uint32_t> out_idx) {
+  const std::size_t batch = plan.batch;
+  const std::size_t n = plan.n;
+  const std::size_t k = plan.k;
+  const GridSelectOptions& opt = plan.opt;
   if (in.size() < batch * n || out_vals.size() < batch * k ||
       out_idx.size() < batch * k) {
     throw std::invalid_argument("grid_select: buffer too small");
   }
 
-  const std::size_t cap = next_pow2(k);
-  // Shrink the block until the per-warp queue + list state fits the
-  // device's shared memory (large K on small-shared-memory devices like
-  // the A10 runs with fewer warps per block).
-  int num_warps = std::min(opt.warps_per_block, simgpu::kMaxWarpsPerBlock);
-  const std::size_t per_warp_shared =
-      (simgpu::kWarpSize + cap) * (sizeof(T) + sizeof(std::uint32_t));
-  while (num_warps > 1 && static_cast<std::size_t>(num_warps) *
-                                  per_warp_shared >
-                              dev.spec().shared_mem_per_block) {
-    num_warps /= 2;
-  }
-  if (static_cast<std::size_t>(num_warps) * per_warp_shared >
-      dev.spec().shared_mem_per_block) {
-    throw std::invalid_argument(
-        "grid_select: k too large for this device's shared memory");
-  }
-  const GridShape shape = make_grid(batch, n, dev.spec(),
-                                    num_warps * simgpu::kWarpSize,
-                                    opt.items_per_block);
+  const std::size_t cap = plan.cap;
+  const int num_warps = plan.num_warps;
+  const GridShape shape = plan.shape;
   const int bpp = shape.blocks_per_problem;
   const bool shared_queue = opt.shared_queue;
   // Captured at launch time: each warp round loads one contiguous 32-wide
@@ -335,23 +389,14 @@ void grid_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
   const bool tile = simgpu::tile_path_enabled();
 
   const bool has_in_idx = !opt.in_idx.empty();
-  if (has_in_idx && opt.in_idx.size() < batch * n) {
-    throw std::invalid_argument("grid_select: in_idx too small");
-  }
   const auto ext_idx = opt.in_idx;
 
-  simgpu::ScopedWorkspace ws(dev);
-  // With a single block per problem no cross-block merge is needed: the
-  // partial kernel writes the final results directly (this is the regime
-  // where GridSelect degenerates to a BlockSelect-shaped launch).
-  const bool direct_output = (bpp == 1);
+  const bool direct_output = plan.direct_output;
   simgpu::DeviceBuffer<T> part_val;
   simgpu::DeviceBuffer<std::uint32_t> part_idx;
   if (!direct_output) {
-    part_val = dev.alloc<T>(batch * static_cast<std::size_t>(bpp) * cap,
-                            "gridselect partial vals");
-    part_idx = dev.alloc<std::uint32_t>(
-        batch * static_cast<std::size_t>(bpp) * cap, "gridselect partial idx");
+    part_val = ws.get<T>(plan.seg_part_val);
+    part_idx = ws.get<std::uint32_t>(plan.seg_part_idx);
   }
 
   // ---- kernel 1: per-block partial selection ----------------------------
@@ -641,6 +686,21 @@ void grid_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
       }
     });
   }
+}
+
+/// One-shot entry point: plan + bind a local workspace + run.
+template <typename T>
+void grid_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
+                 std::size_t batch, std::size_t n, std::size_t k,
+                 simgpu::DeviceBuffer<T> out_vals,
+                 simgpu::DeviceBuffer<std::uint32_t> out_idx,
+                 const GridSelectOptions& opt = {}) {
+  simgpu::WorkspaceLayout layout;
+  const auto plan =
+      grid_select_plan<T>(Shape{batch, n, k, false}, dev.spec(), opt, layout);
+  simgpu::Workspace ws(dev);
+  ws.bind(layout);
+  grid_select_run(dev, plan, ws, in, out_vals, out_idx);
 }
 
 }  // namespace topk

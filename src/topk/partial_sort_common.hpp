@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "simgpu/kernel.hpp"
+#include "simgpu/scratch_alloc.hpp"
 #include "simgpu/simd.hpp"
 #include "topk/bitonic.hpp"
 
@@ -505,21 +506,24 @@ class TopkList {
   std::size_t k_;
   std::size_t cap_ = 0;
   // Flush scratch: lives in registers/shared memory on the device, so it is
-  // modeled as on-chip (ops only, no DRAM traffic).
-  std::vector<T> scratch_keys_;
-  std::vector<std::uint32_t> scratch_idx_;
-  std::vector<T> pad_keys_;
-  std::vector<std::uint32_t> pad_idx_;
+  // modeled as on-chip (ops only, no DRAM traffic).  All scratch vectors
+  // draw from the per-thread freelist (simgpu::ScratchVec) so repeated
+  // kernel executions perform no host allocations after warm-up — part of
+  // the two-phase run() zero-allocation contract.
+  simgpu::ScratchVec<T> scratch_keys_;
+  simgpu::ScratchVec<std::uint32_t> scratch_idx_;
+  simgpu::ScratchVec<T> pad_keys_;
+  simgpu::ScratchVec<std::uint32_t> pad_idx_;
   // Warpfast fast-path state (see merge()); mutable because the lazy
   // materialization happens behind the const keys()/indices() accessors.
   // Exactly one of the sorted-array (tsorted_, tscratch_) / heap (hkeys_,
   // hidx_) layouts is used, per kPackedHeap.
-  mutable std::vector<std::uint64_t> tsorted_;
-  mutable std::vector<std::uint64_t> tscratch_;
-  mutable std::vector<std::uint64_t> pack_scratch_;
-  mutable std::vector<T> hkeys_;
-  mutable std::vector<std::uint32_t> hidx_;
-  mutable std::vector<std::pair<T, std::uint32_t>> sorted_scratch_;
+  mutable simgpu::ScratchVec<std::uint64_t> tsorted_;
+  mutable simgpu::ScratchVec<std::uint64_t> tscratch_;
+  mutable simgpu::ScratchVec<std::uint64_t> pack_scratch_;
+  mutable simgpu::ScratchVec<T> hkeys_;
+  mutable simgpu::ScratchVec<std::uint32_t> hidx_;
+  mutable simgpu::ScratchVec<std::pair<T, std::uint32_t>> sorted_scratch_;
   mutable std::size_t fill_ = 0;
   mutable bool storage_dirty_ = false;
   std::size_t fast_charge_count_ = static_cast<std::size_t>(-1);

@@ -1,10 +1,10 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
-#include <vector>
 
 #include "simgpu/simgpu.hpp"
 #include "topk/common.hpp"
@@ -17,38 +17,87 @@ struct QuickSelectOptions {
   std::size_t items_per_block = 16 * 1024;
 };
 
-/// QuickSelect (Dashti et al. 2013 / GpuSelection): single-pivot recursive
-/// partitioning.  Each iteration the host reads back a three-element sample
-/// to pick a median-of-three pivot, launches a partition kernel that splits
-/// the candidates into (< pivot, == pivot, > pivot), copies the partition
-/// counts back over PCIe and decides which side to recurse into.  One full
-/// host round trip per iteration with a data-dependent iteration count —
-/// the O(N^2) worst case of paper §2.2.
+/// Execution plan for QuickSelect.  The recursion itself is data-dependent
+/// (grids are sized per iteration from live candidate counts — pure
+/// arithmetic, no allocation), so the plan is just the validated shape plus
+/// the workspace segments, including the tiny pivot-probe buffer that used
+/// to be allocated inside the loop.
 template <typename T>
-void quick_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
-                  std::size_t batch, std::size_t n, std::size_t k,
-                  simgpu::DeviceBuffer<T> out_vals,
-                  simgpu::DeviceBuffer<std::uint32_t> out_idx,
-                  const QuickSelectOptions& opt = {}) {
-  validate_problem(n, k, batch);
+struct QuickSelectPlan {
+  QuickSelectOptions opt;
+  std::size_t batch = 0;
+  std::size_t n = 0;
+  std::size_t k = 0;
+  std::size_t seg_val[3] = {0, 0, 0};
+  std::size_t seg_idx[3] = {0, 0, 0};
+  std::size_t seg_eq_val = 0;
+  std::size_t seg_eq_idx = 0;
+  std::size_t seg_counters = 0;
+  std::size_t seg_probe = 0;
+};
+
+/// Phase 1 of QuickSelect: validate and lay out the rotating candidate
+/// buffers, the pivot-equal buffer, the partition counters and the pivot
+/// probe staging buffer.
+template <typename T>
+QuickSelectPlan<T> quick_select_plan(const Shape& s,
+                                     const simgpu::DeviceSpec& /*spec*/,
+                                     const QuickSelectOptions& opt,
+                                     simgpu::WorkspaceLayout& layout) {
+  validate_problem(s.n, s.k, s.batch);
+
+  QuickSelectPlan<T> p;
+  p.opt = opt;
+  p.batch = s.batch;
+  p.n = s.n;
+  p.k = s.k;
+  // Three rotating candidate buffers: source, the "less" destination and
+  // the "greater" destination; plus a buffer for pivot-equal elements.
+  p.seg_val[0] = layout.add<T>("quick vals 0", s.n);
+  p.seg_val[1] = layout.add<T>("quick vals 1", s.n);
+  p.seg_val[2] = layout.add<T>("quick vals 2", s.n);
+  p.seg_idx[0] = layout.add<std::uint32_t>("quick idx 0", s.n);
+  p.seg_idx[1] = layout.add<std::uint32_t>("quick idx 1", s.n);
+  p.seg_idx[2] = layout.add<std::uint32_t>("quick idx 2", s.n);
+  p.seg_eq_val = layout.add<T>("quick eq vals", s.n);
+  p.seg_eq_idx = layout.add<std::uint32_t>("quick eq idx", s.n);
+  p.seg_counters = layout.add<std::uint32_t>("quick part counts", 3);
+  p.seg_probe = layout.add<T>("quick pivot probe", 3);
+  return p;
+}
+
+/// Phase 2 of QuickSelect (Dashti et al. 2013 / GpuSelection): single-pivot
+/// recursive partitioning.  Each iteration the host reads back a
+/// three-element sample to pick a median-of-three pivot, launches a
+/// partition kernel that splits the candidates into (< pivot, == pivot,
+/// > pivot), copies the partition counts back over PCIe and decides which
+/// side to recurse into.  One full host round trip per iteration with a
+/// data-dependent iteration count — the O(N^2) worst case of paper §2.2.
+template <typename T>
+void quick_select_run(simgpu::Device& dev, const QuickSelectPlan<T>& plan,
+                      simgpu::Workspace& ws, simgpu::DeviceBuffer<T> in,
+                      simgpu::DeviceBuffer<T> out_vals,
+                      simgpu::DeviceBuffer<std::uint32_t> out_idx) {
+  const std::size_t batch = plan.batch;
+  const std::size_t n = plan.n;
+  const std::size_t k = plan.k;
+  const QuickSelectOptions& opt = plan.opt;
   if (in.size() < batch * n || out_vals.size() < batch * k ||
       out_idx.size() < batch * k) {
     throw std::invalid_argument("quick_select: buffer too small");
   }
 
-  simgpu::ScopedWorkspace ws(dev);
-  // Three rotating candidate buffers: source, the "less" destination and
-  // the "greater" destination; plus a buffer for pivot-equal elements.
-  simgpu::DeviceBuffer<T> bv[3] = {dev.alloc<T>(n, "quick vals 0"),
-                                   dev.alloc<T>(n, "quick vals 1"),
-                                   dev.alloc<T>(n, "quick vals 2")};
+  simgpu::DeviceBuffer<T> bv[3] = {ws.get<T>(plan.seg_val[0]),
+                                   ws.get<T>(plan.seg_val[1]),
+                                   ws.get<T>(plan.seg_val[2])};
   simgpu::DeviceBuffer<std::uint32_t> bi[3] = {
-      dev.alloc<std::uint32_t>(n, "quick idx 0"),
-      dev.alloc<std::uint32_t>(n, "quick idx 1"),
-      dev.alloc<std::uint32_t>(n, "quick idx 2")};
-  auto eq_val = dev.alloc<T>(n, "quick eq vals");
-  auto eq_idx = dev.alloc<std::uint32_t>(n, "quick eq idx");
-  auto counters = dev.alloc<std::uint32_t>(3, "quick partition counts");
+      ws.get<std::uint32_t>(plan.seg_idx[0]),
+      ws.get<std::uint32_t>(plan.seg_idx[1]),
+      ws.get<std::uint32_t>(plan.seg_idx[2])};
+  auto eq_val = ws.get<T>(plan.seg_eq_val);
+  auto eq_idx = ws.get<std::uint32_t>(plan.seg_eq_idx);
+  auto counters = ws.get<std::uint32_t>(plan.seg_counters);
+  auto probe_buf = ws.get<T>(plan.seg_probe);
 
   const auto copy_out = [&](simgpu::DeviceBuffer<T> v,
                             simgpu::DeviceBuffer<std::uint32_t> ix,
@@ -104,9 +153,8 @@ void quick_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
       // ---- pivot: median of three values read back over PCIe -------------
       const auto src_val = bv[src];
       const auto src_idx = bi[src];
-      std::vector<T> probe(3);
+      std::array<T, 3> probe;
       {
-        auto probe_buf = dev.alloc<T>(3, "quick pivot probe");
         const std::size_t s0 = 0, s1 = count / 2, s2 = count - 1;
         simgpu::LaunchConfig cfg{"pivot_probe", 1, 32};
         simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
@@ -178,9 +226,9 @@ void quick_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
           ctx.ops(3 * (end - begin));
         });
       }
-      std::vector<std::uint32_t> host_counts(3);
+      std::array<std::uint32_t, 3> host_counts;
       dev.copy_to_host(counters, std::span<std::uint32_t>(host_counts),
-                       "partition counts");
+                       "part counts");
       dev.host_compute("select_branch", 8);
       const std::uint64_t n_less = host_counts[0];
       const std::uint64_t n_eq = host_counts[1];
@@ -214,6 +262,21 @@ void quick_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
       throw std::logic_error("quick_select: result count mismatch");
     }
   }
+}
+
+/// One-shot entry point: plan + bind a local workspace + run.
+template <typename T>
+void quick_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
+                  std::size_t batch, std::size_t n, std::size_t k,
+                  simgpu::DeviceBuffer<T> out_vals,
+                  simgpu::DeviceBuffer<std::uint32_t> out_idx,
+                  const QuickSelectOptions& opt = {}) {
+  simgpu::WorkspaceLayout layout;
+  const auto plan =
+      quick_select_plan<T>(Shape{batch, n, k, false}, dev.spec(), opt, layout);
+  simgpu::Workspace ws(dev);
+  ws.bind(layout);
+  quick_select_run(dev, plan, ws, in, out_vals, out_idx);
 }
 
 }  // namespace topk

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "simgpu/simgpu.hpp"
@@ -18,7 +19,77 @@ struct RadixSelectOptions {
   std::size_t items_per_block = 16 * 1024;
 };
 
-/// RadixSelect baseline (Alabi et al. 2012 / DrTopK-style): the classic
+/// Execution plan for RadixSelect: the per-pass kernel names (interned once
+/// at plan time, so running a pass never builds a string) plus workspace
+/// segments for the histogram, cursors, the candidate ping-pong buffers and
+/// the host-side histogram staging.
+template <typename T>
+struct RadixSelectPlan {
+  RadixSelectOptions opt;
+  std::size_t batch = 0;
+  std::size_t n = 0;
+  std::size_t k = 0;
+  int nb = 0;
+  std::uint32_t mask = 0;
+  int num_passes = 0;
+
+  struct Pass {
+    std::string_view hist_name;    // interned "CalculateOccurence(<p>)"
+    std::string_view filter_name;  // interned "Filter(<p>)"
+    int start_bit = 0;
+  };
+  std::vector<Pass> passes;
+
+  std::size_t seg_hist = 0;
+  std::size_t seg_counters = 0;
+  std::size_t seg_val[2] = {0, 0};
+  std::size_t seg_idx[2] = {0, 0};
+  std::size_t seg_host_hist = 0;
+};
+
+/// Phase 1 of RadixSelect: validate, precompute the pass schedule (start
+/// bits and interned kernel names) and lay out the workspace.
+template <typename T>
+RadixSelectPlan<T> radix_select_plan(const Shape& s,
+                                     const simgpu::DeviceSpec& /*spec*/,
+                                     const RadixSelectOptions& opt,
+                                     simgpu::WorkspaceLayout& layout) {
+  using Traits = RadixTraits<T>;
+
+  validate_problem(s.n, s.k, s.batch);
+
+  RadixSelectPlan<T> p;
+  p.opt = opt;
+  p.batch = s.batch;
+  p.n = s.n;
+  p.k = s.k;
+  p.nb = 1 << opt.digit_bits;
+  p.mask = static_cast<std::uint32_t>(p.nb - 1);
+  p.num_passes = (Traits::kBits + opt.digit_bits - 1) / opt.digit_bits;
+  p.passes.reserve(static_cast<std::size_t>(p.num_passes));
+  for (int pass = 0; pass < p.num_passes; ++pass) {
+    typename RadixSelectPlan<T>::Pass pp;
+    pp.start_bit = std::max(0, Traits::kBits - (pass + 1) * opt.digit_bits);
+    pp.hist_name = simgpu::intern_name("CalculateOccurence(" +
+                                       std::to_string(pass) + ")");
+    pp.filter_name = simgpu::intern_name("Filter(" + std::to_string(pass) +
+                                         ")");
+    p.passes.push_back(pp);
+  }
+
+  p.seg_hist = layout.add<std::uint32_t>("radix digit histogram",
+                                         static_cast<std::size_t>(p.nb));
+  p.seg_counters = layout.add<std::uint32_t>("radix cursors", 2);
+  p.seg_val[0] = layout.add<T>("radix cand vals 0", s.n);
+  p.seg_val[1] = layout.add<T>("radix cand vals 1", s.n);
+  p.seg_idx[0] = layout.add<std::uint32_t>("radix cand idx 0", s.n);
+  p.seg_idx[1] = layout.add<std::uint32_t>("radix cand idx 1", s.n);
+  p.seg_host_hist = layout.add<std::uint32_t>(
+      "radix host hist", static_cast<std::size_t>(p.nb), /*host=*/true);
+  return p;
+}
+
+/// Phase 2 of RadixSelect (Alabi et al. 2012 / DrTopK-style): the classic
 /// parallel radix top-K where the *host* orchestrates every iteration.
 ///
 /// Per radix pass the host launches a histogram kernel, copies the histogram
@@ -31,15 +102,17 @@ struct RadixSelectOptions {
 /// implementations do; nothing amortizes the per-iteration host round trips,
 /// which is why the paper sees up to 574x speedups at batch size 100.
 template <typename T>
-void radix_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
-                  std::size_t batch, std::size_t n, std::size_t k,
-                  simgpu::DeviceBuffer<T> out_vals,
-                  simgpu::DeviceBuffer<std::uint32_t> out_idx,
-                  const RadixSelectOptions& opt = {}) {
+void radix_select_run(simgpu::Device& dev, const RadixSelectPlan<T>& plan,
+                      simgpu::Workspace& ws, simgpu::DeviceBuffer<T> in,
+                      simgpu::DeviceBuffer<T> out_vals,
+                      simgpu::DeviceBuffer<std::uint32_t> out_idx) {
   using Traits = RadixTraits<T>;
   using Bits = typename Traits::Bits;
 
-  validate_problem(n, k, batch);
+  const std::size_t batch = plan.batch;
+  const std::size_t n = plan.n;
+  const std::size_t k = plan.k;
+  const RadixSelectOptions& opt = plan.opt;
   if (in.size() < batch * n) {
     throw std::invalid_argument("radix_select: input too small");
   }
@@ -47,22 +120,20 @@ void radix_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
     throw std::invalid_argument("radix_select: output buffers too small");
   }
 
-  const int nb = 1 << opt.digit_bits;
-  const std::uint32_t mask = static_cast<std::uint32_t>(nb - 1);
-  const int num_passes =
-      (Traits::kBits + opt.digit_bits - 1) / opt.digit_bits;
+  const int nb = plan.nb;
+  const std::uint32_t mask = plan.mask;
+  const int num_passes = plan.num_passes;
 
-  simgpu::ScopedWorkspace ws(dev);
-  auto ghist = dev.alloc<std::uint32_t>(static_cast<std::size_t>(nb),
-                                        "radix digit histogram");
-  auto counters = dev.alloc<std::uint32_t>(2, "radix cursors");
-  simgpu::DeviceBuffer<T> cand_val[2] = {
-      dev.alloc<T>(n, "radix cand vals 0"),
-      dev.alloc<T>(n, "radix cand vals 1")};
+  auto ghist = ws.get<std::uint32_t>(plan.seg_hist);
+  auto counters = ws.get<std::uint32_t>(plan.seg_counters);
+  simgpu::DeviceBuffer<T> cand_val[2] = {ws.get<T>(plan.seg_val[0]),
+                                         ws.get<T>(plan.seg_val[1])};
   simgpu::DeviceBuffer<std::uint32_t> cand_idx[2] = {
-      dev.alloc<std::uint32_t>(n, "radix cand idx 0"),
-      dev.alloc<std::uint32_t>(n, "radix cand idx 1")};
-  std::vector<std::uint32_t> host_hist(static_cast<std::size_t>(nb));
+      ws.get<std::uint32_t>(plan.seg_idx[0]),
+      ws.get<std::uint32_t>(plan.seg_idx[1])};
+  const std::span<std::uint32_t> host_hist(
+      ws.host_ptr<std::uint32_t>(plan.seg_host_hist),
+      static_cast<std::size_t>(nb));
 
   for (std::size_t prob = 0; prob < batch; ++prob) {
     std::uint64_t k_rem = k;
@@ -72,8 +143,7 @@ void radix_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
     int cur = 0;  // candidate ping-pong side holding the current candidates
 
     for (int p = 0; p < num_passes; ++p) {
-      const int start_bit =
-          std::max(0, Traits::kBits - (p + 1) * opt.digit_bits);
+      const int start_bit = plan.passes[static_cast<std::size_t>(p)].start_bit;
       const bool from_input = (p == 0);
       const auto src_val = cand_val[cur];
       const auto src_idx = cand_idx[cur];
@@ -97,9 +167,9 @@ void radix_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
                                          opt.block_threads,
                                          opt.items_per_block);
       {
-        simgpu::LaunchConfig cfg{"CalculateOccurence(" + std::to_string(p) +
-                                     ")",
-                                 hshape.total_blocks(), opt.block_threads};
+        simgpu::LaunchConfig cfg{
+            plan.passes[static_cast<std::size_t>(p)].hist_name,
+            hshape.total_blocks(), opt.block_threads};
         const int bpp = hshape.blocks_per_problem;
         simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
           auto shist = ctx.shared_zero<std::uint32_t>(
@@ -139,9 +209,8 @@ void radix_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
       }
 
       // ---- host round trip: copy histogram, prefix-sum, pick digit -------
-      dev.copy_to_host(ghist, std::span<std::uint32_t>(host_hist),
-                       "histogram");
-      dev.host_compute("prefix_sum+find_digit",
+      dev.copy_to_host(ghist, host_hist, "histogram");
+      dev.host_compute("scan+find_digit",
                        static_cast<std::uint64_t>(3 * nb));
       std::uint64_t less = 0;
       std::uint32_t target_digit = 0;
@@ -158,8 +227,9 @@ void radix_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
 
       // ---- kernel 2: filter (results out, candidates to the other buffer)
       {
-        simgpu::LaunchConfig cfg{"Filter(" + std::to_string(p) + ")",
-                                 hshape.total_blocks(), opt.block_threads};
+        simgpu::LaunchConfig cfg{
+            plan.passes[static_cast<std::size_t>(p)].filter_name,
+            hshape.total_blocks(), opt.block_threads};
         const int bpp = hshape.blocks_per_problem;
         const std::uint64_t out_cursor_base = out_base + out_written;
         simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
@@ -223,6 +293,21 @@ void radix_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
                              std::to_string(k) + " results");
     }
   }
+}
+
+/// One-shot entry point: plan + bind a local workspace + run.
+template <typename T>
+void radix_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
+                  std::size_t batch, std::size_t n, std::size_t k,
+                  simgpu::DeviceBuffer<T> out_vals,
+                  simgpu::DeviceBuffer<std::uint32_t> out_idx,
+                  const RadixSelectOptions& opt = {}) {
+  simgpu::WorkspaceLayout layout;
+  const auto plan =
+      radix_select_plan<T>(Shape{batch, n, k, false}, dev.spec(), opt, layout);
+  simgpu::Workspace ws(dev);
+  ws.bind(layout);
+  radix_select_run(dev, plan, ws, in, out_vals, out_idx);
 }
 
 }  // namespace topk

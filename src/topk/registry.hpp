@@ -1,0 +1,264 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+#include <variant>
+
+#include "core/topk.hpp"
+#include "simgpu/simgpu.hpp"
+#include "topk/air_topk.hpp"
+#include "topk/bitonic_topk.hpp"
+#include "topk/bucket_select.hpp"
+#include "topk/grid_select.hpp"
+#include "topk/quick_select.hpp"
+#include "topk/radix_select.hpp"
+#include "topk/sample_select.hpp"
+#include "topk/sort_topk.hpp"
+#include "topk/warp_select.hpp"
+
+/// Table-driven selector registry: every Algo resolves to one AlgoRow holding
+/// its CLI key, display name, K ceiling, native largest-K capability, and the
+/// two-phase plan/run thunks.  The four AIR ablation variants collapse onto
+/// one plan/run pair parameterized by AirTopkOptions flags, and GridSelect's
+/// thread-queue ablation onto grid_select with shared_queue = false.
+///
+/// Dispatch through the table never touches the heap: row lookup is a linear
+/// scan of a constexpr array, the plan lives in a variant inside PlanImpl,
+/// and the run thunks std::get the concrete plan out by type.
+namespace topk {
+
+/// The concrete, cacheable product of plan_select(): resolved algorithm,
+/// shape, the workspace layout whose segments run_select() binds, and the
+/// per-algorithm plan.  Owned behind ExecutionPlan's shared_ptr so copies of
+/// the handle are cheap and the layout outlives every binding (Workspace
+/// captures it by pointer).
+struct PlanImpl {
+  Algo algo = Algo::kAuto;  ///< concrete algorithm (kAuto resolved at plan)
+  Shape shape;              ///< batch/n/k plus the requested order
+  /// Largest-K requested on an algorithm without a native descending order:
+  /// run_select() negates the input into `seg_negated` on the way in and
+  /// negates the output values on the way out (paper WLOG smallest-K).
+  bool negate = false;
+  std::size_t seg_negated = 0;
+  simgpu::WorkspaceLayout layout;
+  std::variant<SortTopkPlan<float>, BitonicTopkPlan<float>,
+               QuickSelectPlan<float>, BucketSelectPlan<float>,
+               SampleSelectPlan<float>, RadixSelectPlan<float>,
+               AirTopkPlan<float>, GridSelectPlan<float>,
+               faiss_detail::FaissSelectPlan<float>>
+      plan;
+};
+
+namespace registry_detail {
+
+using PlanFn = void (*)(PlanImpl&, const simgpu::DeviceSpec&,
+                        const SelectOptions&);
+using RunFn = void (*)(simgpu::Device&, const PlanImpl&, simgpu::Workspace&,
+                       simgpu::DeviceBuffer<float>, simgpu::DeviceBuffer<float>,
+                       simgpu::DeviceBuffer<std::uint32_t>);
+
+/// One AirTopkOptions for all four AIR table rows: the ablation variants are
+/// flag deltas on the same planner, not separate implementations.
+inline AirTopkOptions air_options_for(Algo algo, const SelectOptions& opt) {
+  AirTopkOptions o;
+  o.alpha = opt.alpha;
+  o.greatest = opt.greatest;
+  if (algo == Algo::kAirTopkNoAdaptive) o.adaptive = false;
+  if (algo == Algo::kAirTopkNoEarlyStop) o.early_stopping = false;
+  if (algo == Algo::kAirTopkFusedFilter) o.fuse_last_filter = true;
+  return o;
+}
+
+inline void plan_air(PlanImpl& impl, const simgpu::DeviceSpec& spec,
+                     const SelectOptions& opt) {
+  impl.plan = air_topk_plan<float>(impl.shape, spec,
+                                   air_options_for(impl.algo, opt),
+                                   impl.layout);
+}
+
+inline void run_air(simgpu::Device& dev, const PlanImpl& impl,
+                    simgpu::Workspace& ws, simgpu::DeviceBuffer<float> in,
+                    simgpu::DeviceBuffer<float> out_vals,
+                    simgpu::DeviceBuffer<std::uint32_t> out_idx) {
+  air_topk_run(dev, std::get<AirTopkPlan<float>>(impl.plan), ws, in, out_vals,
+               out_idx);
+}
+
+inline void plan_grid(PlanImpl& impl, const simgpu::DeviceSpec& spec,
+                      const SelectOptions&) {
+  GridSelectOptions o;
+  o.shared_queue = impl.algo != Algo::kGridSelectThreadQueue;
+  impl.plan = grid_select_plan<float>(impl.shape, spec, o, impl.layout);
+}
+
+inline void run_grid(simgpu::Device& dev, const PlanImpl& impl,
+                     simgpu::Workspace& ws, simgpu::DeviceBuffer<float> in,
+                     simgpu::DeviceBuffer<float> out_vals,
+                     simgpu::DeviceBuffer<std::uint32_t> out_idx) {
+  grid_select_run(dev, std::get<GridSelectPlan<float>>(impl.plan), ws, in,
+                  out_vals, out_idx);
+}
+
+inline void plan_radix(PlanImpl& impl, const simgpu::DeviceSpec& spec,
+                       const SelectOptions&) {
+  impl.plan = radix_select_plan<float>(impl.shape, spec, {}, impl.layout);
+}
+
+inline void run_radix(simgpu::Device& dev, const PlanImpl& impl,
+                      simgpu::Workspace& ws, simgpu::DeviceBuffer<float> in,
+                      simgpu::DeviceBuffer<float> out_vals,
+                      simgpu::DeviceBuffer<std::uint32_t> out_idx) {
+  radix_select_run(dev, std::get<RadixSelectPlan<float>>(impl.plan), ws, in,
+                   out_vals, out_idx);
+}
+
+inline void plan_warp(PlanImpl& impl, const simgpu::DeviceSpec& spec,
+                      const SelectOptions&) {
+  impl.plan = faiss_detail::faiss_select_plan<float>(impl.shape, spec, /*num_warps=*/1,
+                                       "WarpSelect", impl.layout);
+}
+
+inline void plan_block(PlanImpl& impl, const simgpu::DeviceSpec& spec,
+                       const SelectOptions&) {
+  impl.plan = faiss_detail::faiss_select_plan<float>(impl.shape, spec, /*num_warps=*/4,
+                                       "BlockSelect", impl.layout);
+}
+
+inline void run_faiss(simgpu::Device& dev, const PlanImpl& impl,
+                      simgpu::Workspace& ws, simgpu::DeviceBuffer<float> in,
+                      simgpu::DeviceBuffer<float> out_vals,
+                      simgpu::DeviceBuffer<std::uint32_t> out_idx) {
+  faiss_detail::faiss_select_run(dev, std::get<faiss_detail::FaissSelectPlan<float>>(impl.plan), ws, in,
+                   out_vals, out_idx);
+}
+
+inline void plan_bitonic(PlanImpl& impl, const simgpu::DeviceSpec& spec,
+                         const SelectOptions&) {
+  impl.plan = bitonic_topk_plan<float>(impl.shape, spec, {}, impl.layout);
+}
+
+inline void run_bitonic(simgpu::Device& dev, const PlanImpl& impl,
+                        simgpu::Workspace& ws, simgpu::DeviceBuffer<float> in,
+                        simgpu::DeviceBuffer<float> out_vals,
+                        simgpu::DeviceBuffer<std::uint32_t> out_idx) {
+  bitonic_topk_run(dev, std::get<BitonicTopkPlan<float>>(impl.plan), ws, in,
+                   out_vals, out_idx);
+}
+
+inline void plan_quick(PlanImpl& impl, const simgpu::DeviceSpec& spec,
+                       const SelectOptions&) {
+  impl.plan = quick_select_plan<float>(impl.shape, spec, {}, impl.layout);
+}
+
+inline void run_quick(simgpu::Device& dev, const PlanImpl& impl,
+                      simgpu::Workspace& ws, simgpu::DeviceBuffer<float> in,
+                      simgpu::DeviceBuffer<float> out_vals,
+                      simgpu::DeviceBuffer<std::uint32_t> out_idx) {
+  quick_select_run(dev, std::get<QuickSelectPlan<float>>(impl.plan), ws, in,
+                   out_vals, out_idx);
+}
+
+inline void plan_bucket(PlanImpl& impl, const simgpu::DeviceSpec& spec,
+                        const SelectOptions&) {
+  impl.plan = bucket_select_plan<float>(impl.shape, spec, {}, impl.layout);
+}
+
+inline void run_bucket(simgpu::Device& dev, const PlanImpl& impl,
+                       simgpu::Workspace& ws, simgpu::DeviceBuffer<float> in,
+                       simgpu::DeviceBuffer<float> out_vals,
+                       simgpu::DeviceBuffer<std::uint32_t> out_idx) {
+  bucket_select_run(dev, std::get<BucketSelectPlan<float>>(impl.plan), ws, in,
+                    out_vals, out_idx);
+}
+
+inline void plan_sample(PlanImpl& impl, const simgpu::DeviceSpec& spec,
+                        const SelectOptions&) {
+  impl.plan = sample_select_plan<float>(impl.shape, spec, {}, impl.layout);
+}
+
+inline void run_sample(simgpu::Device& dev, const PlanImpl& impl,
+                       simgpu::Workspace& ws, simgpu::DeviceBuffer<float> in,
+                       simgpu::DeviceBuffer<float> out_vals,
+                       simgpu::DeviceBuffer<std::uint32_t> out_idx) {
+  sample_select_run(dev, std::get<SampleSelectPlan<float>>(impl.plan), ws, in,
+                    out_vals, out_idx);
+}
+
+inline void plan_sort(PlanImpl& impl, const simgpu::DeviceSpec& spec,
+                      const SelectOptions&) {
+  impl.plan = sort_topk_plan<float>(impl.shape, spec, {}, impl.layout);
+}
+
+inline void run_sort(simgpu::Device& dev, const PlanImpl& impl,
+                     simgpu::Workspace& ws, simgpu::DeviceBuffer<float> in,
+                     simgpu::DeviceBuffer<float> out_vals,
+                     simgpu::DeviceBuffer<std::uint32_t> out_idx) {
+  sort_topk_run(dev, std::get<SortTopkPlan<float>>(impl.plan), ws, in,
+                out_vals, out_idx);
+}
+
+}  // namespace registry_detail
+
+/// One registry row per Algo value.  `k_limit` of 0 means no ceiling below n
+/// (paper §2.2 gives the partial-sorting methods their hard limits).  kAuto
+/// has no thunks: it is resolved to a concrete algorithm before lookup.
+struct AlgoRow {
+  Algo algo;
+  std::string_view key;   ///< CLI/parse key (algo_key / parse_algo)
+  std::string_view name;  ///< human-readable display name (algo_name)
+  std::size_t k_limit;
+  bool native_greatest;
+  registry_detail::PlanFn plan;
+  registry_detail::RunFn run;
+};
+
+inline constexpr std::array<AlgoRow, 15> kAlgoTable = {{
+    {Algo::kAirTopk, "air", "AIR Top-K", 0, true, &registry_detail::plan_air,
+     &registry_detail::run_air},
+    {Algo::kGridSelect, "grid", "GridSelect", 2048, false,
+     &registry_detail::plan_grid, &registry_detail::run_grid},
+    {Algo::kRadixSelect, "radixselect", "RadixSelect", 0, false,
+     &registry_detail::plan_radix, &registry_detail::run_radix},
+    {Algo::kWarpSelect, "warp", "WarpSelect", 2048, false,
+     &registry_detail::plan_warp, &registry_detail::run_faiss},
+    {Algo::kBlockSelect, "block", "BlockSelect", 2048, false,
+     &registry_detail::plan_block, &registry_detail::run_faiss},
+    {Algo::kBitonicTopk, "bitonic", "Bitonic Top-K", 256, false,
+     &registry_detail::plan_bitonic, &registry_detail::run_bitonic},
+    {Algo::kQuickSelect, "quick", "QuickSelect", 0, false,
+     &registry_detail::plan_quick, &registry_detail::run_quick},
+    {Algo::kBucketSelect, "bucket", "BucketSelect", 0, false,
+     &registry_detail::plan_bucket, &registry_detail::run_bucket},
+    {Algo::kSampleSelect, "sample", "SampleSelect", 0, false,
+     &registry_detail::plan_sample, &registry_detail::run_sample},
+    {Algo::kSort, "sort", "Sort", 0, false, &registry_detail::plan_sort,
+     &registry_detail::run_sort},
+    {Algo::kAirTopkNoAdaptive, "air-noadaptive", "AIR Top-K (no adaptive)", 0,
+     true, &registry_detail::plan_air, &registry_detail::run_air},
+    {Algo::kAirTopkNoEarlyStop, "air-noearlystop", "AIR Top-K (no early stop)",
+     0, true, &registry_detail::plan_air, &registry_detail::run_air},
+    {Algo::kAirTopkFusedFilter, "air-fusedfilter",
+     "AIR Top-K (fused last filter)", 0, true, &registry_detail::plan_air,
+     &registry_detail::run_air},
+    {Algo::kGridSelectThreadQueue, "grid-threadqueue",
+     "GridSelect (thread queues)", 2048, false, &registry_detail::plan_grid,
+     &registry_detail::run_grid},
+    {Algo::kAuto, "auto", "Auto", 0, false, nullptr, nullptr},
+}};
+
+/// The registry row for `algo`, or nullptr for values outside the enum.
+/// Linear scan of 15 constexpr rows: no hashing, no heap, and the table
+/// order matches the enum so the common case exits immediately.
+[[nodiscard]] inline const AlgoRow* find_algo_row(Algo algo) {
+  const auto idx = static_cast<std::size_t>(algo);
+  if (idx < kAlgoTable.size() && kAlgoTable[idx].algo == algo) {
+    return &kAlgoTable[idx];
+  }
+  for (const AlgoRow& row : kAlgoTable) {
+    if (row.algo == algo) return &row;
+  }
+  return nullptr;
+}
+
+}  // namespace topk

@@ -4,7 +4,6 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string>
-#include <vector>
 
 #include "simgpu/simgpu.hpp"
 #include "topk/bitonic.hpp"
@@ -21,38 +20,95 @@ struct SampleSelectOptions {
   std::size_t items_per_block = 16 * 1024;
 };
 
-/// SampleSelect (Ribizel & Anzt 2020 / GpuSelection): partition-based
-/// selection that samples the candidates, sorts the sample on the host, and
-/// uses order-statistic splitters as pivots.  Each level costs a sample
-/// kernel + D2H, a host sort, an H2D splitter upload, a bucketing kernel
-/// (binary search per element) + histogram D2H, and a filter kernel — the
-/// statistics gathering the paper contrasts with RadixSelect's
-/// data-independent pivots (§2.2).
+/// Execution plan for SampleSelect: validated shape plus workspace segments.
+/// Host staging for the copied-back sample, the splitters (sorted on the
+/// host, then uploaded into the pre-planned device segment with
+/// upload_recorded — the allocation-free H2D path) and the class histogram.
 template <typename T>
-void sample_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
-                   std::size_t batch, std::size_t n, std::size_t k,
-                   simgpu::DeviceBuffer<T> out_vals,
-                   simgpu::DeviceBuffer<std::uint32_t> out_idx,
-                   const SampleSelectOptions& opt = {}) {
-  validate_problem(n, k, batch);
+struct SampleSelectPlan {
+  SampleSelectOptions opt;
+  std::size_t batch = 0;
+  std::size_t n = 0;
+  std::size_t k = 0;
+  std::size_t seg_val[2] = {0, 0};
+  std::size_t seg_idx[2] = {0, 0};
+  std::size_t seg_hist = 0;
+  std::size_t seg_counters = 0;
+  std::size_t seg_sample = 0;
+  std::size_t seg_splitters = 0;   // device copy of the splitters
+  std::size_t seg_host_hist = 0;   // host staging
+  std::size_t seg_host_sample = 0;
+  std::size_t seg_host_split = 0;
+};
+
+/// Phase 1 of SampleSelect.
+template <typename T>
+SampleSelectPlan<T> sample_select_plan(const Shape& s,
+                                       const simgpu::DeviceSpec& /*spec*/,
+                                       const SampleSelectOptions& opt,
+                                       simgpu::WorkspaceLayout& layout) {
+  validate_problem(s.n, s.k, s.batch);
+
+  SampleSelectPlan<T> p;
+  p.opt = opt;
+  p.batch = s.batch;
+  p.n = s.n;
+  p.k = s.k;
+  const auto nb = static_cast<std::size_t>(opt.num_buckets);
+  p.seg_val[0] = layout.add<T>("sample cand vals 0", s.n);
+  p.seg_val[1] = layout.add<T>("sample cand vals 1", s.n);
+  p.seg_idx[0] = layout.add<std::uint32_t>("sample cand idx 0", s.n);
+  p.seg_idx[1] = layout.add<std::uint32_t>("sample cand idx 1", s.n);
+  p.seg_hist = layout.add<std::uint32_t>("sample bucket histogram", nb);
+  p.seg_counters = layout.add<std::uint32_t>("sample cursors", 2);
+  p.seg_sample = layout.add<T>("sample probe", opt.sample_size);
+  p.seg_splitters = layout.add<T>("splitters", nb - 1);
+  p.seg_host_hist = layout.add<std::uint32_t>("sample host hist", nb,
+                                              /*host=*/true);
+  p.seg_host_sample = layout.add<T>("sample host buf", opt.sample_size,
+                                    /*host=*/true);
+  p.seg_host_split = layout.add<T>("sample host split", nb - 1,
+                                   /*host=*/true);
+  return p;
+}
+
+/// Phase 2 of SampleSelect (Ribizel & Anzt 2020 / GpuSelection):
+/// partition-based selection that samples the candidates, sorts the sample
+/// on the host, and uses order-statistic splitters as pivots.  Each level
+/// costs a sample kernel + D2H, a host sort, an H2D splitter upload, a
+/// bucketing kernel (binary search per element) + histogram D2H, and a
+/// filter kernel — the statistics gathering the paper contrasts with
+/// RadixSelect's data-independent pivots (§2.2).
+template <typename T>
+void sample_select_run(simgpu::Device& dev, const SampleSelectPlan<T>& plan,
+                       simgpu::Workspace& ws, simgpu::DeviceBuffer<T> in,
+                       simgpu::DeviceBuffer<T> out_vals,
+                       simgpu::DeviceBuffer<std::uint32_t> out_idx) {
+  const std::size_t batch = plan.batch;
+  const std::size_t n = plan.n;
+  const std::size_t k = plan.k;
+  const SampleSelectOptions& opt = plan.opt;
   if (in.size() < batch * n || out_vals.size() < batch * k ||
       out_idx.size() < batch * k) {
     throw std::invalid_argument("sample_select: buffer too small");
   }
 
   const int nb = opt.num_buckets;
-  simgpu::ScopedWorkspace ws(dev);
-  simgpu::DeviceBuffer<T> cand_val[2] = {
-      dev.alloc<T>(n, "sample cand vals 0"),
-      dev.alloc<T>(n, "sample cand vals 1")};
+  simgpu::DeviceBuffer<T> cand_val[2] = {ws.get<T>(plan.seg_val[0]),
+                                         ws.get<T>(plan.seg_val[1])};
   simgpu::DeviceBuffer<std::uint32_t> cand_idx[2] = {
-      dev.alloc<std::uint32_t>(n, "sample cand idx 0"),
-      dev.alloc<std::uint32_t>(n, "sample cand idx 1")};
-  auto ghist = dev.alloc<std::uint32_t>(static_cast<std::size_t>(nb),
-                                        "sample bucket histogram");
-  auto counters = dev.alloc<std::uint32_t>(2, "sample cursors");
-  auto sample_buf = dev.alloc<T>(opt.sample_size, "sample probe");
-  std::vector<std::uint32_t> host_hist(static_cast<std::size_t>(nb));
+      ws.get<std::uint32_t>(plan.seg_idx[0]),
+      ws.get<std::uint32_t>(plan.seg_idx[1])};
+  auto ghist = ws.get<std::uint32_t>(plan.seg_hist);
+  auto counters = ws.get<std::uint32_t>(plan.seg_counters);
+  auto sample_buf = ws.get<T>(plan.seg_sample);
+  auto splitter_buf = ws.get<T>(plan.seg_splitters);
+  const std::span<std::uint32_t> host_hist(
+      ws.host_ptr<std::uint32_t>(plan.seg_host_hist),
+      static_cast<std::size_t>(nb));
+  T* const host_sample = ws.host_ptr<T>(plan.seg_host_sample);
+  const std::span<T> splitters(ws.host_ptr<T>(plan.seg_host_split),
+                               static_cast<std::size_t>(nb - 1));
 
   for (std::size_t prob = 0; prob < batch; ++prob) {
     std::uint64_t k_rem = k;
@@ -135,18 +191,16 @@ void sample_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
           ctx.ops(2 * s);
         });
       }
-      std::vector<T> sample(s);
-      dev.copy_to_host(sample_buf.subspan(0, s), std::span<T>(sample),
-                       "sample");
+      const std::span<T> sample(host_sample, s);
+      dev.copy_to_host(sample_buf.subspan(0, s), sample, "sample");
       dev.host_compute("sort_sample",
                        static_cast<std::uint64_t>(s) * 10);
       std::sort(sample.begin(), sample.end());
 
-      std::vector<T> splitters;
-      splitters.reserve(static_cast<std::size_t>(nb - 1));
       for (int i = 1; i < nb; ++i) {
-        splitters.push_back(
-            sample[static_cast<std::size_t>(i) * s / static_cast<std::size_t>(nb)]);
+        splitters[static_cast<std::size_t>(i - 1)] =
+            sample[static_cast<std::size_t>(i) * s /
+                   static_cast<std::size_t>(nb)];
       }
       bool degenerate =
           !(splitters.front() < splitters.back()) || force_pivot;
@@ -155,8 +209,8 @@ void sample_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
       // Degenerate sample (duplicate-dominated data): fall back to a
       // three-way pivot partition around the repeated value.
       const T pivot = splitters[splitters.size() / 2];
-      auto splitter_buf = dev.to_device(
-          std::span<const T>(splitters), "splitters");
+      dev.upload_recorded(splitter_buf, std::span<const T>(splitters),
+                          "splitters");
 
       const GridShape shape = make_grid(1, count, dev.spec(),
                                         opt.block_threads,
@@ -215,10 +269,9 @@ void sample_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
         });
       }
       dev.copy_to_host(ghist.subspan(0, static_cast<std::size_t>(classes)),
-                       std::span<std::uint32_t>(host_hist.data(),
-                                                static_cast<std::size_t>(classes)),
+                       host_hist.subspan(0, static_cast<std::size_t>(classes)),
                        "class histogram");
-      dev.host_compute("prefix_sum+find_bucket",
+      dev.host_compute("scan+find_bkt",
                        static_cast<std::uint64_t>(3 * classes));
       std::uint64_t less = 0;
       std::uint32_t target = 0;
@@ -307,6 +360,21 @@ void sample_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
       throw std::logic_error("sample_select: result count mismatch");
     }
   }
+}
+
+/// One-shot entry point: plan + bind a local workspace + run.
+template <typename T>
+void sample_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
+                   std::size_t batch, std::size_t n, std::size_t k,
+                   simgpu::DeviceBuffer<T> out_vals,
+                   simgpu::DeviceBuffer<std::uint32_t> out_idx,
+                   const SampleSelectOptions& opt = {}) {
+  simgpu::WorkspaceLayout layout;
+  const auto plan =
+      sample_select_plan<T>(Shape{batch, n, k, false}, dev.spec(), opt, layout);
+  simgpu::Workspace ws(dev);
+  ws.bind(layout);
+  sample_select_run(dev, plan, ws, in, out_vals, out_idx);
 }
 
 }  // namespace topk

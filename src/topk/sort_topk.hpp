@@ -17,51 +17,104 @@ struct SortTopkOptions {
   std::size_t items_per_block = 16 * 1024;
 };
 
-/// Sort baseline: a CUB-style device-wide LSD radix sort of (key, index)
-/// pairs followed by taking the first K.  Stable, fully parallel, and
-/// oblivious to K — but it moves every element through device memory once
-/// per pass, which is why "sorting the full list is time-intensive and
-/// unnecessary" (paper §1).
-///
-/// Each of the four 8-bit passes runs the classic three-kernel pipeline:
-/// per-block digit histogram, digit-major exclusive scan, stable scatter.
+/// Execution plan of the sort baseline (see sort_topk_plan): precomputed
+/// grids, pass count and workspace segment ids.  Cheap to copy and cache;
+/// sort_topk_run() consumes it without allocating.
 template <typename T>
-void sort_topk(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
-               std::size_t batch, std::size_t n, std::size_t k,
-               simgpu::DeviceBuffer<T> out_vals,
-               simgpu::DeviceBuffer<std::uint32_t> out_idx,
-               const SortTopkOptions& opt = {}) {
+struct SortTopkPlan {
+  SortTopkOptions opt;
+  std::size_t batch = 0;
+  std::size_t n = 0;
+  std::size_t k = 0;
+  int nb = 0;
+  std::uint32_t mask = 0;
+  int num_passes = 0;
+  GridShape shape;   // full-n scan grid
+  GridShape cshape;  // take-k copy grid
+  std::size_t seg_keys[2] = {0, 0};
+  std::size_t seg_idx[2] = {0, 0};
+  std::size_t seg_hist = 0;
+};
+
+/// Phase 1 of the sort baseline: validate the shape, size the grids, and
+/// describe every scratch buffer as a named workspace segment in `layout`.
+/// Performs no device work; the returned plan plus a Workspace bound to
+/// `layout` is everything sort_topk_run needs.
+template <typename T>
+SortTopkPlan<T> sort_topk_plan(const Shape& s, const simgpu::DeviceSpec& spec,
+                               const SortTopkOptions& opt,
+                               simgpu::WorkspaceLayout& layout) {
   using Traits = RadixTraits<T>;
   using Bits = typename Traits::Bits;
 
-  validate_problem(n, k, batch);
+  validate_problem(s.n, s.k, s.batch);
+
+  SortTopkPlan<T> p;
+  p.opt = opt;
+  p.batch = s.batch;
+  p.n = s.n;
+  p.k = s.k;
+  p.nb = 1 << opt.digit_bits;
+  p.mask = static_cast<std::uint32_t>(p.nb - 1);
+  p.num_passes = (Traits::kBits + opt.digit_bits - 1) / opt.digit_bits;
+  p.shape = make_grid(1, s.n, spec, opt.block_threads, opt.items_per_block);
+  p.cshape = make_grid(1, s.k, spec, opt.block_threads, opt.items_per_block);
+
+  p.seg_keys[0] = layout.add<Bits>("sort keys 0", s.n);
+  p.seg_keys[1] = layout.add<Bits>("sort keys 1", s.n);
+  p.seg_idx[0] = layout.add<std::uint32_t>("sort idx 0", s.n);
+  p.seg_idx[1] = layout.add<std::uint32_t>("sort idx 1", s.n);
+  // Per-(block, digit) counts; rewritten as scatter offsets by the scan.
+  p.seg_hist = layout.add<std::uint32_t>(
+      "sort block hist",
+      static_cast<std::size_t>(p.shape.blocks_per_problem) *
+          static_cast<std::size_t>(p.nb));
+  return p;
+}
+
+/// Phase 2 of the sort baseline: a CUB-style device-wide LSD radix sort of
+/// (key, index) pairs followed by taking the first K.  Stable, fully
+/// parallel, and oblivious to K — but it moves every element through device
+/// memory once per pass, which is why "sorting the full list is
+/// time-intensive and unnecessary" (paper §1).
+///
+/// Each of the four 8-bit passes runs the classic three-kernel pipeline:
+/// per-block digit histogram, digit-major exclusive scan, stable scatter.
+///
+/// Zero-allocation contract: all scratch comes from `ws` (bound to the
+/// layout the plan was built against); nothing in this function touches the
+/// device or host allocator.
+template <typename T>
+void sort_topk_run(simgpu::Device& dev, const SortTopkPlan<T>& plan,
+                   simgpu::Workspace& ws, simgpu::DeviceBuffer<T> in,
+                   simgpu::DeviceBuffer<T> out_vals,
+                   simgpu::DeviceBuffer<std::uint32_t> out_idx) {
+  using Traits = RadixTraits<T>;
+  using Bits = typename Traits::Bits;
+
+  const std::size_t batch = plan.batch;
+  const std::size_t n = plan.n;
+  const std::size_t k = plan.k;
   if (in.size() < batch * n || out_vals.size() < batch * k ||
       out_idx.size() < batch * k) {
     throw std::invalid_argument("sort_topk: buffer too small");
   }
 
-  const int nb = 1 << opt.digit_bits;
-  const std::uint32_t mask = static_cast<std::uint32_t>(nb - 1);
-  const int num_passes = (Traits::kBits + opt.digit_bits - 1) / opt.digit_bits;
+  const int nb = plan.nb;
+  const std::uint32_t mask = plan.mask;
+  const int bpp = plan.shape.blocks_per_problem;
 
-  const GridShape shape =
-      make_grid(1, n, dev.spec(), opt.block_threads, opt.items_per_block);
-  const int bpp = shape.blocks_per_problem;
-
-  simgpu::ScopedWorkspace ws(dev);
-  simgpu::DeviceBuffer<Bits> keys[2] = {dev.alloc<Bits>(n, "sort keys 0"),
-                                        dev.alloc<Bits>(n, "sort keys 1")};
+  simgpu::DeviceBuffer<Bits> keys[2] = {ws.get<Bits>(plan.seg_keys[0]),
+                                        ws.get<Bits>(plan.seg_keys[1])};
   simgpu::DeviceBuffer<std::uint32_t> idx[2] = {
-      dev.alloc<std::uint32_t>(n, "sort idx 0"),
-      dev.alloc<std::uint32_t>(n, "sort idx 1")};
-  // Per-(block, digit) counts; rewritten as scatter offsets by the scan.
-  auto block_hist = dev.alloc<std::uint32_t>(
-      static_cast<std::size_t>(bpp) * static_cast<std::size_t>(nb));
+      ws.get<std::uint32_t>(plan.seg_idx[0]),
+      ws.get<std::uint32_t>(plan.seg_idx[1])};
+  auto block_hist = ws.get<std::uint32_t>(plan.seg_hist);
 
   for (std::size_t prob = 0; prob < batch; ++prob) {
     // ---- transform kernel: monotone bit reinterpretation + iota indices --
     {
-      simgpu::LaunchConfig cfg{"radix_transform", bpp, opt.block_threads};
+      simgpu::LaunchConfig cfg{"radix_transform", bpp, plan.opt.block_threads};
       const auto dst_keys = keys[0];
       const auto dst_idx = idx[0];
       simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
@@ -96,8 +149,8 @@ void sort_topk(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
     }
 
     int cur = 0;
-    for (int p = 0; p < num_passes; ++p) {
-      const int start_bit = p * opt.digit_bits;
+    for (int p = 0; p < plan.num_passes; ++p) {
+      const int start_bit = p * plan.opt.digit_bits;
       const auto src_keys = keys[cur];
       const auto src_idx = idx[cur];
       const auto dst_keys = keys[1 - cur];
@@ -105,7 +158,7 @@ void sort_topk(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
 
       // ---- kernel 1: per-block digit histogram --------------------------
       {
-        simgpu::LaunchConfig cfg{"sort_histogram", bpp, opt.block_threads};
+        simgpu::LaunchConfig cfg{"sort_histogram", bpp, plan.opt.block_threads};
         simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
           auto shist =
               ctx.shared_zero<std::uint32_t>(static_cast<std::size_t>(nb));
@@ -141,7 +194,7 @@ void sort_topk(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
 
       // ---- kernel 2: digit-major exclusive scan --------------------------
       {
-        simgpu::LaunchConfig cfg{"sort_scan", 1, opt.block_threads};
+        simgpu::LaunchConfig cfg{"sort_scan", 1, plan.opt.block_threads};
         simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
           std::uint32_t running = 0;
           for (int d = 0; d < nb; ++d) {
@@ -161,7 +214,7 @@ void sort_topk(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
 
       // ---- kernel 3: stable scatter --------------------------------------
       {
-        simgpu::LaunchConfig cfg{"sort_scatter", bpp, opt.block_threads};
+        simgpu::LaunchConfig cfg{"sort_scatter", bpp, plan.opt.block_threads};
         simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
           // Running per-digit cursors start at this block's scanned bases.
           auto cursor =
@@ -213,11 +266,8 @@ void sort_topk(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
     {
       const auto fin_keys = keys[cur];
       const auto fin_idx = idx[cur];
-      const GridShape cshape =
-          make_grid(1, k, dev.spec(), opt.block_threads, opt.items_per_block);
-      simgpu::LaunchConfig cfg{"sort_take_k", cshape.blocks_per_problem,
-                               opt.block_threads};
-      const int cbpp = cshape.blocks_per_problem;
+      const int cbpp = plan.cshape.blocks_per_problem;
+      simgpu::LaunchConfig cfg{"sort_take_k", cbpp, plan.opt.block_threads};
       simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
         const auto [begin, end] = block_chunk(k, cbpp, ctx.block_idx());
         if (simgpu::tile_path_enabled()) {
@@ -246,6 +296,23 @@ void sort_topk(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
       });
     }
   }
+}
+
+/// One-shot entry point: plan + bind a local workspace + run.  Kept for
+/// direct callers and tests; the registry (core/topk.cpp) and topk::serve
+/// use the two-phase form so plans and workspaces are reused.
+template <typename T>
+void sort_topk(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
+               std::size_t batch, std::size_t n, std::size_t k,
+               simgpu::DeviceBuffer<T> out_vals,
+               simgpu::DeviceBuffer<std::uint32_t> out_idx,
+               const SortTopkOptions& opt = {}) {
+  simgpu::WorkspaceLayout layout;
+  const auto plan =
+      sort_topk_plan<T>(Shape{batch, n, k, false}, dev.spec(), opt, layout);
+  simgpu::Workspace ws(dev);
+  ws.bind(layout);
+  sort_topk_run(dev, plan, ws, in, out_vals, out_idx);
 }
 
 }  // namespace topk

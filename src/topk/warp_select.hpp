@@ -7,7 +7,7 @@
 #include <span>
 #include <stdexcept>
 #include <string>
-#include <vector>
+#include <string_view>
 
 #include "simgpu/simgpu.hpp"
 #include "topk/common.hpp"
@@ -154,35 +154,65 @@ class WarpSelectEngine {
   [[nodiscard]] TopkList<T>& list() { return list_; }
 
  private:
+  // ScratchVec: engine storage recycles through the thread-local freelist,
+  // so steady-state kernel execution performs no heap allocation.
   std::size_t qlen_;
-  std::vector<T> list_keys_;
-  std::vector<std::uint32_t> list_idx_;
+  simgpu::ScratchVec<T> list_keys_;
+  simgpu::ScratchVec<std::uint32_t> list_idx_;
   TopkList<T> list_;
-  std::vector<T> tq_keys_;
-  std::vector<std::uint32_t> tq_idx_;
-  std::vector<std::size_t> tq_count_;
-  std::vector<T> flush_keys_;
-  std::vector<std::uint32_t> flush_idx_;
+  simgpu::ScratchVec<T> tq_keys_;
+  simgpu::ScratchVec<std::uint32_t> tq_idx_;
+  simgpu::ScratchVec<std::size_t> tq_count_;
+  simgpu::ScratchVec<T> flush_keys_;
+  simgpu::ScratchVec<std::uint32_t> flush_idx_;
 };
 
-/// Shared implementation of WarpSelect (1 warp per problem) and BlockSelect
-/// (4 warps per problem): each warp scans an interleaved slice with its own
-/// engine; BlockSelect merges the warp lists at the end.
+/// Execution plan for WarpSelect / BlockSelect.  The whole computation is
+/// register- and shared-memory-resident, so the plan carries no workspace
+/// segments — just the validated shape, the warp count and the (static)
+/// kernel name.
 template <typename T>
-void faiss_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
-                  std::size_t batch, std::size_t n, std::size_t k,
-                  simgpu::DeviceBuffer<T> out_vals,
-                  simgpu::DeviceBuffer<std::uint32_t> out_idx, int num_warps,
-                  const std::string& kernel_name) {
-  validate_problem(n, k, batch);
-  if (k > kMaxSelectionK) {
-    throw std::invalid_argument(kernel_name + ": k exceeds the " +
+struct FaissSelectPlan {
+  std::size_t batch = 0;
+  std::size_t n = 0;
+  std::size_t k = 0;
+  int num_warps = 0;
+  std::string_view kernel_name;
+};
+
+/// Phase 1 of WarpSelect / BlockSelect: validation only (no segments).
+template <typename T>
+FaissSelectPlan<T> faiss_select_plan(const Shape& s,
+                                     const simgpu::DeviceSpec& /*spec*/,
+                                     int num_warps,
+                                     std::string_view kernel_name,
+                                     simgpu::WorkspaceLayout& /*layout*/) {
+  validate_problem(s.n, s.k, s.batch);
+  if (s.k > kMaxSelectionK) {
+    throw std::invalid_argument(std::string(kernel_name) + ": k exceeds the " +
                                 std::to_string(kMaxSelectionK) +
                                 " register-resident limit");
   }
+  return FaissSelectPlan<T>{s.batch, s.n, s.k, num_warps, kernel_name};
+}
+
+/// Phase 2 — shared implementation of WarpSelect (1 warp per problem) and
+/// BlockSelect (4 warps per problem): each warp scans an interleaved slice
+/// with its own engine; BlockSelect merges the warp lists at the end.
+template <typename T>
+void faiss_select_run(simgpu::Device& dev, const FaissSelectPlan<T>& plan,
+                      simgpu::Workspace& /*ws*/, simgpu::DeviceBuffer<T> in,
+                      simgpu::DeviceBuffer<T> out_vals,
+                      simgpu::DeviceBuffer<std::uint32_t> out_idx) {
+  const std::size_t batch = plan.batch;
+  const std::size_t n = plan.n;
+  const std::size_t k = plan.k;
+  const int num_warps = plan.num_warps;
+  const std::string_view kernel_name = plan.kernel_name;
   if (in.size() < batch * n || out_vals.size() < batch * k ||
       out_idx.size() < batch * k) {
-    throw std::invalid_argument(kernel_name + ": buffer too small");
+    throw std::invalid_argument(std::string(kernel_name) +
+                                ": buffer too small");
   }
 
   // Captured at launch time, like grid_select: warp rounds load one
@@ -314,6 +344,21 @@ void faiss_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
       ctx.store(out_idx, prob * k + i, idx[i]);
     }
   });
+}
+
+/// One-shot entry point: plan (no segments) + run.
+template <typename T>
+void faiss_select(simgpu::Device& dev, simgpu::DeviceBuffer<T> in,
+                  std::size_t batch, std::size_t n, std::size_t k,
+                  simgpu::DeviceBuffer<T> out_vals,
+                  simgpu::DeviceBuffer<std::uint32_t> out_idx, int num_warps,
+                  std::string_view kernel_name) {
+  simgpu::WorkspaceLayout layout;
+  const auto plan = faiss_select_plan<T>(Shape{batch, n, k, false},
+                                         dev.spec(), num_warps, kernel_name,
+                                         layout);
+  simgpu::Workspace ws(dev);
+  faiss_select_run(dev, plan, ws, in, out_vals, out_idx);
 }
 
 }  // namespace faiss_detail

@@ -1,5 +1,8 @@
 #include "core/topk.hpp"
 
+#include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -9,6 +12,40 @@
 
 namespace topk {
 namespace {
+
+TEST(CoreApi, AlgoKeysRoundTripThroughTheRegistry) {
+  // Every enum value — the ten public algorithms, the AIR ablation variants,
+  // the GridSelect thread-queue flavour, and kAuto — must have a non-empty
+  // display name and a parse key that round-trips exactly.
+  const Algo all[] = {Algo::kAirTopk,
+                      Algo::kGridSelect,
+                      Algo::kRadixSelect,
+                      Algo::kWarpSelect,
+                      Algo::kBlockSelect,
+                      Algo::kBitonicTopk,
+                      Algo::kQuickSelect,
+                      Algo::kBucketSelect,
+                      Algo::kSampleSelect,
+                      Algo::kSort,
+                      Algo::kAirTopkNoAdaptive,
+                      Algo::kAirTopkNoEarlyStop,
+                      Algo::kAirTopkFusedFilter,
+                      Algo::kGridSelectThreadQueue,
+                      Algo::kAuto};
+  for (Algo a : all) {
+    const std::string_view key = algo_key(a);
+    ASSERT_FALSE(key.empty()) << static_cast<int>(a);
+    EXPECT_FALSE(algo_name(a).empty()) << key;
+    EXPECT_NE(algo_name(a), "unknown") << key;
+    const std::optional<Algo> parsed = parse_algo(key);
+    ASSERT_TRUE(parsed.has_value()) << key;
+    EXPECT_EQ(*parsed, a) << key;
+    // The CLI-facing parser agrees.
+    EXPECT_EQ(algo_from_string(key), a) << key;
+  }
+  EXPECT_FALSE(parse_algo("definitely-not-an-algorithm").has_value());
+  EXPECT_FALSE(parse_algo("").has_value());
+}
 
 TEST(CoreApi, ReferenceSelectReturnsSmallestK) {
   const std::vector<float> data = {5, 1, 4, 1, 3, 9, 2, 6};

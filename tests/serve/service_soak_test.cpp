@@ -109,5 +109,53 @@ TEST(TopkServiceSoak, SingleWorker) { run_soak(1); }
 
 TEST(TopkServiceSoak, FourWorkers) { run_soak(4); }
 
+// Steady-state execution-layer soak: one worker, one shape, many batches.
+// After the first flush warms the worker's plan cache and its two pooled
+// workspaces, every batch must be a plan-cache hit and every workspace bind
+// a pool hit — and the worker must never call Device::alloc at all (I/O
+// rides pooled segments).  The >90% hit-rate floor leaves room only for the
+// cold binds.
+TEST(TopkServiceSoak, SteadyStateReusesPlansAndPooledWorkspaces) {
+  ServiceConfig cfg;
+  cfg.num_devices = 1;
+  cfg.max_batch = 8;
+  cfg.max_wait = microseconds(300);
+  cfg.admission_capacity = 4096;
+  const std::size_t n = 2048, k = 64, queries = 160;
+  std::vector<std::vector<float>> keys(queries);
+  for (std::size_t i = 0; i < queries; ++i) {
+    keys[i] = data::uniform_values(n, 31000 + i);
+  }
+
+  TopkService svc(cfg);
+  std::vector<std::future<QueryResult>> futs;
+  futs.reserve(queries);
+  for (std::size_t i = 0; i < queries; ++i) {
+    futs.push_back(svc.submit(std::vector<float>(keys[i]), k));
+  }
+  svc.shutdown();
+
+  for (std::size_t i = 0; i < queries; ++i) {
+    const QueryResult r = futs[i].get();
+    ASSERT_EQ(r.status, QueryStatus::kOk) << r.error;
+    const std::string err = verify_topk(keys[i], k, r.topk);
+    EXPECT_TRUE(err.empty()) << "query " << i << ": " << err;
+  }
+
+  const ServiceStats s = svc.stats();
+  EXPECT_EQ(s.completed, queries);
+  EXPECT_GT(s.batches, 4u);  // enough flushes that steady state dominates
+  EXPECT_GT(s.pool_hit_rate(), 0.9)
+      << "pool hits " << s.pool_hits << " misses " << s.pool_misses;
+  EXPECT_GT(s.plan_cache_hits, 0u);
+  // Identical shapes: one plan per distinct batch row count, which the
+  // micro-batcher caps at max_batch.
+  EXPECT_LE(s.plan_cache_misses, cfg.max_batch);
+  EXPECT_GT(s.plan_cache_hits, s.plan_cache_misses);
+  EXPECT_EQ(s.device_allocs, 0u)
+      << "worker called Device::alloc on the hot path";
+  EXPECT_GT(s.pool_high_water, 0u);
+}
+
 }  // namespace
 }  // namespace topk::serve

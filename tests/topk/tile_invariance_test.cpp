@@ -3,7 +3,7 @@
 // algorithm, across distributions and (N, K, batch) shapes, the recorded
 // KernelStats stream — every counter of every kernel, in launch order — and
 // the modeled device time must be BIT-IDENTICAL across the full
-// {tile × warpfast × simcheck} grid relative to the scalar baseline.  The
+// {tile × warpfast × simcheck × pool} grid relative to the scalar baseline.  The
 // selected value multiset must also agree (indices may differ only where
 // elements tie at the K-th value, which is claimed by atomic ticket across
 // concurrent blocks), and simcheck must stay clean with both fast paths
@@ -41,20 +41,24 @@ const bool g_single_threaded = [] {
   return true;
 }();
 
-/// Restores the process-global tile + warpfast toggles however a test exits.
+/// Restores the process-global tile + warpfast + memory-pool toggles however
+/// a test exits.
 class TileGuard {
  public:
   TileGuard()
       : tile_was_(simgpu::tile_path_enabled()),
-        warpfast_was_(simgpu::warpfast_path_enabled()) {}
+        warpfast_was_(simgpu::warpfast_path_enabled()),
+        pool_was_(simgpu::pool_enabled()) {}
   ~TileGuard() {
     simgpu::set_tile_path_enabled(tile_was_);
     simgpu::set_warpfast_path_enabled(warpfast_was_);
+    simgpu::set_pool_enabled(pool_was_);
   }
 
  private:
   bool tile_was_;
   bool warpfast_was_;
+  bool pool_was_;
 };
 
 struct RunTrace {
@@ -67,9 +71,10 @@ struct RunTrace {
 
 RunTrace run_once(std::span<const float> data, std::size_t batch,
                   std::size_t n, std::size_t k, Algo algo, bool tile,
-                  bool warpfast, bool simcheck) {
+                  bool warpfast, bool simcheck, bool pool = true) {
   simgpu::set_tile_path_enabled(tile);
   simgpu::set_warpfast_path_enabled(warpfast);
+  simgpu::set_pool_enabled(pool);
   simgpu::Device dev;
   if (simcheck) dev.enable_sanitizer();
   const auto results = select_batch(dev, data, batch, n, k, algo);
@@ -106,7 +111,7 @@ void expect_identical_stats(const RunTrace& a, const RunTrace& b,
     const simgpu::KernelStats& x = a.kernels[i];
     const simgpu::KernelStats& y = b.kernels[i];
     const std::string at = what + " kernel[" + std::to_string(i) + "] = " +
-                           x.name;
+                           std::string(x.name);
     EXPECT_EQ(x.name, y.name) << at;
     EXPECT_EQ(x.grid_blocks, y.grid_blocks) << at;
     EXPECT_EQ(x.block_threads, y.block_threads) << at;
@@ -161,6 +166,16 @@ TEST_P(TileInvariance, StatsAndModeledTimeBitIdenticalAcrossModes) {
     // the exact per-round path reproduces the fast path's bulk charges.
     const RunTrace wf_checked =
         run_once(values, batch, n, k, algo, true, true, true);
+    // Memory-pool invariance: slab provenance never feeds the cost model,
+    // so disabling pooled reuse must be invisible to counters, modeled time
+    // and results — on the scalar baseline, with both fast paths, and under
+    // simcheck.
+    const RunTrace nopool_scalar =
+        run_once(values, batch, n, k, algo, false, false, false, false);
+    const RunTrace nopool_wf =
+        run_once(values, batch, n, k, algo, true, true, false, false);
+    const RunTrace nopool_checked =
+        run_once(values, batch, n, k, algo, true, true, true, false);
     const std::string what = std::string(algo_name(algo)) + " on " +
                              spec.name();
     ASSERT_FALSE(scalar.kernels.empty()) << what;
@@ -170,9 +185,18 @@ TEST_P(TileInvariance, StatsAndModeledTimeBitIdenticalAcrossModes) {
     expect_identical_stats(scalar, wf, what + " [tile+warpfast vs scalar]");
     expect_identical_stats(scalar, wf_checked,
                            what + " [tile+warpfast+simcheck vs scalar]");
+    expect_identical_stats(scalar, nopool_scalar,
+                           what + " [pool off vs scalar]");
+    expect_identical_stats(scalar, nopool_wf,
+                           what + " [pool off + tile+warpfast vs scalar]");
+    expect_identical_stats(scalar, nopool_checked,
+                           what + " [pool off + simcheck vs scalar]");
     EXPECT_TRUE(wf_checked.sanitizer_clean)
         << what << " raised issues with the fast paths enabled:\n"
         << wf_checked.sanitizer_report;
+    EXPECT_TRUE(nopool_checked.sanitizer_clean)
+        << what << " raised issues with the pool disabled:\n"
+        << nopool_checked.sanitizer_report;
   }
 }
 

@@ -20,9 +20,18 @@ sites in ``src/topk`` with no such evidence within a window around the call
 (20 lines before to 60 after, spanning hoisted pointers checked at first
 use).
 
-A line may opt out with a ``// lint:allow-raw-access`` comment (none needed
-today).  Run with ``--self-test`` to check the linter against embedded
-positive/negative samples.
+The two-phase execution contract adds a third rule: ``*_run()`` function
+bodies in ``src/topk`` must perform **zero** device allocations — every byte
+of scratch is described by ``*_plan()`` in a WorkspaceLayout and served from
+the bound pooled Workspace, so calling ``dev.alloc``/``dev.alloc_zero`` (or
+``Device::alloc*`` through any other spelling) inside a run body is flagged.
+``plan()`` functions, legacy one-shot wrappers, and other non-hot helpers may
+allocate freely — the rule keys on the ``_run`` suffix of the enclosing
+function definition.  A line may opt out with ``// lint:allow-run-alloc``.
+
+A line may opt out of the raw-access rules with a ``// lint:allow-raw-access``
+comment (none needed today).  Run with ``--self-test`` to check the linter
+against embedded positive/negative samples.
 """
 
 from __future__ import annotations
@@ -39,9 +48,14 @@ GATE_EVIDENCE_RE = re.compile(
     r"[!=]=\s*nullptr|\.\s*empty\s*\(|tile_path_enabled\s*\("
     r"|warpfast_enabled\s*\(|packed_q_|kProxyView"
 )
+RUN_FN_RE = re.compile(r"(?<![\w:])[A-Za-z_]\w*_run\s*\(")
+RUN_ALLOC_RE = re.compile(
+    r"(?<![\w:])(?:\w+\s*\.\s*|\w+\s*->\s*|Device\s*::\s*)alloc(?:_zero)?\b"
+)
 ESCAPE_WINDOW_BEFORE = 20
 ESCAPE_WINDOW_AFTER = 60
 ALLOW_MARKER = "lint:allow-raw-access"
+ALLOW_RUN_ALLOC_MARKER = "lint:allow-run-alloc"
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -57,7 +71,7 @@ def strip_comments_and_strings(text: str) -> str:
             j = n if j < 0 else j
             # Keep lint markers visible to the checker.
             chunk = text[i:j]
-            out.append(chunk if ALLOW_MARKER in chunk else " " * (j - i))
+            out.append(chunk if "lint:allow" in chunk else " " * (j - i))
             i = j
         elif two == "/*":
             j = text.find("*/", i + 2)
@@ -94,6 +108,44 @@ def launch_call_spans(text: str):
             i += 1
 
 
+def run_fn_body_spans(text: str):
+    """Yield (name, start, end) offsets of every ``*_run()`` DEFINITION body.
+
+    A match of ``name_run(`` is a definition when the token after its closing
+    paren is an opening brace (calls end in ``;`` or sit inside an
+    expression); the span is the brace-matched body.
+    """
+    for m in RUN_FN_RE.finditer(text):
+        depth = 0
+        i = m.end() - 1  # the opening paren
+        while i < len(text):
+            if text[i] == "(":
+                depth += 1
+            elif text[i] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        else:
+            continue
+        j = i + 1
+        while j < len(text) and text[j] in " \t\r\n":
+            j += 1
+        if j >= len(text) or text[j] != "{":
+            continue  # a call or declaration, not a definition
+        depth = 0
+        k = j
+        while k < len(text):
+            if text[k] == "{":
+                depth += 1
+            elif text[k] == "}":
+                depth -= 1
+                if depth == 0:
+                    yield m.group(0).rstrip("(").rstrip(), j, k
+                    break
+            k += 1
+
+
 def lint_text(text: str, path: str):
     """Return a list of ``path:line: message`` strings for one file."""
     clean = strip_comments_and_strings(text)
@@ -109,6 +161,18 @@ def lint_text(text: str, path: str):
                 f"{path}:{line_no}: raw .{m.group(1)}() inside a kernel "
                 "lambda; use the BlockCtx accessors (load/store/atomic_*) "
                 "or SharedSpan"
+            )
+    # Zero-alloc run contract: no Device allocation inside a *_run() body.
+    for name, start, end in run_fn_body_spans(clean):
+        for m in RUN_ALLOC_RE.finditer(clean, start, end):
+            line_no = clean.count("\n", 0, m.start()) + 1
+            line = lines[line_no - 1] if line_no <= len(lines) else ""
+            if ALLOW_RUN_ALLOC_MARKER in line:
+                continue
+            findings.append(
+                f"{path}:{line_no}: device allocation inside {name}(); "
+                "run() bodies are zero-alloc — describe the scratch in the "
+                "plan's WorkspaceLayout and fetch it with Workspace::get"
             )
     # Raw-span escapes: unchecked_data()/raw_view() anywhere in the file
     # must sit behind the tile/warpfast gates — evidenced by a nullptr or
@@ -191,6 +255,47 @@ void gated(simgpu::SharedSpan<float> s) {
 """
 
 
+BAD_RUN_SAMPLE = """
+template <typename T>
+void foo_run(simgpu::Device& dev, const FooPlan<T>& plan,
+             simgpu::Workspace& ws) {
+  auto scratch = dev.alloc<float>(plan.n);       // hot-path allocation
+  auto zeroed = dev.alloc_zero<int>(4, "hist");  // ditto
+}
+"""
+
+GOOD_RUN_SAMPLE = """
+template <typename T>
+FooPlan<T> foo_plan(const Shape& s, simgpu::DeviceSpec const& spec,
+                    simgpu::WorkspaceLayout& layout) {
+  FooPlan<T> p;
+  p.seg = layout.add<float>("foo scratch", s.n);
+  return p;
+}
+
+template <typename T>
+void foo_run(simgpu::Device& dev, const FooPlan<T>& plan,
+             simgpu::Workspace& ws) {
+  auto scratch = ws.get<float>(plan.seg);
+  other_run(dev, plan, ws);  // calling a sibling run() is not a definition
+}
+
+// Legacy one-shot wrapper: allocates freely, not a *_run body.
+template <typename T>
+SelectResult foo_select(simgpu::Device& dev, std::span<const T> in) {
+  auto buf = dev.alloc<T>(in.size());
+  simgpu::Workspace ws(dev);
+  return run_it(dev, buf, ws);
+}
+"""
+
+ALLOWED_RUN_SAMPLE = """
+void bar_run(simgpu::Device& dev) {
+  auto dbg = dev.alloc<float>(1);  // lint:allow-run-alloc
+}
+"""
+
+
 def self_test() -> int:
     bad = lint_text(BAD_SAMPLE, "<bad>")
     if len(bad) != 2:
@@ -214,6 +319,21 @@ def self_test() -> int:
     if good_escape:
         print(f"self-test FAILED: false positives in GOOD_ESCAPE_SAMPLE: "
               f"{good_escape}")
+        return 1
+    bad_run = lint_text(BAD_RUN_SAMPLE, "<bad-run>")
+    if len(bad_run) != 2:
+        print(f"self-test FAILED: expected 2 findings in BAD_RUN_SAMPLE, "
+              f"got {len(bad_run)}: {bad_run}")
+        return 1
+    good_run = lint_text(GOOD_RUN_SAMPLE, "<good-run>")
+    if good_run:
+        print(f"self-test FAILED: false positives in GOOD_RUN_SAMPLE: "
+              f"{good_run}")
+        return 1
+    allowed_run = lint_text(ALLOWED_RUN_SAMPLE, "<allowed-run>")
+    if allowed_run:
+        print(f"self-test FAILED: run-alloc marker not honoured: "
+              f"{allowed_run}")
         return 1
     print("lint_kernels self-test passed")
     return 0
