@@ -20,6 +20,62 @@ std::size_t auto_subrange(std::size_t n, std::size_t k) {
   return std::clamp<std::size_t>(g, 1, std::max<std::size_t>(1, n / k));
 }
 
+/// Footprint contracts for the DR Top-K wrapper kernels (float-only, so the
+/// element sizes are exact).  The scratch buffers are ad-hoc device
+/// allocations rather than planned segments, hence the segment-sized bounds.
+void register_dr_topk_footprints() {
+  using simgpu::Access;
+  using simgpu::AffineVar;
+  using simgpu::WriteScope;
+  simgpu::register_footprint(
+      {"dr_delegate_reduce",
+       {
+           {"in", Access::kRead, WriteScope::kNone, {{AffineVar::kBatchN}}, 4},
+           {"delegates",
+            Access::kWrite,
+            WriteScope::kBlockLocal,
+            {{AffineVar::kSegElems}},
+            4},
+       }});
+  simgpu::register_footprint(
+      {"dr_gather",
+       {
+           {"in", Access::kRead, WriteScope::kNone, {{AffineVar::kBatchN}}, 4},
+           {"winners", Access::kRead, WriteScope::kNone,
+            {{AffineVar::kSegElems}}, 4},
+           {"cand_val",
+            Access::kWrite,
+            WriteScope::kBlockLocal,
+            {{AffineVar::kSegElems}},
+            4},
+           {"cand_orig",
+            Access::kWrite,
+            WriteScope::kBlockLocal,
+            {{AffineVar::kSegElems}},
+            4},
+       }});
+  simgpu::register_footprint(
+      {"dr_remap",
+       {
+           {"cand_topk_val", Access::kRead, WriteScope::kNone,
+            {{AffineVar::kSegElems}}, 4},
+           {"cand_topk_idx", Access::kRead, WriteScope::kNone,
+            {{AffineVar::kSegElems}}, 4},
+           {"cand_orig", Access::kRead, WriteScope::kNone,
+            {{AffineVar::kSegElems}}, 4},
+           {"out_vals",
+            Access::kWrite,
+            WriteScope::kSingleBlock,
+            {{AffineVar::kBatchK}},
+            4},
+           {"out_idx",
+            Access::kWrite,
+            WriteScope::kSingleBlock,
+            {{AffineVar::kBatchK}},
+            4},
+       }});
+}
+
 }  // namespace
 
 void dr_topk(simgpu::Device& dev, simgpu::DeviceBuffer<float> in,
@@ -41,6 +97,7 @@ void dr_topk(simgpu::Device& dev, simgpu::DeviceBuffer<float> in,
   if (k > max_k(opt.base, subranges) || k > max_k(opt.base, k * g)) {
     throw std::invalid_argument("dr_topk: k unsupported by the base algorithm");
   }
+  register_dr_topk_footprints();
 
   simgpu::ScopedWorkspace ws(dev);
   auto delegates = dev.alloc<float>(subranges);
@@ -57,7 +114,7 @@ void dr_topk(simgpu::Device& dev, simgpu::DeviceBuffer<float> in,
       const GridShape shape = make_grid(1, n, dev.spec());
       const int bpp = shape.blocks_per_problem;
       simgpu::LaunchConfig cfg{"dr_delegate_reduce", shape.total_blocks(),
-                               shape.block_threads};
+                               shape.block_threads, 1, n, k};
       simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
         const auto [begin, end] = block_chunk(subranges, bpp, ctx.block_idx());
         for (std::size_t s = begin; s < end; ++s) {
@@ -82,7 +139,7 @@ void dr_topk(simgpu::Device& dev, simgpu::DeviceBuffer<float> in,
       const GridShape shape = make_grid(1, k * g, dev.spec());
       const int bpp = shape.blocks_per_problem;
       simgpu::LaunchConfig cfg{"dr_gather", shape.total_blocks(),
-                               shape.block_threads};
+                               shape.block_threads, 1, n, k};
       simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
         const auto [begin, end] = block_chunk(k, bpp, ctx.block_idx());
         for (std::size_t r = begin; r < end; ++r) {
@@ -111,7 +168,7 @@ void dr_topk(simgpu::Device& dev, simgpu::DeviceBuffer<float> in,
 
     // ---- kernel 3: map candidate positions back to original indices -------
     {
-      simgpu::LaunchConfig cfg{"dr_remap", 1, 256};
+      simgpu::LaunchConfig cfg{"dr_remap", 1, 256, 1, n, k};
       simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
         for (std::size_t i = 0; i < k; ++i) {
           const std::uint32_t at = ctx.load(cand_topk_idx, i);

@@ -119,6 +119,10 @@ std::size_t ExecutionPlan::workspace_bytes() const {
       .layout.total_bytes();
 }
 
+const simgpu::KernelSchedule& ExecutionPlan::schedule() const {
+  return deref_plan(impl_, "ExecutionPlan::schedule").schedule;
+}
+
 ExecutionPlan plan_select(const simgpu::DeviceSpec& spec, std::size_t batch,
                           std::size_t n, std::size_t k, Algo algo,
                           const SelectOptions& opt) {
@@ -138,6 +142,27 @@ ExecutionPlan plan_select(const simgpu::DeviceSpec& spec, std::size_t batch,
     impl->seg_negated = impl->layout.add<float>("negated input", batch * n);
   }
   row->plan(*impl, spec, opt);
+  if (impl->negate) {
+    // The plan function recorded its schedule against the caller's input
+    // buffer, but under the negate wrap run_select feeds the kernels the
+    // negated copy.  Rewrite the input binds to the negated segment and
+    // prepend the host negation so the static auditor sees the sequence
+    // that actually executes (and the segment's first write).
+    for (simgpu::KernelStep& step : impl->schedule.steps) {
+      for (simgpu::OperandBind& bind : step.binds) {
+        if (bind.target == simgpu::kBindInput) bind.target = impl->seg_negated;
+      }
+    }
+    simgpu::KernelStep neg;
+    neg.kind = simgpu::KernelStep::Kind::kHost;
+    neg.name = "negate input";
+    neg.batch = batch;
+    neg.n = n;
+    neg.k = k;
+    neg.binds = {{"in", simgpu::kBindInput, simgpu::Access::kRead},
+                 {"negated", impl->seg_negated, simgpu::Access::kWrite}};
+    impl->schedule.steps.insert(impl->schedule.steps.begin(), std::move(neg));
+  }
   return ExecutionPlan(std::move(impl));
 }
 

@@ -137,6 +137,11 @@ class ExecutionPlan {
   [[nodiscard]] const simgpu::WorkspaceLayout& layout() const;
   /// Scratch bytes one bound workspace slab needs for this plan.
   [[nodiscard]] std::size_t workspace_bytes() const;
+  /// The nominal kernel sequence the plan function recorded against the
+  /// layout: every launch with its grid and operand-to-segment binds, plus
+  /// host transfer/compute steps.  Consumed by the static plan auditor
+  /// (src/verify); run_select never reads it.
+  [[nodiscard]] const simgpu::KernelSchedule& schedule() const;
 
  private:
   friend ExecutionPlan plan_select(const simgpu::DeviceSpec&, std::size_t,

@@ -17,6 +17,7 @@
 
 #include "simgpu/buffer.hpp"
 #include "simgpu/device.hpp"
+#include "simgpu/footprint.hpp"
 #include "simgpu/sanitizer.hpp"
 #include "simgpu/shared_arena.hpp"
 #include "simgpu/simd.hpp"
@@ -789,6 +790,13 @@ struct LaunchConfig {
   std::string_view name;
   int grid = 1;                 ///< number of thread blocks
   int block_threads = 256;      ///< threads per block, multiple of 32
+  /// Optional shape context for the footprint cross-check (footprint.hpp):
+  /// how many problems this launch covers and their n/k.  batch == 0 means
+  /// no context — the byte-ceiling checks are skipped for this launch.
+  /// Purely diagnostic; never feeds KernelStats or the cost model.
+  std::size_t batch = 0;
+  std::size_t n = 0;
+  std::size_t k = 0;
 };
 
 /// Launch a kernel: run `body(BlockCtx&)` for every block of the grid on the
@@ -848,6 +856,16 @@ KernelStats launch(Device& dev, const LaunchConfig& cfg, Body&& body) {
   stats.block_syncs = block_syncs.load();
   stats.max_block_bytes = max_block_bytes.load();
   stats.max_block_lane_ops = max_block_lane_ops.load();
+  // Contract cross-check (debug builds / TOPK_FOOTPRINT_CHECK=1): the
+  // observed counters must be explainable by the kernel's registered
+  // footprint.  Strictly read-only over the already-assembled stats, so
+  // KernelStats and modeled time are bit-identical with checking on or off.
+  if (footprint_check_enabled()) {
+    check_launch_against_footprint(
+        cfg.name, stats.bytes_read, stats.bytes_written,
+        stats.atomic_ops + stats.scattered_atomic_ops, cfg.grid,
+        cfg.block_threads, cfg.batch, cfg.n, cfg.k);
+  }
   dev.record_kernel(stats);
   return stats;
 }

@@ -17,6 +17,7 @@
 #include "simgpu/device.hpp"
 #include "simgpu/device_spec.hpp"
 #include "simgpu/event.hpp"
+#include "simgpu/footprint.hpp"
 #include "simgpu/kernel.hpp"
 #include "simgpu/memory_pool.hpp"
 #include "simgpu/sanitizer.hpp"

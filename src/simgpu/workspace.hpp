@@ -2,7 +2,9 @@
 
 #include <cstddef>
 #include <stdexcept>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "simgpu/buffer.hpp"
 #include "simgpu/device.hpp"
@@ -46,7 +48,14 @@ class Workspace {
       slab_ = dev_->pool_acquire(need);
     }
     layout_ = &layout;
-    for (const WorkspaceLayout::Segment& seg : layout.segments) {
+    // Keep a copy of the device-segment metadata for release(): the caller's
+    // layout only has to outlive the *binding*, and a Workspace destroyed
+    // after its layout (reverse declaration order in a scope) must not read
+    // through the stale pointer.  Segment names are literals/interned views,
+    // so copying the Segment structs is enough; assign() reuses capacity, so
+    // warm rebinds stay allocation-free.
+    device_segments_.assign(layout.segments.begin(), layout.segments.end());
+    for (const WorkspaceLayout::Segment& seg : device_segments_) {
       if (seg.host) continue;
       dev_->register_region(slab_.base + seg.offset, seg.bytes / seg.elem_size,
                             seg.elem_size, seg.name);
@@ -78,16 +87,29 @@ class Workspace {
     return reinterpret_cast<T*>(slab_.base + seg.offset);
   }
 
-  /// Return the held slab to the device pool.  Poisons it first when a
-  /// sanitizer is attached, so reuse after release cannot leak plausible
-  /// old values past the shadow (defense in depth on top of the re-register
-  /// -on-bind rule).
+  /// Return the held slab to the device pool.  The segment handles are
+  /// poisoned, not just the pooled slab: every device segment is
+  /// re-registered as a fresh "released" shadow region, so a kernel touching
+  /// a stale DeviceBuffer from before the release is reported by simcheck as
+  /// reading a released segment — the same verdict the static plan auditor's
+  /// lifetime rule gives (see src/verify/plan_audit.hpp).  The slab bytes
+  /// are poisoned unconditionally so stale reads in unchecked builds see
+  /// garbage rather than plausible old results.
   void release() {
     if (slab_.empty()) return;
-    dev_->pool_release(std::move(slab_),
-                       /*poison=*/dev_->sanitizer() != nullptr);
+    if (dev_->sanitizer() != nullptr) {
+      for (const WorkspaceLayout::Segment& seg : device_segments_) {
+        if (seg.host) continue;
+        dev_->register_region(slab_.base + seg.offset,
+                              seg.bytes / seg.elem_size, seg.elem_size,
+                              "released segment '" + std::string(seg.name) +
+                                  "'");
+      }
+    }
+    dev_->pool_release(std::move(slab_), /*poison=*/true);
     slab_ = {};
     layout_ = nullptr;
+    device_segments_.clear();
   }
 
   [[nodiscard]] bool bound() const { return layout_ != nullptr; }
@@ -104,6 +126,9 @@ class Workspace {
   Device* dev_;
   MemoryPool::Slab slab_;
   const WorkspaceLayout* layout_ = nullptr;
+  /// Snapshot of the bound layout's segments, owned here so release() can
+  /// poison the shadow regions even after the layout object is gone.
+  std::vector<WorkspaceLayout::Segment> device_segments_;
 };
 
 }  // namespace simgpu

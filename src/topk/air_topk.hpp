@@ -105,6 +105,140 @@ struct AirTopkPlan {
   std::vector<std::size_t> seg_hist;  // one segment per radix pass
 };
 
+/// Footprint contracts for the AIR Top-K kernels.  Every scratch bound is
+/// segment-sized (candidate capacity depends on the adaptive flag, histogram
+/// widths on the digit schedule); result appends and the control-state
+/// updates go through atomic-reserved cursors or the last-block election, so
+/// they are declared kReserved rather than block-local.  air_init binds one
+/// "hist" operand per radix pass — repeated binds of one operand are part of
+/// the contract.
+inline void register_air_topk_footprints() {
+  using simgpu::Access;
+  using simgpu::AffineVar;
+  using simgpu::WriteScope;
+  simgpu::register_footprint(
+      {"air_init",
+       {
+           {"st",
+            Access::kWrite,
+            WriteScope::kBlockLocal,
+            {{AffineVar::kSegElems}},
+            8},
+           {"finish",
+            Access::kWrite,
+            WriteScope::kBlockLocal,
+            {{AffineVar::kSegElems}},
+            4},
+           {"hist",
+            Access::kWrite,
+            WriteScope::kBlockLocal,
+            {{AffineVar::kSegElems}},
+            4},
+       }});
+  simgpu::register_footprint(
+      {"iteration_fused_kernel",
+       {
+           {"in",
+            Access::kRead,
+            WriteScope::kNone,
+            {{AffineVar::kBatchN}},
+            8,
+            /*optional=*/true},
+           {"in_idx",
+            Access::kRead,
+            WriteScope::kNone,
+            {{AffineVar::kBatchN}},
+            4,
+            /*optional=*/true},
+           {"buf_in_val",
+            Access::kRead,
+            WriteScope::kNone,
+            {{AffineVar::kSegElems}},
+            8,
+            /*optional=*/true},
+           {"buf_in_idx",
+            Access::kRead,
+            WriteScope::kNone,
+            {{AffineVar::kSegElems}},
+            4,
+            /*optional=*/true},
+           {"st", Access::kReadWrite, WriteScope::kReserved,
+            {{AffineVar::kSegElems}}, 8},
+           {"hist", Access::kReadWrite, WriteScope::kReserved,
+            {{AffineVar::kSegElems}}, 4},
+           {"finish", Access::kAtomic, WriteScope::kNone,
+            {{AffineVar::kSegElems}}, 4},
+           {"buf_out_val",
+            Access::kWrite,
+            WriteScope::kReserved,
+            {{AffineVar::kSegElems}},
+            8,
+            /*optional=*/true},
+           {"buf_out_idx",
+            Access::kWrite,
+            WriteScope::kReserved,
+            {{AffineVar::kSegElems}},
+            4,
+            /*optional=*/true},
+           {"out_vals",
+            Access::kWrite,
+            WriteScope::kReserved,
+            {{AffineVar::kBatchK}},
+            8},
+           {"out_idx",
+            Access::kWrite,
+            WriteScope::kReserved,
+            {{AffineVar::kBatchK}},
+            4},
+       }});
+  simgpu::register_footprint(
+      {"last_filter_kernel",
+       {
+           {"in",
+            Access::kRead,
+            WriteScope::kNone,
+            {{AffineVar::kBatchN}},
+            8,
+            /*optional=*/true},
+           {"in_idx",
+            Access::kRead,
+            WriteScope::kNone,
+            {{AffineVar::kBatchN}},
+            4,
+            /*optional=*/true},
+           {"buf_in_val",
+            Access::kRead,
+            WriteScope::kNone,
+            {{AffineVar::kSegElems}},
+            8,
+            /*optional=*/true},
+           {"buf_in_idx",
+            Access::kRead,
+            WriteScope::kNone,
+            {{AffineVar::kSegElems}},
+            4,
+            /*optional=*/true},
+           {"st", Access::kReadWrite, WriteScope::kReserved,
+            {{AffineVar::kSegElems}}, 8},
+           {"finish",
+            Access::kAtomic,
+            WriteScope::kNone,
+            {{AffineVar::kSegElems}},
+            4,
+            /*optional=*/true},
+           {"out_vals",
+            Access::kWrite,
+            WriteScope::kReserved,
+            {{AffineVar::kBatchK}},
+            8},
+           {"out_idx",
+            Access::kWrite,
+            WriteScope::kReserved,
+            {{AffineVar::kBatchK}},
+            4},
+       }});
+}
+
 /// Phase 1 of AIR Top-K: validate, build the digit schedule and lay out the
 /// workspace.  The candidate buffer capacity depends on the adaptive flag —
 /// N/alpha + 1 when adaptive buffering is on, N when off — so toggling the
@@ -112,7 +246,8 @@ struct AirTopkPlan {
 template <typename T>
 AirTopkPlan<T> air_topk_plan(const Shape& s, const simgpu::DeviceSpec& spec,
                              const AirTopkOptions& opt,
-                             simgpu::WorkspaceLayout& layout) {
+                             simgpu::WorkspaceLayout& layout,
+                             simgpu::KernelSchedule* sched = nullptr) {
   using Traits = RadixTraits<T>;
   using namespace air_detail;
 
@@ -166,6 +301,59 @@ AirTopkPlan<T> air_topk_plan(const Shape& s, const simgpu::DeviceSpec& spec,
                                            s.batch * p.bufcap);
   p.seg_idx[1] = layout.add<std::uint32_t>("air cand idx 1",
                                            s.batch * p.bufcap);
+
+  if (sched != nullptr) {
+    register_air_topk_footprints();
+    // Nominal schedule: init, one fused kernel per pass (later passes bind
+    // both the input and the candidate buffer — the adaptive read source is
+    // data-dependent, so the superset is recorded), then the last filter
+    // unless it is fused away.
+    const bool has_in_idx = !opt.in_idx.empty();
+    std::vector<simgpu::OperandBind> init_binds;
+    init_binds.push_back({"st", static_cast<int>(p.seg_st)});
+    init_binds.push_back({"finish", static_cast<int>(p.seg_finish)});
+    for (const std::size_t seg : p.seg_hist) {
+      init_binds.push_back({"hist", static_cast<int>(seg)});
+    }
+    simgpu::record_launch(sched, "air_init", static_cast<int>(s.batch),
+                          opt.block_threads, s.batch, s.n, s.k,
+                          std::move(init_binds));
+    const int last_kernel =
+        opt.fuse_last_filter ? p.num_passes - 1 : p.num_passes;
+    for (int pass = 0; pass <= last_kernel; ++pass) {
+      const bool is_last_filter = (pass == p.num_passes);
+      std::vector<simgpu::OperandBind> binds;
+      binds.push_back({"in", simgpu::kBindInput});
+      if (has_in_idx) binds.push_back({"in_idx", simgpu::kBindInput});
+      if (pass >= 2) {
+        binds.push_back(
+            {"buf_in_val", static_cast<int>(p.seg_val[(pass + 1) & 1])});
+        binds.push_back(
+            {"buf_in_idx", static_cast<int>(p.seg_idx[(pass + 1) & 1])});
+      }
+      binds.push_back({"st", static_cast<int>(p.seg_st)});
+      if (!is_last_filter) {
+        binds.push_back(
+            {"hist",
+             static_cast<int>(p.seg_hist[static_cast<std::size_t>(pass)])});
+      }
+      binds.push_back({"finish", static_cast<int>(p.seg_finish)});
+      if (pass >= 1 && !is_last_filter) {
+        binds.push_back(
+            {"buf_out_val", static_cast<int>(p.seg_val[pass & 1])});
+        binds.push_back(
+            {"buf_out_idx", static_cast<int>(p.seg_idx[pass & 1])});
+      }
+      binds.push_back({"out_vals", simgpu::kBindOutVals});
+      binds.push_back({"out_idx", simgpu::kBindOutIdx});
+      simgpu::record_launch(
+          sched,
+          is_last_filter ? std::string_view{"last_filter_kernel"}
+                         : p.pass_names[static_cast<std::size_t>(pass)],
+          p.shape.total_blocks(), opt.block_threads, s.batch, s.n, s.k,
+          std::move(binds));
+    }
+  }
   return p;
 }
 
@@ -237,7 +425,7 @@ void air_topk_run(simgpu::Device& dev, const AirTopkPlan<T>& plan,
   // ---- init kernel: control state + histograms (cudaMemsetAsync analogue)
   {
     simgpu::LaunchConfig cfg{"air_init", static_cast<int>(batch),
-                             opt.block_threads};
+                             opt.block_threads, batch, n, k};
     simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
       const auto prob = static_cast<std::size_t>(ctx.block_idx());
       ctx.store<std::uint64_t>(st, sidx(prob, kKRem), k);
@@ -287,7 +475,7 @@ void air_topk_run(simgpu::Device& dev, const AirTopkPlan<T>& plan,
     simgpu::LaunchConfig cfg{
         is_last_filter ? std::string_view{"last_filter_kernel"}
                        : plan.pass_names[static_cast<std::size_t>(p)],
-        shape.total_blocks(), opt.block_threads};
+        shape.total_blocks(), opt.block_threads, batch, n, k};
 
     simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
       const std::size_t prob = shape.problem_of(ctx.block_idx());

@@ -43,6 +43,80 @@ struct BitonicTopkPlan {
   std::size_t seg_idx[2] = {0, 0};
 };
 
+/// Footprint contracts for the Bitonic Top-K kernel family.  The per-pass
+/// merge kernels register under the bare family name ("BitonicTopK_merge");
+/// the "(pass)" suffix of the launch names is stripped on lookup.  The
+/// double-buffer bounds depend on the halving schedule, so they are
+/// segment-sized.
+inline void register_bitonic_topk_footprints() {
+  using simgpu::Access;
+  using simgpu::AffineVar;
+  using simgpu::WriteScope;
+  simgpu::register_footprint(
+      {"BitonicTopK_sort_prune",
+       {
+           {"in", Access::kRead, WriteScope::kNone, {{AffineVar::kBatchN}}, 8},
+           {"dst_val",
+            Access::kWrite,
+            WriteScope::kBlockLocal,
+            {{AffineVar::kSegElems}},
+            8},
+           {"dst_idx",
+            Access::kWrite,
+            WriteScope::kBlockLocal,
+            {{AffineVar::kSegElems}},
+            4},
+       }});
+  simgpu::register_footprint(
+      {"BitonicTopK_merge",
+       {
+           {"src_val",
+            Access::kRead,
+            WriteScope::kNone,
+            {{AffineVar::kSegElems}},
+            8},
+           {"src_idx",
+            Access::kRead,
+            WriteScope::kNone,
+            {{AffineVar::kSegElems}},
+            4},
+           {"dst_val",
+            Access::kWrite,
+            WriteScope::kBlockLocal,
+            {{AffineVar::kSegElems}},
+            8},
+           {"dst_idx",
+            Access::kWrite,
+            WriteScope::kBlockLocal,
+            {{AffineVar::kSegElems}},
+            4},
+       }});
+  simgpu::register_footprint(
+      {"BitonicTopK_emit",
+       {
+           {"fin_val",
+            Access::kRead,
+            WriteScope::kNone,
+            {{AffineVar::kSegElems}},
+            8},
+           {"fin_idx",
+            Access::kRead,
+            WriteScope::kNone,
+            {{AffineVar::kSegElems}},
+            4},
+           {"out_vals",
+            Access::kWrite,
+            WriteScope::kBlockLocal,
+            {{AffineVar::kBatchK}},
+            8},
+           {"out_idx",
+            Access::kWrite,
+            WriteScope::kBlockLocal,
+            {{AffineVar::kBatchK}},
+            4},
+       }});
+}
+
 /// Phase 1 of Bitonic Top-K: validate, precompute the halving schedule
 /// (every pass's grid and interned kernel name — the pass count is a pure
 /// function of n and k), and describe the two double buffers as workspace
@@ -51,7 +125,8 @@ template <typename T>
 BitonicTopkPlan<T> bitonic_topk_plan(const Shape& s,
                                      const simgpu::DeviceSpec& spec,
                                      const BitonicTopkOptions& opt,
-                                     simgpu::WorkspaceLayout& layout) {
+                                     simgpu::WorkspaceLayout& layout,
+                                     simgpu::KernelSchedule* sched = nullptr) {
   validate_problem(s.n, s.k, s.batch);
   if (s.k > kMaxBitonicTopkK) {
     throw std::invalid_argument("bitonic_topk: k exceeds the " +
@@ -91,6 +166,31 @@ BitonicTopkPlan<T> bitonic_topk_plan(const Shape& s,
                                            s.batch * p.half0 * p.cap);
   p.seg_idx[1] = layout.add<std::uint32_t>(
       "bitonic work idx 1", s.batch * ((p.half0 + 1) / 2) * p.cap);
+
+  register_bitonic_topk_footprints();
+  simgpu::record_launch(sched, "BitonicTopK_sort_prune(0)",
+                        p.shape0.total_blocks(), p.shape0.block_threads,
+                        s.batch, s.n, s.k,
+                        {{"in", simgpu::kBindInput},
+                         {"dst_val", static_cast<int>(p.seg_val[0])},
+                         {"dst_idx", static_cast<int>(p.seg_idx[0])}});
+  int cur = 0;
+  for (const auto& mp : p.passes) {
+    simgpu::record_launch(
+        sched, mp.name, mp.shape.total_blocks(), mp.shape.block_threads,
+        s.batch, s.n, s.k,
+        {{"src_val", static_cast<int>(p.seg_val[cur])},
+         {"src_idx", static_cast<int>(p.seg_idx[cur])},
+         {"dst_val", static_cast<int>(p.seg_val[1 - cur])},
+         {"dst_idx", static_cast<int>(p.seg_idx[1 - cur])}});
+    cur = 1 - cur;
+  }
+  simgpu::record_launch(sched, "BitonicTopK_emit", static_cast<int>(s.batch),
+                        opt.block_threads, s.batch, s.n, s.k,
+                        {{"fin_val", static_cast<int>(p.seg_val[cur])},
+                         {"fin_idx", static_cast<int>(p.seg_idx[cur])},
+                         {"out_vals", simgpu::kBindOutVals},
+                         {"out_idx", simgpu::kBindOutIdx}});
   return p;
 }
 
@@ -132,7 +232,8 @@ void bitonic_topk_run(simgpu::Device& dev, const BitonicTopkPlan<T>& plan,
     const GridShape shape = plan.shape0;
     const int bpp = shape.blocks_per_problem;
     simgpu::LaunchConfig cfg{"BitonicTopK_sort_prune(0)",
-                             shape.total_blocks(), shape.block_threads};
+                             shape.total_blocks(), shape.block_threads,
+                             batch, n, k};
     const auto dst_val = work_val[0];
     const auto dst_idx = work_idx[0];
     simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
@@ -178,7 +279,7 @@ void bitonic_topk_run(simgpu::Device& dev, const BitonicTopkPlan<T>& plan,
     const GridShape shape = mp.shape;
     const int bpp = shape.blocks_per_problem;
     simgpu::LaunchConfig cfg{mp.name, shape.total_blocks(),
-                             shape.block_threads};
+                             shape.block_threads, batch, n, k};
     const auto src_val = work_val[cur];
     const auto src_idx = work_idx[cur];
     const auto dst_val = work_val[1 - cur];
@@ -219,7 +320,7 @@ void bitonic_topk_run(simgpu::Device& dev, const BitonicTopkPlan<T>& plan,
   // ---- emit the surviving chunk's first K pairs ---------------------------
   {
     simgpu::LaunchConfig cfg{"BitonicTopK_emit", static_cast<int>(batch),
-                             plan.opt.block_threads};
+                             plan.opt.block_threads, batch, n, k};
     const auto fin_val = work_val[cur];
     const auto fin_idx = work_idx[cur];
     simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {

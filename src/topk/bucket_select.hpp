@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "simgpu/simgpu.hpp"
 #include "topk/common.hpp"
@@ -35,12 +37,135 @@ struct BucketSelectPlan {
   std::size_t seg_host_hist = 0;  // host staging
 };
 
+/// Footprint contracts for the BucketSelect kernels.  Histogram and
+/// candidate bounds are segment-sized (bucket counts are tuning options and
+/// the candidate set shrinks data-dependently); the filter's output writes
+/// go through cursor-reserved aggregated appends.
+inline void register_bucket_select_footprints() {
+  using simgpu::Access;
+  using simgpu::AffineVar;
+  using simgpu::WriteScope;
+  simgpu::register_footprint(
+      {"minmax_memset",
+       {
+           {"minmax",
+            Access::kWrite,
+            WriteScope::kSingleBlock,
+            {{AffineVar::kOne, 2}},
+            8},
+           {"counters",
+            Access::kWrite,
+            WriteScope::kSingleBlock,
+            {{AffineVar::kOne, 2}},
+            4},
+       }});
+  simgpu::register_footprint(
+      {"minmax_reduce",
+       {
+           {"in",
+            Access::kRead,
+            WriteScope::kNone,
+            {{AffineVar::kBatchN}},
+            8,
+            /*optional=*/true},
+           {"src_val",
+            Access::kRead,
+            WriteScope::kNone,
+            {{AffineVar::kSegElems}},
+            8,
+            /*optional=*/true},
+           {"minmax", Access::kAtomic, WriteScope::kNone, {{AffineVar::kOne, 2}},
+            8},
+       }});
+  // Shared with SampleSelect (which also clears its cursors here), so the
+  // counters operand is part of the contract but optional.
+  simgpu::register_footprint(
+      {"hist_memset",
+       {
+           {"hist",
+            Access::kWrite,
+            WriteScope::kSingleBlock,
+            {{AffineVar::kSegElems}},
+            4},
+           {"counters",
+            Access::kWrite,
+            WriteScope::kSingleBlock,
+            {{AffineVar::kOne, 2}},
+            4,
+            /*optional=*/true},
+       }});
+  simgpu::register_footprint(
+      {"bucket_histogram",
+       {
+           {"in",
+            Access::kRead,
+            WriteScope::kNone,
+            {{AffineVar::kBatchN}},
+            8,
+            /*optional=*/true},
+           {"src_val",
+            Access::kRead,
+            WriteScope::kNone,
+            {{AffineVar::kSegElems}},
+            8,
+            /*optional=*/true},
+           {"hist", Access::kAtomic, WriteScope::kNone,
+            {{AffineVar::kSegElems}}, 4},
+       }});
+  simgpu::register_footprint(
+      {"bucket_filter",
+       {
+           {"in",
+            Access::kRead,
+            WriteScope::kNone,
+            {{AffineVar::kBatchN}},
+            8,
+            /*optional=*/true},
+           {"src_val",
+            Access::kRead,
+            WriteScope::kNone,
+            {{AffineVar::kSegElems}},
+            8,
+            /*optional=*/true},
+           {"src_idx",
+            Access::kRead,
+            WriteScope::kNone,
+            {{AffineVar::kSegElems}},
+            4,
+            /*optional=*/true},
+           {"counters", Access::kAtomic, WriteScope::kNone,
+            {{AffineVar::kOne, 2}}, 4},
+           {"out_vals",
+            Access::kWrite,
+            WriteScope::kReserved,
+            {{AffineVar::kBatchK}},
+            8},
+           {"out_idx",
+            Access::kWrite,
+            WriteScope::kReserved,
+            {{AffineVar::kBatchK}},
+            4},
+           {"dst_val",
+            Access::kWrite,
+            WriteScope::kReserved,
+            {{AffineVar::kSegElems}},
+            8},
+           {"dst_idx",
+            Access::kWrite,
+            WriteScope::kReserved,
+            {{AffineVar::kSegElems}},
+            4},
+       }});
+  register_copy_remainder_footprint();
+}
+
 /// Phase 1 of BucketSelect.
 template <typename T>
 BucketSelectPlan<T> bucket_select_plan(const Shape& s,
-                                       const simgpu::DeviceSpec& /*spec*/,
+                                       const simgpu::DeviceSpec& spec,
                                        const BucketSelectOptions& opt,
-                                       simgpu::WorkspaceLayout& layout) {
+                                       simgpu::WorkspaceLayout& layout,
+                                       simgpu::KernelSchedule* sched = nullptr) {
   validate_problem(s.n, s.k, s.batch);
 
   BucketSelectPlan<T> p;
@@ -58,6 +183,77 @@ BucketSelectPlan<T> bucket_select_plan(const Shape& s,
   p.seg_counters = layout.add<std::uint32_t>("bucket cursors", 2);
   p.seg_host_hist = layout.add<std::uint32_t>("bucket host hist", nb,
                                               /*host=*/true);
+
+  if (sched != nullptr) {
+    register_bucket_select_footprints();
+    // Nominal per-problem unrolling: two refinement iterations (the first
+    // scans the input, the second the ping-pong candidates — together they
+    // exercise both buffer sides) followed by the terminal remainder copy.
+    const GridShape shape =
+        make_grid(1, s.n, spec, opt.block_threads, opt.items_per_block);
+    int cur = 0;
+    for (int iter = 0; iter < 2; ++iter) {
+      const bool fi = (iter == 0);
+      simgpu::record_launch(sched, "minmax_memset", 1, 32, 1, s.n, s.k,
+                            {{"minmax", static_cast<int>(p.seg_minmax)},
+                             {"counters", static_cast<int>(p.seg_counters)}});
+      std::vector<simgpu::OperandBind> reduce_binds;
+      if (fi) {
+        reduce_binds.push_back({"in", simgpu::kBindInput});
+      } else {
+        reduce_binds.push_back({"src_val", static_cast<int>(p.seg_val[cur])});
+      }
+      reduce_binds.push_back({"minmax", static_cast<int>(p.seg_minmax)});
+      simgpu::record_launch(sched, "minmax_reduce", shape.total_blocks(),
+                            opt.block_threads, 1, s.n, s.k,
+                            std::move(reduce_binds));
+      simgpu::record_host(sched, "minmax",
+                          {{"minmax", static_cast<int>(p.seg_minmax),
+                            simgpu::Access::kRead}});
+      simgpu::record_launch(sched, "hist_memset", 1, 32, 1, s.n, s.k,
+                            {{"hist", static_cast<int>(p.seg_hist)}});
+      std::vector<simgpu::OperandBind> hist_binds;
+      if (fi) {
+        hist_binds.push_back({"in", simgpu::kBindInput});
+      } else {
+        hist_binds.push_back({"src_val", static_cast<int>(p.seg_val[cur])});
+      }
+      hist_binds.push_back({"hist", static_cast<int>(p.seg_hist)});
+      simgpu::record_launch(sched, "bucket_histogram", shape.total_blocks(),
+                            opt.block_threads, 1, s.n, s.k,
+                            std::move(hist_binds));
+      simgpu::record_host(
+          sched, "bucket hist",
+          {{"hist", static_cast<int>(p.seg_hist), simgpu::Access::kRead},
+           {"host_hist", static_cast<int>(p.seg_host_hist),
+            simgpu::Access::kWrite}});
+      simgpu::record_host(sched, "scan+find_bkt",
+                          {{"host_hist", static_cast<int>(p.seg_host_hist),
+                            simgpu::Access::kRead}});
+      std::vector<simgpu::OperandBind> filter_binds;
+      if (fi) {
+        filter_binds.push_back({"in", simgpu::kBindInput});
+      } else {
+        filter_binds.push_back({"src_val", static_cast<int>(p.seg_val[cur])});
+        filter_binds.push_back({"src_idx", static_cast<int>(p.seg_idx[cur])});
+      }
+      filter_binds.push_back({"counters", static_cast<int>(p.seg_counters)});
+      filter_binds.push_back({"out_vals", simgpu::kBindOutVals});
+      filter_binds.push_back({"out_idx", simgpu::kBindOutIdx});
+      filter_binds.push_back({"dst_val", static_cast<int>(p.seg_val[1 - cur])});
+      filter_binds.push_back({"dst_idx", static_cast<int>(p.seg_idx[1 - cur])});
+      simgpu::record_launch(sched, "bucket_filter", shape.total_blocks(),
+                            opt.block_threads, 1, s.n, s.k,
+                            std::move(filter_binds));
+      cur = 1 - cur;
+    }
+    simgpu::record_launch(sched, "CopyRemainder", shape.total_blocks(),
+                          opt.block_threads, 1, s.n, s.k,
+                          {{"src_val", static_cast<int>(p.seg_val[cur])},
+                           {"src_idx", static_cast<int>(p.seg_idx[cur])},
+                           {"out_vals", simgpu::kBindOutVals},
+                           {"out_idx", simgpu::kBindOutIdx}});
+  }
   return p;
 }
 
@@ -112,7 +308,7 @@ void bucket_select_run(simgpu::Device& dev, const BucketSelectPlan<T>& plan,
                                           opt.items_per_block);
         const int bpp = shape.blocks_per_problem;
         simgpu::LaunchConfig cfg{"CopyRemainder", shape.total_blocks(),
-                                 opt.block_threads};
+                                 opt.block_threads, 1, n, k};
         simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
           const auto [begin, end] = block_chunk(m, bpp, ctx.block_idx());
           for (std::size_t i = begin; i < end; ++i) {
@@ -136,7 +332,7 @@ void bucket_select_run(simgpu::Device& dev, const BucketSelectPlan<T>& plan,
 
       // ---- kernel 1: min/max reduction ------------------------------------
       {
-        simgpu::LaunchConfig cfg{"minmax_memset", 1, 32};
+        simgpu::LaunchConfig cfg{"minmax_memset", 1, 32, 1, n, k};
         simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
           ctx.store(minmax, 0, std::numeric_limits<T>::max());
           ctx.store(minmax, 1, std::numeric_limits<T>::lowest());
@@ -150,7 +346,7 @@ void bucket_select_run(simgpu::Device& dev, const BucketSelectPlan<T>& plan,
       const int bpp = shape.blocks_per_problem;
       {
         simgpu::LaunchConfig cfg{"minmax_reduce", shape.total_blocks(),
-                                 opt.block_threads};
+                                 opt.block_threads, 1, n, k};
         simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
           const auto [begin, end] = block_chunk(count, bpp, ctx.block_idx());
           T lo = std::numeric_limits<T>::max();
@@ -182,7 +378,7 @@ void bucket_select_run(simgpu::Device& dev, const BucketSelectPlan<T>& plan,
 
       // ---- kernel 2: interpolation histogram ------------------------------
       {
-        simgpu::LaunchConfig cfg{"hist_memset", 1, 32};
+        simgpu::LaunchConfig cfg{"hist_memset", 1, 32, 1, n, k};
         simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
           for (int d = 0; d < nb; ++d) {
             ctx.store<std::uint32_t>(ghist, static_cast<std::size_t>(d), 0);
@@ -191,7 +387,7 @@ void bucket_select_run(simgpu::Device& dev, const BucketSelectPlan<T>& plan,
       }
       {
         simgpu::LaunchConfig cfg{"bucket_histogram", shape.total_blocks(),
-                                 opt.block_threads};
+                                 opt.block_threads, 1, n, k};
         simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
           auto shist =
               ctx.shared_zero<std::uint32_t>(static_cast<std::size_t>(nb));
@@ -236,7 +432,7 @@ void bucket_select_run(simgpu::Device& dev, const BucketSelectPlan<T>& plan,
       const std::uint64_t out_base = out_cursor;
       {
         simgpu::LaunchConfig cfg{"bucket_filter", shape.total_blocks(),
-                                 opt.block_threads};
+                                 opt.block_threads, 1, n, k};
         simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
           const auto [begin, end] = block_chunk(count, bpp, ctx.block_idx());
           AggregatedAppender<T, std::uint32_t> out_app(

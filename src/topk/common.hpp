@@ -198,6 +198,49 @@ class AggregatedAppender {
   std::size_t staged_ = 0;
 };
 
+/// Footprint contract for the "CopyRemainder" terminal kernel shared by the
+/// radix-family baselines (radix / bucket / sample select): copy the
+/// surviving candidates — or, on degenerate shapes, an input prefix — into
+/// the output slice.  One registration serves all three algorithms, so the
+/// source operands are optional and segment-sized.
+inline void register_copy_remainder_footprint() {
+  using simgpu::Access;
+  using simgpu::AffineVar;
+  using simgpu::WriteScope;
+  simgpu::register_footprint(
+      {"CopyRemainder",
+       {
+           {"in",
+            Access::kRead,
+            WriteScope::kNone,
+            {{AffineVar::kBatchN}},
+            8,
+            /*optional=*/true},
+           {"src_val",
+            Access::kRead,
+            WriteScope::kNone,
+            {{AffineVar::kSegElems}},
+            8,
+            /*optional=*/true},
+           {"src_idx",
+            Access::kRead,
+            WriteScope::kNone,
+            {{AffineVar::kSegElems}},
+            4,
+            /*optional=*/true},
+           {"out_vals",
+            Access::kWrite,
+            WriteScope::kBlockLocal,
+            {{AffineVar::kBatchK}},
+            8},
+           {"out_idx",
+            Access::kWrite,
+            WriteScope::kBlockLocal,
+            {{AffineVar::kBatchK}},
+            4},
+       }});
+}
+
 /// Validate the (n, k, batch) triple shared by all algorithms.
 inline void validate_problem(std::size_t n, std::size_t k, std::size_t batch) {
   if (batch == 0) throw std::invalid_argument("top-k: batch must be > 0");

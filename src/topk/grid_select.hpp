@@ -8,6 +8,8 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "simgpu/simgpu.hpp"
 #include "topk/common.hpp"
@@ -306,6 +308,76 @@ struct GridSelectPlan {
   std::size_t seg_part_idx = 0;
 };
 
+/// Footprint contracts for the GridSelect kernel family.  The partial
+/// kernels read the input once and publish either the final outputs
+/// (single-block-per-problem regime) or per-block partial lists, so the
+/// output operands are optional and the partial-list bounds are
+/// segment-sized (cap and blocks-per-problem are tuning-dependent).
+inline void register_grid_select_footprints() {
+  using simgpu::Access;
+  using simgpu::AffineVar;
+  using simgpu::WriteScope;
+  const std::vector<simgpu::OperandSpec> partial_ops = {
+      {"in", Access::kRead, WriteScope::kNone, {{AffineVar::kBatchN}}, 8},
+      {"in_idx",
+       Access::kRead,
+       WriteScope::kNone,
+       {{AffineVar::kBatchN}},
+       4,
+       /*optional=*/true},
+      {"out_vals",
+       Access::kWrite,
+       WriteScope::kBlockLocal,
+       {{AffineVar::kBatchK}},
+       8,
+       /*optional=*/true},
+      {"out_idx",
+       Access::kWrite,
+       WriteScope::kBlockLocal,
+       {{AffineVar::kBatchK}},
+       4,
+       /*optional=*/true},
+      {"part_val",
+       Access::kWrite,
+       WriteScope::kBlockLocal,
+       {{AffineVar::kSegElems}},
+       8,
+       /*optional=*/true},
+      {"part_idx",
+       Access::kWrite,
+       WriteScope::kBlockLocal,
+       {{AffineVar::kSegElems}},
+       4,
+       /*optional=*/true},
+  };
+  simgpu::register_footprint({"GridSelect_partial", partial_ops});
+  simgpu::register_footprint({"GridSelect_partial_threadqueue", partial_ops});
+  simgpu::register_footprint(
+      {"GridSelect_merge",
+       {
+           {"part_val",
+            Access::kRead,
+            WriteScope::kNone,
+            {{AffineVar::kSegElems}},
+            8},
+           {"part_idx",
+            Access::kRead,
+            WriteScope::kNone,
+            {{AffineVar::kSegElems}},
+            4},
+           {"out_vals",
+            Access::kWrite,
+            WriteScope::kBlockLocal,
+            {{AffineVar::kBatchK}},
+            8},
+           {"out_idx",
+            Access::kWrite,
+            WriteScope::kBlockLocal,
+            {{AffineVar::kBatchK}},
+            4},
+       }});
+}
+
 /// Phase 1 of GridSelect: validate, size the block to the device's shared
 /// memory and lay out the partial-list segments (none when a single block
 /// per problem writes the final results directly).
@@ -313,7 +385,8 @@ template <typename T>
 GridSelectPlan<T> grid_select_plan(const Shape& s,
                                    const simgpu::DeviceSpec& spec,
                                    const GridSelectOptions& opt,
-                                   simgpu::WorkspaceLayout& layout) {
+                                   simgpu::WorkspaceLayout& layout,
+                                   simgpu::KernelSchedule* sched = nullptr) {
   validate_problem(s.n, s.k, s.batch);
   if (s.k > kMaxSelectionK) {
     throw std::invalid_argument("grid_select: k exceeds the " +
@@ -359,6 +432,32 @@ GridSelectPlan<T> grid_select_plan(const Shape& s,
     p.seg_part_idx = layout.add<std::uint32_t>("gridselect partial idx",
                                                s.batch * bpp * p.cap);
   }
+  register_grid_select_footprints();
+  {
+    std::vector<simgpu::OperandBind> binds = {{"in", simgpu::kBindInput}};
+    if (!opt.in_idx.empty()) binds.push_back({"in_idx", simgpu::kBindInput});
+    if (p.direct_output) {
+      binds.push_back({"out_vals", simgpu::kBindOutVals});
+      binds.push_back({"out_idx", simgpu::kBindOutIdx});
+    } else {
+      binds.push_back({"part_val", static_cast<int>(p.seg_part_val)});
+      binds.push_back({"part_idx", static_cast<int>(p.seg_part_idx)});
+    }
+    simgpu::record_launch(sched,
+                          opt.shared_queue ? "GridSelect_partial"
+                                           : "GridSelect_partial_threadqueue",
+                          p.shape.total_blocks(), p.shape.block_threads,
+                          s.batch, s.n, s.k, std::move(binds));
+    if (!p.direct_output) {
+      simgpu::record_launch(sched, "GridSelect_merge",
+                            static_cast<int>(s.batch), 1024, s.batch, s.n,
+                            s.k,
+                            {{"part_val", static_cast<int>(p.seg_part_val)},
+                             {"part_idx", static_cast<int>(p.seg_part_idx)},
+                             {"out_vals", simgpu::kBindOutVals},
+                             {"out_idx", simgpu::kBindOutIdx}});
+    }
+  }
   return p;
 }
 
@@ -403,7 +502,8 @@ void grid_select_run(simgpu::Device& dev, const GridSelectPlan<T>& plan,
   {
     simgpu::LaunchConfig cfg{shared_queue ? "GridSelect_partial"
                                           : "GridSelect_partial_threadqueue",
-                             shape.total_blocks(), shape.block_threads};
+                             shape.total_blocks(), shape.block_threads,
+                             batch, n, k};
     simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
       const std::size_t prob = shape.problem_of(ctx.block_idx());
       const int bip = shape.block_in_problem(ctx.block_idx());
@@ -626,7 +726,7 @@ void grid_select_run(simgpu::Device& dev, const GridSelectPlan<T>& plan,
     // lists across its warps, so the launch shape (and hence the modeled
     // bandwidth share) uses a full 1024-thread block.
     simgpu::LaunchConfig cfg{"GridSelect_merge", static_cast<int>(batch),
-                             1024};
+                             1024, batch, n, k};
     simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
       const auto prob = static_cast<std::size_t>(ctx.block_idx());
       auto acc_keys = ctx.shared<T>(cap, "gridselect merge acc keys");

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "simgpu/simgpu.hpp"
 #include "topk/common.hpp"
@@ -36,14 +38,123 @@ struct QuickSelectPlan {
   std::size_t seg_probe = 0;
 };
 
+/// Footprint contracts for the QuickSelect kernels.  The partition writes
+/// all three destinations through cursor-reserved aggregated appends; the
+/// input operands are optional because the first iteration reads the raw
+/// input while later iterations read a rotating candidate buffer.
+inline void register_quick_select_footprints() {
+  using simgpu::Access;
+  using simgpu::AffineVar;
+  using simgpu::WriteScope;
+  simgpu::register_footprint(
+      {"collect_results",
+       {
+           {"in",
+            Access::kRead,
+            WriteScope::kNone,
+            {{AffineVar::kBatchN}},
+            8,
+            /*optional=*/true},
+           {"src_val",
+            Access::kRead,
+            WriteScope::kNone,
+            {{AffineVar::kSegElems}},
+            8,
+            /*optional=*/true},
+           {"src_idx",
+            Access::kRead,
+            WriteScope::kNone,
+            {{AffineVar::kSegElems}},
+            4,
+            /*optional=*/true},
+           {"out_vals",
+            Access::kWrite,
+            WriteScope::kBlockLocal,
+            {{AffineVar::kBatchK}},
+            8},
+           {"out_idx",
+            Access::kWrite,
+            WriteScope::kBlockLocal,
+            {{AffineVar::kBatchK}},
+            4},
+       }});
+  simgpu::register_footprint(
+      {"pivot_probe",
+       {
+           {"in",
+            Access::kRead,
+            WriteScope::kNone,
+            {{AffineVar::kBatchN}},
+            8,
+            /*optional=*/true},
+           {"src_val",
+            Access::kRead,
+            WriteScope::kNone,
+            {{AffineVar::kSegElems}},
+            8,
+            /*optional=*/true},
+           {"probe",
+            Access::kWrite,
+            WriteScope::kSingleBlock,
+            {{AffineVar::kOne, 3}},
+            8},
+       }});
+  simgpu::register_footprint(
+      {"partition_memset",
+       {
+           {"counters",
+            Access::kWrite,
+            WriteScope::kSingleBlock,
+            {{AffineVar::kOne, 3}},
+            4},
+       }});
+  simgpu::register_footprint(
+      {"partition",
+       {
+           {"in",
+            Access::kRead,
+            WriteScope::kNone,
+            {{AffineVar::kBatchN}},
+            8,
+            /*optional=*/true},
+           {"src_val",
+            Access::kRead,
+            WriteScope::kNone,
+            {{AffineVar::kSegElems}},
+            8,
+            /*optional=*/true},
+           {"src_idx",
+            Access::kRead,
+            WriteScope::kNone,
+            {{AffineVar::kSegElems}},
+            4,
+            /*optional=*/true},
+           {"counters", Access::kAtomic, WriteScope::kNone,
+            {{AffineVar::kOne, 3}}, 4},
+           {"less_val", Access::kWrite, WriteScope::kReserved,
+            {{AffineVar::kSegElems}}, 8},
+           {"less_idx", Access::kWrite, WriteScope::kReserved,
+            {{AffineVar::kSegElems}}, 4},
+           {"eq_val", Access::kWrite, WriteScope::kReserved,
+            {{AffineVar::kSegElems}}, 8},
+           {"eq_idx", Access::kWrite, WriteScope::kReserved,
+            {{AffineVar::kSegElems}}, 4},
+           {"greater_val", Access::kWrite, WriteScope::kReserved,
+            {{AffineVar::kSegElems}}, 8},
+           {"greater_idx", Access::kWrite, WriteScope::kReserved,
+            {{AffineVar::kSegElems}}, 4},
+       }});
+}
+
 /// Phase 1 of QuickSelect: validate and lay out the rotating candidate
 /// buffers, the pivot-equal buffer, the partition counters and the pivot
 /// probe staging buffer.
 template <typename T>
 QuickSelectPlan<T> quick_select_plan(const Shape& s,
-                                     const simgpu::DeviceSpec& /*spec*/,
+                                     const simgpu::DeviceSpec& spec,
                                      const QuickSelectOptions& opt,
-                                     simgpu::WorkspaceLayout& layout) {
+                                     simgpu::WorkspaceLayout& layout,
+                                     simgpu::KernelSchedule* sched = nullptr) {
   validate_problem(s.n, s.k, s.batch);
 
   QuickSelectPlan<T> p;
@@ -63,6 +174,68 @@ QuickSelectPlan<T> quick_select_plan(const Shape& s,
   p.seg_eq_idx = layout.add<std::uint32_t>("quick eq idx", s.n);
   p.seg_counters = layout.add<std::uint32_t>("quick part counts", 3);
   p.seg_probe = layout.add<T>("quick pivot probe", 3);
+
+  if (sched != nullptr) {
+    register_quick_select_footprints();
+    // Nominal per-problem unrolling: two partition iterations (input first,
+    // then the rotated less-side buffer as if k_rem landed strictly below
+    // the pivot) and the terminal less+equal collection.
+    const GridShape shape =
+        make_grid(1, s.n, spec, opt.block_threads, opt.items_per_block);
+    int src = 0, d_less = 1, d_greater = 2;
+    for (int iter = 0; iter < 2; ++iter) {
+      const bool fi = (iter == 0);
+      std::vector<simgpu::OperandBind> probe_binds;
+      if (fi) {
+        probe_binds.push_back({"in", simgpu::kBindInput});
+      } else {
+        probe_binds.push_back({"src_val", static_cast<int>(p.seg_val[src])});
+      }
+      probe_binds.push_back({"probe", static_cast<int>(p.seg_probe)});
+      simgpu::record_launch(sched, "pivot_probe", 1, 32, 1, s.n, s.k,
+                            std::move(probe_binds));
+      simgpu::record_host(sched, "pivot sample",
+                          {{"probe", static_cast<int>(p.seg_probe),
+                            simgpu::Access::kRead}});
+      simgpu::record_launch(sched, "partition_memset", 1, 32, 1, s.n, s.k,
+                            {{"counters", static_cast<int>(p.seg_counters)}});
+      std::vector<simgpu::OperandBind> part_binds;
+      if (fi) {
+        part_binds.push_back({"in", simgpu::kBindInput});
+      } else {
+        part_binds.push_back({"src_val", static_cast<int>(p.seg_val[src])});
+        part_binds.push_back({"src_idx", static_cast<int>(p.seg_idx[src])});
+      }
+      part_binds.push_back({"counters", static_cast<int>(p.seg_counters)});
+      part_binds.push_back({"less_val", static_cast<int>(p.seg_val[d_less])});
+      part_binds.push_back({"less_idx", static_cast<int>(p.seg_idx[d_less])});
+      part_binds.push_back({"eq_val", static_cast<int>(p.seg_eq_val)});
+      part_binds.push_back({"eq_idx", static_cast<int>(p.seg_eq_idx)});
+      part_binds.push_back(
+          {"greater_val", static_cast<int>(p.seg_val[d_greater])});
+      part_binds.push_back(
+          {"greater_idx", static_cast<int>(p.seg_idx[d_greater])});
+      simgpu::record_launch(sched, "partition", shape.total_blocks(),
+                            opt.block_threads, 1, s.n, s.k,
+                            std::move(part_binds));
+      simgpu::record_host(sched, "part counts",
+                          {{"counters", static_cast<int>(p.seg_counters),
+                            simgpu::Access::kRead}});
+      std::swap(src, d_less);
+    }
+    simgpu::record_launch(sched, "collect_results", shape.total_blocks(),
+                          opt.block_threads, 1, s.n, s.k,
+                          {{"src_val", static_cast<int>(p.seg_val[src])},
+                           {"src_idx", static_cast<int>(p.seg_idx[src])},
+                           {"out_vals", simgpu::kBindOutVals},
+                           {"out_idx", simgpu::kBindOutIdx}});
+    simgpu::record_launch(sched, "collect_results", shape.total_blocks(),
+                          opt.block_threads, 1, s.n, s.k,
+                          {{"src_val", static_cast<int>(p.seg_eq_val)},
+                           {"src_idx", static_cast<int>(p.seg_eq_idx)},
+                           {"out_vals", simgpu::kBindOutVals},
+                           {"out_idx", simgpu::kBindOutIdx}});
+  }
   return p;
 }
 
@@ -107,7 +280,7 @@ void quick_select_run(simgpu::Device& dev, const QuickSelectPlan<T>& plan,
         make_grid(1, m, dev.spec(), opt.block_threads, opt.items_per_block);
     const int bpp = shape.blocks_per_problem;
     simgpu::LaunchConfig cfg{"collect_results", shape.total_blocks(),
-                             opt.block_threads};
+                             opt.block_threads, 1, n, k};
     simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
       const auto [begin, end] = block_chunk(m, bpp, ctx.block_idx());
       for (std::size_t i = begin; i < end; ++i) {
@@ -136,7 +309,7 @@ void quick_select_run(simgpu::Device& dev, const QuickSelectPlan<T>& plan,
           const int bpp = shape.blocks_per_problem;
           const std::uint64_t dst = out_cursor;
           simgpu::LaunchConfig cfg{"collect_results", shape.total_blocks(),
-                                   opt.block_threads};
+                                   opt.block_threads, 1, n, k};
           simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
             const auto [begin, end] = block_chunk(count, bpp, ctx.block_idx());
             for (std::size_t i = begin; i < end; ++i) {
@@ -156,7 +329,7 @@ void quick_select_run(simgpu::Device& dev, const QuickSelectPlan<T>& plan,
       std::array<T, 3> probe;
       {
         const std::size_t s0 = 0, s1 = count / 2, s2 = count - 1;
-        simgpu::LaunchConfig cfg{"pivot_probe", 1, 32};
+        simgpu::LaunchConfig cfg{"pivot_probe", 1, 32, 1, n, k};
         simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
           const auto fetch = [&](std::size_t i) {
             return from_input ? ctx.load(in, prob * n + i)
@@ -174,7 +347,7 @@ void quick_select_run(simgpu::Device& dev, const QuickSelectPlan<T>& plan,
 
       // ---- partition kernel ----------------------------------------------
       {
-        simgpu::LaunchConfig cfg{"partition_memset", 1, 32};
+        simgpu::LaunchConfig cfg{"partition_memset", 1, 32, 1, n, k};
         simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
           ctx.store<std::uint32_t>(counters, 0, 0);
           ctx.store<std::uint32_t>(counters, 1, 0);
@@ -191,7 +364,7 @@ void quick_select_run(simgpu::Device& dev, const QuickSelectPlan<T>& plan,
       const auto greater_idx = bi[d_greater];
       {
         simgpu::LaunchConfig cfg{"partition", shape.total_blocks(),
-                                 opt.block_threads};
+                                 opt.block_threads, 1, n, k};
         simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
           const auto [begin, end] = block_chunk(count, bpp, ctx.block_idx());
           // GpuSelection partitions with warp-aggregated atomics.

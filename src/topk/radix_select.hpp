@@ -47,13 +47,101 @@ struct RadixSelectPlan {
   std::size_t seg_host_hist = 0;
 };
 
+/// Footprint contracts for the host-managed RadixSelect kernels.  The
+/// per-pass kernels register under their bare family names; the histogram
+/// bound is segment-sized because the bucket count is a digit-width tuning
+/// option that must not be folded into a shape-generic contract.
+inline void register_radix_select_footprints() {
+  using simgpu::Access;
+  using simgpu::AffineVar;
+  using simgpu::WriteScope;
+  simgpu::register_footprint(
+      {"Memset",
+       {
+           {"hist",
+            Access::kWrite,
+            WriteScope::kSingleBlock,
+            {{AffineVar::kSegElems}},
+            4},
+           {"counters",
+            Access::kWrite,
+            WriteScope::kSingleBlock,
+            {{AffineVar::kOne, 2}},
+            4},
+       }});
+  simgpu::register_footprint(
+      {"CalculateOccurence",
+       {
+           {"in",
+            Access::kRead,
+            WriteScope::kNone,
+            {{AffineVar::kBatchN}},
+            8,
+            /*optional=*/true},
+           {"src_val",
+            Access::kRead,
+            WriteScope::kNone,
+            {{AffineVar::kSegElems}},
+            8,
+            /*optional=*/true},
+           {"hist", Access::kAtomic, WriteScope::kNone,
+            {{AffineVar::kSegElems}}, 4},
+       }});
+  simgpu::register_footprint(
+      {"Filter",
+       {
+           {"in",
+            Access::kRead,
+            WriteScope::kNone,
+            {{AffineVar::kBatchN}},
+            8,
+            /*optional=*/true},
+           {"src_val",
+            Access::kRead,
+            WriteScope::kNone,
+            {{AffineVar::kSegElems}},
+            8,
+            /*optional=*/true},
+           {"src_idx",
+            Access::kRead,
+            WriteScope::kNone,
+            {{AffineVar::kSegElems}},
+            4,
+            /*optional=*/true},
+           {"counters", Access::kAtomic, WriteScope::kNone,
+            {{AffineVar::kOne, 2}}, 4},
+           {"out_vals",
+            Access::kWrite,
+            WriteScope::kReserved,
+            {{AffineVar::kBatchK}},
+            8},
+           {"out_idx",
+            Access::kWrite,
+            WriteScope::kReserved,
+            {{AffineVar::kBatchK}},
+            4},
+           {"dst_val",
+            Access::kWrite,
+            WriteScope::kReserved,
+            {{AffineVar::kSegElems}},
+            8},
+           {"dst_idx",
+            Access::kWrite,
+            WriteScope::kReserved,
+            {{AffineVar::kSegElems}},
+            4},
+       }});
+  register_copy_remainder_footprint();
+}
+
 /// Phase 1 of RadixSelect: validate, precompute the pass schedule (start
 /// bits and interned kernel names) and lay out the workspace.
 template <typename T>
 RadixSelectPlan<T> radix_select_plan(const Shape& s,
-                                     const simgpu::DeviceSpec& /*spec*/,
+                                     const simgpu::DeviceSpec& spec,
                                      const RadixSelectOptions& opt,
-                                     simgpu::WorkspaceLayout& layout) {
+                                     simgpu::WorkspaceLayout& layout,
+                                     simgpu::KernelSchedule* sched = nullptr) {
   using Traits = RadixTraits<T>;
 
   validate_problem(s.n, s.k, s.batch);
@@ -86,6 +174,64 @@ RadixSelectPlan<T> radix_select_plan(const Shape& s,
   p.seg_idx[1] = layout.add<std::uint32_t>("radix cand idx 1", s.n);
   p.seg_host_hist = layout.add<std::uint32_t>(
       "radix host hist", static_cast<std::size_t>(p.nb), /*host=*/true);
+
+  if (sched != nullptr) {
+    register_radix_select_footprints();
+    // Nominal per-problem unrolling for the static auditor: every pass is
+    // assumed to scan the full n candidates (the real pass count and
+    // candidate counts shrink data-dependently, so this is the conservative
+    // superset of any actual execution).
+    const GridShape hshape =
+        make_grid(1, s.n, spec, opt.block_threads, opt.items_per_block);
+    int cur = 0;
+    for (int pass = 0; pass < p.num_passes; ++pass) {
+      const auto& pp = p.passes[static_cast<std::size_t>(pass)];
+      simgpu::record_launch(sched, "Memset", 1, opt.block_threads, 1, s.n,
+                            s.k,
+                            {{"hist", static_cast<int>(p.seg_hist)},
+                             {"counters", static_cast<int>(p.seg_counters)}});
+      std::vector<simgpu::OperandBind> hist_binds;
+      if (pass == 0) {
+        hist_binds.push_back({"in", simgpu::kBindInput});
+      } else {
+        hist_binds.push_back({"src_val", static_cast<int>(p.seg_val[cur])});
+      }
+      hist_binds.push_back({"hist", static_cast<int>(p.seg_hist)});
+      simgpu::record_launch(sched, pp.hist_name, hshape.total_blocks(),
+                            opt.block_threads, 1, s.n, s.k,
+                            std::move(hist_binds));
+      simgpu::record_host(
+          sched, "histogram",
+          {{"hist", static_cast<int>(p.seg_hist), simgpu::Access::kRead},
+           {"host_hist", static_cast<int>(p.seg_host_hist),
+            simgpu::Access::kWrite}});
+      simgpu::record_host(sched, "scan+find_digit",
+                          {{"host_hist", static_cast<int>(p.seg_host_hist),
+                            simgpu::Access::kRead}});
+      std::vector<simgpu::OperandBind> filter_binds;
+      if (pass == 0) {
+        filter_binds.push_back({"in", simgpu::kBindInput});
+      } else {
+        filter_binds.push_back({"src_val", static_cast<int>(p.seg_val[cur])});
+        filter_binds.push_back({"src_idx", static_cast<int>(p.seg_idx[cur])});
+      }
+      filter_binds.push_back({"counters", static_cast<int>(p.seg_counters)});
+      filter_binds.push_back({"out_vals", simgpu::kBindOutVals});
+      filter_binds.push_back({"out_idx", simgpu::kBindOutIdx});
+      filter_binds.push_back({"dst_val", static_cast<int>(p.seg_val[1 - cur])});
+      filter_binds.push_back({"dst_idx", static_cast<int>(p.seg_idx[1 - cur])});
+      simgpu::record_launch(sched, pp.filter_name, hshape.total_blocks(),
+                            opt.block_threads, 1, s.n, s.k,
+                            std::move(filter_binds));
+      cur = 1 - cur;
+    }
+    simgpu::record_launch(sched, "CopyRemainder", 1, opt.block_threads, 1,
+                          s.n, s.k,
+                          {{"src_val", static_cast<int>(p.seg_val[cur])},
+                           {"src_idx", static_cast<int>(p.seg_idx[cur])},
+                           {"out_vals", simgpu::kBindOutVals},
+                           {"out_idx", simgpu::kBindOutIdx}});
+  }
   return p;
 }
 
@@ -152,7 +298,7 @@ void radix_select_run(simgpu::Device& dev, const RadixSelectPlan<T>& plan,
 
       // ---- kernel 0: cudaMemset analogue for histogram + cursors ---------
       {
-        simgpu::LaunchConfig cfg{"Memset", 1, opt.block_threads};
+        simgpu::LaunchConfig cfg{"Memset", 1, opt.block_threads, 1, n, k};
         simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
           for (int d = 0; d < nb; ++d) {
             ctx.store<std::uint32_t>(ghist, static_cast<std::size_t>(d), 0);
@@ -169,7 +315,7 @@ void radix_select_run(simgpu::Device& dev, const RadixSelectPlan<T>& plan,
       {
         simgpu::LaunchConfig cfg{
             plan.passes[static_cast<std::size_t>(p)].hist_name,
-            hshape.total_blocks(), opt.block_threads};
+            hshape.total_blocks(), opt.block_threads, 1, n, k};
         const int bpp = hshape.blocks_per_problem;
         simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
           auto shist = ctx.shared_zero<std::uint32_t>(
@@ -229,7 +375,7 @@ void radix_select_run(simgpu::Device& dev, const RadixSelectPlan<T>& plan,
       {
         simgpu::LaunchConfig cfg{
             plan.passes[static_cast<std::size_t>(p)].filter_name,
-            hshape.total_blocks(), opt.block_threads};
+            hshape.total_blocks(), opt.block_threads, 1, n, k};
         const int bpp = hshape.blocks_per_problem;
         const std::uint64_t out_cursor_base = out_base + out_written;
         simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
@@ -276,7 +422,8 @@ void radix_select_run(simgpu::Device& dev, const RadixSelectPlan<T>& plan,
         const auto fin_val = cand_val[cur];
         const auto fin_idx = cand_idx[cur];
         const std::uint64_t out_cursor_base = out_base + out_written;
-        simgpu::LaunchConfig cfg{"CopyRemainder", 1, opt.block_threads};
+        simgpu::LaunchConfig cfg{"CopyRemainder", 1, opt.block_threads, 1, n,
+                                 k};
         simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
           copy_pairs(ctx, fin_val, fin_idx, 0, out_vals, out_idx,
                      out_cursor_base, take);

@@ -42,6 +42,9 @@ struct PlanImpl {
   bool negate = false;
   std::size_t seg_negated = 0;
   simgpu::WorkspaceLayout layout;
+  /// Nominal kernel sequence recorded by the plan function, for the static
+  /// plan auditor (src/verify).  Not consumed by run_select.
+  simgpu::KernelSchedule schedule;
   std::variant<SortTopkPlan<float>, BitonicTopkPlan<float>,
                QuickSelectPlan<float>, BucketSelectPlan<float>,
                SampleSelectPlan<float>, RadixSelectPlan<float>,
@@ -74,7 +77,7 @@ inline void plan_air(PlanImpl& impl, const simgpu::DeviceSpec& spec,
                      const SelectOptions& opt) {
   impl.plan = air_topk_plan<float>(impl.shape, spec,
                                    air_options_for(impl.algo, opt),
-                                   impl.layout);
+                                   impl.layout, &impl.schedule);
 }
 
 inline void run_air(simgpu::Device& dev, const PlanImpl& impl,
@@ -89,7 +92,8 @@ inline void plan_grid(PlanImpl& impl, const simgpu::DeviceSpec& spec,
                       const SelectOptions&) {
   GridSelectOptions o;
   o.shared_queue = impl.algo != Algo::kGridSelectThreadQueue;
-  impl.plan = grid_select_plan<float>(impl.shape, spec, o, impl.layout);
+  impl.plan =
+      grid_select_plan<float>(impl.shape, spec, o, impl.layout, &impl.schedule);
 }
 
 inline void run_grid(simgpu::Device& dev, const PlanImpl& impl,
@@ -102,7 +106,8 @@ inline void run_grid(simgpu::Device& dev, const PlanImpl& impl,
 
 inline void plan_radix(PlanImpl& impl, const simgpu::DeviceSpec& spec,
                        const SelectOptions&) {
-  impl.plan = radix_select_plan<float>(impl.shape, spec, {}, impl.layout);
+  impl.plan = radix_select_plan<float>(impl.shape, spec, {}, impl.layout,
+                                       &impl.schedule);
 }
 
 inline void run_radix(simgpu::Device& dev, const PlanImpl& impl,
@@ -115,14 +120,16 @@ inline void run_radix(simgpu::Device& dev, const PlanImpl& impl,
 
 inline void plan_warp(PlanImpl& impl, const simgpu::DeviceSpec& spec,
                       const SelectOptions&) {
-  impl.plan = faiss_detail::faiss_select_plan<float>(impl.shape, spec, /*num_warps=*/1,
-                                       "WarpSelect", impl.layout);
+  impl.plan = faiss_detail::faiss_select_plan<float>(
+      impl.shape, spec, /*num_warps=*/1, "WarpSelect", impl.layout,
+      &impl.schedule);
 }
 
 inline void plan_block(PlanImpl& impl, const simgpu::DeviceSpec& spec,
                        const SelectOptions&) {
-  impl.plan = faiss_detail::faiss_select_plan<float>(impl.shape, spec, /*num_warps=*/4,
-                                       "BlockSelect", impl.layout);
+  impl.plan = faiss_detail::faiss_select_plan<float>(
+      impl.shape, spec, /*num_warps=*/4, "BlockSelect", impl.layout,
+      &impl.schedule);
 }
 
 inline void run_faiss(simgpu::Device& dev, const PlanImpl& impl,
@@ -135,7 +142,8 @@ inline void run_faiss(simgpu::Device& dev, const PlanImpl& impl,
 
 inline void plan_bitonic(PlanImpl& impl, const simgpu::DeviceSpec& spec,
                          const SelectOptions&) {
-  impl.plan = bitonic_topk_plan<float>(impl.shape, spec, {}, impl.layout);
+  impl.plan = bitonic_topk_plan<float>(impl.shape, spec, {}, impl.layout,
+                                       &impl.schedule);
 }
 
 inline void run_bitonic(simgpu::Device& dev, const PlanImpl& impl,
@@ -148,7 +156,8 @@ inline void run_bitonic(simgpu::Device& dev, const PlanImpl& impl,
 
 inline void plan_quick(PlanImpl& impl, const simgpu::DeviceSpec& spec,
                        const SelectOptions&) {
-  impl.plan = quick_select_plan<float>(impl.shape, spec, {}, impl.layout);
+  impl.plan = quick_select_plan<float>(impl.shape, spec, {}, impl.layout,
+                                       &impl.schedule);
 }
 
 inline void run_quick(simgpu::Device& dev, const PlanImpl& impl,
@@ -161,7 +170,8 @@ inline void run_quick(simgpu::Device& dev, const PlanImpl& impl,
 
 inline void plan_bucket(PlanImpl& impl, const simgpu::DeviceSpec& spec,
                         const SelectOptions&) {
-  impl.plan = bucket_select_plan<float>(impl.shape, spec, {}, impl.layout);
+  impl.plan = bucket_select_plan<float>(impl.shape, spec, {}, impl.layout,
+                                        &impl.schedule);
 }
 
 inline void run_bucket(simgpu::Device& dev, const PlanImpl& impl,
@@ -174,7 +184,8 @@ inline void run_bucket(simgpu::Device& dev, const PlanImpl& impl,
 
 inline void plan_sample(PlanImpl& impl, const simgpu::DeviceSpec& spec,
                         const SelectOptions&) {
-  impl.plan = sample_select_plan<float>(impl.shape, spec, {}, impl.layout);
+  impl.plan = sample_select_plan<float>(impl.shape, spec, {}, impl.layout,
+                                        &impl.schedule);
 }
 
 inline void run_sample(simgpu::Device& dev, const PlanImpl& impl,
@@ -187,7 +198,8 @@ inline void run_sample(simgpu::Device& dev, const PlanImpl& impl,
 
 inline void plan_sort(PlanImpl& impl, const simgpu::DeviceSpec& spec,
                       const SelectOptions&) {
-  impl.plan = sort_topk_plan<float>(impl.shape, spec, {}, impl.layout);
+  impl.plan =
+      sort_topk_plan<float>(impl.shape, spec, {}, impl.layout, &impl.schedule);
 }
 
 inline void run_sort(simgpu::Device& dev, const PlanImpl& impl,

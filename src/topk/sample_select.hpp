@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "simgpu/simgpu.hpp"
 #include "topk/bitonic.hpp"
@@ -41,12 +43,152 @@ struct SampleSelectPlan {
   std::size_t seg_host_split = 0;
 };
 
+/// Footprint contracts for the SampleSelect kernels.  "hist_memset" is
+/// shared with BucketSelect (identical spelling, first registration wins);
+/// the splitter operand is optional because degenerate levels fall back to
+/// a single-pivot partition that never touches it.
+inline void register_sample_select_footprints() {
+  using simgpu::Access;
+  using simgpu::AffineVar;
+  using simgpu::WriteScope;
+  simgpu::register_footprint(
+      {"hist_memset",
+       {
+           {"hist",
+            Access::kWrite,
+            WriteScope::kSingleBlock,
+            {{AffineVar::kSegElems}},
+            4},
+           {"counters",
+            Access::kWrite,
+            WriteScope::kSingleBlock,
+            {{AffineVar::kOne, 2}},
+            4,
+            /*optional=*/true},
+       }});
+  simgpu::register_footprint(
+      {"sample",
+       {
+           {"in",
+            Access::kRead,
+            WriteScope::kNone,
+            {{AffineVar::kBatchN}},
+            8,
+            /*optional=*/true},
+           {"src_val",
+            Access::kRead,
+            WriteScope::kNone,
+            {{AffineVar::kSegElems}},
+            8,
+            /*optional=*/true},
+           {"sample",
+            Access::kWrite,
+            WriteScope::kSingleBlock,
+            {{AffineVar::kSegElems}},
+            8},
+       }});
+  simgpu::register_footprint(
+      {"small_sort",
+       {
+           {"src_val", Access::kRead, WriteScope::kNone,
+            {{AffineVar::kSegElems}}, 8},
+           {"src_idx", Access::kRead, WriteScope::kNone,
+            {{AffineVar::kSegElems}}, 4},
+           {"out_vals",
+            Access::kWrite,
+            WriteScope::kBlockLocal,
+            {{AffineVar::kBatchK}},
+            8},
+           {"out_idx",
+            Access::kWrite,
+            WriteScope::kBlockLocal,
+            {{AffineVar::kBatchK}},
+            4},
+       }});
+  simgpu::register_footprint(
+      {"sample_histogram",
+       {
+           {"in",
+            Access::kRead,
+            WriteScope::kNone,
+            {{AffineVar::kBatchN}},
+            8,
+            /*optional=*/true},
+           {"src_val",
+            Access::kRead,
+            WriteScope::kNone,
+            {{AffineVar::kSegElems}},
+            8,
+            /*optional=*/true},
+           {"splitters",
+            Access::kRead,
+            WriteScope::kNone,
+            {{AffineVar::kSegElems}},
+            8,
+            /*optional=*/true},
+           {"hist", Access::kAtomic, WriteScope::kNone,
+            {{AffineVar::kSegElems}}, 4},
+       }});
+  simgpu::register_footprint(
+      {"sample_filter",
+       {
+           {"in",
+            Access::kRead,
+            WriteScope::kNone,
+            {{AffineVar::kBatchN}},
+            8,
+            /*optional=*/true},
+           {"src_val",
+            Access::kRead,
+            WriteScope::kNone,
+            {{AffineVar::kSegElems}},
+            8,
+            /*optional=*/true},
+           {"src_idx",
+            Access::kRead,
+            WriteScope::kNone,
+            {{AffineVar::kSegElems}},
+            4,
+            /*optional=*/true},
+           {"splitters",
+            Access::kRead,
+            WriteScope::kNone,
+            {{AffineVar::kSegElems}},
+            8,
+            /*optional=*/true},
+           {"counters", Access::kAtomic, WriteScope::kNone,
+            {{AffineVar::kOne, 2}}, 4},
+           {"out_vals",
+            Access::kWrite,
+            WriteScope::kReserved,
+            {{AffineVar::kBatchK}},
+            8},
+           {"out_idx",
+            Access::kWrite,
+            WriteScope::kReserved,
+            {{AffineVar::kBatchK}},
+            4},
+           {"dst_val",
+            Access::kWrite,
+            WriteScope::kReserved,
+            {{AffineVar::kSegElems}},
+            8},
+           {"dst_idx",
+            Access::kWrite,
+            WriteScope::kReserved,
+            {{AffineVar::kSegElems}},
+            4},
+       }});
+  register_copy_remainder_footprint();
+}
+
 /// Phase 1 of SampleSelect.
 template <typename T>
 SampleSelectPlan<T> sample_select_plan(const Shape& s,
-                                       const simgpu::DeviceSpec& /*spec*/,
+                                       const simgpu::DeviceSpec& spec,
                                        const SampleSelectOptions& opt,
-                                       simgpu::WorkspaceLayout& layout) {
+                                       simgpu::WorkspaceLayout& layout,
+                                       simgpu::KernelSchedule* sched = nullptr) {
   validate_problem(s.n, s.k, s.batch);
 
   SampleSelectPlan<T> p;
@@ -69,6 +211,89 @@ SampleSelectPlan<T> sample_select_plan(const Shape& s,
                                     /*host=*/true);
   p.seg_host_split = layout.add<T>("sample host split", nb - 1,
                                    /*host=*/true);
+
+  if (sched != nullptr) {
+    register_sample_select_footprints();
+    // Nominal per-problem unrolling: two splitter levels (input, then the
+    // ping-pong candidates) followed by the terminal on-chip sort.
+    const GridShape shape =
+        make_grid(1, s.n, spec, opt.block_threads, opt.items_per_block);
+    int cur = 0;
+    for (int level = 0; level < 2; ++level) {
+      const bool fi = (level == 0);
+      std::vector<simgpu::OperandBind> sample_binds;
+      if (fi) {
+        sample_binds.push_back({"in", simgpu::kBindInput});
+      } else {
+        sample_binds.push_back({"src_val", static_cast<int>(p.seg_val[cur])});
+      }
+      sample_binds.push_back({"sample", static_cast<int>(p.seg_sample)});
+      simgpu::record_launch(sched, "sample", 1, opt.block_threads, 1, s.n,
+                            s.k, std::move(sample_binds));
+      simgpu::record_host(
+          sched, "sample",
+          {{"sample", static_cast<int>(p.seg_sample), simgpu::Access::kRead},
+           {"host_sample", static_cast<int>(p.seg_host_sample),
+            simgpu::Access::kWrite}});
+      simgpu::record_host(
+          sched, "sort_sample",
+          {{"host_sample", static_cast<int>(p.seg_host_sample),
+            simgpu::Access::kRead},
+           {"host_split", static_cast<int>(p.seg_host_split),
+            simgpu::Access::kWrite}});
+      simgpu::record_host(
+          sched, "splitters",
+          {{"host_split", static_cast<int>(p.seg_host_split),
+            simgpu::Access::kRead},
+           {"splitters", static_cast<int>(p.seg_splitters),
+            simgpu::Access::kWrite}});
+      simgpu::record_launch(sched, "hist_memset", 1, 32, 1, s.n, s.k,
+                            {{"hist", static_cast<int>(p.seg_hist)},
+                             {"counters", static_cast<int>(p.seg_counters)}});
+      std::vector<simgpu::OperandBind> hist_binds;
+      if (fi) {
+        hist_binds.push_back({"in", simgpu::kBindInput});
+      } else {
+        hist_binds.push_back({"src_val", static_cast<int>(p.seg_val[cur])});
+      }
+      hist_binds.push_back({"splitters", static_cast<int>(p.seg_splitters)});
+      hist_binds.push_back({"hist", static_cast<int>(p.seg_hist)});
+      simgpu::record_launch(sched, "sample_histogram", shape.total_blocks(),
+                            opt.block_threads, 1, s.n, s.k,
+                            std::move(hist_binds));
+      simgpu::record_host(
+          sched, "class histogram",
+          {{"hist", static_cast<int>(p.seg_hist), simgpu::Access::kRead},
+           {"host_hist", static_cast<int>(p.seg_host_hist),
+            simgpu::Access::kWrite}});
+      simgpu::record_host(sched, "scan+find_bkt",
+                          {{"host_hist", static_cast<int>(p.seg_host_hist),
+                            simgpu::Access::kRead}});
+      std::vector<simgpu::OperandBind> filter_binds;
+      if (fi) {
+        filter_binds.push_back({"in", simgpu::kBindInput});
+      } else {
+        filter_binds.push_back({"src_val", static_cast<int>(p.seg_val[cur])});
+        filter_binds.push_back({"src_idx", static_cast<int>(p.seg_idx[cur])});
+      }
+      filter_binds.push_back({"splitters", static_cast<int>(p.seg_splitters)});
+      filter_binds.push_back({"counters", static_cast<int>(p.seg_counters)});
+      filter_binds.push_back({"out_vals", simgpu::kBindOutVals});
+      filter_binds.push_back({"out_idx", simgpu::kBindOutIdx});
+      filter_binds.push_back({"dst_val", static_cast<int>(p.seg_val[1 - cur])});
+      filter_binds.push_back({"dst_idx", static_cast<int>(p.seg_idx[1 - cur])});
+      simgpu::record_launch(sched, "sample_filter", shape.total_blocks(),
+                            opt.block_threads, 1, s.n, s.k,
+                            std::move(filter_binds));
+      cur = 1 - cur;
+    }
+    simgpu::record_launch(sched, "small_sort", 1, opt.block_threads, 1, s.n,
+                          s.k,
+                          {{"src_val", static_cast<int>(p.seg_val[cur])},
+                           {"src_idx", static_cast<int>(p.seg_idx[cur])},
+                           {"out_vals", simgpu::kBindOutVals},
+                           {"out_idx", simgpu::kBindOutIdx}});
+  }
   return p;
 }
 
@@ -130,7 +355,7 @@ void sample_select_run(simgpu::Device& dev, const SampleSelectPlan<T>& plan,
                                           opt.items_per_block);
         const int bpp = shape.blocks_per_problem;
         simgpu::LaunchConfig cfg{"CopyRemainder", shape.total_blocks(),
-                                 opt.block_threads};
+                                 opt.block_threads, 1, n, k};
         simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
           const auto [begin, end] = block_chunk(count, bpp, ctx.block_idx());
           for (std::size_t i = begin; i < end; ++i) {
@@ -153,7 +378,7 @@ void sample_select_run(simgpu::Device& dev, const SampleSelectPlan<T>& plan,
         const std::size_t padded = next_pow2(count);
         const std::uint64_t take = k_rem;
         const std::uint64_t dst = out_cursor;
-        simgpu::LaunchConfig cfg{"small_sort", 1, opt.block_threads};
+        simgpu::LaunchConfig cfg{"small_sort", 1, opt.block_threads, 1, n, k};
         simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
           auto keys = ctx.shared<T>(padded, "sample sort keys");
           auto idx = ctx.shared<std::uint32_t>(padded, "sample sort idx");
@@ -180,7 +405,7 @@ void sample_select_run(simgpu::Device& dev, const SampleSelectPlan<T>& plan,
       // ---- sample kernel + host sort --------------------------------------
       const std::size_t s = std::min<std::size_t>(opt.sample_size, count);
       {
-        simgpu::LaunchConfig cfg{"sample", 1, opt.block_threads};
+        simgpu::LaunchConfig cfg{"sample", 1, opt.block_threads, 1, n, k};
         simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
           for (std::size_t i = 0; i < s; ++i) {
             const std::size_t at = i * count / s;
@@ -220,7 +445,7 @@ void sample_select_run(simgpu::Device& dev, const SampleSelectPlan<T>& plan,
 
       // ---- classify + histogram -------------------------------------------
       {
-        simgpu::LaunchConfig cfg{"hist_memset", 1, 32};
+        simgpu::LaunchConfig cfg{"hist_memset", 1, 32, 1, n, k};
         simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
           for (int d = 0; d < classes; ++d) {
             ctx.store<std::uint32_t>(ghist, static_cast<std::size_t>(d), 0);
@@ -248,7 +473,7 @@ void sample_select_run(simgpu::Device& dev, const SampleSelectPlan<T>& plan,
       };
       {
         simgpu::LaunchConfig cfg{"sample_histogram", shape.total_blocks(),
-                                 opt.block_threads};
+                                 opt.block_threads, 1, n, k};
         simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
           auto shist = ctx.shared_zero<std::uint32_t>(
               static_cast<std::size_t>(classes));
@@ -292,7 +517,7 @@ void sample_select_run(simgpu::Device& dev, const SampleSelectPlan<T>& plan,
       const std::uint64_t out_base = out_cursor;
       {
         simgpu::LaunchConfig cfg{"sample_filter", shape.total_blocks(),
-                                 opt.block_threads};
+                                 opt.block_threads, 1, n, k};
         simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
           const auto [begin, end] = block_chunk(count, bpp, ctx.block_idx());
           AggregatedAppender<T, std::uint32_t> out_app(
@@ -338,7 +563,8 @@ void sample_select_run(simgpu::Device& dev, const SampleSelectPlan<T>& plan,
         const auto fi2 = cand_idx[cur];
         const std::uint64_t take = k_rem;
         const std::uint64_t dst = out_cursor;
-        simgpu::LaunchConfig cfg{"CopyRemainder", 1, opt.block_threads};
+        simgpu::LaunchConfig cfg{"CopyRemainder", 1, opt.block_threads, 1, n,
+                                 k};
         simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
           for (std::uint64_t i = 0; i < take; ++i) {
             ctx.store(out_vals, dst + i, ctx.load(fv, i));

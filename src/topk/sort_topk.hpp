@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "simgpu/simgpu.hpp"
 #include "topk/common.hpp"
@@ -36,6 +37,88 @@ struct SortTopkPlan {
   std::size_t seg_hist = 0;
 };
 
+/// Footprint contracts for the full-sort baseline kernels.  The key width
+/// is declared at its 8-byte maximum (double instantiations) so one contract
+/// covers every element type; the scan is the lone single-block kernel.
+inline void register_sort_topk_footprints() {
+  using simgpu::Access;
+  using simgpu::AffineVar;
+  using simgpu::WriteScope;
+  simgpu::register_footprint(
+      {"radix_transform",
+       {
+           {"in", Access::kRead, WriteScope::kNone, {{AffineVar::kBatchN}}, 8},
+           {"dst_keys",
+            Access::kWrite,
+            WriteScope::kBlockLocal,
+            {{AffineVar::kBatchN}},
+            8},
+           {"dst_idx",
+            Access::kWrite,
+            WriteScope::kBlockLocal,
+            {{AffineVar::kBatchN}},
+            4},
+       }});
+  simgpu::register_footprint(
+      {"sort_histogram",
+       {
+           {"src_keys", Access::kRead, WriteScope::kNone,
+            {{AffineVar::kBatchN}}, 8},
+           {"hist",
+            Access::kWrite,
+            WriteScope::kBlockLocal,
+            {{AffineVar::kSegElems}},
+            4},
+       }});
+  simgpu::register_footprint(
+      {"sort_scan",
+       {
+           {"hist",
+            Access::kReadWrite,
+            WriteScope::kSingleBlock,
+            {{AffineVar::kSegElems}},
+            4},
+       }});
+  simgpu::register_footprint(
+      {"sort_scatter",
+       {
+           {"src_keys", Access::kRead, WriteScope::kNone,
+            {{AffineVar::kBatchN}}, 8},
+           {"src_idx", Access::kRead, WriteScope::kNone, {{AffineVar::kBatchN}},
+            4},
+           {"hist", Access::kRead, WriteScope::kNone, {{AffineVar::kSegElems}},
+            4},
+           {"dst_keys",
+            Access::kWrite,
+            WriteScope::kReserved,
+            {{AffineVar::kBatchN}},
+            8},
+           {"dst_idx",
+            Access::kWrite,
+            WriteScope::kReserved,
+            {{AffineVar::kBatchN}},
+            4},
+       }});
+  simgpu::register_footprint(
+      {"sort_take_k",
+       {
+           {"fin_keys", Access::kRead, WriteScope::kNone,
+            {{AffineVar::kBatchK}}, 8},
+           {"fin_idx", Access::kRead, WriteScope::kNone, {{AffineVar::kBatchK}},
+            4},
+           {"out_vals",
+            Access::kWrite,
+            WriteScope::kBlockLocal,
+            {{AffineVar::kBatchK}},
+            8},
+           {"out_idx",
+            Access::kWrite,
+            WriteScope::kBlockLocal,
+            {{AffineVar::kBatchK}},
+            4},
+       }});
+}
+
 /// Phase 1 of the sort baseline: validate the shape, size the grids, and
 /// describe every scratch buffer as a named workspace segment in `layout`.
 /// Performs no device work; the returned plan plus a Workspace bound to
@@ -43,7 +126,8 @@ struct SortTopkPlan {
 template <typename T>
 SortTopkPlan<T> sort_topk_plan(const Shape& s, const simgpu::DeviceSpec& spec,
                                const SortTopkOptions& opt,
-                               simgpu::WorkspaceLayout& layout) {
+                               simgpu::WorkspaceLayout& layout,
+                               simgpu::KernelSchedule* sched = nullptr) {
   using Traits = RadixTraits<T>;
   using Bits = typename Traits::Bits;
 
@@ -69,6 +153,41 @@ SortTopkPlan<T> sort_topk_plan(const Shape& s, const simgpu::DeviceSpec& spec,
       "sort block hist",
       static_cast<std::size_t>(p.shape.blocks_per_problem) *
           static_cast<std::size_t>(p.nb));
+
+  if (sched != nullptr) {
+    register_sort_topk_footprints();
+    // Nominal per-problem unrolling of the full LSD pipeline.
+    const int bpp = p.shape.blocks_per_problem;
+    simgpu::record_launch(sched, "radix_transform", bpp, opt.block_threads, 1,
+                          s.n, s.k,
+                          {{"in", simgpu::kBindInput},
+                           {"dst_keys", static_cast<int>(p.seg_keys[0])},
+                           {"dst_idx", static_cast<int>(p.seg_idx[0])}});
+    int cur = 0;
+    for (int pass = 0; pass < p.num_passes; ++pass) {
+      simgpu::record_launch(
+          sched, "sort_histogram", bpp, opt.block_threads, 1, s.n, s.k,
+          {{"src_keys", static_cast<int>(p.seg_keys[cur])},
+           {"hist", static_cast<int>(p.seg_hist)}});
+      simgpu::record_launch(sched, "sort_scan", 1, opt.block_threads, 1, s.n,
+                            s.k, {{"hist", static_cast<int>(p.seg_hist)}});
+      simgpu::record_launch(
+          sched, "sort_scatter", bpp, opt.block_threads, 1, s.n, s.k,
+          {{"src_keys", static_cast<int>(p.seg_keys[cur])},
+           {"src_idx", static_cast<int>(p.seg_idx[cur])},
+           {"hist", static_cast<int>(p.seg_hist)},
+           {"dst_keys", static_cast<int>(p.seg_keys[1 - cur])},
+           {"dst_idx", static_cast<int>(p.seg_idx[1 - cur])}});
+      cur = 1 - cur;
+    }
+    simgpu::record_launch(sched, "sort_take_k",
+                          p.cshape.blocks_per_problem, opt.block_threads, 1,
+                          s.n, s.k,
+                          {{"fin_keys", static_cast<int>(p.seg_keys[cur])},
+                           {"fin_idx", static_cast<int>(p.seg_idx[cur])},
+                           {"out_vals", simgpu::kBindOutVals},
+                           {"out_idx", simgpu::kBindOutIdx}});
+  }
   return p;
 }
 
@@ -114,7 +233,8 @@ void sort_topk_run(simgpu::Device& dev, const SortTopkPlan<T>& plan,
   for (std::size_t prob = 0; prob < batch; ++prob) {
     // ---- transform kernel: monotone bit reinterpretation + iota indices --
     {
-      simgpu::LaunchConfig cfg{"radix_transform", bpp, plan.opt.block_threads};
+      simgpu::LaunchConfig cfg{"radix_transform", bpp, plan.opt.block_threads,
+                               1, n, k};
       const auto dst_keys = keys[0];
       const auto dst_idx = idx[0];
       simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
@@ -158,7 +278,8 @@ void sort_topk_run(simgpu::Device& dev, const SortTopkPlan<T>& plan,
 
       // ---- kernel 1: per-block digit histogram --------------------------
       {
-        simgpu::LaunchConfig cfg{"sort_histogram", bpp, plan.opt.block_threads};
+        simgpu::LaunchConfig cfg{"sort_histogram", bpp,
+                                 plan.opt.block_threads, 1, n, k};
         simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
           auto shist =
               ctx.shared_zero<std::uint32_t>(static_cast<std::size_t>(nb));
@@ -194,7 +315,8 @@ void sort_topk_run(simgpu::Device& dev, const SortTopkPlan<T>& plan,
 
       // ---- kernel 2: digit-major exclusive scan --------------------------
       {
-        simgpu::LaunchConfig cfg{"sort_scan", 1, plan.opt.block_threads};
+        simgpu::LaunchConfig cfg{"sort_scan", 1, plan.opt.block_threads, 1, n,
+                                 k};
         simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
           std::uint32_t running = 0;
           for (int d = 0; d < nb; ++d) {
@@ -214,7 +336,8 @@ void sort_topk_run(simgpu::Device& dev, const SortTopkPlan<T>& plan,
 
       // ---- kernel 3: stable scatter --------------------------------------
       {
-        simgpu::LaunchConfig cfg{"sort_scatter", bpp, plan.opt.block_threads};
+        simgpu::LaunchConfig cfg{"sort_scatter", bpp, plan.opt.block_threads,
+                                 1, n, k};
         simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
           // Running per-digit cursors start at this block's scanned bases.
           auto cursor =
@@ -267,7 +390,8 @@ void sort_topk_run(simgpu::Device& dev, const SortTopkPlan<T>& plan,
       const auto fin_keys = keys[cur];
       const auto fin_idx = idx[cur];
       const int cbpp = plan.cshape.blocks_per_problem;
-      simgpu::LaunchConfig cfg{"sort_take_k", cbpp, plan.opt.block_threads};
+      simgpu::LaunchConfig cfg{"sort_take_k", cbpp, plan.opt.block_threads, 1,
+                               n, k};
       simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
         const auto [begin, end] = block_chunk(k, cbpp, ctx.block_idx());
         if (simgpu::tile_path_enabled()) {

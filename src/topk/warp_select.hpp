@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "simgpu/simgpu.hpp"
 #include "topk/common.hpp"
@@ -180,19 +181,50 @@ struct FaissSelectPlan {
   std::string_view kernel_name;
 };
 
+/// Footprint contracts for the two register-resident selection kernels: one
+/// pass over the input, final results written block-locally (each block owns
+/// one problem's k-slice of the outputs).
+inline void register_faiss_select_footprints() {
+  using simgpu::Access;
+  using simgpu::AffineVar;
+  using simgpu::WriteScope;
+  const std::vector<simgpu::OperandSpec> ops = {
+      {"in", Access::kRead, WriteScope::kNone, {{AffineVar::kBatchN}}, 8},
+      {"out_vals",
+       Access::kWrite,
+       WriteScope::kBlockLocal,
+       {{AffineVar::kBatchK}},
+       8},
+      {"out_idx",
+       Access::kWrite,
+       WriteScope::kBlockLocal,
+       {{AffineVar::kBatchK}},
+       4},
+  };
+  simgpu::register_footprint({"WarpSelect", ops});
+  simgpu::register_footprint({"BlockSelect", ops});
+}
+
 /// Phase 1 of WarpSelect / BlockSelect: validation only (no segments).
 template <typename T>
 FaissSelectPlan<T> faiss_select_plan(const Shape& s,
                                      const simgpu::DeviceSpec& /*spec*/,
                                      int num_warps,
                                      std::string_view kernel_name,
-                                     simgpu::WorkspaceLayout& /*layout*/) {
+                                     simgpu::WorkspaceLayout& /*layout*/,
+                                     simgpu::KernelSchedule* sched = nullptr) {
   validate_problem(s.n, s.k, s.batch);
   if (s.k > kMaxSelectionK) {
     throw std::invalid_argument(std::string(kernel_name) + ": k exceeds the " +
                                 std::to_string(kMaxSelectionK) +
                                 " register-resident limit");
   }
+  register_faiss_select_footprints();
+  simgpu::record_launch(sched, kernel_name, static_cast<int>(s.batch),
+                        num_warps * simgpu::kWarpSize, s.batch, s.n, s.k,
+                        {{"in", simgpu::kBindInput},
+                         {"out_vals", simgpu::kBindOutVals},
+                         {"out_idx", simgpu::kBindOutIdx}});
   return FaissSelectPlan<T>{s.batch, s.n, s.k, num_warps, kernel_name};
 }
 
@@ -220,7 +252,7 @@ void faiss_select_run(simgpu::Device& dev, const FaissSelectPlan<T>& plan,
   const bool tile = simgpu::tile_path_enabled();
 
   simgpu::LaunchConfig cfg{kernel_name, static_cast<int>(batch),
-                           num_warps * simgpu::kWarpSize};
+                           num_warps * simgpu::kWarpSize, batch, n, k};
   simgpu::launch(dev, cfg, [=](simgpu::BlockCtx& ctx) {
     const auto prob = static_cast<std::size_t>(ctx.block_idx());
     const std::size_t base = prob * n;

@@ -1,0 +1,188 @@
+// topk_audit: static workspace-safety audit of planned selections.
+//
+// Builds ExecutionPlans for registry algorithms across a shape/K grid and
+// runs the static plan auditor (src/verify/plan_audit.hpp) on each — no
+// kernels execute, so the whole sweep is plan-time only.  Exit status is 0
+// iff every audited plan is clean, which makes the binary a CI gate: the
+// plan-audit job runs `topk_audit --all --grid --json` and fails the build
+// on any sizing, initialization-order, write-race or lifetime defect in any
+// plan the registry can produce.
+//
+// Usage:
+//   topk_audit [--all | --algo KEY] [--grid] [--json] [--verbose]
+//
+//   --all      audit every concrete kAlgoTable row (default when no --algo)
+//   --algo KEY audit one algorithm by registry key ("air", "radixselect", ...)
+//   --grid     sweep n = 2^10 .. 2^TOPK_MAX_LOG_N (env, default 18) and
+//              k in {1, 16, 256, 2048} (clamped per row), batch in {1, 4};
+//              without it, one representative shape per algorithm
+//   --json     emit one JSON report document on stdout
+//   --verbose  print every audited configuration, not just failures
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/topk.hpp"
+#include "topk/registry.hpp"
+#include "verify/plan_audit.hpp"
+
+namespace {
+
+struct Config {
+  topk::Algo algo;
+  std::string_view key;
+  std::size_t batch, n, k;
+  bool greatest;
+};
+
+struct Result {
+  Config cfg;
+  topk::verify::AuditReport report;
+  std::string plan_error;  // non-empty when plan_select itself threw
+};
+
+std::size_t max_log_n_from_env() {
+  if (const char* v = std::getenv("TOPK_MAX_LOG_N")) {
+    const long parsed = std::strtol(v, nullptr, 10);
+    if (parsed >= 10 && parsed <= 30) return static_cast<std::size_t>(parsed);
+  }
+  return 18;
+}
+
+std::vector<Config> build_grid(const topk::AlgoRow& row, bool grid) {
+  std::vector<Config> configs;
+  const auto add = [&](std::size_t batch, std::size_t n, std::size_t k) {
+    if (k == 0 || k > n) return;
+    if (row.k_limit != 0 && k > row.k_limit) return;
+    configs.push_back({row.algo, row.key, batch, n, k, false});
+    configs.push_back({row.algo, row.key, batch, n, k, true});
+  };
+  if (!grid) {
+    add(1, std::size_t{1} << 14, 64);
+    add(4, std::size_t{1} << 12, 16);
+    return configs;
+  }
+  const std::size_t max_log_n = max_log_n_from_env();
+  for (std::size_t log_n = 10; log_n <= max_log_n; log_n += 2) {
+    const std::size_t n = std::size_t{1} << log_n;
+    for (std::size_t k : {std::size_t{1}, std::size_t{16}, std::size_t{256},
+                          std::size_t{2048}}) {
+      add(1, n, k);
+      add(4, n, k);
+    }
+  }
+  return configs;
+}
+
+std::string config_label(const Config& cfg) {
+  std::ostringstream out;
+  out << cfg.key << " batch=" << cfg.batch << " n=" << cfg.n
+      << " k=" << cfg.k << (cfg.greatest ? " greatest" : " smallest");
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool all = false, grid = false, json = false, verbose = false;
+  std::string_view algo_key;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--all") {
+      all = true;
+    } else if (arg == "--grid") {
+      grid = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (arg == "--algo" && i + 1 < argc) {
+      algo_key = argv[++i];
+    } else {
+      std::cerr << "topk_audit: unknown argument '" << arg << "'\n"
+                << "usage: topk_audit [--all | --algo KEY] [--grid] [--json]"
+                   " [--verbose]\n";
+      return 2;
+    }
+  }
+  if (!all && algo_key.empty()) all = true;
+
+  const simgpu::DeviceSpec spec{};  // audit against the default device model
+  std::vector<Result> results;
+  std::size_t defects = 0, plan_errors = 0;
+
+  for (const topk::AlgoRow& row : topk::kAlgoTable) {
+    if (row.plan == nullptr) continue;  // kAuto resolves before planning
+    if (!all && row.key != algo_key) continue;
+    for (const Config& cfg : build_grid(row, grid)) {
+      Result res{cfg, {}, {}};
+      try {
+        topk::SelectOptions opt;
+        opt.greatest = cfg.greatest;
+        const topk::ExecutionPlan plan =
+            topk::plan_select(spec, cfg.batch, cfg.n, cfg.k, cfg.algo, opt);
+        res.report = topk::verify::audit_plan(plan);
+      } catch (const std::exception& e) {
+        res.plan_error = e.what();
+      }
+      defects += res.report.findings.size();
+      plan_errors += res.plan_error.empty() ? 0 : 1;
+      results.push_back(std::move(res));
+    }
+  }
+
+  if (!all && results.empty()) {
+    std::cerr << "topk_audit: no registry row matches --algo '" << algo_key
+              << "'\n";
+    return 2;
+  }
+
+  if (json) {
+    std::ostringstream out;
+    out << "{\"configs\": " << results.size() << ", \"defects\": " << defects
+        << ", \"plan_errors\": " << plan_errors << ", \"reports\": [";
+    bool first = true;
+    for (const Result& res : results) {
+      if (!res.plan_error.empty() || !res.report.clean() || verbose) {
+        if (!first) out << ", ";
+        first = false;
+        out << "{\"algo\": \"" << res.cfg.key
+            << "\", \"batch\": " << res.cfg.batch << ", \"n\": " << res.cfg.n
+            << ", \"k\": " << res.cfg.k << ", \"greatest\": "
+            << (res.cfg.greatest ? "true" : "false");
+        if (!res.plan_error.empty()) {
+          out << ", \"plan_error\": \"" << res.plan_error << "\"";
+        } else {
+          out << ", \"audit\": " << topk::verify::to_json(res.report);
+        }
+        out << "}";
+      }
+    }
+    out << "]}";
+    std::cout << out.str() << "\n";
+  } else {
+    for (const Result& res : results) {
+      if (!res.plan_error.empty()) {
+        std::cout << "PLAN ERROR " << config_label(res.cfg) << ": "
+                  << res.plan_error << "\n";
+      } else if (!res.report.clean()) {
+        std::cout << "DEFECTS    " << config_label(res.cfg) << "\n";
+        for (const topk::verify::Finding& f : res.report.findings) {
+          std::cout << "  " << f.to_string() << "\n";
+        }
+      } else if (verbose) {
+        std::cout << "clean      " << config_label(res.cfg) << " ("
+                  << res.report.steps_walked << " steps, "
+                  << res.report.binds_checked << " binds)\n";
+      }
+    }
+    std::cout << results.size() << " plan(s) audited, " << defects
+              << " defect(s), " << plan_errors << " plan error(s)\n";
+  }
+
+  return (defects == 0 && plan_errors == 0) ? 0 : 1;
+}
