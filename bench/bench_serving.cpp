@@ -44,6 +44,8 @@ struct ConfigRow {
 
 struct ResultRow {
   ConfigRow cfg;
+  std::size_t n = 0;   ///< row length this config served
+  std::size_t k = 0;   ///< requested k
   bool pooled = true;  ///< memory-pool toggle this row ran under
   std::size_t completed = 0;
   std::size_t timed_out = 0;
@@ -61,7 +63,7 @@ struct ResultRow {
 
 ResultRow run_config(const ConfigRow& cfg, std::size_t k,
                      const std::vector<std::vector<float>>& pool,
-                     bool pool_on) {
+                     bool pool_on, bool warmup = false) {
   const bool pool_before = simgpu::pool_enabled();
   simgpu::set_pool_enabled(pool_on);
   topk::serve::ServiceConfig scfg;
@@ -74,48 +76,98 @@ ResultRow run_config(const ConfigRow& cfg, std::size_t k,
   scfg.admission_capacity = cfg.queries;
 
   topk::serve::TopkService svc(scfg);
-  const auto t0 = std::chrono::steady_clock::now();
-  std::vector<std::future<topk::serve::QueryResult>> futs;
-  futs.reserve(cfg.queries);
-  for (std::size_t q = 0; q < cfg.queries; ++q) {
-    futs.push_back(
-        svc.submit(std::vector<float>(pool[q % pool.size()]), k));
+  if (warmup) {
+    // One untimed burst first: the plan cache, the pooled workspaces, and
+    // the service's recycled staging buffer all reach steady state, so the
+    // timed bursts below compare dispatch policy instead of first-touch
+    // page faults.  Counters are delta'd per burst; the latency percentiles
+    // keep summarizing every completed query (all bursts draw from the same
+    // pool, so the distribution is unchanged).
+    std::vector<std::future<topk::serve::QueryResult>> wfuts;
+    wfuts.reserve(cfg.queries);
+    for (std::size_t q = 0; q < cfg.queries; ++q) {
+      wfuts.push_back(
+          svc.submit(std::vector<float>(pool[q % pool.size()]), k));
+    }
+    for (auto& f : wfuts) (void)f.get();
   }
   ResultRow row;
   row.cfg = cfg;
+  row.n = pool.empty() ? 0 : pool.front().size();
+  row.k = k;
+  // On a warmed service, run two timed bursts and keep the faster one: a
+  // single one-core burst can still eat a scheduler hiccup, and the A/B
+  // gate below wants the dispatch-policy signal, not that noise.  Every
+  // counter is a per-burst delta between stats() snapshots either way (a
+  // fresh service's first snapshot is all zeros, so the math is shared).
+  const int bursts = warmup ? 2 : 1;
+  topk::serve::ServiceStats before, after;
+  double wall_s = 0.0;
   double rows_sum = 0.0;
-  for (auto& f : futs) {
-    const topk::serve::QueryResult r = f.get();
-    if (r.status == topk::serve::QueryStatus::kOk) {
-      row.algo = topk::algo_name(r.algo);
-      rows_sum += static_cast<double>(r.batch_rows);
+  for (int b = 0; b < bursts; ++b) {
+    const topk::serve::ServiceStats s0 = svc.stats();
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::future<topk::serve::QueryResult>> futs;
+    futs.reserve(cfg.queries);
+    for (std::size_t q = 0; q < cfg.queries; ++q) {
+      futs.push_back(
+          svc.submit(std::vector<float>(pool[q % pool.size()]), k));
+    }
+    double burst_rows = 0.0;
+    for (auto& f : futs) {
+      const topk::serve::QueryResult r = f.get();
+      if (r.status == topk::serve::QueryStatus::kOk) {
+        row.algo = topk::algo_name(r.algo);
+        burst_rows += static_cast<double>(r.batch_rows);
+      }
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const double burst_s = std::chrono::duration<double>(t1 - t0).count();
+    const topk::serve::ServiceStats s1 = svc.stats();
+    const double qps =
+        burst_s > 0.0 ? static_cast<double>(s1.completed - s0.completed) /
+                            burst_s
+                      : 0.0;
+    const double best_qps =
+        wall_s > 0.0 ? static_cast<double>(after.completed -
+                                           before.completed) /
+                           wall_s
+                     : -1.0;
+    if (b == 0 || qps > best_qps) {
+      before = s0;
+      after = s1;
+      wall_s = burst_s;
+      rows_sum = burst_rows;
     }
   }
-  const auto t1 = std::chrono::steady_clock::now();
-  const double wall_s = std::chrono::duration<double>(t1 - t0).count();
   const topk::serve::ServiceStats s = svc.stats();
   svc.shutdown();
   simgpu::set_pool_enabled(pool_before);
 
+  const std::uint64_t completed = after.completed - before.completed;
+  const double modeled = after.modeled_device_us - before.modeled_device_us;
+  const std::uint64_t misses = after.pool_misses - before.pool_misses;
+  const std::uint64_t hits = after.pool_hits - before.pool_hits;
   row.pooled = pool_on;
-  row.completed = s.completed;
+  row.completed = completed;
   row.allocs_per_query =
-      s.completed > 0
-          ? static_cast<double>(s.pool_misses) / static_cast<double>(s.completed)
+      completed > 0
+          ? static_cast<double>(misses) / static_cast<double>(completed)
           : 0.0;
-  row.pool_hit_rate = s.pool_hit_rate();
-  row.timed_out = s.timed_out;
-  row.rejected = s.rejected;
+  row.pool_hit_rate = hits + misses == 0
+                          ? 0.0
+                          : static_cast<double>(hits) /
+                                static_cast<double>(hits + misses);
+  row.timed_out = after.timed_out - before.timed_out;
+  row.rejected = after.rejected - before.rejected;
   row.mean_batch_rows =
-      s.completed > 0 ? rows_sum / static_cast<double>(s.completed) : 0.0;
+      completed > 0 ? rows_sum / static_cast<double>(completed) : 0.0;
   row.model_us_per_query =
-      s.completed > 0 ? s.modeled_device_us / static_cast<double>(s.completed)
-                      : 0.0;
+      completed > 0 ? modeled / static_cast<double>(completed) : 0.0;
   row.wall_p50_us = s.latency.p50_us;
   row.wall_p95_us = s.latency.p95_us;
   row.wall_p99_us = s.latency.p99_us;
-  row.wall_qps =
-      wall_s > 0.0 ? static_cast<double>(s.completed) / wall_s : 0.0;
+  row.wall_qps = wall_s > 0.0 ? static_cast<double>(completed) / wall_s : 0.0;
   return row;
 }
 
@@ -160,12 +212,13 @@ int main(int argc, char** argv) {
     pool.push_back(topk::data::uniform_values(n, 0x5E7 + i));
   }
 
-  std::cout << "cap,devices,queries,pool,completed,mean_batch_rows,algo,"
+  std::cout << "cap,devices,queries,n,k,pool,completed,mean_batch_rows,algo,"
                "model_us_per_query,wall_p50_us,wall_p95_us,wall_p99_us,"
                "wall_qps,allocs_per_query,pool_hit_rate\n";
   const auto print_row = [](const ResultRow& row) {
     std::cout << row.cfg.cap << "," << row.cfg.devices << ","
-              << row.cfg.queries << "," << (row.pooled ? "on" : "off") << ","
+              << row.cfg.queries << "," << row.n << "," << row.k << ","
+              << (row.pooled ? "on" : "off") << ","
               << row.completed << "," << row.mean_batch_rows << ","
               << row.algo << "," << row.model_us_per_query << ","
               << row.wall_p50_us << "," << row.wall_p95_us << ","
@@ -202,6 +255,60 @@ int main(int argc, char** argv) {
     print_row(ab_unpooled);
   }
 
+  // ---- fused row-wise dispatch leg: batch=1000 x N=2^12, k=32 -------------
+  // Many small rows is the shape the fused row-wise family exists for: the
+  // coalesced bucket executes as ONE launch covering every row, versus
+  // per-row dispatch (cap=1) paying a full launch sequence per query.  The
+  // A/B compares both modeled device time per query and emulator wall
+  // clock.  The burst stays at 1000 rows even in smoke — that row count IS
+  // the shape under test (the recommender's fused crossover sits near 750
+  // rows at this n), and at n=2^12 the burst is cheap; only the gate floor
+  // relaxes in smoke, against shared-runner wall noise.
+  const std::size_t fused_n = std::size_t{1} << 12;
+  const std::size_t fused_k = 32;
+  const std::size_t fused_burst = 1000;
+  // Every query gets a DISTINCT row: recycling a handful of 16 KiB rows
+  // would hand per-row dispatch a cache-resident working set the coalesced
+  // 16 MiB scan never sees, and the A/B would measure cache residency, not
+  // dispatch policy.
+  std::vector<std::vector<float>> fused_pool;
+  fused_pool.reserve(fused_burst);
+  for (std::size_t i = 0; i < fused_burst; ++i) {
+    fused_pool.push_back(topk::data::uniform_values(fused_n, 0xF00D + i));
+  }
+  // One cold burst is dominated by first-touch page faults on the coalesced
+  // 16 MiB batch buffer, not by dispatch policy.  Like the pool A/B below,
+  // both legs run a few bursts interleaved and keep their best wall qps;
+  // modeled device time is bit-identical across reps by construction.
+  constexpr int kFusedReps = 3;
+  ResultRow fused_leg;
+  ResultRow perrow_leg;
+  for (int r = 0; r < kFusedReps; ++r) {
+    const ResultRow f =
+        run_config({fused_burst, 1, fused_burst}, fused_k, fused_pool,
+                   main_legs_pooled, /*warmup=*/true);
+    if (r == 0 || f.wall_qps > fused_leg.wall_qps) fused_leg = f;
+    const ResultRow p = run_config({1, 1, fused_burst}, fused_k, fused_pool,
+                                   main_legs_pooled, /*warmup=*/true);
+    if (r == 0 || p.wall_qps > perrow_leg.wall_qps) perrow_leg = p;
+  }
+  rows.push_back(fused_leg);
+  print_row(fused_leg);
+  rows.push_back(perrow_leg);
+  print_row(perrow_leg);
+  const double fused_model_speedup =
+      fused_leg.model_us_per_query > 0.0
+          ? perrow_leg.model_us_per_query / fused_leg.model_us_per_query
+          : 0.0;
+  const double fused_wall_speedup =
+      perrow_leg.wall_qps > 0.0 ? fused_leg.wall_qps / perrow_leg.wall_qps
+                                : 0.0;
+  std::cout << "fused dispatch (cap=" << fused_burst << ", n=" << fused_n
+            << ", k=" << fused_k << ", algo=" << fused_leg.algo
+            << ") vs per-row dispatch: " << fmt(fused_model_speedup)
+            << "x modeled device time per query, " << fmt(fused_wall_speedup)
+            << "x wall qps\n";
+
   const ResultRow& base = rows[0];
   const ResultRow& batched = rows[1];
   const double model_speedup =
@@ -223,13 +330,19 @@ int main(int argc, char** argv) {
       << "    \"pool_mode\": \"" << pool_mode << "\",\n"
       << "    \"model_speedup_cap" << big_cap << "_vs_1\": "
       << fmt(model_speedup) << ",\n"
+      << "    \"fused_leg\": {\"n\": " << fused_n << ", \"k\": " << fused_k
+      << ", \"rows\": " << fused_burst << ", \"algo\": \"" << fused_leg.algo
+      << "\", \"model_speedup_vs_per_row\": " << fmt(fused_model_speedup)
+      << ", \"wall_qps_speedup_vs_per_row\": " << fmt(fused_wall_speedup)
+      << "},\n"
       << "    \"metric\": \"modeled device us per completed query (primary); "
          "wall latency percentiles and qps are emulator diagnostics\"\n"
       << "  },\n  \"results\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const ResultRow& r = rows[i];
     out << "    {\"cap\": " << r.cfg.cap << ", \"devices\": " << r.cfg.devices
-        << ", \"queries\": " << r.cfg.queries
+        << ", \"queries\": " << r.cfg.queries << ", \"n\": " << r.n
+        << ", \"k\": " << r.k
         << ", \"pool\": " << (r.pooled ? "true" : "false")
         << ", \"completed\": " << r.completed
         << ", \"rejected\": " << r.rejected
@@ -282,6 +395,32 @@ int main(int argc, char** argv) {
     }
     std::cout << "gate: pooled p99 <= unpooled p99 x" << fmt(tol)
               << " -> PASS\n";
+  }
+
+  // Gate: the fused coalesced launch must beat per-row dispatch in modeled
+  // device time per query — 3x in the full run, relaxed in smoke where the
+  // burst is small.  Wall-clock must also win in the full run; in smoke a
+  // 128-query burst's wall clock is scheduling noise, so warn only.
+  const double fused_floor = smoke ? 1.5 : 3.0;
+  if (fused_model_speedup < fused_floor) {
+    std::cerr << "FAIL: fused dispatch modeled speedup "
+              << fmt(fused_model_speedup) << "x below floor "
+              << fmt(fused_floor) << "x\n";
+    return 1;
+  }
+  std::cout << "gate: fused dispatch modeled speedup >= " << fmt(fused_floor)
+            << "x -> PASS\n";
+  if (fused_wall_speedup <= 1.0) {
+    if (smoke) {
+      std::cerr << "WARN: fused dispatch wall qps did not beat per-row ("
+                << fmt(fused_wall_speedup) << "x) in smoke burst\n";
+    } else {
+      std::cerr << "FAIL: fused dispatch wall qps did not beat per-row ("
+                << fmt(fused_wall_speedup) << "x)\n";
+      return 1;
+    }
+  } else {
+    std::cout << "gate: fused dispatch wall qps > per-row -> PASS\n";
   }
   return 0;
 }

@@ -102,7 +102,8 @@ struct Row {
   double wall_ms = 0.0;
   double elems_per_sec = 0.0;
   double model_us = 0.0;
-  std::uint64_t allocs = 0;  ///< heap allocations inside the best rep
+  std::uint64_t allocs = 0;       ///< heap allocations inside the best rep
+  std::uint64_t cold_allocs = 0;  ///< plan + first (cold) run allocations
 };
 
 /// Best-of-`reps` wall clock of one algorithm run, measured two-phase: the
@@ -130,11 +131,17 @@ Row measure(simgpu::Device& dev, std::span<const float> data, std::size_t n,
   std::copy(data.begin(), data.end(), in.data());
   auto out_vals = dev.alloc<float>(k);
   auto out_idx = dev.alloc<std::uint32_t>(k);
+  // Cold-start cost: plan construction, workspace bind, and the first run —
+  // everything a fresh shape pays before the steady state.  Gated flat in N
+  // for GridSelect below: per-block engine state must come from the pooled
+  // slab and the scratch freelists, never from O(num_blocks) heap allocs.
+  const std::uint64_t cold0 = g_alloc_count.load(std::memory_order_relaxed);
   const topk::ExecutionPlan plan =
       topk::plan_select(dev.spec(), 1, n, k, algo);
   simgpu::Workspace ws(dev);
   dev.clear_events();
   topk::run_select(dev, plan, ws, in, out_vals, out_idx);  // untimed warm-up
+  row.cold_allocs = g_alloc_count.load(std::memory_order_relaxed) - cold0;
   for (int r = 0; r < reps; ++r) {
     dev.clear_events();
     const std::uint64_t allocs0 =
@@ -201,7 +208,10 @@ int main(int argc, char** argv) {
   std::vector<Row> rows;
   std::cout
       << "algo,n,k,tile,warpfast,wall_ms,elems_per_sec,model_us,allocs,"
-         "speedup\n";
+         "cold_allocs,speedup\n";
+  // (N, cold_allocs) per GridSelect default-config (tile+warpfast) row, for
+  // the flat-in-N gate below.
+  std::vector<std::pair<std::size_t, std::uint64_t>> grid_cold;
   for (const topk::Algo algo : algos) {
     for (const int ln : log_ns) {
       const std::size_t n = std::size_t{1} << ln;
@@ -214,6 +224,9 @@ int main(int argc, char** argv) {
       if (warpfast_family(algo)) {
         wf = measure(dev, data, n, k, algo, true, true, reps);
         printed.push_back(&wf);
+        if (algo == topk::Algo::kGridSelect) {
+          grid_cold.emplace_back(n, wf.cold_allocs);
+        }
         const double wf_speedup = off.wall_ms / wf.wall_ms;
         if (ln == log_ns.back()) {
           (algo == topk::Algo::kGridSelect ? grid_wf_speedup
@@ -232,8 +245,8 @@ int main(int argc, char** argv) {
                   << (r->tile ? "on" : "off") << ","
                   << (r->warpfast ? "on" : "off") << "," << r->wall_ms << ","
                   << static_cast<std::uint64_t>(r->elems_per_sec) << ","
-                  << r->model_us << "," << r->allocs << "," << speedup
-                  << "\n";
+                  << r->model_us << "," << r->allocs << ","
+                  << r->cold_allocs << "," << speedup << "\n";
         rows.push_back(*r);
       }
     }
@@ -267,7 +280,8 @@ int main(int argc, char** argv) {
         << ", \"wall_ms\": " << r.wall_ms
         << ", \"elems_per_sec\": " << fmt_double(r.elems_per_sec)
         << ", \"model_us\": " << r.model_us << ", \"allocs\": " << r.allocs
-        << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+        << ", \"cold_allocs\": " << r.cold_allocs << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
   std::cout << "wrote BENCH_substrate.json (" << rows.size() << " rows)\n";
@@ -285,6 +299,26 @@ int main(int argc, char** argv) {
   };
   gate("GridSelect", grid_wf_speedup, grid_floor);
   gate("WarpSelect", warp_wf_speedup, warp_floor);
+
+  // ---- GridSelect cold-start allocation gate: flat in N -------------------
+  // GridSelect's grid grows with N (more blocks, one shared-queue engine
+  // each), so per-block engine state leaking onto the heap shows up as
+  // cold_allocs scaling with N.  With the engines drawing from the pooled
+  // slab and the thread-local scratch freelists, the cold count is a small
+  // N-independent constant; allow a little slack for pool slab resizing.
+  if (grid_cold.size() >= 2) {
+    const std::uint64_t first = grid_cold.front().second;
+    const std::uint64_t last = grid_cold.back().second;
+    std::ostringstream vals;
+    for (std::size_t i = 0; i < grid_cold.size(); ++i) {
+      vals << (i == 0 ? "" : ",") << grid_cold[i].second;
+    }
+    const bool flat = last <= first + 16;
+    std::cout << "gate: GridSelect cold-start allocs across N = {"
+              << vals.str() << "} (flat-in-N, slack 16) -> "
+              << (flat ? "PASS" : "FAIL") << "\n";
+    if (!flat) ok = false;
+  }
 
   // ---- steady-state allocation gate ---------------------------------------
   // With the memory pool on (the default), a warmed run_select() must touch

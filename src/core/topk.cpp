@@ -4,6 +4,8 @@
 #include <array>
 #include <cmath>
 #include <cstdlib>
+#include <limits>
+#include <numeric>
 #include <sstream>
 #include <stdexcept>
 #include <string_view>
@@ -34,11 +36,12 @@ std::optional<Algo> algo_from_string(std::string_view key) {
 }
 
 std::span<const Algo> all_algorithms() {
-  static constexpr std::array<Algo, 10> kAll = {
+  static constexpr std::array<Algo, 12> kAll = {
       Algo::kAirTopk,      Algo::kGridSelect,  Algo::kRadixSelect,
       Algo::kWarpSelect,   Algo::kBlockSelect, Algo::kBitonicTopk,
       Algo::kQuickSelect,  Algo::kBucketSelect, Algo::kSampleSelect,
-      Algo::kSort,
+      Algo::kSort,         Algo::kFusedWarpRowwise,
+      Algo::kFusedBlockRowwise,
   };
   return kAll;
 }
@@ -53,6 +56,68 @@ std::size_t max_k(Algo algo, std::size_t n) {
   return std::min(n, row->k_limit);
 }
 
+double estimated_batch_cost_us(Algo algo, std::size_t batch, std::size_t n,
+                               std::size_t k) {
+  // Default DeviceSpec constants (A100 class): launch overhead 2.5us plus a
+  // 3us minimum kernel duration, 10us per host round-trip, 1555 GB/s at 92%
+  // efficiency, 108 SMs * 64 lanes * 1.41 GHz, saturation at 864 warps.
+  constexpr double kLaunchUs = 5.5;
+  constexpr double kHostSyncUs = 10.0;
+  constexpr double kBytesPerUs = 1.43e6;
+  constexpr double kLaneOpsPerUs = 9.75e6;
+  constexpr double kSaturatingWarps = 864.0;
+  const double rows = static_cast<double>(batch);
+  const double nn = static_cast<double>(n);
+  const double kk = static_cast<double>(k);
+  // One memory-bound pass over the batch's keys — every candidate reads the
+  // input at least once.
+  const double sweep_us = rows * nn * 4.0 / kBytesPerUs;
+  // Lane-op term: the busier the grid, the more of the device's lane
+  // throughput the launch can actually use.
+  const auto compute_us = [&](double warps, double lane_ops) {
+    const double occupancy =
+        std::max(std::min(warps, kSaturatingWarps) / kSaturatingWarps,
+                 1.0 / kSaturatingWarps);
+    return lane_ops / (kLaneOpsPerUs * occupancy);
+  };
+  switch (algo) {
+    case Algo::kFusedWarpRowwise:
+      // One launch, one warp per row; per-key cost creeps up with k as the
+      // thread queues deepen.
+      return kLaunchUs + sweep_us +
+             compute_us(rows, rows * nn * (1.0 + kk / 1024.0));
+    case Algo::kFusedBlockRowwise: {
+      // Scan launch (8 warps/row, private queues) plus a merge launch over
+      // the 8 per-warp partial lists of `cap >= k` entries each.
+      const double warps_per_row = 8.0;
+      const double merge_ops = rows * warps_per_row * kk * 8.0;
+      return 2.0 * kLaunchUs + sweep_us +
+             compute_us(rows * warps_per_row, rows * nn + merge_ops);
+    }
+    case Algo::kGridSelect: {
+      // make_grid: blocks/problem grows with n but is capped so batch*bpp
+      // stays bounded; a second (merge) launch appears once bpp > 1.  The
+      // 1.2 per-key factor is the shared-queue insertion traffic.
+      const double bpp_cap = std::max(1.0, 4096.0 / rows);
+      const double bpp =
+          std::clamp(std::min(std::ceil(nn / 16384.0), 216.0), 1.0, bpp_cap);
+      const double launches = bpp > 1.0 ? 2.0 : 1.0;
+      return launches * kLaunchUs + sweep_us +
+             compute_us(rows * bpp * 8.0, rows * nn * 1.2);
+    }
+    case Algo::kRadixSelect:
+      // Host-serial row loop: every row pays its own launches AND a host
+      // round-trip per digit pass — the batch term the recommender needs.
+      return rows * 3.0 * (kLaunchUs + kHostSyncUs) + 3.0 * sweep_us;
+    case Algo::kAirTopk:
+    default:
+      // Multi-launch grid-wide pipelines: a few launches, a bit more than
+      // one sweep of memory traffic, saturating grids.
+      return 3.0 * kLaunchUs + 1.25 * sweep_us +
+             compute_us(kSaturatingWarps, rows * nn * 1.5);
+  }
+}
+
 Algo recommend_algorithm(std::size_t n, std::size_t k,
                          const WorkloadHints& hints) {
   validate_problem(n, k, hints.batch);
@@ -62,6 +127,26 @@ Algo recommend_algorithm(std::size_t n, std::size_t k,
           "recommend_algorithm: on-the-fly selection supports k <= 2048");
     }
     return Algo::kGridSelect;
+  }
+  if (hints.batch >= 64) {
+    // Serving-shaped micro-batch: rank the batch-capable candidates by
+    // modeled cost.  Listed order breaks ties toward the fused family, and
+    // RadixSelect's host-serial row loop prices it out of contention as
+    // rows grow — which is exactly why it is in the list.
+    constexpr std::array<Algo, 5> kCandidates = {
+        Algo::kFusedWarpRowwise, Algo::kFusedBlockRowwise, Algo::kGridSelect,
+        Algo::kAirTopk, Algo::kRadixSelect};
+    Algo best = Algo::kAirTopk;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (Algo cand : kCandidates) {
+      if (k > max_k(cand, n)) continue;
+      const double cost = estimated_batch_cost_us(cand, hints.batch, n, k);
+      if (cost < best_cost) {
+        best = cand;
+        best_cost = cost;
+      }
+    }
+    return best;
   }
   if (k < 256 && k <= max_k(Algo::kGridSelect, n)) {
     return Algo::kGridSelect;
@@ -75,6 +160,29 @@ Algo resolve_algo(Algo algo, std::size_t n, std::size_t k,
   WorkloadHints hints;
   hints.batch = batch;
   return recommend_algorithm(n, k, hints);
+}
+
+void sort_result_best_first(SelectResult& r, bool greatest,
+                            std::vector<std::uint32_t>& order_scratch) {
+  const std::size_t k = r.values.size();
+  order_scratch.resize(k);
+  std::iota(order_scratch.begin(), order_scratch.end(), 0U);
+  std::sort(order_scratch.begin(), order_scratch.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return greatest ? r.values[a] > r.values[b]
+                              : r.values[a] < r.values[b];
+            });
+  // Apply the permutation in place (dest[i] = src[order[i]]): chase each
+  // source slot through the already-swapped prefix, then swap it into
+  // position.  No per-row copies of the value/index vectors.
+  for (std::size_t i = 0; i < k; ++i) {
+    std::size_t j = order_scratch[i];
+    while (j < i) j = order_scratch[j];
+    if (j != i) {
+      std::swap(r.values[i], r.values[j]);
+      std::swap(r.indices[i], r.indices[j]);
+    }
+  }
 }
 
 namespace {
@@ -285,26 +393,12 @@ std::vector<SelectResult> run_on_device(simgpu::Device& dev,
     throw_if_new_issues(*san, issues_before, algo);
   }
   std::vector<SelectResult> results(batch);
+  std::vector<std::uint32_t> order;  // permutation scratch, shared by rows
   for (std::size_t b = 0; b < batch; ++b) {
     SelectResult& r = results[b];
     r.values.assign(out_vals.data() + b * k, out_vals.data() + (b + 1) * k);
     r.indices.assign(out_idx.data() + b * k, out_idx.data() + (b + 1) * k);
-    if (opt.sorted) {
-      std::vector<std::size_t> order(k);
-      for (std::size_t i = 0; i < k; ++i) order[i] = i;
-      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t c) {
-        return opt.greatest ? r.values[a] > r.values[c]
-                            : r.values[a] < r.values[c];
-      });
-      SelectResult sorted;
-      sorted.values.reserve(k);
-      sorted.indices.reserve(k);
-      for (std::size_t i : order) {
-        sorted.values.push_back(r.values[i]);
-        sorted.indices.push_back(r.indices[i]);
-      }
-      r = std::move(sorted);
-    }
+    if (opt.sorted) sort_result_best_first(r, opt.greatest, order);
   }
   return results;
 }

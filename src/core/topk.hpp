@@ -30,6 +30,9 @@ enum class Algo {
   kAirTopkNoEarlyStop,  ///< AIR without early stopping (Fig. 10)
   kAirTopkFusedFilter,  ///< AIR with the last filter fused (§3.1, rejected)
   kGridSelectThreadQueue,  ///< GridSelect with per-thread queues (Fig. 11)
+  // --- fused row-wise family (serving-shaped micro-batches) ---
+  kFusedWarpRowwise,   ///< one warp per row, whole batch in a single launch
+  kFusedBlockRowwise,  ///< one block per row, partials + grid-spanning merge
   // --- dispatch ---
   kAuto,  ///< let recommend_algorithm() pick per (n, k, batch) at run time
 };
@@ -67,16 +70,32 @@ struct WorkloadHints {
   bool on_the_fly = false;
   /// Independent problems executed in one launch set (the paper benchmarks
   /// batch = 100 throughout §5).  The serving layer's batch planner passes
-  /// the micro-batch size it assembled; today the guideline's choice is
-  /// batch-independent, but the hook keeps the planner honest about what it
-  /// is asking for and lets future policies use it.
+  /// the micro-batch size it assembled; many-row micro-batches route to the
+  /// fused row-wise family via the batch-aware cost estimate below.
   std::size_t batch = 1;
 };
 
-/// The paper's §5.1 usage guidelines as an API:
+/// First-order modeled cost (microseconds) of running `algo` on one
+/// (batch, n, k) micro-batch, from the default A100-class DeviceSpec
+/// constants: per-launch overhead, one memory-bound input sweep, and a
+/// lane-op term scaled by how many warps the algorithm can actually spawn.
+/// Deliberately coarse — it only needs to rank choices whose costs differ
+/// structurally: host-serial per-row pipelines (RadixSelect's run loop)
+/// scale their launch count with batch and lose to any fused launch as
+/// soon as rows dominate; one-warp-per-row fused scans beat
+/// warps-per-row + merge structures at small n, and vice versa at mid n.
+[[nodiscard]] double estimated_batch_cost_us(Algo algo, std::size_t batch,
+                                             std::size_t n, std::size_t k);
+
+/// The paper's §5.1 usage guidelines as an API, extended for the serving
+/// tier's many-row micro-batches:
 ///  1) on-the-fly processing -> GridSelect;
-///  2) large N with small K (< 256) -> GridSelect (the measured winner);
-///  3) everything else -> AIR Top-K.
+///  2) many rows (batch >= 64) with queue-compatible k -> the cheapest of
+///     {fused row-wise (warp/row), fused row-wise (block/row), GridSelect,
+///     AIR Top-K, RadixSelect} under estimated_batch_cost_us (RadixSelect's
+///     host-serial row loop prices it out here — that is the point);
+///  3) large N with small K (< 256) -> GridSelect (the measured winner);
+///  4) everything else -> AIR Top-K.
 /// Throws if the hints are unsatisfiable (on-the-fly with k > 2048).
 [[nodiscard]] Algo recommend_algorithm(std::size_t n, std::size_t k,
                                        const WorkloadHints& hints = {});
@@ -93,6 +112,15 @@ struct SelectResult {
   std::vector<float> values;
   std::vector<std::uint32_t> indices;
 };
+
+/// Reorder a result best-first in place: ascending values for smallest-K,
+/// descending for largest-K, with values and indices permuted together.
+/// `order_scratch` holds the permutation and is resized to k on every call;
+/// batched post-passes hoist one scratch vector outside the row loop so the
+/// sort allocates nothing per row once warm.  Shared by select()'s sorted
+/// option and the serving layer's per-query post-pass.
+void sort_result_best_first(SelectResult& r, bool greatest,
+                            std::vector<std::uint32_t>& order_scratch);
 
 /// Extra knobs forwarded to the algorithms.
 struct SelectOptions {

@@ -81,7 +81,6 @@ const char* query_status_name(QueryStatus s) {
 struct PlanEntry {
   ExecutionPlan plan;
   simgpu::WorkspaceLayout io;
-  std::size_t seg_in = 0;
   std::size_t seg_vals = 0;
   std::size_t seg_idx = 0;
 };
@@ -157,7 +156,6 @@ std::future<QueryResult> TopkService::submit(
 
   const Clock::time_point now = Clock::now();
   Request req;
-  req.keys = std::move(keys);
   req.k = k;
   req.submit_time = now;
   if (deadline) req.deadline = now + *deadline;
@@ -190,17 +188,31 @@ std::future<QueryResult> TopkService::submit(
       if (b.reqs.empty()) {
         b.oldest = now;
         b.earliest_due = now + cfg_.max_wait;
+        if (!staged_spares_.empty()) {
+          b.staged = std::move(staged_spares_.back());
+          staged_spares_.pop_back();
+          b.staged.clear();  // keeps the (warm) capacity
+        }
+        b.staged.reserve(cfg_.max_batch * n);
+        notify_batcher = true;  // new bucket: the flush timer must arm
       }
       if (req.deadline && *req.deadline < b.earliest_due) {
         b.earliest_due = *req.deadline;
+        notify_batcher = true;  // deadline tightened: timer must re-arm
       }
+      // Stage the row into the bucket's contiguous buffer here, so the
+      // worker can bind the batch input with no gather pass.  The copy is
+      // one row (admission-rate work, bounded by n) and runs under mu_;
+      // submission is already serialized on the lock either way.
+      b.staged.insert(b.staged.end(), keys.begin(), keys.end());
       b.reqs.push_back(std::move(req));
       if (b.reqs.size() >= cfg_.max_batch) {
-        ready_.push_back(Batch{key, std::move(b.reqs)});
+        ready_.push_back(Batch{key, std::move(b.reqs), std::move(b.staged)});
         buckets_.erase(key);
         notify_worker = true;
-      } else {
-        notify_batcher = true;  // the flush timer may need re-arming
+        // A filled bucket leaves nothing for the flush timer to track; the
+        // batcher re-derives its wait from the surviving buckets on its own.
+        notify_batcher = false;
       }
     }
   }
@@ -223,7 +235,8 @@ void TopkService::batcher_loop() {
       // Graceful drain: everything still bucketed becomes a final wave of
       // (possibly partial) batches for the workers to run.
       for (auto& [key, bucket] : buckets_) {
-        ready_.push_back(Batch{key, std::move(bucket.reqs)});
+        ready_.push_back(
+            Batch{key, std::move(bucket.reqs), std::move(bucket.staged)});
       }
       buckets_.clear();
       batcher_done_ = true;
@@ -244,7 +257,8 @@ void TopkService::batcher_loop() {
       bool flushed = false;
       for (auto it = buckets_.begin(); it != buckets_.end();) {
         if (now >= it->second.earliest_due) {
-          ready_.push_back(Batch{it->first, std::move(it->second.reqs)});
+          ready_.push_back(Batch{it->first, std::move(it->second.reqs),
+                                 std::move(it->second.staged)});
           it = buckets_.erase(it);
           flushed = true;
         } else {
@@ -288,10 +302,18 @@ void TopkService::execute_batch(Worker& w, std::size_t worker_id,
   std::vector<Request> live;
   std::vector<Request> expired;
   live.reserve(batch.reqs.size());
-  for (Request& r : batch.reqs) {
+  // Staged rows are positional: dropping an expired request compacts the
+  // survivors' rows down so live[i]'s keys stay at staged[i * n].
+  for (std::size_t i = 0; i < batch.reqs.size(); ++i) {
+    Request& r = batch.reqs[i];
     if (r.deadline && *r.deadline <= dispatch) {
       expired.push_back(std::move(r));
     } else {
+      if (live.size() != i) {
+        std::memmove(batch.staged.data() + live.size() * batch.key.n,
+                     batch.staged.data() + i * batch.key.n,
+                     batch.key.n * sizeof(float));
+      }
       live.push_back(std::move(r));
     }
   }
@@ -328,7 +350,6 @@ void TopkService::execute_batch(Worker& w, std::size_t worker_id,
       if (!plan_cache_hit) {
         PlanEntry e;
         e.plan = plan_select(dev.spec(), rows, n, k_exec, planned, opt);
-        e.seg_in = e.io.add<float>("serve input", rows * n);
         e.seg_vals = e.io.add<float>("serve output vals", rows * k_exec);
         e.seg_idx = e.io.add<std::uint32_t>("serve output idx", rows * k_exec);
         it = w.plans.emplace(key, std::move(e)).first;
@@ -347,13 +368,16 @@ void TopkService::execute_batch(Worker& w, std::size_t worker_id,
           san != nullptr ? san->issue_count() : 0;
 
       w.io_ws.bind(entry.io);
-      simgpu::DeviceBuffer<float> in = w.io_ws.get<float>(entry.seg_in);
-      for (std::size_t i = 0; i < rows; ++i) {
-        std::memcpy(in.data() + i * n, live[i].keys.data(), n * sizeof(float));
-      }
+      // The batch input IS the bucket's staged buffer: rows were laid out
+      // contiguously at submit time, so the device binds them in place —
+      // no per-row gather copy on the execution critical path.
+      simgpu::DeviceBuffer<float> in(batch.staged.data(), rows * n);
       if (san != nullptr) {
-        // The rows are copied straight into the device segment (no staging
-        // vector, no upload); mark them like an upload would.
+        // Introduce the externally owned staging storage to the shadow and
+        // mark it initialized, exactly as an upload into a fresh device
+        // allocation would be.
+        dev.register_region(in.data(), rows * n, sizeof(float),
+                            "serve staged input");
         san->mark_initialized(in.data(), rows * n * sizeof(float));
       }
       simgpu::DeviceBuffer<float> out_vals =
@@ -369,29 +393,14 @@ void TopkService::execute_batch(Worker& w, std::size_t worker_id,
       model_us = simgpu::CostModel(dev.spec()).total_us(dev.events());
 
       results.resize(rows);
+      std::vector<std::uint32_t> order;  // permutation scratch, shared by rows
       for (std::size_t b = 0; b < rows; ++b) {
         SelectResult& r = results[b];
         r.values.assign(out_vals.data() + b * k_exec,
                         out_vals.data() + (b + 1) * k_exec);
         r.indices.assign(out_idx.data() + b * k_exec,
                          out_idx.data() + (b + 1) * k_exec);
-        if (opt.sorted) {
-          std::vector<std::size_t> order(k_exec);
-          std::iota(order.begin(), order.end(), std::size_t{0});
-          std::sort(order.begin(), order.end(),
-                    [&](std::size_t a, std::size_t c) {
-                      return opt.greatest ? r.values[a] > r.values[c]
-                                          : r.values[a] < r.values[c];
-                    });
-          SelectResult sorted;
-          sorted.values.reserve(k_exec);
-          sorted.indices.reserve(k_exec);
-          for (std::size_t i : order) {
-            sorted.values.push_back(r.values[i]);
-            sorted.indices.push_back(r.indices[i]);
-          }
-          r = std::move(sorted);
-        }
+        if (opt.sorted) sort_result_best_first(r, opt.greatest, order);
       }
     } catch (const std::exception& e) {
       fail = e.what();
@@ -433,6 +442,13 @@ void TopkService::execute_batch(Worker& w, std::size_t worker_id,
 
   {
     std::scoped_lock lock(mu_);
+    // Retire the staging buffer into the spare pool (bounded) so the next
+    // bucket starts on warm pages.  The batch input wrap died with
+    // run_select above; nothing references this storage anymore.
+    if (batch.staged.capacity() > 0 &&
+        staged_spares_.size() <= workers_.size()) {
+      staged_spares_.push_back(std::move(batch.staged));
+    }
     timed_out_ += expired.size();
     if (plan_looked_up) {
       if (plan_cache_hit) {

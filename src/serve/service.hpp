@@ -163,7 +163,6 @@ class TopkService {
  private:
   struct Request {
     std::promise<QueryResult> promise;
-    std::vector<float> keys;
     std::size_t k = 0;
     Clock::time_point submit_time;
     std::optional<Clock::time_point> deadline;
@@ -185,6 +184,11 @@ class TopkService {
 
   struct Bucket {
     std::vector<Request> reqs;
+    /// Members' key rows, staged contiguously in request order at submit
+    /// time.  The worker wraps this storage as the batch's device input
+    /// directly — coalescing happens once, on admission, instead of a
+    /// second row-gather copy on the execution critical path.
+    std::vector<float> staged;
     Clock::time_point oldest;         ///< submit time of the first member
     Clock::time_point earliest_due;   ///< min(oldest + max_wait, deadlines)
   };
@@ -192,6 +196,7 @@ class TopkService {
   struct Batch {
     BucketKey key;
     std::vector<Request> reqs;
+    std::vector<float> staged;  ///< reqs' rows, contiguous (see Bucket)
   };
 
   /// Per-worker execution context: the Device plus the plan cache and the
@@ -219,6 +224,11 @@ class TopkService {
   std::map<BucketKey, Bucket> buckets_;
   std::deque<Batch> ready_;
   std::size_t queued_ = 0;  ///< requests in buckets_ + ready_
+  /// Retired staging buffers, recycled into new buckets so steady-state
+  /// admission re-touches warm pages instead of first-faulting a fresh
+  /// max_batch * n allocation per batch.  Bounded: one spare per worker
+  /// plus one in flight between them.
+  std::vector<std::vector<float>> staged_spares_;
 
   // Counters (guarded by mu_).
   std::uint64_t submitted_ = 0;

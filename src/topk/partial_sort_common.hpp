@@ -264,7 +264,17 @@ class TopkList {
     }
     ctx.ops(fast_charge_);
     ensure_heap();
-    if (count <= 32) {
+    if (count <= 16) {
+      // The typical drain is well under half a queue's capacity, and the
+      // charge above already prices the next_pow2(count) network — run the
+      // matching half-width one instead of padding out a full sort32.
+      std::uint64_t buf[16];
+      std::size_t i = 0;
+      for (; i < count; ++i) buf[i] = cands[i];
+      for (; i < 16; ++i) buf[i] = ~std::uint64_t{0};
+      simgpu::simd::sort16_u64(buf);
+      sorted_batch_merge(buf, count);
+    } else if (count <= 32) {
       // The hot flush shape: sort one staged batch with the fixed network
       // (+inf-max pads sort to the tail and sit beyond the merge's
       // candidate bound) and fold it in with one branchless merge pass.

@@ -10,6 +10,7 @@
 #include "topk/air_topk.hpp"
 #include "topk/bitonic_topk.hpp"
 #include "topk/bucket_select.hpp"
+#include "topk/fused_rowwise.hpp"
 #include "topk/grid_select.hpp"
 #include "topk/quick_select.hpp"
 #include "topk/radix_select.hpp"
@@ -49,7 +50,7 @@ struct PlanImpl {
                QuickSelectPlan<float>, BucketSelectPlan<float>,
                SampleSelectPlan<float>, RadixSelectPlan<float>,
                AirTopkPlan<float>, GridSelectPlan<float>,
-               faiss_detail::FaissSelectPlan<float>>
+               faiss_detail::FaissSelectPlan<float>, FusedRowwisePlan<float>>
       plan;
 };
 
@@ -210,6 +211,28 @@ inline void run_sort(simgpu::Device& dev, const PlanImpl& impl,
                 out_vals, out_idx);
 }
 
+inline void plan_fused_warp(PlanImpl& impl, const simgpu::DeviceSpec& spec,
+                            const SelectOptions&) {
+  impl.plan = fused_rowwise_plan<float>(impl.shape, spec, {},
+                                        /*block_variant=*/false, impl.layout,
+                                        &impl.schedule);
+}
+
+inline void plan_fused_block(PlanImpl& impl, const simgpu::DeviceSpec& spec,
+                             const SelectOptions&) {
+  impl.plan = fused_rowwise_plan<float>(impl.shape, spec, {},
+                                        /*block_variant=*/true, impl.layout,
+                                        &impl.schedule);
+}
+
+inline void run_fused(simgpu::Device& dev, const PlanImpl& impl,
+                      simgpu::Workspace& ws, simgpu::DeviceBuffer<float> in,
+                      simgpu::DeviceBuffer<float> out_vals,
+                      simgpu::DeviceBuffer<std::uint32_t> out_idx) {
+  fused_rowwise_run(dev, std::get<FusedRowwisePlan<float>>(impl.plan), ws, in,
+                    out_vals, out_idx);
+}
+
 }  // namespace registry_detail
 
 /// One registry row per Algo value.  `k_limit` of 0 means no ceiling below n
@@ -225,7 +248,7 @@ struct AlgoRow {
   registry_detail::RunFn run;
 };
 
-inline constexpr std::array<AlgoRow, 15> kAlgoTable = {{
+inline constexpr std::array<AlgoRow, 17> kAlgoTable = {{
     {Algo::kAirTopk, "air", "AIR Top-K", 0, true, &registry_detail::plan_air,
      &registry_detail::run_air},
     {Algo::kGridSelect, "grid", "GridSelect", 2048, false,
@@ -256,6 +279,11 @@ inline constexpr std::array<AlgoRow, 15> kAlgoTable = {{
     {Algo::kGridSelectThreadQueue, "grid-threadqueue",
      "GridSelect (thread queues)", 2048, false, &registry_detail::plan_grid,
      &registry_detail::run_grid},
+    {Algo::kFusedWarpRowwise, "fused-warp", "Fused row-wise (warp/row)", 2048,
+     false, &registry_detail::plan_fused_warp, &registry_detail::run_fused},
+    {Algo::kFusedBlockRowwise, "fused-block", "Fused row-wise (block/row)",
+     2048, false, &registry_detail::plan_fused_block,
+     &registry_detail::run_fused},
     {Algo::kAuto, "auto", "Auto", 0, false, nullptr, nullptr},
 }};
 

@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <vector>
 
 #include "simgpu/simgpu.hpp"
@@ -18,6 +19,7 @@ namespace topk {
 
 namespace faiss_detail {
 
+
 /// One warp's WarpSelect state: a warp-wide sorted top-K list plus 32
 /// per-lane thread queues, both register-resident (Faiss WarpSelect /
 /// BlockSelect).  Elements are pushed per lane; when any lane's queue fills,
@@ -26,8 +28,15 @@ namespace faiss_detail {
 template <typename T>
 class WarpSelectEngine {
  public:
-  WarpSelectEngine(simgpu::BlockCtx& ctx, std::size_t k)
-      : qlen_(thread_queue_len(k)),
+  /// `qlen_override` sets the per-lane thread-queue depth directly (0 keeps
+  /// the k-derived default).  Depth is the WarpSelect tuning axis: a deeper
+  /// queue amortizes the warp-wide sort+merge flush over more inserts at the
+  /// price of a longer predicated shift chain per inserting round.  Both the
+  /// exact and the warpfast path read the same `qlen_`, so per-algorithm
+  /// charge invariance across toggles is unaffected by the choice.
+  WarpSelectEngine(simgpu::BlockCtx& ctx, std::size_t k,
+                   std::size_t qlen_override = 0)
+      : qlen_(qlen_override != 0 ? qlen_override : thread_queue_len(k)),
         list_keys_(next_pow2(k)),
         list_idx_(next_pow2(k)),
         list_(std::span<T>(list_keys_), std::span<std::uint32_t>(list_idx_), k),
@@ -129,8 +138,138 @@ class WarpSelectEngine {
     if (any_full) flush(ctx);
   }
 
+  /// Multi-round scan over one contiguous prefix-valid span (warpfast
+  /// path): filter-and-pack the candidate set once with a vectorized
+  /// compare under the entry threshold, then replay only the
+  /// candidate-bearing rounds.  Charge-identical to calling round_span()
+  /// per 32-element round:
+  ///   - every round costs the kEmptyRoundLaneOps floor (charged in bulk
+  ///     up front — the counters are sums, ordering is immaterial);
+  ///   - the entry threshold only tightens (merges never raise kth), so
+  ///     the packed set is a superset of every round's true candidates;
+  ///     re-checking each candidate against the *current* threshold at
+  ///     its round's replay point reproduces the exact insert set, lane
+  ///     order, shift-chain charge and queue-full flushes round_span()
+  ///     would produce — a round whose packed candidates all fail the
+  ///     re-check degenerates to the floor, same as its count_below gate.
+  void span_rounds(simgpu::BlockCtx& ctx, std::span<const T> tile,
+                   std::span<const std::uint32_t> ext_idx,
+                   std::uint32_t base_index) {
+    if constexpr (std::is_same_v<T, float>) {
+      if (ctx.warpfast_enabled()) {
+        const std::size_t rounds =
+            (tile.size() + simgpu::kWarpSize - 1) / simgpu::kWarpSize;
+        ctx.ops(rounds * kEmptyRoundLaneOps);
+        // Warm-up segment, then one big pack: the first pack runs under
+        // the sentinel threshold and would compress-store nearly every
+        // element, so cap it at kSeg rounds; once the list has merged a
+        // segment's worth the threshold is tight enough that packing the
+        // whole remainder stays cheap (the stale-trim below re-packs if a
+        // merge tightens it mid-replay).
+        constexpr std::size_t kSeg = 16 * simgpu::kWarpSize;
+        span_pack_.resize(std::max(span_pack_.size(), tile.size()));
+        // Pack positions (base 0, no ext_idx) so lane/round recovery is
+        // arithmetic; external ids are looked up per candidate below.
+        std::size_t start = 0;  // first unprocessed element, round-aligned
+        while (start < tile.size()) {
+          const std::size_t seg_end =
+              start < kSeg ? std::min(kSeg, tile.size()) : tile.size();
+          const std::size_t m = simgpu::simd::pack_below_f32(
+              tile.data() + start, nullptr, 0, seg_end - start, list_.kth(),
+              span_pack_.data());
+          if (m == 0) {
+            start = seg_end;
+            continue;
+          }
+          std::size_t i = 0;
+          std::size_t dead = 0;  // re-check failures since this pack
+          std::size_t next_start = seg_end;
+          while (i < m) {
+            const auto rel0 =
+                static_cast<std::uint32_t>(span_pack_[i] & 0xffffffffu);
+            const std::size_t round_end =
+                (rel0 / simgpu::kWarpSize + 1) * simgpu::kWarpSize;
+            const T threshold = list_.kth();
+            bool any_insert = false;
+            bool any_full = false;
+            for (; i < m; ++i) {
+              const auto rel =
+                  static_cast<std::uint32_t>(span_pack_[i] & 0xffffffffu);
+              if (rel >= round_end) break;
+              const std::size_t pos = start + rel;
+              const T v = tile[pos];
+              if (!(v < threshold)) {  // pack threshold was looser
+                ++dead;
+                continue;
+              }
+              const std::size_t lane = rel % simgpu::kWarpSize;
+              auto& c = tq_count_[lane];
+              tq_keys_[lane * qlen_ + c] = v;
+              tq_idx_[lane * qlen_ + c] =
+                  ext_idx.empty()
+                      ? base_index + static_cast<std::uint32_t>(pos)
+                      : ext_idx[pos];
+              ++c;
+              any_insert = true;
+              any_full |= c >= qlen_;
+            }
+            if (any_insert) {
+              ctx.ops(simgpu::kWarpSize * qlen_);
+              if (any_full) flush(ctx);
+            }
+            // Stale-pack trim: merges tighten the threshold, so a pack
+            // taken early (worst: the +inf warm-up threshold) can leave a
+            // long mostly-dead tail.  When the replay has burned through
+            // enough dead candidates and plenty remain, re-pack the
+            // unprocessed tail under the current threshold — still a
+            // superset of every later round's true candidates, and round
+            // floors were charged up front, so charges are unchanged.
+            if (dead >= 128 && m - i > 256) {
+              next_start = start + round_end;
+              break;
+            }
+          }
+          start = i >= m ? seg_end : next_start;
+        }
+        return;
+      }
+    }
+    for (std::size_t off = 0; off < tile.size(); off += simgpu::kWarpSize) {
+      const std::size_t c =
+          std::min<std::size_t>(simgpu::kWarpSize, tile.size() - off);
+      round_span(ctx, tile.subspan(off, c),
+                 ext_idx.empty() ? ext_idx : ext_idx.subspan(off, c),
+                 static_cast<std::uint32_t>(base_index + off));
+    }
+  }
+
   /// Drain all thread queues into the list (also called at end of input).
   void flush(simgpu::BlockCtx& ctx) {
+    if constexpr (kPackableKey<T>) {
+      // Packed drain under the warpfast gate: collect (ord, idx) pairs and
+      // fold them in with merge_packed — charge-identical to merge() over
+      // the same count (see TopkList::merge_packed), and the hot ≤32-item
+      // flush runs the fixed sort network instead of a general sort.
+      // (flush_pack_ is distinct from span_pack_: a flush can fire while
+      // span_rounds is still iterating its packed candidates.)
+      if (ctx.warpfast_enabled()) {
+        flush_pack_.resize(
+            std::max(flush_pack_.size(), simgpu::kWarpSize * qlen_));
+        std::size_t count = 0;
+        for (int lane = 0; lane < simgpu::kWarpSize; ++lane) {
+          const auto base = static_cast<std::size_t>(lane) * qlen_;
+          const auto n = tq_count_[static_cast<std::size_t>(lane)];
+          for (std::size_t j = 0; j < n; ++j) {
+            flush_pack_[count++] =
+                pack_key_idx<T>(tq_keys_[base + j], tq_idx_[base + j]);
+          }
+          tq_count_[static_cast<std::size_t>(lane)] = 0;
+        }
+        if (count == 0) return;
+        list_.merge_packed(ctx, flush_pack_.data(), count);
+        return;
+      }
+    }
     std::size_t count = 0;
     for (int lane = 0; lane < simgpu::kWarpSize; ++lane) {
       const auto n = tq_count_[static_cast<std::size_t>(lane)];
@@ -166,6 +305,8 @@ class WarpSelectEngine {
   simgpu::ScratchVec<std::size_t> tq_count_;
   simgpu::ScratchVec<T> flush_keys_;
   simgpu::ScratchVec<std::uint32_t> flush_idx_;
+  simgpu::ScratchVec<std::uint64_t> span_pack_;
+  simgpu::ScratchVec<std::uint64_t> flush_pack_;
 };
 
 /// Execution plan for WarpSelect / BlockSelect.  The whole computation is

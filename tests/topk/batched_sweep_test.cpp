@@ -1,0 +1,121 @@
+// Batched-correctness sweep: every registry algorithm is driven through
+// select_batch over a grid of serving-shaped micro-batches — the many-row /
+// small-n regime the fused row-wise family targets — in both selection
+// orders.  The single-problem matrix in all_algorithms_test covers depth in
+// n and k; this sweep covers width in batch, where the row loop (or the
+// fused single launch) is the code under test.
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/topk.hpp"
+#include "data/distributions.hpp"
+
+namespace topk {
+namespace {
+
+struct SweepCase {
+  Algo algo;
+  std::size_t batch;
+  std::size_t n;
+  std::size_t k;
+  bool greatest;
+};
+
+std::string sweep_case_name(const ::testing::TestParamInfo<SweepCase>& info) {
+  std::string name = algo_name(info.param.algo);
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name + "_b" + std::to_string(info.param.batch) + "_n" +
+         std::to_string(info.param.n) + "_k" + std::to_string(info.param.k) +
+         (info.param.greatest ? "_greatest" : "_least");
+}
+
+/// Per-row verification that honors the selection order: indices in range
+/// and distinct, values faithful to data[index], and the selected value
+/// multiset equal to the reference multiset under the requested comparator.
+std::string verify_row(std::span<const float> row, std::size_t k,
+                       bool greatest, const SelectResult& r) {
+  if (r.values.size() != k || r.indices.size() != k) {
+    return "result size mismatch";
+  }
+  std::vector<bool> seen(row.size(), false);
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::uint32_t idx = r.indices[i];
+    if (idx >= row.size()) return "index out of range";
+    if (seen[idx]) return "duplicate index";
+    seen[idx] = true;
+    if (row[idx] != r.values[i]) return "value does not match data[index]";
+  }
+  std::vector<float> want(row.begin(), row.end());
+  if (greatest) {
+    std::partial_sort(want.begin(), want.begin() + k, want.end(),
+                      std::greater<>());
+  } else {
+    std::partial_sort(want.begin(), want.begin() + k, want.end());
+  }
+  want.resize(k);
+  std::vector<float> got = r.values;
+  std::sort(got.begin(), got.end());
+  std::sort(want.begin(), want.end());
+  if (got != want) return "selected multiset differs from reference";
+  return {};
+}
+
+class BatchedSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(BatchedSweep, EveryRowCorrectInBothOrders) {
+  simgpu::Device dev;
+  const auto [algo, batch, n, k, greatest] = GetParam();
+  ASSERT_LE(k, max_k(algo, n)) << "bad test case";
+  const auto values =
+      data::uniform_values(batch * n, 0x5EED0000u + batch + n + k);
+  SelectOptions opt;
+  opt.greatest = greatest;
+  const auto results = select_batch(dev, values, batch, n, k, algo, opt);
+  ASSERT_EQ(results.size(), batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const std::span<const float> row(values.data() + b * n, n);
+    const std::string err = verify_row(row, k, greatest, results[b]);
+    ASSERT_TRUE(err.empty()) << algo_name(algo) << " row " << b << " (batch="
+                             << batch << ", n=" << n << ", k=" << k
+                             << (greatest ? ", greatest" : ", least")
+                             << "): " << err;
+  }
+}
+
+std::vector<SweepCase> sweep_cases() {
+  // batch=64 sweeps n across the fused-warp band and past it; batch=1000 is
+  // pinned to the serving acceptance shape (n=2^12) so the whole sweep stays
+  // inside CI budget.  k brackets the thread-queue regime.
+  const std::vector<std::pair<std::size_t, std::size_t>> shapes = {
+      {64, std::size_t{1} << 10},
+      {64, std::size_t{1} << 12},
+      {64, std::size_t{1} << 14},
+      {1000, std::size_t{1} << 12},
+  };
+  std::vector<SweepCase> cases;
+  for (Algo algo : all_algorithms()) {
+    for (const auto& [batch, n] : shapes) {
+      for (std::size_t k : {std::size_t{8}, std::size_t{64}}) {
+        if (k > max_k(algo, n)) continue;
+        for (bool greatest : {false, true}) {
+          cases.push_back({algo, batch, n, k, greatest});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, BatchedSweep,
+                         ::testing::ValuesIn(sweep_cases()), sweep_case_name);
+
+}  // namespace
+}  // namespace topk

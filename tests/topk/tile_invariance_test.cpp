@@ -204,12 +204,13 @@ std::vector<InvarianceCase> cases() {
   // Every algorithm whose inner loops ride the tile path, plus the
   // fused-last-filter AIR variant (its fused filter scans through the same
   // tile helpers).  The warp-queue family — GridSelect in both queue
-  // flavours, WarpSelect, and BlockSelect — additionally exercises the
-  // threshold-gated warp fast path.
+  // flavours, WarpSelect, BlockSelect, and both fused row-wise variants —
+  // additionally exercises the threshold-gated warp fast path.
   const Algo algos[] = {Algo::kAirTopk,          Algo::kSort,
                         Algo::kRadixSelect,      Algo::kGridSelect,
                         Algo::kAirTopkFusedFilter, Algo::kWarpSelect,
-                        Algo::kBlockSelect,      Algo::kGridSelectThreadQueue};
+                        Algo::kBlockSelect,      Algo::kGridSelectThreadQueue,
+                        Algo::kFusedWarpRowwise, Algo::kFusedBlockRowwise};
   std::vector<InvarianceCase> cases;
   for (Algo algo : algos) {
     cases.push_back({algo, 1, 999, 1});          // sub-tile problem
