@@ -54,7 +54,10 @@ RunResult run_algo(const simgpu::DeviceSpec& spec,
 BenchScale BenchScale::from_env() {
   BenchScale s;  // default max_log_n raised 20 -> 22 with the tile fast path
   if (const char* v = std::getenv("TOPK_MAX_LOG_N")) {
-    s.max_log_n = std::clamp(std::atoi(v), 10, 30);
+    // Single-device sweeps are bounded by DeviceSpec::max_select_elems
+    // (plan_select rejects anything larger with a pointer at the sharded
+    // path); only topk::shard's host-side coordinator takes N past this.
+    s.max_log_n = std::clamp(std::atoi(v), 10, 28);
   }
   if (const char* v = std::getenv("TOPK_VERIFY")) {
     s.verify = std::atoi(v) != 0;

@@ -12,6 +12,12 @@
 // micro-batching fails to beat batch=1 submission in modeled device time per
 // query — the acceptance gate for the serving layer.
 //
+// `--sharded` adds the multi-device scale-out leg: one huge query split
+// across a 4-device shard pool at 1/2/4 shards, reporting the coordinator's
+// modeled phase breakdown (select / gather / merge / output) and — in the
+// full run — gating 4-shard total at <= 0.35x the 1-shard baseline with the
+// merge phase under 10% of the total.
+//
 // `--pool={on,off,both}` (default both) controls the workspace-pool A/B leg:
 // `both` re-runs the batched single-device config with the memory pool
 // disabled and gates the pooled leg's wall p99 at no worse than the unpooled
@@ -25,6 +31,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <random>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -32,6 +39,7 @@
 #include "core/topk.hpp"
 #include "data/distributions.hpp"
 #include "serve/service.hpp"
+#include "shard/shard.hpp"
 #include "simgpu/simgpu.hpp"
 
 namespace {
@@ -181,9 +189,11 @@ std::string fmt(double v) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool sharded = false;
   std::string pool_mode = "both";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--sharded") == 0) sharded = true;
     if (std::strncmp(argv[i], "--pool=", 7) == 0) pool_mode = argv[i] + 7;
   }
   if (pool_mode != "on" && pool_mode != "off" && pool_mode != "both") {
@@ -309,6 +319,54 @@ int main(int argc, char** argv) {
             << "x modeled device time per query, " << fmt(fused_wall_speedup)
             << "x wall qps\n";
 
+  // ---- sharded scale-out leg (--sharded): one huge query, 4 devices -------
+  // Single-query scale-out is the shard coordinator's shape: split N across
+  // the pool, select per shard, merge the candidate lists on device 0.  The
+  // gate runs at N = 2^26 — NOT 2^24 — because the fixed cost floor does
+  // not shrink with the shard count: every sharded run pays the PCIe
+  // gather/merge latency (~8us per copy) plus the per-shard algorithm's
+  // non-scaling pass overhead, about 45us total under the default spec.  At
+  // 2^24 the whole 1-shard baseline is ~165us, so even a perfect 4x split
+  // of the kernel time cannot reach 0.35x; at 2^26 (the acceptance shape,
+  // baseline ~590us) the floor is amortized and near-linear scaling shows.
+  struct ShardLeg {
+    std::size_t shards = 0;
+    std::string algo;
+    topk::shard::ShardTiming t;
+  };
+  std::vector<ShardLeg> shard_legs;
+  std::size_t shard_n = 0;
+  const std::size_t shard_k = 256;
+  if (sharded) {
+    shard_n = smoke ? (std::size_t{1} << 22) : (std::size_t{1} << 26);
+    // Full-range signed keys, matching the shard test suite: AIR's modeled
+    // refinement cost depends on the key distribution, and the narrow
+    // (0, 1] range is its best case — a fast baseline that makes the fixed
+    // PCIe floor loom largest.  The scale-out contract is gated on the
+    // general-case distribution (sign bit + full exponent spread).
+    std::vector<float> shard_data(shard_n);
+    {
+      std::mt19937 rng(0x51AB);
+      std::uniform_real_distribution<float> dist(-1000.f, 1000.f);
+      for (float& v : shard_data) v = dist(rng);
+    }
+    topk::shard::ShardConfig scfg;
+    scfg.devices = 4;
+    topk::shard::Coordinator coord(scfg);
+    for (const std::size_t s : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+      const topk::shard::ShardedResult r =
+          coord.select(shard_data, shard_k, s);
+      shard_legs.push_back({s, topk::algo_name(r.shard_algo), r.timing});
+      std::cout << "sharded: shards=" << s << " devices=" << r.devices
+                << " algo=" << shard_legs.back().algo
+                << " select_us=" << fmt(r.timing.select_us)
+                << " gather_us=" << fmt(r.timing.gather_us)
+                << " merge_us=" << fmt(r.timing.merge_us)
+                << " output_us=" << fmt(r.timing.output_us)
+                << " total_us=" << fmt(r.timing.total_us) << "\n";
+    }
+  }
+
   const ResultRow& base = rows[0];
   const ResultRow& batched = rows[1];
   const double model_speedup =
@@ -358,8 +416,29 @@ int main(int argc, char** argv) {
         << ", \"pool_hit_rate\": " << fmt(r.pool_hit_rate) << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
-  out << "  ]\n}\n";
-  std::cout << "wrote BENCH_serving.json (" << rows.size() << " rows)\n";
+  out << "  ]";
+  if (sharded) {
+    out << ",\n  \"sharded\": [\n";
+    for (std::size_t i = 0; i < shard_legs.size(); ++i) {
+      const ShardLeg& l = shard_legs[i];
+      out << "    {\"shards\": " << l.shards << ", \"devices\": 4"
+          << ", \"n\": " << shard_n << ", \"k\": " << shard_k
+          << ", \"algo\": \"" << l.algo << "\""
+          << ", \"select_us\": " << fmt(l.t.select_us)
+          << ", \"gather_us\": " << fmt(l.t.gather_us)
+          << ", \"merge_us\": " << fmt(l.t.merge_us)
+          << ", \"output_us\": " << fmt(l.t.output_us)
+          << ", \"total_us\": " << fmt(l.t.total_us) << "}"
+          << (i + 1 < shard_legs.size() ? "," : "") << "\n";
+    }
+    out << "  ]";
+  }
+  out << "\n}\n";
+  std::cout << "wrote BENCH_serving.json (" << rows.size() << " rows"
+            << (sharded ? " + " + std::to_string(shard_legs.size()) +
+                              " sharded legs"
+                        : "")
+            << ")\n";
 
   // Gate: micro-batching must beat batch=1 in modeled device time per query
   // whenever batches actually formed.  (If scheduling noise left the batches
@@ -421,6 +500,37 @@ int main(int argc, char** argv) {
     }
   } else {
     std::cout << "gate: fused dispatch wall qps > per-row -> PASS\n";
+  }
+
+  // Gate: sharded scale-out must be near-linear at the acceptance shape —
+  // 4-shard modeled total <= 0.35x the 1-shard baseline, and the merge
+  // phase (candidate H2D + merge kernels) under 10% of the sharded total.
+  // Both are modeled-time comparisons, so they gate only in the full run;
+  // the smoke shape (2^22) sits on the fixed-cost floor by design and just
+  // reports the breakdown.
+  if (sharded && shard_legs.size() == 3) {
+    const double t1 = shard_legs[0].t.total_us;
+    const double t4 = shard_legs[2].t.total_us;
+    const double ratio = t1 > 0.0 ? t4 / t1 : 1.0;
+    const double merge_share =
+        t4 > 0.0 ? shard_legs[2].t.merge_us / t4 : 1.0;
+    std::cout << "sharded scale-out (n=" << shard_n << ", k=" << shard_k
+              << "): 4-shard/1-shard modeled ratio " << fmt(ratio)
+              << ", merge share " << fmt(merge_share) << "\n";
+    if (!smoke) {
+      if (ratio > 0.35) {
+        std::cerr << "FAIL: 4-shard modeled time " << fmt(t4)
+                  << " us exceeds 0.35x of 1-shard " << fmt(t1) << " us\n";
+        return 1;
+      }
+      if (merge_share >= 0.10) {
+        std::cerr << "FAIL: merge overhead " << fmt(merge_share * 100.0)
+                  << "% of sharded total (floor: 10%)\n";
+        return 1;
+      }
+      std::cout << "gate: sharded 4-shard <= 0.35x 1-shard and merge < 10% "
+                   "-> PASS\n";
+    }
   }
   return 0;
 }

@@ -4,19 +4,27 @@
 //   $ ./examples/topk_cli [algo] [log2_n] [k] [distribution] [batch]
 //   $ ./examples/topk_cli air 20 2048 adversarial 1
 //   $ ./examples/topk_cli auto 20 256 uniform 8     # dispatch planner picks
+//   $ ./examples/topk_cli auto 24 256 uniform 1 --shards auto   # scale out
 //
 // Algorithms: auto, air, grid, radixselect, warp, block, bitonic, quick,
 //             bucket, sample, sort.  Distributions: uniform, normal,
 //             adversarial.  With "auto" the recommender chooses (and the
 //             chosen algorithm is printed).
+//
+// `--shards N|auto` routes the query through the multi-device shard
+// coordinator (a 4-device pool; `auto` lets recommend_shards pick) and
+// prints the coordinator's phase breakdown plus per-shard modeled times
+// instead of the single-device timeline.  Requires batch == 1.
 
 #include <cstdlib>
 #include <iostream>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "core/topk.hpp"
 #include "data/distributions.hpp"
+#include "shard/shard.hpp"
 #include "simgpu/simgpu.hpp"
 #include "simgpu/timeline.hpp"
 
@@ -24,7 +32,7 @@ namespace {
 
 int usage() {
   std::cerr << "usage: topk_cli [algo] [log2_n] [k] "
-               "[uniform|normal|adversarial] [batch]\n"
+               "[uniform|normal|adversarial] [batch] [--shards N|auto]\n"
                "  algos: auto air grid radixselect warp block bitonic quick "
                "bucket sample sort\n";
   return 2;
@@ -33,11 +41,30 @@ int usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string algo_key = argc > 1 ? argv[1] : "air";
-  const int log_n = argc > 2 ? std::atoi(argv[2]) : 20;
-  const std::size_t k = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 64;
-  const std::string dist_key = argc > 4 ? argv[4] : "uniform";
-  const std::size_t batch = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 1;
+  bool sharded = false;
+  std::size_t shards = 0;
+  std::vector<std::string> pos;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--shards") {
+      if (i + 1 >= argc) return usage();
+      sharded = true;
+      const std::string v = argv[++i];
+      if (v != "auto") {
+        shards = std::strtoull(v.c_str(), nullptr, 10);
+        if (shards == 0) return usage();
+      }
+    } else {
+      pos.push_back(arg);
+    }
+  }
+  std::string algo_key = pos.size() > 0 ? pos[0] : "air";
+  const int log_n = pos.size() > 1 ? std::atoi(pos[1].c_str()) : 20;
+  const std::size_t k =
+      pos.size() > 2 ? std::strtoull(pos[2].c_str(), nullptr, 10) : 64;
+  const std::string dist_key = pos.size() > 3 ? pos[3] : "uniform";
+  const std::size_t batch =
+      pos.size() > 4 ? std::strtoull(pos[4].c_str(), nullptr, 10) : 1;
 
   const auto algo = topk::algo_from_string(algo_key);
   if (!algo || log_n < 1 || log_n > 26 || k == 0) {
@@ -55,6 +82,39 @@ int main(int argc, char** argv) {
   }
 
   const std::size_t n = std::size_t{1} << log_n;
+
+  if (sharded) {
+    if (batch != 1) {
+      std::cerr << "--shards requires batch == 1\n";
+      return 2;
+    }
+    const auto values = topk::data::generate(dist, n, 0xC11);
+    topk::shard::ShardConfig cfg;
+    cfg.devices = 4;
+    cfg.algo = *algo;  // kAuto recommends at the per-shard shape
+    topk::shard::Coordinator coord(cfg);
+    const topk::shard::ShardedResult r = coord.select(values, k, shards);
+    const std::string err = topk::verify_topk(values, k, r.topk);
+    if (!err.empty()) {
+      std::cerr << "verification FAILED: " << err << "\n";
+      return 1;
+    }
+    std::cout << "sharded " << topk::algo_name(r.shard_algo) << "  n=2^"
+              << log_n << "  k=" << k << "  " << dist.name() << "  shards="
+              << r.shards << " over " << r.devices << " device(s)\n";
+    std::cout << "verified OK | modeled " << r.timing.total_us
+              << " us = select " << r.timing.select_us << " + gather "
+              << r.timing.gather_us << " + merge " << r.timing.merge_us
+              << " + output " << r.timing.output_us << "\n";
+    for (std::size_t s = 0; s < r.shard_us.size(); ++s) {
+      std::cout << "  shard " << s << " (device " << s % r.devices
+                << "): " << r.shard_us[s] << " us\n";
+    }
+    std::cout << "plan cache: " << coord.plan_cache_hits() << " hits / "
+              << coord.plan_cache_misses() << " misses\n";
+    return 0;
+  }
+
   // Resolve "auto" through the dispatch planner first so the max_k check
   // (and the banner) name the algorithm that actually runs.
   const bool was_auto = *algo == topk::Algo::kAuto;

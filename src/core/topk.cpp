@@ -36,12 +36,12 @@ std::optional<Algo> algo_from_string(std::string_view key) {
 }
 
 std::span<const Algo> all_algorithms() {
-  static constexpr std::array<Algo, 12> kAll = {
+  static constexpr std::array<Algo, 13> kAll = {
       Algo::kAirTopk,      Algo::kGridSelect,  Algo::kRadixSelect,
       Algo::kWarpSelect,   Algo::kBlockSelect, Algo::kBitonicTopk,
       Algo::kQuickSelect,  Algo::kBucketSelect, Algo::kSampleSelect,
       Algo::kSort,         Algo::kFusedWarpRowwise,
-      Algo::kFusedBlockRowwise,
+      Algo::kFusedBlockRowwise, Algo::kShardMerge,
   };
   return kAll;
 }
@@ -120,6 +120,20 @@ double estimated_batch_cost_us(Algo algo, std::size_t batch, std::size_t n,
 
 Algo recommend_algorithm(std::size_t n, std::size_t k,
                          const WorkloadHints& hints) {
+  // A sharded query is recommended at the shape one device actually sees:
+  // the per-shard row length.  The shard coordinator runs the same concrete
+  // algorithm on every shard, so this is the choice that matters.
+  if (hints.shards > 1) {
+    const std::size_t n_shard = (n + hints.shards - 1) / hints.shards;
+    if (k > n_shard) {
+      std::ostringstream err;
+      err << "recommend_algorithm: k=" << k << " exceeds the per-shard row "
+          << "length ceil(n/shards)=" << n_shard << " at shards="
+          << hints.shards << "; request fewer shards";
+      throw std::invalid_argument(err.str());
+    }
+    n = n_shard;
+  }
   validate_problem(n, k, hints.batch);
   if (hints.on_the_fly) {
     if (k > max_k(Algo::kGridSelect, n)) {
@@ -238,6 +252,16 @@ ExecutionPlan plan_select(const simgpu::DeviceSpec& spec, std::size_t batch,
   const AlgoRow* row = find_algo_row(algo);
   if (row == nullptr || row->plan == nullptr) {
     throw std::invalid_argument("plan_select: unknown algorithm");
+  }
+  if (batch * n > spec.max_select_elems) {
+    std::ostringstream err;
+    err << "plan_select: batch=" << batch << " x n=" << n << " = "
+        << batch * n << " keys exceeds this device's single-select capacity ("
+        << spec.max_select_elems
+        << " elems); split the query across the device pool with "
+           "topk::shard::sharded_select (serve engages it automatically, or "
+           "via WorkloadHints::shards)";
+    throw std::invalid_argument(err.str());
   }
   auto impl = std::make_shared<PlanImpl>();
   impl->algo = algo;

@@ -33,6 +33,9 @@ enum class Algo {
   // --- fused row-wise family (serving-shaped micro-batches) ---
   kFusedWarpRowwise,   ///< one warp per row, whole batch in a single launch
   kFusedBlockRowwise,  ///< one block per row, partials + grid-spanning merge
+  // --- sharded scale-out (queries larger than one device) ---
+  kShardMerge,  ///< sorted-run merge-prune tree; the cross-shard reduction
+                ///< stage of topk::shard, usable standalone (k <= 2048)
   // --- dispatch ---
   kAuto,  ///< let recommend_algorithm() pick per (n, k, batch) at run time
 };
@@ -73,6 +76,11 @@ struct WorkloadHints {
   /// the micro-batch size it assembled; many-row micro-batches route to the
   /// fused row-wise family via the batch-aware cost estimate below.
   std::size_t batch = 1;
+  /// Planned shard count for queries split across a device pool by
+  /// topk::shard (0/1 = unsharded).  When > 1 the recommendation is made at
+  /// the per-shard row length ceil(n / shards) — the shape each device
+  /// actually selects over — and k must fit inside one shard.
+  std::size_t shards = 0;
 };
 
 /// First-order modeled cost (microseconds) of running `algo` on one

@@ -10,6 +10,7 @@
 #include <tuple>
 #include <utility>
 
+#include "shard/shard.hpp"
 #include "simgpu/cost_model.hpp"
 #include "simgpu/simgpu.hpp"
 
@@ -95,6 +96,14 @@ struct TopkService::Worker {
   /// (n, k_exec, requested algo, rows) -> planned execution.
   std::map<std::tuple<std::size_t, std::size_t, Algo, std::size_t>, PlanEntry>
       plans;
+  /// Multi-device coordinator for sharded requests, built lazily on the
+  /// first one (it owns ServiceConfig::shard_devices simulated devices of
+  /// its own); driven only by this worker's thread.  The *_seen cursors
+  /// track how much of its cumulative plan-cache traffic has already been
+  /// folded into the service counters.
+  std::unique_ptr<shard::Coordinator> shard_coord;
+  std::size_t shard_plan_hits_seen = 0;
+  std::size_t shard_plan_misses_seen = 0;
 
   explicit Worker(const simgpu::DeviceSpec& spec)
       : dev(spec), algo_ws(dev), io_ws(dev) {}
@@ -140,7 +149,7 @@ void TopkService::shutdown() {
 std::future<QueryResult> TopkService::submit(
     std::vector<float> keys, std::size_t k,
     std::optional<std::chrono::microseconds> deadline,
-    std::optional<Algo> algo) {
+    std::optional<Algo> algo, std::optional<WorkloadHints> hints) {
   const std::size_t n = keys.size();
   if (n == 0) {
     throw std::invalid_argument("TopkService::submit: keys must be non-empty");
@@ -154,16 +163,24 @@ std::future<QueryResult> TopkService::submit(
     throw std::invalid_argument(err.str());
   }
 
+  // Sharded routing: an explicit multi-shard hint, or a row no single
+  // device can hold — the shape the coalesced path could never serve.
+  const std::size_t shard_hint = hints ? hints->shards : 0;
+  const bool sharded =
+      shard_hint > 1 || n > cfg_.device_spec.max_select_elems;
+
   const Clock::time_point now = Clock::now();
   Request req;
   req.k = k;
+  req.shard_hint = shard_hint;
   req.submit_time = now;
   if (deadline) req.deadline = now + *deadline;
   std::future<QueryResult> fut = req.promise.get_future();
 
   BucketKey key;
   key.n = n;
-  key.k_exec = std::min(n, std::bit_ceil(k));
+  // Sharded requests never coalesce, so k is executed exactly, unpadded.
+  key.k_exec = sharded ? k : std::min(n, std::bit_ceil(k));
   key.algo = algo.value_or(cfg_.default_algo);
 
   std::optional<std::string> reject;
@@ -181,6 +198,18 @@ std::future<QueryResult> TopkService::submit(
       err << "admission queue full (capacity " << cfg_.admission_capacity
           << ")";
       reject = err.str();
+    } else if (sharded) {
+      ++accepted_;
+      ++queued_;
+      // Straight to the ready queue as its own single-row batch; the row
+      // vector itself becomes the staged buffer (no copy).
+      Batch b;
+      b.key = key;
+      b.staged = std::move(keys);
+      b.reqs.push_back(std::move(req));
+      b.sharded = true;
+      ready_.push_back(std::move(b));
+      notify_worker = true;
     } else {
       ++accepted_;
       ++queued_;
@@ -291,8 +320,79 @@ void TopkService::worker_loop(std::size_t worker_id) {
       ready_.pop_front();
       queued_ -= batch.reqs.size();
     }
-    execute_batch(w, worker_id, std::move(batch));
+    if (batch.sharded) {
+      execute_sharded(w, worker_id, std::move(batch));
+    } else {
+      execute_batch(w, worker_id, std::move(batch));
+    }
   }
+}
+
+void TopkService::execute_sharded(Worker& w, std::size_t /*worker_id*/,
+                                  Batch batch) {
+  const Clock::time_point dispatch = Clock::now();
+  Request req = std::move(batch.reqs.front());
+  QueryResult qr;
+  const bool expired = req.deadline && *req.deadline <= dispatch;
+  if (expired) {
+    qr.status = QueryStatus::kTimedOut;
+    qr.error = "deadline expired before dispatch";
+    qr.wall_us = us_between(req.submit_time, dispatch);
+  } else {
+    if (w.shard_coord == nullptr) {
+      shard::ShardConfig scfg;
+      scfg.devices = cfg_.shard_devices;
+      scfg.device_spec = cfg_.device_spec;
+      scfg.options.greatest = cfg_.greatest;
+      scfg.options.sorted = cfg_.sorted_results;
+      w.shard_coord = std::make_unique<shard::Coordinator>(scfg);
+    }
+    try {
+      shard::ShardedResult res = w.shard_coord->select(
+          std::span<const float>(batch.staged), batch.key.k_exec,
+          req.shard_hint, batch.key.algo);
+      qr.status = QueryStatus::kOk;
+      qr.topk = std::move(res.topk);
+      qr.algo = res.shard_algo;
+      qr.batch_rows = 1;
+      qr.shards = res.shards;
+      qr.device_us = res.timing.total_us;
+    } catch (const std::exception& e) {
+      qr.status = QueryStatus::kFailed;
+      qr.error = e.what();
+    }
+    qr.wall_us = us_between(req.submit_time, Clock::now());
+  }
+
+  {
+    std::scoped_lock lock(mu_);
+    if (expired) {
+      ++timed_out_;
+    } else if (qr.status == QueryStatus::kOk) {
+      ++completed_;
+      ++batches_;
+      ++batch_rows_histogram_[1];
+      modeled_device_us_ += qr.device_us;
+      ++sharded_queries_;
+      sharded_device_us_ += qr.device_us;
+      if (latency_us_.size() < kMaxLatencySamples) {
+        latency_us_.push_back(qr.wall_us);
+      }
+    } else {
+      failed_ += 1;
+    }
+    // Fold the coordinator's cumulative plan-cache traffic into the service
+    // counters (delta since the last fold), success or not.
+    if (w.shard_coord != nullptr) {
+      plan_cache_hits_ +=
+          w.shard_coord->plan_cache_hits() - w.shard_plan_hits_seen;
+      plan_cache_misses_ +=
+          w.shard_coord->plan_cache_misses() - w.shard_plan_misses_seen;
+      w.shard_plan_hits_seen = w.shard_coord->plan_cache_hits();
+      w.shard_plan_misses_seen = w.shard_coord->plan_cache_misses();
+    }
+  }
+  req.promise.set_value(std::move(qr));
 }
 
 void TopkService::execute_batch(Worker& w, std::size_t worker_id,
@@ -504,6 +604,8 @@ ServiceStats TopkService::stats() const {
     s.batch_rows_histogram = batch_rows_histogram_;
     s.plan_cache_hits = plan_cache_hits_;
     s.plan_cache_misses = plan_cache_misses_;
+    s.sharded_queries = sharded_queries_;
+    s.sharded_device_us = sharded_device_us_;
     for (const WorkerCounters& wc : worker_counters_) {
       s.pool_hits += wc.pool_hits;
       s.pool_misses += wc.pool_misses;

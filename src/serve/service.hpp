@@ -38,6 +38,9 @@ struct QueryResult {
   SelectResult topk;           ///< valid when status == kOk
   Algo algo = Algo::kAuto;     ///< concrete algorithm executed (kOk only)
   std::size_t batch_rows = 0;  ///< rows in the micro-batch this query rode in
+  /// Shard count the query executed with: 0 for the ordinary coalesced path,
+  /// >= 1 when it ran through the sharded multi-device coordinator.
+  std::size_t shards = 0;
   double wall_us = 0.0;        ///< submit -> resolution wall latency
   double device_us = 0.0;      ///< modeled device-time share of the batch
   std::string error;           ///< diagnostic for kRejected / kFailed
@@ -66,6 +69,13 @@ struct ServiceConfig {
   Algo default_algo = Algo::kAuto;
   bool greatest = false;        ///< select largest-K instead of smallest-K
   bool sorted_results = false;  ///< order each result best-first
+  /// Device pool size of each worker's sharded coordinator (topk::shard).
+  /// A query goes sharded when its WorkloadHints ask for shards > 1 or when
+  /// its row exceeds `device_spec.max_select_elems` — rows no single device
+  /// can hold are served by splitting instead of being rejected.  The
+  /// coordinator (and its shard_devices simulated devices) is built lazily
+  /// on the first sharded query, so unsharded workloads pay nothing.
+  std::size_t shard_devices = 4;
 };
 
 /// Latency distribution summary over completed queries (microseconds).
@@ -101,6 +111,11 @@ struct ServiceStats {
   // hit, and device_allocs stops growing.
   std::uint64_t plan_cache_hits = 0;
   std::uint64_t plan_cache_misses = 0;
+  /// Sharded-path counters: queries routed through the multi-device
+  /// coordinator (each is one single-row batch; its plan-cache traffic is
+  /// folded into plan_cache_hits / plan_cache_misses above).
+  std::uint64_t sharded_queries = 0;
+  double sharded_device_us = 0.0;  ///< modeled time of sharded queries
   std::uint64_t pool_hits = 0;    ///< workspace binds served by a warm slab
   std::uint64_t pool_misses = 0;  ///< binds that had to fetch/grow a slab
   std::size_t pool_high_water = 0;  ///< peak pooled bytes, summed over devices
@@ -145,13 +160,18 @@ class TopkService {
   /// Enqueue one top-K query over `keys` (the row is consumed).  `deadline`
   /// is relative to now; a request not dispatched by then resolves with
   /// kTimedOut.  `algo` overrides the config's default plan for this request
-  /// (and only coalesces with requests of the same override).  Throws
-  /// std::invalid_argument for malformed arguments (empty keys, k == 0,
-  /// k > keys.size()) — malformed requests are caller bugs, not load.
+  /// (and only coalesces with requests of the same override).  `hints`
+  /// steers execution: WorkloadHints::shards > 1 routes the request through
+  /// the sharded multi-device path — as does, automatically, any row longer
+  /// than device_spec.max_select_elems.  Sharded requests bypass coalescing
+  /// (each is its own single-row dispatch).  Throws std::invalid_argument
+  /// for malformed arguments (empty keys, k == 0, k > keys.size()) —
+  /// malformed requests are caller bugs, not load.
   std::future<QueryResult> submit(
       std::vector<float> keys, std::size_t k,
       std::optional<std::chrono::microseconds> deadline = std::nullopt,
-      std::optional<Algo> algo = std::nullopt);
+      std::optional<Algo> algo = std::nullopt,
+      std::optional<WorkloadHints> hints = std::nullopt);
 
   /// Stop admitting, flush every bucket, drain the ready queue and in-flight
   /// batches, then join the batcher and worker threads.  Idempotent.
@@ -164,6 +184,7 @@ class TopkService {
   struct Request {
     std::promise<QueryResult> promise;
     std::size_t k = 0;
+    std::size_t shard_hint = 0;  ///< requested shard count (0 = recommend)
     Clock::time_point submit_time;
     std::optional<Clock::time_point> deadline;
   };
@@ -197,6 +218,9 @@ class TopkService {
     BucketKey key;
     std::vector<Request> reqs;
     std::vector<float> staged;  ///< reqs' rows, contiguous (see Bucket)
+    /// Sharded single-row dispatch: `staged` is the one row, `key.k_exec`
+    /// the exact (unpadded) k, and the worker routes it to its coordinator.
+    bool sharded = false;
   };
 
   /// Per-worker execution context: the Device plus the plan cache and the
@@ -207,6 +231,7 @@ class TopkService {
   void batcher_loop();
   void worker_loop(std::size_t worker_id);
   void execute_batch(Worker& w, std::size_t worker_id, Batch batch);
+  void execute_sharded(Worker& w, std::size_t worker_id, Batch batch);
 
   // All methods below require `mu_` to be held.
   void enqueue_ready_locked(Batch&& batch);
@@ -243,6 +268,8 @@ class TopkService {
   std::vector<double> latency_us_;  ///< wall latency of completed queries
   std::uint64_t plan_cache_hits_ = 0;
   std::uint64_t plan_cache_misses_ = 0;
+  std::uint64_t sharded_queries_ = 0;
+  double sharded_device_us_ = 0.0;
 
   /// Latest pool/alloc snapshot per worker (cumulative counters owned by the
   /// worker's Device; published under mu_ after each batch and summed by

@@ -51,6 +51,16 @@ struct DeviceSpec {
   /// Host scalar throughput for intermediate CPU work, ops per second.
   double host_ops_per_sec = 1.5e9;
 
+  /// Largest single-plan selection input (batch * n keys) one device accepts.
+  /// A policy ceiling, not a byte count: real devices derive it from memory
+  /// capacity minus algorithm scratch headroom, and plan_select() rejects
+  /// anything above it with a message pointing at the sharded path
+  /// (topk::shard splits oversized rows across a device pool and merges the
+  /// per-shard candidates).  The default sits above every paper sweep shape;
+  /// scale-out tests and the shard demo cap it (e.g. at 2^22) to force
+  /// sharding.
+  std::size_t max_select_elems = std::size_t{1} << 28;
+
   /// Peak device-memory bandwidth in bytes per microsecond.
   [[nodiscard]] double mem_bytes_per_us() const {
     return mem_bandwidth_gbps * 1e3;

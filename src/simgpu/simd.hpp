@@ -345,6 +345,33 @@ __attribute__((target("avx512f"))) inline std::size_t pack_below_f32_avx512(
   return m;
 }
 
+/// Vector body of histogram_digits_f32: 16 keys per iteration through the
+/// ordinal map, xor, shift and mask; the 16 digits spill to a stack array and
+/// the histogram bumps stay scalar (radix 256/2048 bins alias too heavily for
+/// conflict-detection gathers to win).
+__attribute__((target("avx512f"))) inline void histogram_digits_f32_avx512(
+    const float* p, std::size_t n, std::uint32_t xor_mask, int shift,
+    std::uint32_t digit_mask, std::uint32_t* hist) {
+  const __m512i xm = _mm512_set1_epi32(static_cast<int>(xor_mask));
+  const __m512i dm = _mm512_set1_epi32(static_cast<int>(digit_mask));
+  const __m128i sh = _mm_cvtsi32_si128(shift);
+  alignas(64) std::uint32_t digits[16];
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512i ord = ord_f32_avx512(_mm512_loadu_ps(p + i));
+    const __m512i d = _mm512_and_si512(
+        _mm512_srl_epi32(_mm512_xor_si512(ord, xm), sh), dm);
+    _mm512_store_si512(digits, d);
+    for (std::size_t u = 0; u < 16; ++u) ++hist[digits[u]];
+  }
+  for (; i < n; ++i) {
+    std::uint32_t b;
+    __builtin_memcpy(&b, p + i, sizeof(b));
+    const std::uint32_t ord = (b & 0x80000000u) ? ~b : (b | 0x80000000u);
+    ++hist[((ord ^ xor_mask) >> shift) & digit_mask];
+  }
+}
+
 __attribute__((target("avx512f"))) inline std::size_t count_below_f32_avx512(
     const float* p, std::size_t n, float threshold) {
   const __m512 t = _mm512_set1_ps(threshold);
@@ -436,6 +463,31 @@ inline void merge_sorted_u64(const std::uint64_t* a, std::size_t an,
     out[t] = takeb ? bv : av;
     j += takeb ? 1 : 0;
     i += takeb ? 0 : 1;
+  }
+}
+
+/// Radix-digit histogram over float keys: for each of p[0..n), bump
+/// hist[((ord(key) ^ xor_mask) >> shift) & digit_mask], where `ord` is the
+/// same monotone sign-flip map as topk::RadixTraits<float>::to_radix (and
+/// key_to_ord).  The accumulation order is irrelevant to the result, so the
+/// vector and scalar bodies are bit-identical.  Used by the histogram passes
+/// of the AIR / RadixSelect families on their contiguous input tiles.
+inline void histogram_digits_f32(const float* p, std::size_t n,
+                                 std::uint32_t xor_mask, int shift,
+                                 std::uint32_t digit_mask,
+                                 std::uint32_t* hist) {
+#if SIMGPU_SIMD_X86
+  if (have_avx512f()) {
+    detail::histogram_digits_f32_avx512(p, n, xor_mask, shift, digit_mask,
+                                        hist);
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint32_t b;
+    __builtin_memcpy(&b, p + i, sizeof(b));
+    const std::uint32_t ord = (b & 0x80000000u) ? ~b : (b | 0x80000000u);
+    ++hist[((ord ^ xor_mask) >> shift) & digit_mask];
   }
 }
 

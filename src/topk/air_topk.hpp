@@ -4,8 +4,10 @@
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <vector>
 
+#include "simgpu/simd.hpp"
 #include "simgpu/simgpu.hpp"
 #include "topk/common.hpp"
 #include "topk/radix_traits.hpp"
@@ -613,10 +615,33 @@ void air_topk_run(simgpu::Device& dev, const AirTopkPlan<T>& plan,
         const int fsb = cur.start_bit;
         const std::uint32_t fdm = digit_mask;
         if (p == 0) {
-          scan_with([&](std::size_t, T value, std::uint32_t) {
-            const Bits key = Traits::to_radix(value) ^ fom;
-            ++hraw[static_cast<std::uint32_t>(key >> fsb) & fdm];
-          });
+          bool vectorized = false;
+          if constexpr (std::is_same_v<T, float>) {
+            if (!from_buf && !has_in_idx) {
+              // SIMD-ized pass-0 histogram over the contiguous input chunk
+              // (hraw != nullptr already implies the unsanitized tile path).
+              // load_tile charges the same bytes the scalar scan would and
+              // the bulk ctx.ops below is shared, so KernelStats stay
+              // bit-identical; the histogram is order-independent.
+              std::size_t i = begin;
+              while (i < end) {
+                const std::size_t c = std::min(simgpu::kTileElems, end - i);
+                const std::span<const float> tv =
+                    ctx.load_tile(in, prob * n + i, c);
+                simgpu::simd::histogram_digits_f32(
+                    tv.data(), tv.size(),  // lint:allow-raw-access
+                    static_cast<std::uint32_t>(fom), fsb, fdm, hraw);
+                i += c;
+              }
+              vectorized = true;
+            }
+          }
+          if (!vectorized) {
+            scan_with([&](std::size_t, T value, std::uint32_t) {
+              const Bits key = Traits::to_radix(value) ^ fom;
+              ++hraw[static_cast<std::uint32_t>(key >> fsb) & fdm];
+            });
+          }
         } else {
           const int psb = prev.start_bit;
           const int pw = prev.width;

@@ -4,8 +4,10 @@
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <vector>
 
+#include "simgpu/simd.hpp"
 #include "simgpu/simgpu.hpp"
 #include "topk/common.hpp"
 #include "topk/radix_traits.hpp"
@@ -332,10 +334,34 @@ void radix_select_run(simgpu::Device& dev, const RadixSelectPlan<T>& plan,
             }
           };
           if (hraw != nullptr) {
-            scan_with([&](std::size_t, T v) {
-              ++hraw[static_cast<std::uint32_t>(Traits::to_radix(v) >> sb) &
-                     dm];
-            });
+            bool vectorized = false;
+            if constexpr (std::is_same_v<T, float>) {
+              // SIMD-ized digit histogram over the contiguous candidate
+              // chunk (hraw != nullptr already implies the unsanitized tile
+              // path).  Tile loads charge the same bytes as the scalar scan
+              // and the bulk ctx.ops below is shared, so KernelStats stay
+              // bit-identical; accumulation order does not matter.
+              const auto base = from_input ? prob * n + begin : begin;
+              std::size_t i = 0;
+              const std::size_t total = end - begin;
+              while (i < total) {
+                const std::size_t c = std::min(simgpu::kTileElems, total - i);
+                const std::span<const float> tv =
+                    from_input ? ctx.load_tile(in, base + i, c)
+                               : ctx.load_tile(src_val, base + i, c);
+                simgpu::simd::histogram_digits_f32(
+                    tv.data(), tv.size(),  // lint:allow-raw-access
+                    0u, sb, dm, hraw);
+                i += c;
+              }
+              vectorized = true;
+            }
+            if (!vectorized) {
+              scan_with([&](std::size_t, T v) {
+                ++hraw[static_cast<std::uint32_t>(Traits::to_radix(v) >> sb) &
+                       dm];
+              });
+            }
           } else {
             scan_with([&](std::size_t, T v) {
               ++shist[static_cast<std::uint32_t>(Traits::to_radix(v) >> sb) &

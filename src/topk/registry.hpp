@@ -15,6 +15,7 @@
 #include "topk/quick_select.hpp"
 #include "topk/radix_select.hpp"
 #include "topk/sample_select.hpp"
+#include "topk/shard_merge.hpp"
 #include "topk/sort_topk.hpp"
 #include "topk/warp_select.hpp"
 
@@ -50,7 +51,8 @@ struct PlanImpl {
                QuickSelectPlan<float>, BucketSelectPlan<float>,
                SampleSelectPlan<float>, RadixSelectPlan<float>,
                AirTopkPlan<float>, GridSelectPlan<float>,
-               faiss_detail::FaissSelectPlan<float>, FusedRowwisePlan<float>>
+               faiss_detail::FaissSelectPlan<float>, FusedRowwisePlan<float>,
+               ShardMergePlan<float>>
       plan;
 };
 
@@ -233,6 +235,21 @@ inline void run_fused(simgpu::Device& dev, const PlanImpl& impl,
                     out_vals, out_idx);
 }
 
+inline void plan_shard_merge(PlanImpl& impl, const simgpu::DeviceSpec& spec,
+                             const SelectOptions&) {
+  impl.plan = shard_merge_plan<float>(impl.shape, spec, {}, impl.layout,
+                                      &impl.schedule);
+}
+
+inline void run_shard_merge(simgpu::Device& dev, const PlanImpl& impl,
+                            simgpu::Workspace& ws,
+                            simgpu::DeviceBuffer<float> in,
+                            simgpu::DeviceBuffer<float> out_vals,
+                            simgpu::DeviceBuffer<std::uint32_t> out_idx) {
+  shard_merge_run(dev, std::get<ShardMergePlan<float>>(impl.plan), ws, in,
+                  out_vals, out_idx);
+}
+
 }  // namespace registry_detail
 
 /// One registry row per Algo value.  `k_limit` of 0 means no ceiling below n
@@ -248,7 +265,7 @@ struct AlgoRow {
   registry_detail::RunFn run;
 };
 
-inline constexpr std::array<AlgoRow, 17> kAlgoTable = {{
+inline constexpr std::array<AlgoRow, 18> kAlgoTable = {{
     {Algo::kAirTopk, "air", "AIR Top-K", 0, true, &registry_detail::plan_air,
      &registry_detail::run_air},
     {Algo::kGridSelect, "grid", "GridSelect", 2048, false,
@@ -284,11 +301,13 @@ inline constexpr std::array<AlgoRow, 17> kAlgoTable = {{
     {Algo::kFusedBlockRowwise, "fused-block", "Fused row-wise (block/row)",
      2048, false, &registry_detail::plan_fused_block,
      &registry_detail::run_fused},
+    {Algo::kShardMerge, "shard-merge", "Shard candidate merge", 2048, false,
+     &registry_detail::plan_shard_merge, &registry_detail::run_shard_merge},
     {Algo::kAuto, "auto", "Auto", 0, false, nullptr, nullptr},
 }};
 
 /// The registry row for `algo`, or nullptr for values outside the enum.
-/// Linear scan of 15 constexpr rows: no hashing, no heap, and the table
+/// Linear scan of the constexpr rows: no hashing, no heap, and the table
 /// order matches the enum so the common case exits immediately.
 [[nodiscard]] inline const AlgoRow* find_algo_row(Algo algo) {
   const auto idx = static_cast<std::size_t>(algo);

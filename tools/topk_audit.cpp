@@ -9,13 +9,18 @@
 // plan the registry can produce.
 //
 // Usage:
-//   topk_audit [--all | --algo KEY] [--grid] [--json] [--verbose]
+//   topk_audit [--all | --algo KEY] [--grid] [--sharded] [--json] [--verbose]
 //
 //   --all      audit every concrete kAlgoTable row (default when no --algo)
 //   --algo KEY audit one algorithm by registry key ("air", "radixselect", ...)
 //   --grid     sweep n = 2^10 .. 2^TOPK_MAX_LOG_N (env, default 18) and
 //              k in {1, 16, 256, 2048} (clamped per row), batch in {1, 4};
 //              without it, one representative shape per algorithm
+//   --sharded  additionally audit the plans a sharded multi-device query
+//              executes (topk::shard::plan_sharded against a device capped
+//              at 2^22 keys): every distinct per-shard plan plus the
+//              cross-shard merge plan, including the N = 2^26 shape no
+//              single capped device can serve
 //   --json     emit one JSON report document on stdout
 //   --verbose  print every audited configuration, not just failures
 
@@ -27,6 +32,7 @@
 #include <vector>
 
 #include "core/topk.hpp"
+#include "shard/shard.hpp"
 #include "topk/registry.hpp"
 #include "verify/plan_audit.hpp"
 
@@ -53,11 +59,15 @@ std::size_t max_log_n_from_env() {
   return 18;
 }
 
-std::vector<Config> build_grid(const topk::AlgoRow& row, bool grid) {
+std::vector<Config> build_grid(const topk::AlgoRow& row, bool grid,
+                               const simgpu::DeviceSpec& spec) {
   std::vector<Config> configs;
   const auto add = [&](std::size_t batch, std::size_t n, std::size_t k) {
     if (k == 0 || k > n) return;
     if (row.k_limit != 0 && k > row.k_limit) return;
+    // Shapes past the per-device capacity can only be served sharded;
+    // single-device plans for them are rejected by design, not defects.
+    if (n > spec.max_select_elems) return;
     configs.push_back({row.algo, row.key, batch, n, k, false});
     configs.push_back({row.algo, row.key, batch, n, k, true});
   };
@@ -85,10 +95,60 @@ std::string config_label(const Config& cfg) {
   return out.str();
 }
 
+/// One audited plan out of a sharded query's plan set.
+struct ShardedAudit {
+  std::string label;
+  topk::verify::AuditReport report;
+  std::string plan_error;
+};
+
+/// Audit every plan a sharded query would execute, for a sweep of query
+/// shapes against a device capped at 2^22 keys — the scale-out scenario
+/// (first row: N = 2^26, a shape no single capped device can serve).
+std::vector<ShardedAudit> audit_sharded(const simgpu::DeviceSpec& base) {
+  simgpu::DeviceSpec spec = base;
+  spec.max_select_elems = std::size_t{1} << 22;
+  struct SweepRow {
+    std::size_t n, k, shards;  // shards == 0: recommend_shards picks
+  };
+  constexpr SweepRow kSweep[] = {
+      {std::size_t{1} << 26, 256, 0},  {std::size_t{1} << 26, 2048, 16},
+      {std::size_t{1} << 24, 256, 4},  {std::size_t{1} << 20, 64, 2},
+      {std::size_t{1} << 20, 64, 7},   {std::size_t{1} << 20, 2048, 1},
+  };
+  std::vector<ShardedAudit> out;
+  for (const SweepRow& row : kSweep) {
+    std::ostringstream shape;
+    shape << "n=" << row.n << " k=" << row.k << " shards=";
+    if (row.shards == 0) {
+      shape << "auto";
+    } else {
+      shape << row.shards;
+    }
+    try {
+      const topk::shard::ShardedPlan sp = topk::shard::plan_sharded(
+          spec, row.n, row.k, row.shards, topk::Algo::kAuto);
+      for (const auto& [label, plan] : sp.plans) {
+        ShardedAudit a;
+        a.label = shape.str() + " :: " + label;
+        a.report = topk::verify::audit_plan(plan);
+        out.push_back(std::move(a));
+      }
+    } catch (const std::exception& e) {
+      ShardedAudit a;
+      a.label = shape.str();
+      a.plan_error = e.what();
+      out.push_back(std::move(a));
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool all = false, grid = false, json = false, verbose = false;
+  bool all = false, grid = false, sharded = false, json = false,
+       verbose = false;
   std::string_view algo_key;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -96,6 +156,8 @@ int main(int argc, char** argv) {
       all = true;
     } else if (arg == "--grid") {
       grid = true;
+    } else if (arg == "--sharded") {
+      sharded = true;
     } else if (arg == "--json") {
       json = true;
     } else if (arg == "--verbose") {
@@ -104,8 +166,8 @@ int main(int argc, char** argv) {
       algo_key = argv[++i];
     } else {
       std::cerr << "topk_audit: unknown argument '" << arg << "'\n"
-                << "usage: topk_audit [--all | --algo KEY] [--grid] [--json]"
-                   " [--verbose]\n";
+                << "usage: topk_audit [--all | --algo KEY] [--grid]"
+                   " [--sharded] [--json] [--verbose]\n";
       return 2;
     }
   }
@@ -118,7 +180,7 @@ int main(int argc, char** argv) {
   for (const topk::AlgoRow& row : topk::kAlgoTable) {
     if (row.plan == nullptr) continue;  // kAuto resolves before planning
     if (!all && row.key != algo_key) continue;
-    for (const Config& cfg : build_grid(row, grid)) {
+    for (const Config& cfg : build_grid(row, grid, spec)) {
       Result res{cfg, {}, {}};
       try {
         topk::SelectOptions opt;
@@ -139,6 +201,15 @@ int main(int argc, char** argv) {
     std::cerr << "topk_audit: no registry row matches --algo '" << algo_key
               << "'\n";
     return 2;
+  }
+
+  std::vector<ShardedAudit> sharded_results;
+  if (sharded) {
+    sharded_results = audit_sharded(spec);
+    for (const ShardedAudit& a : sharded_results) {
+      defects += a.report.findings.size();
+      plan_errors += a.plan_error.empty() ? 0 : 1;
+    }
   }
 
   if (json) {
@@ -162,7 +233,26 @@ int main(int argc, char** argv) {
         out << "}";
       }
     }
-    out << "]}";
+    out << "]";
+    if (!sharded_results.empty()) {
+      out << ", \"sharded\": [";
+      bool sfirst = true;
+      for (const ShardedAudit& a : sharded_results) {
+        if (!a.plan_error.empty() || !a.report.clean() || verbose) {
+          if (!sfirst) out << ", ";
+          sfirst = false;
+          out << "{\"plan\": \"" << a.label << "\"";
+          if (!a.plan_error.empty()) {
+            out << ", \"plan_error\": \"" << a.plan_error << "\"";
+          } else {
+            out << ", \"audit\": " << topk::verify::to_json(a.report);
+          }
+          out << "}";
+        }
+      }
+      out << "]";
+    }
+    out << "}";
     std::cout << out.str() << "\n";
   } else {
     for (const Result& res : results) {
@@ -180,8 +270,24 @@ int main(int argc, char** argv) {
                   << res.report.binds_checked << " binds)\n";
       }
     }
-    std::cout << results.size() << " plan(s) audited, " << defects
-              << " defect(s), " << plan_errors << " plan error(s)\n";
+    for (const ShardedAudit& a : sharded_results) {
+      if (!a.plan_error.empty()) {
+        std::cout << "PLAN ERROR sharded " << a.label << ": " << a.plan_error
+                  << "\n";
+      } else if (!a.report.clean()) {
+        std::cout << "DEFECTS    sharded " << a.label << "\n";
+        for (const topk::verify::Finding& f : a.report.findings) {
+          std::cout << "  " << f.to_string() << "\n";
+        }
+      } else if (verbose) {
+        std::cout << "clean      sharded " << a.label << " ("
+                  << a.report.steps_walked << " steps, "
+                  << a.report.binds_checked << " binds)\n";
+      }
+    }
+    std::cout << results.size() + sharded_results.size()
+              << " plan(s) audited, " << defects << " defect(s), "
+              << plan_errors << " plan error(s)\n";
   }
 
   return (defects == 0 && plan_errors == 0) ? 0 : 1;
