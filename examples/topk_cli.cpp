@@ -5,17 +5,26 @@
 //   $ ./examples/topk_cli air 20 2048 adversarial 1
 //   $ ./examples/topk_cli auto 20 256 uniform 8     # dispatch planner picks
 //   $ ./examples/topk_cli auto 24 256 uniform 1 --shards auto   # scale out
+//   $ ./examples/topk_cli auto 22 256 uniform 1 --recall 0.9 --explain
 //
 // Algorithms: auto, air, grid, radixselect, warp, block, bitonic, quick,
-//             bucket, sample, sort.  Distributions: uniform, normal,
-//             adversarial.  With "auto" the recommender chooses (and the
+//             bucket, sample, sort, bucket-approx.  Distributions: uniform,
+//             normal, adversarial.  With "auto" the recommender chooses (and the
 //             chosen algorithm is printed).
 //
 // `--shards N|auto` routes the query through the multi-device shard
 // coordinator (a 4-device pool; `auto` lets recommend_shards pick) and
 // prints the coordinator's phase breakdown plus per-shard modeled times
 // instead of the single-device timeline.  Requires batch == 1.
+//
+// `--recall R` sets the recall SLO (WorkloadHints::recall_target): below
+// 1.0 the recommender may route the bucketed approximate tier, and the
+// result is then scored by measured recall against the exact reference
+// instead of the exactness verifier.  `--explain` prints the recommender's
+// per-candidate modeled costs (and, with a sub-1.0 SLO, the approximate
+// tier's chunk shape and analytic expected recall) before running.
 
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
 #include <map>
@@ -24,17 +33,20 @@
 
 #include "core/topk.hpp"
 #include "data/distributions.hpp"
+#include "data/recall.hpp"
 #include "shard/shard.hpp"
 #include "simgpu/simgpu.hpp"
 #include "simgpu/timeline.hpp"
+#include "topk/bucket_approx.hpp"
 
 namespace {
 
 int usage() {
   std::cerr << "usage: topk_cli [algo] [log2_n] [k] "
-               "[uniform|normal|adversarial] [batch] [--shards N|auto]\n"
+               "[uniform|normal|adversarial] [batch] [--shards N|auto] "
+               "[--recall R] [--explain]\n"
                "  algos: auto air grid radixselect warp block bitonic quick "
-               "bucket sample sort\n";
+               "bucket sample sort bucket-approx\n";
   return 2;
 }
 
@@ -43,6 +55,8 @@ int usage() {
 int main(int argc, char** argv) {
   bool sharded = false;
   std::size_t shards = 0;
+  bool explain = false;
+  double recall_target = 1.0;
   std::vector<std::string> pos;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -54,6 +68,15 @@ int main(int argc, char** argv) {
         shards = std::strtoull(v.c_str(), nullptr, 10);
         if (shards == 0) return usage();
       }
+    } else if (arg == "--recall") {
+      if (i + 1 >= argc) return usage();
+      recall_target = std::strtod(argv[++i], nullptr);
+      if (!(recall_target > 0.0) || recall_target > 1.0) {
+        std::cerr << "--recall must be in (0, 1]\n";
+        return 2;
+      }
+    } else if (arg == "--explain") {
+      explain = true;
     } else {
       pos.push_back(arg);
     }
@@ -118,11 +141,47 @@ int main(int argc, char** argv) {
   // Resolve "auto" through the dispatch planner first so the max_k check
   // (and the banner) name the algorithm that actually runs.
   const bool was_auto = *algo == topk::Algo::kAuto;
-  const topk::Algo chosen = topk::resolve_algo(*algo, n, k, batch);
+  const topk::Algo chosen =
+      topk::resolve_algo(*algo, n, k, batch, recall_target);
   if (was_auto) {
     std::cout << "auto -> " << topk::algo_name(chosen)
               << " (recommended for n=2^" << log_n << " k=" << k
-              << " batch=" << batch << ")\n";
+              << " batch=" << batch;
+    if (recall_target < 1.0) std::cout << " recall>=" << recall_target;
+    std::cout << ")\n";
+  }
+  if (explain) {
+    // Per-candidate modeled costs the recommender's race saw, cheapest
+    // first, with the winner marked.
+    struct Row {
+      topk::Algo algo;
+      double us;
+    };
+    std::vector<Row> rows;
+    for (const topk::Algo cand : topk::all_algorithms()) {
+      if (k > topk::max_k(cand, n)) continue;
+      rows.push_back(
+          {cand, topk::estimated_batch_cost_us(cand, batch, n, k,
+                                               recall_target)});
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const Row& a, const Row& b) { return a.us < b.us; });
+    std::cout << "modeled per-candidate costs (batch=" << batch << "):\n";
+    for (const Row& r : rows) {
+      std::cout << "  " << (r.algo == chosen ? "-> " : "   ")
+                << topk::algo_name(r.algo) << ": " << r.us << " us";
+      if (r.algo == topk::Algo::kBucketApprox) {
+        topk::BucketApproxOptions bopt;
+        bopt.recall_target = recall_target;
+        const auto shape =
+            topk::bucket_approx_configure(n, k, batch, bopt,
+                                          simgpu::DeviceSpec{});
+        std::cout << "  (chunks=" << shape.chunks << " keep=" << shape.keep
+                  << " expected recall=" << shape.expected_recall
+                  << (recall_target >= 1.0 ? ", exact" : "") << ")";
+      }
+      std::cout << "\n";
+    }
   }
   if (k > topk::max_k(chosen, n)) {
     std::cerr << "k=" << k << " unsupported by "
@@ -133,13 +192,25 @@ int main(int argc, char** argv) {
 
   const auto values = topk::data::generate(dist, batch * n, 0xC11);
   simgpu::Device dev;
+  topk::SelectOptions opt;
+  opt.recall_target = recall_target;
   const auto results =
-      topk::select_batch(dev, values, batch, n, k, chosen);
+      topk::select_batch(dev, values, batch, n, k, chosen, opt);
 
-  // Verify every problem.
+  // Verify every problem — exactly, unless the run is genuinely
+  // approximate, where the score is measured recall against the exact
+  // reference.
+  const bool approximate =
+      chosen == topk::Algo::kBucketApprox && recall_target < 1.0;
+  double recall_sum = 0.0;
   for (std::size_t b = 0; b < batch; ++b) {
-    const std::string err = topk::verify_topk(
-        std::span<const float>(values.data() + b * n, n), k, results[b]);
+    const std::span<const float> row(values.data() + b * n, n);
+    if (approximate) {
+      recall_sum += topk::data::recall_at_k(
+          results[b].values, topk::data::exact_topk_values(row, k));
+      continue;
+    }
+    const std::string err = topk::verify_topk(row, k, results[b]);
     if (!err.empty()) {
       std::cerr << "verification FAILED (problem " << b << "): " << err
                 << "\n";
@@ -160,7 +231,14 @@ int main(int argc, char** argv) {
   std::cout << topk::algo_name(chosen) << "  n=2^" << log_n
             << "  k=" << k << "  batch=" << batch << "  " << dist.name()
             << "  (" << dev.spec().name << " model)\n";
-  std::cout << "verified OK | modeled " << tl.total_us << " us | " << kernels
+  if (approximate) {
+    std::cout << "measured recall "
+              << recall_sum / static_cast<double>(batch) << " (target >= "
+              << recall_target << ")";
+  } else {
+    std::cout << "verified OK";
+  }
+  std::cout << " | modeled " << tl.total_us << " us | " << kernels
             << " kernels | " << bytes / 1024.0 / 1024.0
             << " MiB device traffic\n\n";
   std::cout << simgpu::render_timeline(tl, 90);

@@ -36,12 +36,12 @@ std::optional<Algo> algo_from_string(std::string_view key) {
 }
 
 std::span<const Algo> all_algorithms() {
-  static constexpr std::array<Algo, 13> kAll = {
+  static constexpr std::array<Algo, 14> kAll = {
       Algo::kAirTopk,      Algo::kGridSelect,  Algo::kRadixSelect,
       Algo::kWarpSelect,   Algo::kBlockSelect, Algo::kBitonicTopk,
       Algo::kQuickSelect,  Algo::kBucketSelect, Algo::kSampleSelect,
       Algo::kSort,         Algo::kFusedWarpRowwise,
-      Algo::kFusedBlockRowwise, Algo::kShardMerge,
+      Algo::kFusedBlockRowwise, Algo::kShardMerge, Algo::kBucketApprox,
   };
   return kAll;
 }
@@ -57,7 +57,7 @@ std::size_t max_k(Algo algo, std::size_t n) {
 }
 
 double estimated_batch_cost_us(Algo algo, std::size_t batch, std::size_t n,
-                               std::size_t k) {
+                               std::size_t k, double recall_target) {
   // Default DeviceSpec constants (A100 class): launch overhead 2.5us plus a
   // 3us minimum kernel duration, 10us per host round-trip, 1555 GB/s at 92%
   // efficiency, 108 SMs * 64 lanes * 1.41 GHz, saturation at 864 warps.
@@ -109,6 +109,29 @@ double estimated_batch_cost_us(Algo algo, std::size_t batch, std::size_t n,
       // Host-serial row loop: every row pays its own launches AND a host
       // round-trip per digit pass — the batch term the recommender needs.
       return rows * 3.0 * (kLaunchUs + kHostSyncUs) + 3.0 * sweep_us;
+    case Algo::kBucketApprox: {
+      // One saturating single-sweep scan (batch*C blocks of W warps) plus,
+      // unless the candidate union already has output shape, a minimum-
+      // duration refine kernel over the C*q candidates.  The shape is the
+      // one the planner would pick for this recall target, so the race
+      // prices what would actually run.
+      BucketApproxOptions o;
+      o.recall_target = recall_target;
+      const BucketApproxShape s =
+          bucket_approx_configure(n, k, batch, o, simgpu::DeviceSpec{});
+      const double cand =
+          rows * static_cast<double>(s.chunks) * static_cast<double>(s.keep);
+      const bool direct = s.chunks * s.keep == k;
+      const double launches = direct ? 1.0 : 2.0;
+      // Refine traffic: candidate pairs written by the scan then re-read.
+      const double cand_bytes = direct ? 0.0 : 2.0 * cand * 12.0;
+      const double scan_warps = rows * static_cast<double>(s.chunks) *
+                                static_cast<double>(s.warps);
+      return launches * kLaunchUs + sweep_us + cand_bytes / kBytesPerUs +
+             compute_us(scan_warps,
+                        rows * nn *
+                            (1.0 + static_cast<double>(s.keep) / 1024.0));
+    }
     case Algo::kAirTopk:
     default:
       // Multi-launch grid-wide pipelines: a few launches, a bit more than
@@ -135,13 +158,34 @@ Algo recommend_algorithm(std::size_t n, std::size_t k,
     n = n_shard;
   }
   validate_problem(n, k, hints.batch);
+  if (!(hints.recall_target > 0.0) || hints.recall_target > 1.0) {
+    std::ostringstream err;
+    err << "recommend_algorithm: recall_target must be in (0, 1], got "
+        << hints.recall_target;
+    throw std::invalid_argument(err.str());
+  }
   if (hints.on_the_fly) {
     if (k > max_k(Algo::kGridSelect, n)) {
       throw std::invalid_argument(
           "recommend_algorithm: on-the-fly selection supports k <= 2048");
     }
+    // The approximate tier buffers whole chunks, so a streaming producer
+    // cannot feed it; the recall hint cannot override the streaming need.
     return Algo::kGridSelect;
   }
+  // The exact pick first; a sub-1.0 recall SLO then races the approximate
+  // tier against it at modeled cost.  At recall_target = 1.0 the race is
+  // skipped outright, so the recommendation is provably exact.
+  const auto race_approx = [&](Algo exact) {
+    if (hints.recall_target >= 1.0 || k > max_k(Algo::kBucketApprox, n)) {
+      return exact;
+    }
+    const double approx_cost = estimated_batch_cost_us(
+        Algo::kBucketApprox, hints.batch, n, k, hints.recall_target);
+    const double exact_cost =
+        estimated_batch_cost_us(exact, hints.batch, n, k);
+    return approx_cost < exact_cost ? Algo::kBucketApprox : exact;
+  };
   if (hints.batch >= 64) {
     // Serving-shaped micro-batch: rank the batch-capable candidates by
     // modeled cost.  Listed order breaks ties toward the fused family, and
@@ -160,19 +204,20 @@ Algo recommend_algorithm(std::size_t n, std::size_t k,
         best_cost = cost;
       }
     }
-    return best;
+    return race_approx(best);
   }
   if (k < 256 && k <= max_k(Algo::kGridSelect, n)) {
-    return Algo::kGridSelect;
+    return race_approx(Algo::kGridSelect);
   }
-  return Algo::kAirTopk;
+  return race_approx(Algo::kAirTopk);
 }
 
 Algo resolve_algo(Algo algo, std::size_t n, std::size_t k,
-                  std::size_t batch) {
+                  std::size_t batch, double recall_target) {
   if (algo != Algo::kAuto) return algo;
   WorkloadHints hints;
   hints.batch = batch;
+  hints.recall_target = recall_target;
   return recommend_algorithm(n, k, hints);
 }
 
@@ -248,7 +293,13 @@ const simgpu::KernelSchedule& ExecutionPlan::schedule() const {
 ExecutionPlan plan_select(const simgpu::DeviceSpec& spec, std::size_t batch,
                           std::size_t n, std::size_t k, Algo algo,
                           const SelectOptions& opt) {
-  algo = resolve_algo(algo, n, k, batch);
+  if (!(opt.recall_target > 0.0) || opt.recall_target > 1.0) {
+    std::ostringstream err;
+    err << "plan_select: recall_target must be in (0, 1], got "
+        << opt.recall_target;
+    throw std::invalid_argument(err.str());
+  }
+  algo = resolve_algo(algo, n, k, batch, opt.recall_target);
   const AlgoRow* row = find_algo_row(algo);
   if (row == nullptr || row->plan == nullptr) {
     throw std::invalid_argument("plan_select: unknown algorithm");
@@ -366,7 +417,8 @@ namespace {
 /// and echo the offending values — the serving layer surfaces these strings
 /// to clients, so they must diagnose the problem on their own.
 void validate_select_args(const char* fn, std::size_t data_size,
-                          std::size_t batch, std::size_t n, std::size_t k) {
+                          std::size_t batch, std::size_t n, std::size_t k,
+                          double recall_target = 1.0) {
   std::ostringstream err;
   if (batch == 0) {
     err << fn << ": batch must be > 0 (got an empty batch)";
@@ -380,6 +432,9 @@ void validate_select_args(const char* fn, std::size_t data_size,
     err << fn << ": data holds " << data_size << " keys but batch=" << batch
         << " rows of n=" << n << " need " << batch * n
         << " (mismatched row lengths?)";
+  } else if (!(recall_target > 0.0) || recall_target > 1.0) {
+    err << fn << ": recall_target must be in (0, 1], got " << recall_target
+        << " (1.0 = exact)";
   } else {
     return;
   }
@@ -393,7 +448,7 @@ std::vector<SelectResult> run_on_device(simgpu::Device& dev,
                                         const SelectOptions& opt) {
   // Resolve auto dispatch up front so sanitizer issue attribution names the
   // concrete algorithm that actually runs.
-  algo = resolve_algo(algo, n, k, batch);
+  algo = resolve_algo(algo, n, k, batch, opt.recall_target);
   // Enable checking before the input/output allocations so they are known
   // to the shadow (attribution + uninitialized-read tracking end to end).
   if (simcheck_env_enabled() && dev.sanitizer() == nullptr) {
@@ -431,7 +486,8 @@ std::vector<SelectResult> run_on_device(simgpu::Device& dev,
 
 SelectResult select(simgpu::Device& dev, std::span<const float> data,
                     std::size_t k, Algo algo, const SelectOptions& opt) {
-  validate_select_args("select", data.size(), 1, data.size(), k);
+  validate_select_args("select", data.size(), 1, data.size(), k,
+                       opt.recall_target);
   return run_on_device(dev, data, 1, data.size(), k, algo, opt).front();
 }
 
@@ -440,7 +496,8 @@ std::vector<SelectResult> select_batch(simgpu::Device& dev,
                                        std::size_t batch, std::size_t n,
                                        std::size_t k, Algo algo,
                                        const SelectOptions& opt) {
-  validate_select_args("select_batch", data.size(), batch, n, k);
+  validate_select_args("select_batch", data.size(), batch, n, k,
+                       opt.recall_target);
   return run_on_device(dev, data, batch, n, k, algo, opt);
 }
 

@@ -36,6 +36,10 @@ enum class Algo {
   // --- sharded scale-out (queries larger than one device) ---
   kShardMerge,  ///< sorted-run merge-prune tree; the cross-shard reduction
                 ///< stage of topk::shard, usable standalone (k <= 2048)
+  // --- approximate tier (recall-SLO routed) ---
+  kBucketApprox,  ///< bucketed one-pass approximate top-k: top-q per chunk
+                  ///< plus a shared-memory refine; exact when
+                  ///< recall_target = 1.0 (k <= 2048)
   // --- dispatch ---
   kAuto,  ///< let recommend_algorithm() pick per (n, k, batch) at run time
 };
@@ -81,6 +85,13 @@ struct WorkloadHints {
   /// the per-shard row length ceil(n / shards) — the shape each device
   /// actually selects over — and k must fit inside one shard.
   std::size_t shards = 0;
+  /// Minimum acceptable recall, in (0, 1].  1.0 (the default) demands an
+  /// exact result and can never route to the approximate tier; anything
+  /// below enters Algo::kBucketApprox into the cost race against the exact
+  /// pick, priced at the (buckets, keep) shape the planner would choose for
+  /// this target.  Values outside (0, 1] are rejected with
+  /// std::invalid_argument.
+  double recall_target = 1.0;
 };
 
 /// First-order modeled cost (microseconds) of running `algo` on one
@@ -92,8 +103,12 @@ struct WorkloadHints {
 /// scale their launch count with batch and lose to any fused launch as
 /// soon as rows dominate; one-warp-per-row fused scans beat
 /// warps-per-row + merge structures at small n, and vice versa at mid n.
+/// `recall_target` only affects Algo::kBucketApprox, whose launch count and
+/// candidate volume depend on the (buckets, keep) shape the planner would
+/// pick for that target; every exact algorithm ignores it.
 [[nodiscard]] double estimated_batch_cost_us(Algo algo, std::size_t batch,
-                                             std::size_t n, std::size_t k);
+                                             std::size_t n, std::size_t k,
+                                             double recall_target = 1.0);
 
 /// The paper's §5.1 usage guidelines as an API, extended for the serving
 /// tier's many-row micro-batches:
@@ -112,7 +127,8 @@ struct WorkloadHints {
 /// (identity for every other value).  select()/select_batch()/select_device()
 /// call this, so kAuto is usable anywhere a concrete Algo is.
 [[nodiscard]] Algo resolve_algo(Algo algo, std::size_t n, std::size_t k,
-                                std::size_t batch = 1);
+                                std::size_t batch = 1,
+                                double recall_target = 1.0);
 
 /// Result of one top-K problem: the k smallest values and their indices in
 /// the input list.  Order within the result set is unspecified.
@@ -135,6 +151,11 @@ struct SelectOptions {
   int alpha = 128;                ///< AIR adaptive threshold (paper §5: 128)
   bool greatest = false;          ///< select largest instead of smallest
   bool sorted = false;            ///< order results best-first
+  /// Recall the approximate tier (Algo::kBucketApprox) sizes its bucket
+  /// shape for; must be in (0, 1].  At the default 1.0 the tier keeps k
+  /// candidates per bucket and is provably exact, so every exact-contract
+  /// harness covers it unchanged.  Exact algorithms ignore this knob.
+  double recall_target = 1.0;
 };
 
 /// Run one top-K selection on the simulated device.  `data` is copied to the

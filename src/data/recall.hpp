@@ -1,0 +1,61 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace topk::data {
+
+/// Recall@k between an approximate result and the exact top-k, compared as
+/// value multisets: |approx ∩ exact| / k with duplicate values matched
+/// one-for-one.  Value-level (not index-level) on purpose — the library's
+/// exactness contract (verify_topk, the invariance tests) already treats
+/// index choice between equal keys as open, and an approximate tier that
+/// returns a different witness for a tied value has lost nothing the exact
+/// tier promised.
+///
+/// Both spans must hold exactly the k values each side selected; `exact`
+/// is the ground truth (e.g. std::partial_sort of the row).  Neither needs
+/// to be sorted.
+inline double recall_at_k(std::span<const float> approx,
+                          std::span<const float> exact) {
+  if (exact.empty()) {
+    throw std::invalid_argument("recall_at_k: exact reference is empty");
+  }
+  if (approx.size() != exact.size()) {
+    throw std::invalid_argument(
+        "recall_at_k: approx and exact result sizes differ");
+  }
+  std::vector<float> a(approx.begin(), approx.end());
+  std::vector<float> e(exact.begin(), exact.end());
+  std::sort(a.begin(), a.end());
+  std::sort(e.begin(), e.end());
+  std::vector<float> both;
+  both.reserve(e.size());
+  std::set_intersection(a.begin(), a.end(), e.begin(), e.end(),
+                        std::back_inserter(both));
+  return static_cast<double>(both.size()) / static_cast<double>(e.size());
+}
+
+/// Exact top-k reference for recall measurement: the k smallest (or largest)
+/// values of `row`, sorted best-first.
+inline std::vector<float> exact_topk_values(std::span<const float> row,
+                                            std::size_t k,
+                                            bool greatest = false) {
+  if (k > row.size()) {
+    throw std::invalid_argument("exact_topk_values: k exceeds row length");
+  }
+  std::vector<float> v(row.begin(), row.end());
+  const auto mid = v.begin() + static_cast<std::ptrdiff_t>(k);
+  if (greatest) {
+    std::partial_sort(v.begin(), mid, v.end(), std::greater<float>());
+  } else {
+    std::partial_sort(v.begin(), mid, v.end());
+  }
+  v.resize(k);
+  return v;
+}
+
+}  // namespace topk::data

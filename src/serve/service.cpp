@@ -93,8 +93,9 @@ struct TopkService::Worker {
   simgpu::Workspace algo_ws;
   /// Input/output blocks for the assembled micro-batch, same reuse story.
   simgpu::Workspace io_ws;
-  /// (n, k_exec, requested algo, rows) -> planned execution.
-  std::map<std::tuple<std::size_t, std::size_t, Algo, std::size_t>, PlanEntry>
+  /// (n, k_exec, requested algo, rows, recall SLO) -> planned execution.
+  std::map<std::tuple<std::size_t, std::size_t, Algo, std::size_t, double>,
+           PlanEntry>
       plans;
   /// Multi-device coordinator for sharded requests, built lazily on the
   /// first one (it owns ServiceConfig::shard_devices simulated devices of
@@ -163,6 +164,14 @@ std::future<QueryResult> TopkService::submit(
     throw std::invalid_argument(err.str());
   }
 
+  const double recall_target = hints ? hints->recall_target : 1.0;
+  if (!(recall_target > 0.0) || recall_target > 1.0) {
+    std::ostringstream err;
+    err << "TopkService::submit: recall_target must be in (0, 1], got "
+        << recall_target << " (1.0 = exact)";
+    throw std::invalid_argument(err.str());
+  }
+
   // Sharded routing: an explicit multi-shard hint, or a row no single
   // device can hold — the shape the coalesced path could never serve.
   const std::size_t shard_hint = hints ? hints->shards : 0;
@@ -182,6 +191,10 @@ std::future<QueryResult> TopkService::submit(
   // Sharded requests never coalesce, so k is executed exactly, unpadded.
   key.k_exec = sharded ? k : std::min(n, std::bit_ceil(k));
   key.algo = algo.value_or(cfg_.default_algo);
+  // Sharded requests stay exact: the cross-shard merge assumes each shard
+  // returns its true local top-k, so a sub-1.0 SLO only applies to the
+  // coalesced single-device path.
+  key.recall = sharded ? 1.0 : recall_target;
 
   std::optional<std::string> reject;
   bool notify_worker = false;
@@ -429,7 +442,7 @@ void TopkService::execute_batch(Worker& w, std::size_t worker_id,
   bool plan_looked_up = false;
   if (!live.empty()) {
     try {
-      planned = resolve_algo(batch.key.algo, n, k_exec, rows);
+      planned = resolve_algo(batch.key.algo, n, k_exec, rows, batch.key.recall);
       if (k_exec > max_k(planned, n)) {
         std::ostringstream err;
         err << "plan " << algo_name(planned) << " cannot serve k=" << k_exec
@@ -439,11 +452,15 @@ void TopkService::execute_batch(Worker& w, std::size_t worker_id,
       SelectOptions opt;
       opt.greatest = cfg_.greatest;
       opt.sorted = cfg_.sorted_results;
+      opt.recall_target = batch.key.recall;
 
       // Plans are keyed on the micro-batch bucket (row length, padded k,
-      // requested algorithm) plus the assembled row count; a repeat shape
-      // reuses the cached ExecutionPlan and both pooled workspaces.
-      const auto key = std::make_tuple(n, k_exec, batch.key.algo, rows);
+      // requested algorithm, recall SLO) plus the assembled row count; a
+      // repeat shape reuses the cached ExecutionPlan and both pooled
+      // workspaces. Recall is part of the key so a 0.9-SLO plan (smaller
+      // per-bucket keep) can never be replayed for an exact request.
+      const auto key =
+          std::make_tuple(n, k_exec, batch.key.algo, rows, batch.key.recall);
       plan_looked_up = true;
       auto it = w.plans.find(key);
       plan_cache_hit = it != w.plans.end();
@@ -570,6 +587,7 @@ void TopkService::execute_batch(Worker& w, std::size_t worker_id,
         failed_ += live.size();
       } else {
         completed_ += live.size();
+        if (planned == Algo::kBucketApprox) approx_queries_ += live.size();
         ++batches_;
         ++batch_rows_histogram_[live.size()];
         modeled_device_us_ += model_us;
@@ -606,6 +624,7 @@ ServiceStats TopkService::stats() const {
     s.plan_cache_misses = plan_cache_misses_;
     s.sharded_queries = sharded_queries_;
     s.sharded_device_us = sharded_device_us_;
+    s.approx_queries = approx_queries_;
     for (const WorkerCounters& wc : worker_counters_) {
       s.pool_hits += wc.pool_hits;
       s.pool_misses += wc.pool_misses;

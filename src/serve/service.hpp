@@ -116,6 +116,9 @@ struct ServiceStats {
   /// folded into plan_cache_hits / plan_cache_misses above).
   std::uint64_t sharded_queries = 0;
   double sharded_device_us = 0.0;  ///< modeled time of sharded queries
+  /// Queries whose batch executed on the approximate tier
+  /// (Algo::kBucketApprox) under a sub-1.0 recall_target hint.
+  std::uint64_t approx_queries = 0;
   std::uint64_t pool_hits = 0;    ///< workspace binds served by a warm slab
   std::uint64_t pool_misses = 0;  ///< binds that had to fetch/grow a slab
   std::size_t pool_high_water = 0;  ///< peak pooled bytes, summed over devices
@@ -164,9 +167,13 @@ class TopkService {
   /// steers execution: WorkloadHints::shards > 1 routes the request through
   /// the sharded multi-device path — as does, automatically, any row longer
   /// than device_spec.max_select_elems.  Sharded requests bypass coalescing
-  /// (each is its own single-row dispatch).  Throws std::invalid_argument
-  /// for malformed arguments (empty keys, k == 0, k > keys.size()) —
-  /// malformed requests are caller bugs, not load.
+  /// (each is its own single-row dispatch).  WorkloadHints::recall_target
+  /// below 1.0 lets auto dispatch race the approximate tier for this
+  /// request's batch (requests only coalesce with the same recall SLO);
+  /// the sharded path ignores it and stays exact.  Throws
+  /// std::invalid_argument for malformed arguments (empty keys, k == 0,
+  /// k > keys.size(), recall_target outside (0, 1]) — malformed requests
+  /// are caller bugs, not load.
   std::future<QueryResult> submit(
       std::vector<float> keys, std::size_t k,
       std::optional<std::chrono::microseconds> deadline = std::nullopt,
@@ -190,16 +197,19 @@ class TopkService {
   };
 
   /// Coalescing key: requests agree on the row length, the executed
-  /// (padded) k, and the plan override.
+  /// (padded) k, the plan override, and the recall SLO — a 0.9-recall
+  /// request must never ride in (and approximate) a 1.0-recall batch.
   struct BucketKey {
     std::size_t n = 0;
     std::size_t k_exec = 0;
     Algo algo = Algo::kAuto;
+    double recall = 1.0;
 
     bool operator<(const BucketKey& o) const {
       if (n != o.n) return n < o.n;
       if (k_exec != o.k_exec) return k_exec < o.k_exec;
-      return static_cast<int>(algo) < static_cast<int>(o.algo);
+      if (algo != o.algo) return static_cast<int>(algo) < static_cast<int>(o.algo);
+      return recall < o.recall;
     }
   };
 
@@ -270,6 +280,7 @@ class TopkService {
   std::uint64_t plan_cache_misses_ = 0;
   std::uint64_t sharded_queries_ = 0;
   double sharded_device_us_ = 0.0;
+  std::uint64_t approx_queries_ = 0;
 
   /// Latest pool/alloc snapshot per worker (cumulative counters owned by the
   /// worker's Device; published under mu_ after each batch and summed by

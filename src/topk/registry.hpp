@@ -9,6 +9,7 @@
 #include "simgpu/simgpu.hpp"
 #include "topk/air_topk.hpp"
 #include "topk/bitonic_topk.hpp"
+#include "topk/bucket_approx.hpp"
 #include "topk/bucket_select.hpp"
 #include "topk/fused_rowwise.hpp"
 #include "topk/grid_select.hpp"
@@ -52,7 +53,7 @@ struct PlanImpl {
                SampleSelectPlan<float>, RadixSelectPlan<float>,
                AirTopkPlan<float>, GridSelectPlan<float>,
                faiss_detail::FaissSelectPlan<float>, FusedRowwisePlan<float>,
-               ShardMergePlan<float>>
+               ShardMergePlan<float>, BucketApproxPlan<float>>
       plan;
 };
 
@@ -250,6 +251,23 @@ inline void run_shard_merge(simgpu::Device& dev, const PlanImpl& impl,
                   out_vals, out_idx);
 }
 
+inline void plan_bucket_approx(PlanImpl& impl, const simgpu::DeviceSpec& spec,
+                               const SelectOptions& opt) {
+  BucketApproxOptions o;
+  o.recall_target = opt.recall_target;
+  impl.plan = bucket_approx_plan<float>(impl.shape, spec, o, impl.layout,
+                                        &impl.schedule);
+}
+
+inline void run_bucket_approx(simgpu::Device& dev, const PlanImpl& impl,
+                              simgpu::Workspace& ws,
+                              simgpu::DeviceBuffer<float> in,
+                              simgpu::DeviceBuffer<float> out_vals,
+                              simgpu::DeviceBuffer<std::uint32_t> out_idx) {
+  bucket_approx_run(dev, std::get<BucketApproxPlan<float>>(impl.plan), ws, in,
+                    out_vals, out_idx);
+}
+
 }  // namespace registry_detail
 
 /// One registry row per Algo value.  `k_limit` of 0 means no ceiling below n
@@ -265,7 +283,7 @@ struct AlgoRow {
   registry_detail::RunFn run;
 };
 
-inline constexpr std::array<AlgoRow, 18> kAlgoTable = {{
+inline constexpr std::array<AlgoRow, 19> kAlgoTable = {{
     {Algo::kAirTopk, "air", "AIR Top-K", 0, true, &registry_detail::plan_air,
      &registry_detail::run_air},
     {Algo::kGridSelect, "grid", "GridSelect", 2048, false,
@@ -303,6 +321,9 @@ inline constexpr std::array<AlgoRow, 18> kAlgoTable = {{
      &registry_detail::run_fused},
     {Algo::kShardMerge, "shard-merge", "Shard candidate merge", 2048, false,
      &registry_detail::plan_shard_merge, &registry_detail::run_shard_merge},
+    {Algo::kBucketApprox, "bucket-approx", "Bucketed approximate Top-K", 2048,
+     false, &registry_detail::plan_bucket_approx,
+     &registry_detail::run_bucket_approx},
     {Algo::kAuto, "auto", "Auto", 0, false, nullptr, nullptr},
 }};
 

@@ -11,8 +11,11 @@
 
 #include "serve/service.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <future>
+#include <iterator>
+#include <map>
 #include <random>
 #include <vector>
 
@@ -108,6 +111,91 @@ void run_soak(std::size_t num_devices) {
 TEST(TopkServiceSoak, SingleWorker) { run_soak(1); }
 
 TEST(TopkServiceSoak, FourWorkers) { run_soak(4); }
+
+// Mixed recall-SLO soak: the same steady-state shape served under hint
+// recall_targets {1.0, 0.95, 0.9}.  Requests must only coalesce with their
+// own SLO (a 0.9 request approximated inside a 1.0 batch would break the
+// exact contract checked below), the approximate tier must actually carry
+// sub-1.0 traffic when it wins the cost race, and warming one plan per SLO
+// must not cost steady-state pool misses or device allocs.
+TEST(TopkServiceSoak, MixedRecallHintsStayPooledAndHonorSlo) {
+  ServiceConfig cfg;
+  cfg.num_devices = 1;
+  cfg.max_batch = 8;
+  cfg.max_wait = microseconds(300);
+  cfg.admission_capacity = 4096;
+  // Large rows so the relaxed-SLO cost race actually picks the approximate
+  // tier (at small n the two-launch overhead keeps it exact).
+  const std::size_t n = std::size_t{1} << 18, k = 256, queries = 96;
+  const double slos[] = {1.0, 0.95, 0.9};
+
+  std::vector<std::vector<float>> keys(queries);
+  std::vector<double> slo_of(queries);
+  TopkService svc(cfg);
+  std::vector<std::future<QueryResult>> futs;
+  futs.reserve(queries);
+  for (std::size_t i = 0; i < queries; ++i) {
+    keys[i] = data::uniform_values(n, 52000 + i);
+    slo_of[i] = slos[i % std::size(slos)];
+    WorkloadHints hints;
+    hints.recall_target = slo_of[i];
+    futs.push_back(svc.submit(std::vector<float>(keys[i]), k, std::nullopt,
+                              std::nullopt, hints));
+  }
+  svc.shutdown();
+
+  std::map<double, double> recall_sum;
+  std::map<double, std::size_t> recall_rows;
+  for (std::size_t i = 0; i < queries; ++i) {
+    const QueryResult r = futs[i].get();
+    ASSERT_EQ(r.status, QueryStatus::kOk) << r.error;
+    ASSERT_EQ(r.topk.values.size(), k);
+    if (slo_of[i] == 1.0) {
+      // Exact SLO: full exact contract, which also proves no exact request
+      // rode an approximate batch.
+      const std::string err = verify_topk(keys[i], k, r.topk);
+      EXPECT_TRUE(err.empty()) << "query " << i << ": " << err;
+    } else {
+      // Relaxed SLO: recall against the exact reference.  The SLO is an
+      // expected-recall floor and the planner adds a guard band, so the
+      // per-SLO mean must clear it; individual rows get a small allowance
+      // for sampling noise (batch composition, and with it the picked
+      // chunk shape, depends on flush timing).
+      std::vector<float> exact(keys[i]);
+      std::partial_sort(exact.begin(),
+                        exact.begin() + static_cast<std::ptrdiff_t>(k),
+                        exact.end());
+      exact.resize(k);
+      std::vector<float> got = r.topk.values;
+      std::sort(got.begin(), got.end());
+      std::vector<float> both;
+      std::set_intersection(got.begin(), got.end(), exact.begin(),
+                            exact.end(), std::back_inserter(both));
+      const double recall =
+          static_cast<double>(both.size()) / static_cast<double>(k);
+      EXPECT_GE(recall, slo_of[i] - 0.05)
+          << "query " << i << " slo " << slo_of[i];
+      recall_sum[slo_of[i]] += recall;
+      ++recall_rows[slo_of[i]];
+    }
+  }
+  for (const auto& [slo, total] : recall_sum) {
+    EXPECT_GE(total / static_cast<double>(recall_rows[slo]), slo)
+        << "mean recall under SLO " << slo;
+  }
+
+  const ServiceStats s = svc.stats();
+  EXPECT_EQ(s.completed, queries);
+  EXPECT_GT(s.approx_queries, 0u)
+      << "no batch executed on the approximate tier";
+  EXPECT_LT(s.approx_queries, s.completed)
+      << "exact-SLO traffic must not ride the approximate tier";
+  EXPECT_GT(s.pool_hit_rate(), 0.9)
+      << "pool hits " << s.pool_hits << " misses " << s.pool_misses;
+  EXPECT_GT(s.plan_cache_hits, s.plan_cache_misses);
+  EXPECT_EQ(s.device_allocs, 0u)
+      << "worker called Device::alloc on the hot path";
+}
 
 // Steady-state execution-layer soak: one worker, one shape, many batches.
 // After the first flush warms the worker's plan cache and its two pooled

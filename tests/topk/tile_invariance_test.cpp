@@ -204,13 +204,15 @@ std::vector<InvarianceCase> cases() {
   // Every algorithm whose inner loops ride the tile path, plus the
   // fused-last-filter AIR variant (its fused filter scans through the same
   // tile helpers).  The warp-queue family — GridSelect in both queue
-  // flavours, WarpSelect, BlockSelect, and both fused row-wise variants —
+  // flavours, WarpSelect, BlockSelect, both fused row-wise variants, and the
+  // bucketed approximate tier (exact at the default recall_target = 1.0) —
   // additionally exercises the threshold-gated warp fast path.
   const Algo algos[] = {Algo::kAirTopk,          Algo::kSort,
                         Algo::kRadixSelect,      Algo::kGridSelect,
                         Algo::kAirTopkFusedFilter, Algo::kWarpSelect,
                         Algo::kBlockSelect,      Algo::kGridSelectThreadQueue,
-                        Algo::kFusedWarpRowwise, Algo::kFusedBlockRowwise};
+                        Algo::kFusedWarpRowwise, Algo::kFusedBlockRowwise,
+                        Algo::kBucketApprox};
   std::vector<InvarianceCase> cases;
   for (Algo algo : algos) {
     cases.push_back({algo, 1, 999, 1});          // sub-tile problem
