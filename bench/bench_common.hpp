@@ -34,10 +34,12 @@ RunResult run_algo(const simgpu::DeviceSpec& spec,
 /// slower per element than real silicon, so default sweeps cap N at
 /// 2^`max_log_n` and can be widened via TOPK_MAX_LOG_N.  Setting
 /// TOPK_VERIFY=0 skips per-run verification (useful for big sweeps).
-/// The default rose from 20 to 22 when the tile-granular fast path landed
-/// (see docs/performance.md for the throughput numbers behind the bump).
+/// The default rose from 20 to 22 when the tile-granular fast path landed,
+/// and from 22 to 24 when the streaming radix tier made large-N runs
+/// workspace-bounded (see docs/performance.md for the numbers behind each
+/// bump).
 struct BenchScale {
-  int max_log_n = 22;
+  int max_log_n = 24;
   bool verify = true;
 
   static BenchScale from_env();

@@ -1,0 +1,226 @@
+// Large-K streaming tier characterization: K = 2^10 .. 2^20 on an N = 2^24
+// row (the regime past every single-chunk plan), comparing the streaming
+// radix select against the best dense registry pick where one is legal, and
+// measuring the pooled-workspace high-water mark per run.
+//
+// Output: a CSV table on stdout and BENCH_largek.json in the working
+// directory.  `--smoke` trims the sweep to three K points for CI.
+// Gates (nonzero exit on failure):
+//   * every streaming run verifies exactly against std::nth_element,
+//   * the pooled-workspace high-water mark at fixed K is BYTE-IDENTICAL
+//     across N in {2^22, 2^23, 2^24} — the bounded-scratch contract —
+//     while the dense baseline's workspace grows with N,
+//   * the streaming scratch is also flat in K up to kMaxK (candidate
+//     capacity is max(chunk, 2k), and 2*kMaxK fits the default chunk).
+//
+// The streaming tier is a CAPACITY tier, not a speed tier: at shapes a
+// dense row can still serve, the chunked host loop pays more sync round
+// trips than the dense pick (the CSV shows it plainly).  What it buys is
+// the flat scratch column — the same 128 MiB serves N=2^22 and N=2^30.
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "simgpu/simgpu.hpp"
+
+namespace topk::bench {
+namespace {
+
+struct LargeKRun {
+  double model_us = 0.0;
+  std::size_t workspace_bytes = 0;
+  std::size_t chunks = 0;
+  bool verified = true;
+};
+
+/// One streaming (or dense) select through plan_select/run_select on a fresh
+/// device, reporting modeled time and the pooled-workspace high-water mark.
+LargeKRun run_once(const simgpu::DeviceSpec& spec,
+                   std::span<const float> data, std::size_t n, std::size_t k,
+                   Algo algo, bool verify) {
+  simgpu::Device dev;
+  auto in = dev.alloc<float>(n);
+  std::copy(data.begin(), data.end(), in.data());
+  auto out_vals = dev.alloc<float>(k);
+  auto out_idx = dev.alloc<std::uint32_t>(k);
+  const ExecutionPlan plan = plan_select(spec, 1, n, k, algo, {});
+  simgpu::Workspace ws(dev);
+  dev.clear_events();
+  run_select(dev, plan, ws, in, out_vals, out_idx);
+
+  LargeKRun r;
+  r.model_us = simgpu::CostModel(spec).total_us(dev.events());
+  r.workspace_bytes = dev.memory_pool().stats().high_water;
+  if (verify) {
+    std::vector<float> got(out_vals.data(), out_vals.data() + k);
+    std::sort(got.begin(), got.end());
+    std::vector<float> want(data.begin(), data.end());
+    std::nth_element(want.begin(), want.begin() + static_cast<long>(k) - 1,
+                     want.end());
+    want.resize(k);
+    std::sort(want.begin(), want.end());
+    r.verified = got == want;
+    for (std::size_t i = 0; i < k && r.verified; ++i) {
+      if (data[out_idx.data()[i]] != out_vals.data()[i]) r.verified = false;
+    }
+  }
+  return r;
+}
+
+struct Cell {
+  std::size_t n = 0;
+  std::size_t k = 0;
+  double stream_us = 0.0;
+  std::size_t stream_ws = 0;
+  std::string dense_algo;  // empty when no dense row can serve the shape
+  double dense_us = 0.0;
+  std::size_t dense_ws = 0;
+  bool verified = false;
+};
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+}  // namespace topk::bench
+
+int main(int argc, char** argv) {
+  using namespace topk;
+  using namespace topk::bench;
+
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const BenchScale scale = BenchScale::from_env();
+  const simgpu::DeviceSpec spec;
+  const std::size_t n = std::size_t{1} << std::min(scale.max_log_n, 24);
+
+  std::vector<int> log_ks;
+  if (smoke) {
+    log_ks = {10, 16, 20};
+  } else {
+    for (int lk = 10; lk <= 20; lk += 2) log_ks.push_back(lk);
+  }
+
+  CsvWriter csv("n,k,stream_us,stream_ws_bytes,dense_algo,dense_us,"
+                "dense_ws_bytes,verified");
+  std::vector<Cell> cells;
+  const auto data = topk::data::uniform_values(n, 0x1A6E);
+  for (const int lk : log_ks) {
+    const std::size_t k = std::size_t{1} << lk;
+    Cell c;
+    c.n = n;
+    c.k = k;
+    const LargeKRun stream =
+        run_once(spec, data, n, k, Algo::kStreamRadix, scale.verify);
+    c.stream_us = stream.model_us;
+    c.stream_ws = stream.workspace_bytes;
+    c.verified = stream.verified;
+
+    // Best dense pick at this shape, when any dense row can serve it (the
+    // recommender never returns the streaming row; it is opt-in).
+    WorkloadHints hints;
+    hints.batch = 1;
+    const Algo dense = recommend_algorithm(n, k, hints);
+    if (dense != Algo::kStreamRadix && k <= max_k(dense, n)) {
+      const LargeKRun dr = run_once(spec, data, n, k, dense, false);
+      c.dense_algo = algo_name(dense);
+      c.dense_us = dr.model_us;
+      c.dense_ws = dr.workspace_bytes;
+    }
+    cells.push_back(c);
+    std::ostringstream row;
+    row << n << "," << k << "," << fmt(c.stream_us) << "," << c.stream_ws
+        << "," << (c.dense_algo.empty() ? "-" : c.dense_algo) << ","
+        << fmt(c.dense_us) << "," << c.dense_ws << ","
+        << (c.verified ? 1 : 0);
+    csv.row(row.str());
+  }
+
+  // Workspace-invariance probe: fixed K, N spanning 4x past the chunk
+  // target.  The streaming marks must be byte-identical; the dense
+  // baseline's must strictly grow (its scratch is sized by N).
+  const std::size_t probe_k = std::size_t{1} << 16;
+  std::vector<std::size_t> stream_marks, dense_marks;
+  for (const int ln : {22, 23, 24}) {
+    const std::size_t pn = std::size_t{1} << ln;
+    const std::span<const float> slice(data.data(), pn);
+    stream_marks.push_back(
+        run_once(spec, slice, pn, probe_k, Algo::kStreamRadix, false)
+            .workspace_bytes);
+    dense_marks.push_back(
+        run_once(spec, slice, pn, probe_k, Algo::kRadixSelect, false)
+            .workspace_bytes);
+  }
+
+  std::ofstream out("BENCH_largek.json");
+  out << "{\n  \"config\": {\n    \"smoke\": " << (smoke ? "true" : "false")
+      << ",\n    \"n\": " << n << ",\n    \"probe_k\": " << probe_k
+      << "\n  },\n  \"workspace_probe\": {\n    \"stream_bytes\": ["
+      << stream_marks[0] << ", " << stream_marks[1] << ", " << stream_marks[2]
+      << "],\n    \"dense_bytes\": [" << dense_marks[0] << ", "
+      << dense_marks[1] << ", " << dense_marks[2] << "]\n  },\n"
+      << "  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    out << "    {\"n\": " << c.n << ", \"k\": " << c.k << ", \"stream_us\": "
+        << c.stream_us << ", \"stream_ws_bytes\": " << c.stream_ws
+        << ", \"dense_algo\": \"" << c.dense_algo
+        << "\", \"dense_us\": " << c.dense_us
+        << ", \"dense_ws_bytes\": " << c.dense_ws << ", \"verified\": "
+        << (c.verified ? "true" : "false") << "}"
+        << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote BENCH_largek.json (" << cells.size() << " cells)\n";
+
+  // --- gates ---------------------------------------------------------------
+  bool ok = true;
+  for (const Cell& c : cells) {
+    if (!c.verified) {
+      std::cerr << "FAIL: streaming select not exact at n=" << c.n
+                << " k=" << c.k << "\n";
+      ok = false;
+    }
+  }
+  if (stream_marks[0] != stream_marks[1] ||
+      stream_marks[1] != stream_marks[2]) {
+    std::cerr << "FAIL: streaming workspace high-water varies with N: "
+              << stream_marks[0] << " / " << stream_marks[1] << " / "
+              << stream_marks[2] << " bytes\n";
+    ok = false;
+  }
+  if (!(dense_marks[0] < dense_marks[1] && dense_marks[1] < dense_marks[2])) {
+    std::cerr << "FAIL: dense baseline workspace did not grow with N (probe "
+                 "is miswired): "
+              << dense_marks[0] << " / " << dense_marks[1] << " / "
+              << dense_marks[2] << " bytes\n";
+    ok = false;
+  }
+  // The streaming scratch must also be flat in K up to the ceiling: the
+  // candidate capacity is max(chunk, 2k) and 2*kMaxK never exceeds the
+  // default chunk target, so every cell reports one mark.
+  for (const Cell& c : cells) {
+    if (c.stream_ws != cells.front().stream_ws) {
+      std::cerr << "FAIL: streaming workspace varies with K (" << c.stream_ws
+                << " at k=" << c.k << " vs " << cells.front().stream_ws
+                << ")\n";
+      ok = false;
+    }
+  }
+  if (ok) {
+    std::cout << "bench_largek gates PASSED (workspace "
+              << stream_marks[0] << " bytes flat across N=2^22..2^24)\n";
+  }
+  return ok ? 0 : 1;
+}

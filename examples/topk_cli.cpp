@@ -23,8 +23,18 @@
 // instead of the exactness verifier.  `--explain` prints the recommender's
 // per-candidate modeled costs (and, with a sub-1.0 SLO, the approximate
 // tier's chunk shape and analytic expected recall) before running.
+//
+// `--dtype {f32,f16,bf16,i32,u32}` runs the query with typed keys (the
+// generated floats are converted; i32/u32 scale them into the integer
+// domain) through the typed select path, verifying against an exact host
+// reference in the key's own ordinal domain.  `--explain` then shows the
+// recommender race filtered by dtype: candidates whose registry row lacks
+// the key type are listed as filtered instead of priced.  `--payload`
+// attaches a u32 payload (the key's global position) and checks the
+// winners' entries ride along.
 
 #include <algorithm>
+#include <bit>
 #include <cstdlib>
 #include <iostream>
 #include <map>
@@ -38,16 +48,37 @@
 #include "simgpu/simgpu.hpp"
 #include "simgpu/timeline.hpp"
 #include "topk/bucket_approx.hpp"
+#include "topk/key_codec.hpp"
 
 namespace {
 
 int usage() {
   std::cerr << "usage: topk_cli [algo] [log2_n] [k] "
                "[uniform|normal|adversarial] [batch] [--shards N|auto] "
-               "[--recall R] [--explain]\n"
+               "[--recall R] [--dtype T] [--payload] [--explain]\n"
                "  algos: auto air grid radixselect warp block bitonic quick "
-               "bucket sample sort bucket-approx\n";
+               "bucket sample sort stream-radix bucket-approx\n"
+               "  dtypes: f32 f16 bf16 i32 u32\n";
   return 2;
+}
+
+/// The monotone radix ordinal of one key, from its storage bits — the
+/// domain typed results are verified in (total order, exact for every
+/// dtype including NaN patterns).
+std::uint64_t key_ordinal(topk::KeyType t, std::uint32_t bits) {
+  switch (t) {
+    case topk::KeyType::kF16:
+      return topk::RadixTraits<topk::half>::to_radix(
+          topk::half::from_bits(static_cast<std::uint16_t>(bits)));
+    case topk::KeyType::kBF16:
+      return topk::RadixTraits<topk::bf16>::to_radix(
+          topk::bf16::from_bits(static_cast<std::uint16_t>(bits)));
+    case topk::KeyType::kI32:
+      return topk::RadixTraits<std::int32_t>::to_radix(
+          std::bit_cast<std::int32_t>(bits));
+    default:
+      return bits;  // u32: identity
+  }
 }
 
 }  // namespace
@@ -56,11 +87,20 @@ int main(int argc, char** argv) {
   bool sharded = false;
   std::size_t shards = 0;
   bool explain = false;
+  bool payload = false;
   double recall_target = 1.0;
+  topk::KeyType dtype = topk::KeyType::kF32;
   std::vector<std::string> pos;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--shards") {
+    if (arg == "--dtype") {
+      if (i + 1 >= argc) return usage();
+      const auto parsed = topk::parse_key_type(argv[++i]);
+      if (!parsed) return usage();
+      dtype = *parsed;
+    } else if (arg == "--payload") {
+      payload = true;
+    } else if (arg == "--shards") {
       if (i + 1 >= argc) return usage();
       sharded = true;
       const std::string v = argv[++i];
@@ -111,6 +151,12 @@ int main(int argc, char** argv) {
       std::cerr << "--shards requires batch == 1\n";
       return 2;
     }
+    if (dtype != topk::KeyType::kF32 || payload) {
+      std::cerr << "--shards runs f32 keys here; use "
+                   "shard::Coordinator::select_typed for typed/key-value "
+                   "sharded queries\n";
+      return 2;
+    }
     const auto values = topk::data::generate(dist, n, 0xC11);
     topk::shard::ShardConfig cfg;
     cfg.devices = 4;
@@ -142,31 +188,49 @@ int main(int argc, char** argv) {
   // (and the banner) name the algorithm that actually runs.
   const bool was_auto = *algo == topk::Algo::kAuto;
   const topk::Algo chosen =
-      topk::resolve_algo(*algo, n, k, batch, recall_target);
+      topk::resolve_algo(*algo, n, k, batch, recall_target, dtype);
   if (was_auto) {
     std::cout << "auto -> " << topk::algo_name(chosen)
               << " (recommended for n=2^" << log_n << " k=" << k
               << " batch=" << batch;
+    if (dtype != topk::KeyType::kF32) {
+      std::cout << " dtype=" << topk::key_type_name(dtype);
+    }
     if (recall_target < 1.0) std::cout << " recall>=" << recall_target;
     std::cout << ")\n";
   }
+  if (!topk::algo_supports_dtype(chosen, dtype)) {
+    std::cerr << topk::algo_name(chosen) << " does not support dtype "
+              << topk::key_type_name(dtype) << "\n";
+    return 2;
+  }
   if (explain) {
     // Per-candidate modeled costs the recommender's race saw, cheapest
-    // first, with the winner marked.
+    // first, with the winner marked; candidates the dtype filter removed
+    // are listed unpriced so the race's shape is visible.
     struct Row {
       topk::Algo algo;
       double us;
     };
     std::vector<Row> rows;
-    for (const topk::Algo cand : topk::all_algorithms()) {
+    std::vector<topk::Algo> cands(topk::all_algorithms().begin(),
+                                  topk::all_algorithms().end());
+    cands.push_back(topk::Algo::kStreamRadix);
+    std::vector<topk::Algo> filtered;
+    for (const topk::Algo cand : cands) {
       if (k > topk::max_k(cand, n)) continue;
+      if (!topk::algo_supports_dtype(cand, dtype)) {
+        filtered.push_back(cand);
+        continue;
+      }
       rows.push_back(
           {cand, topk::estimated_batch_cost_us(cand, batch, n, k,
                                                recall_target)});
     }
     std::sort(rows.begin(), rows.end(),
               [](const Row& a, const Row& b) { return a.us < b.us; });
-    std::cout << "modeled per-candidate costs (batch=" << batch << "):\n";
+    std::cout << "modeled per-candidate costs (batch=" << batch
+              << " dtype=" << topk::key_type_name(dtype) << "):\n";
     for (const Row& r : rows) {
       std::cout << "  " << (r.algo == chosen ? "-> " : "   ")
                 << topk::algo_name(r.algo) << ": " << r.us << " us";
@@ -182,6 +246,10 @@ int main(int argc, char** argv) {
       }
       std::cout << "\n";
     }
+    for (const topk::Algo f : filtered) {
+      std::cout << "   " << topk::algo_name(f) << ": filtered (no "
+                << topk::key_type_name(dtype) << " support)\n";
+    }
   }
   if (k > topk::max_k(chosen, n)) {
     std::cerr << "k=" << k << " unsupported by "
@@ -194,20 +262,143 @@ int main(int argc, char** argv) {
   simgpu::Device dev;
   topk::SelectOptions opt;
   opt.recall_target = recall_target;
-  const auto results =
-      topk::select_batch(dev, values, batch, n, k, chosen, opt);
+
+  // Typed runs convert the generated floats into the requested key type
+  // (i32/u32 reinterpret the float bits — a deterministic, order-scrambling
+  // integer workload) and go through the typed select path; `row_bits`
+  // keeps each key's storage pattern for ordinal-domain verification.
+  const bool typed = dtype != topk::KeyType::kF32 || payload;
+  std::vector<topk::half> keys_f16;
+  std::vector<topk::bf16> keys_bf16;
+  std::vector<std::int32_t> keys_i32;
+  std::vector<std::uint32_t> keys_u32;
+  std::vector<std::uint32_t> row_bits;
+  std::vector<std::uint32_t> ids;
+  std::vector<float> decoded;  ///< exact float value per typed key
+  std::vector<topk::SelectResult> results;
+  if (typed) {
+    const std::size_t total = batch * n;
+    row_bits.resize(total);
+    decoded.resize(total);
+    topk::KeyView kv;
+    switch (dtype) {
+      case topk::KeyType::kF32:
+        for (std::size_t i = 0; i < total; ++i) {
+          row_bits[i] = std::bit_cast<std::uint32_t>(values[i]);
+          decoded[i] = values[i];
+        }
+        kv = topk::KeyView::of(std::span<const float>(values));
+        break;
+      case topk::KeyType::kF16:
+        keys_f16.reserve(total);
+        for (std::size_t i = 0; i < total; ++i) {
+          keys_f16.emplace_back(values[i]);
+          row_bits[i] = keys_f16.back().bits();
+          decoded[i] = static_cast<float>(keys_f16.back());
+        }
+        kv = topk::KeyView::of(std::span<const topk::half>(keys_f16));
+        break;
+      case topk::KeyType::kBF16:
+        keys_bf16.reserve(total);
+        for (std::size_t i = 0; i < total; ++i) {
+          keys_bf16.emplace_back(values[i]);
+          row_bits[i] = keys_bf16.back().bits();
+          decoded[i] = static_cast<float>(keys_bf16.back());
+        }
+        kv = topk::KeyView::of(std::span<const topk::bf16>(keys_bf16));
+        break;
+      case topk::KeyType::kI32:
+        keys_i32.resize(total);
+        for (std::size_t i = 0; i < total; ++i) {
+          keys_i32[i] = std::bit_cast<std::int32_t>(values[i]);
+          row_bits[i] = std::bit_cast<std::uint32_t>(keys_i32[i]);
+          decoded[i] = static_cast<float>(keys_i32[i]);
+        }
+        kv = topk::KeyView::of(std::span<const std::int32_t>(keys_i32));
+        break;
+      case topk::KeyType::kU32:
+        keys_u32.resize(total);
+        for (std::size_t i = 0; i < total; ++i) {
+          keys_u32[i] = std::bit_cast<std::uint32_t>(values[i]);
+          row_bits[i] = keys_u32[i];
+          decoded[i] = static_cast<float>(keys_u32[i]);
+        }
+        kv = topk::KeyView::of(std::span<const std::uint32_t>(keys_u32));
+        break;
+    }
+    topk::PayloadView pv;
+    if (payload) {
+      ids.resize(total);
+      for (std::size_t i = 0; i < total; ++i) {
+        ids[i] = static_cast<std::uint32_t>(i);
+      }
+      pv = topk::PayloadView::of(std::span<const std::uint32_t>(ids));
+    }
+    results = topk::select_batch(dev, kv, batch, n, k, chosen, opt, pv);
+  } else {
+    results = topk::select_batch(dev, values, batch, n, k, chosen, opt);
+  }
 
   // Verify every problem — exactly, unless the run is genuinely
   // approximate, where the score is measured recall against the exact
-  // reference.
+  // reference.  Typed exact runs verify in the key's ordinal domain
+  // (total order, exact for every dtype including NaN patterns).
   const bool approximate =
       chosen == topk::Algo::kBucketApprox && recall_target < 1.0;
   double recall_sum = 0.0;
   for (std::size_t b = 0; b < batch; ++b) {
     const std::span<const float> row(values.data() + b * n, n);
     if (approximate) {
+      const std::span<const float> score_row =
+          typed ? std::span<const float>(decoded).subspan(b * n, n) : row;
       recall_sum += topk::data::recall_at_k(
-          results[b].values, topk::data::exact_topk_values(row, k));
+          results[b].values, topk::data::exact_topk_values(score_row, k));
+      continue;
+    }
+    if (typed) {
+      const topk::SelectResult& r = results[b];
+      std::vector<std::uint64_t> ord(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        ord[i] = key_ordinal(dtype, row_bits[b * n + i]);
+      }
+      std::vector<bool> seen(n, false);
+      std::vector<std::uint64_t> got(k);
+      for (std::size_t i = 0; i < k; ++i) {
+        const std::uint32_t idx = r.indices[i];
+        if (idx >= n || seen[idx]) {
+          std::cerr << "verification FAILED (problem " << b
+                    << "): bad/duplicate index " << idx << "\n";
+          return 1;
+        }
+        seen[idx] = true;
+        const std::uint32_t bits =
+            dtype == topk::KeyType::kF32
+                ? std::bit_cast<std::uint32_t>(r.values[i])
+                : r.values_bits[i];
+        got[i] = key_ordinal(dtype, bits);
+        if (got[i] != ord[idx]) {
+          std::cerr << "verification FAILED (problem " << b
+                    << "): value/index mismatch at position " << i << "\n";
+          return 1;
+        }
+        if (payload &&
+            r.payload[i] != static_cast<std::uint64_t>(b * n + idx)) {
+          std::cerr << "verification FAILED (problem " << b
+                    << "): payload mismatch at position " << i << "\n";
+          return 1;
+        }
+      }
+      std::vector<std::uint64_t> want = ord;
+      std::nth_element(want.begin(), want.begin() + static_cast<long>(k) - 1,
+                       want.end());
+      want.resize(k);
+      std::sort(want.begin(), want.end());
+      std::sort(got.begin(), got.end());
+      if (got != want) {
+        std::cerr << "verification FAILED (problem " << b
+                  << "): top-k ordinal multiset differs\n";
+        return 1;
+      }
       continue;
     }
     const std::string err = topk::verify_topk(row, k, results[b]);

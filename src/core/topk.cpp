@@ -9,7 +9,9 @@
 #include <sstream>
 #include <stdexcept>
 #include <string_view>
+#include <type_traits>
 
+#include "topk/key_codec.hpp"
 #include "topk/registry.hpp"
 
 namespace topk {
@@ -44,6 +46,36 @@ std::span<const Algo> all_algorithms() {
       Algo::kFusedBlockRowwise, Algo::kShardMerge, Algo::kBucketApprox,
   };
   return kAll;
+}
+
+std::string_view key_type_name(KeyType t) {
+  switch (t) {
+    case KeyType::kF32:
+      return "f32";
+    case KeyType::kF16:
+      return "f16";
+    case KeyType::kBF16:
+      return "bf16";
+    case KeyType::kI32:
+      return "i32";
+    case KeyType::kU32:
+      return "u32";
+  }
+  return "unknown";
+}
+
+std::optional<KeyType> parse_key_type(std::string_view key) {
+  for (std::size_t i = 0; i < kNumKeyTypes; ++i) {
+    const auto t = static_cast<KeyType>(i);
+    if (key_type_name(t) == key) return t;
+  }
+  return std::nullopt;
+}
+
+bool algo_supports_dtype(Algo algo, KeyType t) {
+  const AlgoRow* row = find_algo_row(algo);
+  return row != nullptr && row->plan != nullptr &&
+         (row->dtypes & key_type_bit(t)) != 0;
 }
 
 std::size_t max_k(Algo algo, std::size_t n) {
@@ -132,6 +164,14 @@ double estimated_batch_cost_us(Algo algo, std::size_t batch, std::size_t n,
                         rows * nn *
                             (1.0 + static_cast<double>(s.keep) / 1024.0));
     }
+    case Algo::kStreamRadix: {
+      // Host-serial chunk loop: every chunk pays RadixSelect's per-pass
+      // launch + host round-trip structure, and the chunk count grows with
+      // n (bounded-scratch is what the tier buys, not launch economy).
+      const double chunks = std::max(
+          1.0, std::min(std::ceil(nn / 4194304.0), std::max(1.0, nn / kk)));
+      return rows * chunks * 3.0 * (kLaunchUs + kHostSyncUs) + 3.5 * sweep_us;
+    }
     case Algo::kAirTopk:
     default:
       // Multi-launch grid-wide pipelines: a few launches, a bit more than
@@ -177,7 +217,8 @@ Algo recommend_algorithm(std::size_t n, std::size_t k,
   // tier against it at modeled cost.  At recall_target = 1.0 the race is
   // skipped outright, so the recommendation is provably exact.
   const auto race_approx = [&](Algo exact) {
-    if (hints.recall_target >= 1.0 || k > max_k(Algo::kBucketApprox, n)) {
+    if (hints.recall_target >= 1.0 || k > max_k(Algo::kBucketApprox, n) ||
+        !algo_supports_dtype(Algo::kBucketApprox, hints.dtype)) {
       return exact;
     }
     const double approx_cost = estimated_batch_cost_us(
@@ -198,6 +239,7 @@ Algo recommend_algorithm(std::size_t n, std::size_t k,
     double best_cost = std::numeric_limits<double>::infinity();
     for (Algo cand : kCandidates) {
       if (k > max_k(cand, n)) continue;
+      if (!algo_supports_dtype(cand, hints.dtype)) continue;
       const double cost = estimated_batch_cost_us(cand, hints.batch, n, k);
       if (cost < best_cost) {
         best = cand;
@@ -213,11 +255,12 @@ Algo recommend_algorithm(std::size_t n, std::size_t k,
 }
 
 Algo resolve_algo(Algo algo, std::size_t n, std::size_t k,
-                  std::size_t batch, double recall_target) {
+                  std::size_t batch, double recall_target, KeyType dtype) {
   if (algo != Algo::kAuto) return algo;
   WorkloadHints hints;
   hints.batch = batch;
   hints.recall_target = recall_target;
+  hints.dtype = dtype;
   return recommend_algorithm(n, k, hints);
 }
 
@@ -277,6 +320,14 @@ bool ExecutionPlan::greatest() const {
   return deref_plan(impl_, "ExecutionPlan::greatest").shape.greatest;
 }
 
+KeyType ExecutionPlan::dtype() const {
+  return deref_plan(impl_, "ExecutionPlan::dtype").dtype;
+}
+
+bool ExecutionPlan::u32_carrier() const {
+  return deref_plan(impl_, "ExecutionPlan::u32_carrier").u32_carrier;
+}
+
 const simgpu::WorkspaceLayout& ExecutionPlan::layout() const {
   return deref_plan(impl_, "ExecutionPlan::layout").layout;
 }
@@ -299,30 +350,50 @@ ExecutionPlan plan_select(const simgpu::DeviceSpec& spec, std::size_t batch,
         << opt.recall_target;
     throw std::invalid_argument(err.str());
   }
-  algo = resolve_algo(algo, n, k, batch, opt.recall_target);
+  if (k > kMaxK) {
+    std::ostringstream err;
+    err << "plan_select: k=" << k << " exceeds TOPK_MAX_K=" << kMaxK
+        << " (2^20), the system-wide K ceiling";
+    throw std::invalid_argument(err.str());
+  }
+  algo = resolve_algo(algo, n, k, batch, opt.recall_target, opt.dtype);
   const AlgoRow* row = find_algo_row(algo);
   if (row == nullptr || row->plan == nullptr) {
     throw std::invalid_argument("plan_select: unknown algorithm");
   }
-  if (batch * n > spec.max_select_elems) {
+  if ((row->dtypes & key_type_bit(opt.dtype)) == 0) {
+    std::ostringstream err;
+    err << "plan_select: " << row->name << " does not support dtype "
+        << key_type_name(opt.dtype)
+        << " (algo_supports_dtype lists each algorithm's key types)";
+    throw std::invalid_argument(err.str());
+  }
+  if (!row->streaming && batch * n > spec.max_select_elems) {
     std::ostringstream err;
     err << "plan_select: batch=" << batch << " x n=" << n << " = "
         << batch * n << " keys exceeds this device's single-select capacity ("
         << spec.max_select_elems
         << " elems); split the query across the device pool with "
            "topk::shard::sharded_select (serve engages it automatically, or "
-           "via WorkloadHints::shards)";
+           "via WorkloadHints::shards), or use the bounded-scratch streaming "
+           "tier (Algo::kStreamRadix)";
     throw std::invalid_argument(err.str());
   }
   auto impl = std::make_shared<PlanImpl>();
   impl->algo = algo;
   impl->shape = Shape{batch, n, k, opt.greatest};
+  impl->dtype = opt.dtype;
+  impl->u32_carrier = key_type_is_integer(opt.dtype);
   // WLOG the paper selects the smallest K; algorithms without a native
   // largest-K order get a negate wrap: plan a device segment for the
-  // negated copy here, apply it in run_select.
+  // negated copy here, apply it in run_select.  On the u32 carrier the wrap
+  // is a bitwise complement of the radix ordinals, not a float negation.
   impl->negate = opt.greatest && !row->native_greatest;
   if (impl->negate) {
-    impl->seg_negated = impl->layout.add<float>("negated input", batch * n);
+    impl->seg_negated =
+        impl->u32_carrier
+            ? impl->layout.add<std::uint32_t>("negated input", batch * n)
+            : impl->layout.add<float>("negated input", batch * n);
   }
   row->plan(*impl, spec, opt);
   if (impl->negate) {
@@ -354,6 +425,11 @@ void run_select(simgpu::Device& dev, const ExecutionPlan& plan,
                 simgpu::DeviceBuffer<float> out_vals,
                 simgpu::DeviceBuffer<std::uint32_t> out_idx) {
   const PlanImpl& impl = deref_plan(plan.impl_, "run_select");
+  if (impl.u32_carrier) {
+    throw std::invalid_argument(
+        "run_select: this plan executes i32/u32 keys on the u32 carrier; "
+        "use the DeviceBuffer<uint32_t> overload");
+  }
   const AlgoRow* row = find_algo_row(impl.algo);  // non-null by construction
   ws.bind(impl.layout);
   simgpu::DeviceBuffer<float> input = in;
@@ -376,6 +452,49 @@ void run_select(simgpu::Device& dev, const ExecutionPlan& plan,
     const std::size_t out_total = impl.shape.batch * impl.shape.k;
     for (std::size_t i = 0; i < out_total; ++i) {
       out_vals.data()[i] = -out_vals.data()[i];
+    }
+  }
+}
+
+void run_select(simgpu::Device& dev, const ExecutionPlan& plan,
+                simgpu::Workspace& ws,
+                simgpu::DeviceBuffer<std::uint32_t> in,
+                simgpu::DeviceBuffer<std::uint32_t> out_vals,
+                simgpu::DeviceBuffer<std::uint32_t> out_idx) {
+  const PlanImpl& impl = deref_plan(plan.impl_, "run_select");
+  if (!impl.u32_carrier) {
+    throw std::invalid_argument(
+        "run_select: this plan executes on the float carrier; use the "
+        "DeviceBuffer<float> overload");
+  }
+  const AlgoRow* row = find_algo_row(impl.algo);  // non-null by construction
+  ws.bind(impl.layout);
+  simgpu::DeviceBuffer<std::uint32_t> input = in;
+  if (impl.negate) {
+    // The largest-K wrap on radix ordinals: complement is the monotone
+    // order reversal of the unsigned domain (float negation's counterpart),
+    // and complementing the selected ordinals undoes it exactly.
+    const std::size_t total = impl.shape.batch * impl.shape.n;
+    if (in.size() < total) {
+      throw std::invalid_argument("run_select: input smaller than batch*n");
+    }
+    simgpu::DeviceBuffer<std::uint32_t> neg =
+        ws.get<std::uint32_t>(impl.seg_negated);
+    for (std::size_t i = 0; i < total; ++i) neg.data()[i] = ~in.data()[i];
+    if (simgpu::Sanitizer* san = dev.sanitizer()) {
+      san->mark_initialized(neg.data(), total * sizeof(std::uint32_t));
+    }
+    input = neg;
+  }
+  if (row->run_u32 == nullptr) {
+    throw std::logic_error("run_select: registry row lacks a u32 carrier "
+                           "thunk despite an integer dtype plan");
+  }
+  row->run_u32(dev, impl, ws, input, out_vals, out_idx);
+  if (impl.negate) {
+    const std::size_t out_total = impl.shape.batch * impl.shape.k;
+    for (std::size_t i = 0; i < out_total; ++i) {
+      out_vals.data()[i] = ~out_vals.data()[i];
     }
   }
 }
@@ -426,6 +545,9 @@ void validate_select_args(const char* fn, std::size_t data_size,
     err << fn << ": row length n must be > 0";
   } else if (k == 0) {
     err << fn << ": k must be >= 1 (got k=0)";
+  } else if (k > kMaxK) {
+    err << fn << ": k=" << k << " exceeds TOPK_MAX_K=" << kMaxK
+        << " (2^20), the system-wide K ceiling";
   } else if (k > n) {
     err << fn << ": k=" << k << " exceeds row length n=" << n;
   } else if (data_size < batch * n) {
@@ -439,6 +561,127 @@ void validate_select_args(const char* fn, std::size_t data_size,
     return;
   }
   throw std::invalid_argument(err.str());
+}
+
+void validate_payload_arg(const char* fn, PayloadView payload,
+                          std::size_t batch, std::size_t n) {
+  if (!payload.present()) return;
+  if (payload.size != batch * n) {
+    std::ostringstream err;
+    err << fn << ": payload holds " << payload.size
+        << " entries but must cover every key (batch=" << batch << " x n="
+        << n << " = " << batch * n << ")";
+    throw std::invalid_argument(err.str());
+  }
+}
+
+/// Best-first reorder in the carrier domain: carrier order equals key order
+/// for every dtype (total, NaN-safe for f16/bf16 ordinals), so sorting
+/// BEFORE decode avoids the float-comparison hazards a decoded sort would
+/// reintroduce.  Permutes values, indices and (when present) payload.
+template <typename Carrier>
+void sort_carrier_row_best_first(std::vector<Carrier>& vals,
+                                 std::vector<std::uint32_t>& idx,
+                                 std::vector<std::uint64_t>& payload,
+                                 bool greatest,
+                                 std::vector<std::uint32_t>& order_scratch) {
+  const std::size_t k = vals.size();
+  order_scratch.resize(k);
+  std::iota(order_scratch.begin(), order_scratch.end(), 0U);
+  std::sort(order_scratch.begin(), order_scratch.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return greatest ? vals[b] < vals[a] : vals[a] < vals[b];
+            });
+  for (std::size_t i = 0; i < k; ++i) {
+    std::size_t j = order_scratch[i];
+    while (j < i) j = order_scratch[j];
+    if (j != i) {
+      std::swap(vals[i], vals[j]);
+      std::swap(idx[i], idx[j]);
+      if (!payload.empty()) std::swap(payload[i], payload[j]);
+    }
+  }
+}
+
+/// Typed execution on a carrier domain: upload the encoded keys, run the
+/// carrier-typed plan, then gather payloads and decode per row.  Carrier is
+/// float (f32/f16/bf16) or uint32_t (i32/u32); `dtype` is the user-facing
+/// key type the codec decodes back to.
+template <typename Carrier>
+std::vector<SelectResult> run_carrier_on_device(
+    simgpu::Device& dev, std::span<const Carrier> encoded, KeyType dtype,
+    std::size_t batch, std::size_t n, std::size_t k, Algo algo,
+    const SelectOptions& opt, PayloadView payload) {
+  algo = resolve_algo(algo, n, k, batch, opt.recall_target, dtype);
+  if (simcheck_env_enabled() && dev.sanitizer() == nullptr) {
+    dev.enable_sanitizer();
+  }
+  simgpu::Sanitizer* const san = dev.sanitizer();
+  const std::size_t issues_before = san != nullptr ? san->issue_count() : 0;
+
+  simgpu::ScopedWorkspace scoped(dev);
+  auto in = dev.alloc<Carrier>(batch * n, "select input");
+  dev.upload(in, encoded.first(batch * n));
+  auto out_vals = dev.alloc<Carrier>(batch * k, "select output vals");
+  auto out_idx = dev.alloc<std::uint32_t>(batch * k, "select output idx");
+  SelectOptions topt = opt;
+  topt.dtype = dtype;
+  const ExecutionPlan plan =
+      plan_select(dev.spec(), batch, n, k, algo, topt);
+  simgpu::Workspace ws(dev);
+  run_select(dev, plan, ws, in, out_vals, out_idx);
+  if (san != nullptr) {
+    throw_if_new_issues(*san, issues_before, algo);
+  }
+  std::vector<SelectResult> results(batch);
+  std::vector<std::uint32_t> order;  // permutation scratch, shared by rows
+  std::vector<Carrier> cvals;
+  for (std::size_t b = 0; b < batch; ++b) {
+    SelectResult& r = results[b];
+    cvals.assign(out_vals.data() + b * k, out_vals.data() + (b + 1) * k);
+    r.indices.assign(out_idx.data() + b * k, out_idx.data() + (b + 1) * k);
+    if (payload.present()) {
+      r.payload.resize(k);
+      for (std::size_t i = 0; i < k; ++i) {
+        r.payload[i] = codec::payload_at(payload, b * n + r.indices[i]);
+      }
+    }
+    if (opt.sorted) {
+      sort_carrier_row_best_first(cvals, r.indices, r.payload, opt.greatest,
+                                  order);
+    }
+    if constexpr (std::is_same_v<Carrier, float>) {
+      r.values.assign(cvals.begin(), cvals.end());
+      codec::decode_result_f32(dtype, r);
+    } else {
+      codec::decode_result_u32(dtype, cvals, r);
+    }
+  }
+  return results;
+}
+
+/// Typed dispatch: encode the KeyView into its carrier domain and execute.
+std::vector<SelectResult> run_typed_on_device(simgpu::Device& dev,
+                                              KeyView keys, std::size_t batch,
+                                              std::size_t n, std::size_t k,
+                                              Algo algo,
+                                              const SelectOptions& opt,
+                                              PayloadView payload) {
+  // Encode exactly the batch*n keys the problem consumes (the view may be
+  // larger; validate_select_args has already checked it is not smaller).
+  const KeyView used{keys.dtype, keys.data, batch * n};
+  if (codec::uses_u32_carrier(keys.dtype)) {
+    std::vector<std::uint32_t> enc(batch * n);
+    codec::encode_keys_u32(used, enc.data());
+    return run_carrier_on_device<std::uint32_t>(
+        dev, std::span<const std::uint32_t>(enc), keys.dtype, batch, n, k,
+        algo, opt, payload);
+  }
+  std::vector<float> enc(batch * n);
+  codec::encode_keys_f32(used, enc.data());
+  return run_carrier_on_device<float>(dev, std::span<const float>(enc),
+                                      keys.dtype, batch, n, k, algo, opt,
+                                      payload);
 }
 
 std::vector<SelectResult> run_on_device(simgpu::Device& dev,
@@ -501,7 +744,34 @@ std::vector<SelectResult> select_batch(simgpu::Device& dev,
   return run_on_device(dev, data, batch, n, k, algo, opt);
 }
 
+SelectResult select(simgpu::Device& dev, KeyView keys, std::size_t k,
+                    Algo algo, const SelectOptions& opt,
+                    PayloadView payload) {
+  validate_select_args("select", keys.size, 1, keys.size, k,
+                       opt.recall_target);
+  validate_payload_arg("select", payload, 1, keys.size);
+  return run_typed_on_device(dev, keys, 1, keys.size, k, algo, opt, payload)
+      .front();
+}
+
+std::vector<SelectResult> select_batch(simgpu::Device& dev, KeyView keys,
+                                       std::size_t batch, std::size_t n,
+                                       std::size_t k, Algo algo,
+                                       const SelectOptions& opt,
+                                       PayloadView payload) {
+  validate_select_args("select_batch", keys.size, batch, n, k,
+                       opt.recall_target);
+  validate_payload_arg("select_batch", payload, batch, n);
+  return run_typed_on_device(dev, keys, batch, n, k, algo, opt, payload);
+}
+
 SelectResult reference_select(std::span<const float> data, std::size_t k) {
+  if (k > kMaxK) {
+    std::ostringstream err;
+    err << "reference_select: k=" << k << " exceeds TOPK_MAX_K=" << kMaxK
+        << " (2^20), the system-wide K ceiling";
+    throw std::invalid_argument(err.str());
+  }
   std::vector<std::uint32_t> order(data.size());
   for (std::size_t i = 0; i < order.size(); ++i) {
     order[i] = static_cast<std::uint32_t>(i);

@@ -40,6 +40,9 @@ enum class Algo {
   kBucketApprox,  ///< bucketed one-pass approximate top-k: top-q per chunk
                   ///< plus a shared-memory refine; exact when
                   ///< recall_target = 1.0 (k <= 2048)
+  // --- streaming large-K tier (RadiK direction) ---
+  kStreamRadix,  ///< chunked host-loop radix select: bounded scratch
+                 ///< independent of N, K up to kMaxK (2^20)
   // --- dispatch ---
   kAuto,  ///< let recommend_algorithm() pick per (n, k, batch) at run time
 };
@@ -64,6 +67,107 @@ enum class Algo {
 
 /// All benchmarkable algorithms in a stable order (main methods first).
 [[nodiscard]] std::span<const Algo> all_algorithms();
+
+class half;   // topk/half.hpp
+class bf16;   // topk/bf16.hpp
+
+/// Key element type of a selection problem.  Every algorithm executes on one
+/// of two carrier domains:
+///  - f32 carrier: f32 keys run as-is; f16/bf16 keys are encoded to their
+///    exact 16-bit radix ordinal (an integer in [0, 65536), exactly
+///    representable in float, totally ordered — NaNs by bit pattern) and
+///    decoded back after selection.
+///  - u32 carrier: i32/u32 keys are encoded to their monotone radix ordinal
+///    and the algorithm is instantiated at uint32_t (largest-K wraps via
+///    bitwise complement instead of float negation).
+/// Registry rows declare which key types they accept (algo_supports_dtype);
+/// recommend_algorithm filters its cost race by them.
+enum class KeyType : std::uint8_t { kF32 = 0, kF16, kBF16, kI32, kU32 };
+
+inline constexpr std::size_t kNumKeyTypes = 5;
+
+[[nodiscard]] std::string_view key_type_name(KeyType t);  // "f32", ...
+[[nodiscard]] std::optional<KeyType> parse_key_type(std::string_view key);
+
+/// True for i32/u32 — key types that execute on the u32 carrier.
+[[nodiscard]] constexpr bool key_type_is_integer(KeyType t) {
+  return t == KeyType::kI32 || t == KeyType::kU32;
+}
+
+/// Bit for KeyType `t` in an AlgoRow dtype mask.
+[[nodiscard]] constexpr unsigned key_type_bit(KeyType t) {
+  return 1u << static_cast<unsigned>(t);
+}
+inline constexpr unsigned kDtypesFloatFamily =
+    key_type_bit(KeyType::kF32) | key_type_bit(KeyType::kF16) |
+    key_type_bit(KeyType::kBF16);
+inline constexpr unsigned kDtypesAll =
+    kDtypesFloatFamily | key_type_bit(KeyType::kI32) |
+    key_type_bit(KeyType::kU32);
+
+/// Whether the registry row for `algo` declares support for key type `t`
+/// (false for Algo::kAuto — resolve first).
+[[nodiscard]] bool algo_supports_dtype(Algo algo, KeyType t);
+
+/// Hard ceiling on K across the whole system (TOPK_MAX_K): the streaming
+/// large-K tier supports K up to 2^20; validate_select_args,
+/// reference_select and plan_select all reject anything beyond it.
+inline constexpr std::size_t kMaxK = std::size_t{1} << 20;
+
+/// Type-erased, non-owning view of a key array.  Construct via of(); the
+/// dtype travels with the pointer so typed select()/serve entry points can
+/// dispatch on it.
+struct KeyView {
+  KeyType dtype = KeyType::kF32;
+  const void* data = nullptr;
+  std::size_t size = 0;  ///< elements
+
+  KeyView() = default;
+  KeyView(KeyType t, const void* p, std::size_t count)
+      : dtype(t), data(p), size(count) {}
+
+  static KeyView of(std::span<const float> s) {
+    return {KeyType::kF32, s.data(), s.size()};
+  }
+  static KeyView of(std::span<const half> s);   // defined in key_codec.hpp
+  static KeyView of(std::span<const bf16> s);   // defined in key_codec.hpp
+  static KeyView of(std::span<const std::int32_t> s) {
+    return {KeyType::kI32, s.data(), s.size()};
+  }
+  static KeyView of(std::span<const std::uint32_t> s) {
+    return {KeyType::kU32, s.data(), s.size()};
+  }
+};
+
+/// Optional per-key payload carried through selection (the "value" of a
+/// key-value select: ANN candidate ids, document ids, ...).  u32 payloads
+/// widen losslessly into the u64 result vector.
+enum class PayloadKind : std::uint8_t { kNone = 0, kU32, kU64 };
+
+struct PayloadView {
+  PayloadKind kind = PayloadKind::kNone;
+  const void* data = nullptr;
+  std::size_t size = 0;  ///< elements; must equal batch*n when present
+
+  PayloadView() = default;
+
+  static PayloadView of(std::span<const std::uint32_t> s) {
+    PayloadView v;
+    v.kind = PayloadKind::kU32;
+    v.data = s.data();
+    v.size = s.size();
+    return v;
+  }
+  static PayloadView of(std::span<const std::uint64_t> s) {
+    PayloadView v;
+    v.kind = PayloadKind::kU64;
+    v.data = s.data();
+    v.size = s.size();
+    return v;
+  }
+
+  [[nodiscard]] bool present() const { return kind != PayloadKind::kNone; }
+};
 
 /// Maximum supported K for an algorithm at problem size n (0 = unsupported).
 /// Partial-sorting methods have hard K limits (paper §2.2: 256 for Bitonic
@@ -92,6 +196,9 @@ struct WorkloadHints {
   /// this target.  Values outside (0, 1] are rejected with
   /// std::invalid_argument.
   double recall_target = 1.0;
+  /// Key element type of the workload.  Candidates whose registry row does
+  /// not declare this dtype are filtered out of the recommendation race.
+  KeyType dtype = KeyType::kF32;
 };
 
 /// First-order modeled cost (microseconds) of running `algo` on one
@@ -128,13 +235,25 @@ struct WorkloadHints {
 /// call this, so kAuto is usable anywhere a concrete Algo is.
 [[nodiscard]] Algo resolve_algo(Algo algo, std::size_t n, std::size_t k,
                                 std::size_t batch = 1,
-                                double recall_target = 1.0);
+                                double recall_target = 1.0,
+                                KeyType dtype = KeyType::kF32);
 
 /// Result of one top-K problem: the k smallest values and their indices in
 /// the input list.  Order within the result set is unspecified.
+///
+/// For non-f32 key types the typed entry points fill the extra fields:
+/// `values` always holds a float rendering of each selected key (exact for
+/// f16/bf16; a lossy convenience cast for i32/u32 beyond 2^24), and
+/// `values_bits` holds the authoritative raw storage bits — the 16-bit
+/// f16/bf16 pattern zero-extended, or the 32-bit two's-complement / unsigned
+/// pattern for i32/u32.  Empty for plain f32 selects.  `payload` holds the
+/// gathered per-key payload (u32 widened to u64) when one was supplied.
 struct SelectResult {
   std::vector<float> values;
   std::vector<std::uint32_t> indices;
+  KeyType dtype = KeyType::kF32;
+  std::vector<std::uint32_t> values_bits;
+  std::vector<std::uint64_t> payload;
 };
 
 /// Reorder a result best-first in place: ascending values for smallest-K,
@@ -156,6 +275,12 @@ struct SelectOptions {
   /// candidates per bucket and is provably exact, so every exact-contract
   /// harness covers it unchanged.  Exact algorithms ignore this knob.
   double recall_target = 1.0;
+  /// Key element type the plan executes.  The typed select() overloads set
+  /// this from the KeyView; direct plan_select callers set it themselves.
+  /// The algorithm's registry row must declare the dtype or plan_select
+  /// throws.  i32/u32 plans run on the u32 carrier — use the uint32
+  /// run_select overload.
+  KeyType dtype = KeyType::kF32;
 };
 
 /// Run one top-K selection on the simulated device.  `data` is copied to the
@@ -171,6 +296,23 @@ std::vector<SelectResult> select_batch(simgpu::Device& dev,
                                        std::size_t batch, std::size_t n,
                                        std::size_t k, Algo algo,
                                        const SelectOptions& opt = {});
+
+/// Typed key-value selection: keys of any KeyType, with an optional payload
+/// gathered alongside the winners (see SelectResult).  opt.dtype is taken
+/// from the KeyView.  The payload, when present, must cover every key
+/// (payload.size == keys.size).
+SelectResult select(simgpu::Device& dev, KeyView keys, std::size_t k,
+                    Algo algo, const SelectOptions& opt = {},
+                    PayloadView payload = {});
+
+/// Typed batched key-value selection; keys.size must equal batch*n and the
+/// payload (when present) covers all batch*n entries.  Indices (and payload
+/// gathers) are row-local, as in the float overload.
+std::vector<SelectResult> select_batch(simgpu::Device& dev, KeyView keys,
+                                       std::size_t batch, std::size_t n,
+                                       std::size_t k, Algo algo,
+                                       const SelectOptions& opt = {},
+                                       PayloadView payload = {});
 
 struct PlanImpl;  // registry internals (topk/registry.hpp)
 
@@ -190,6 +332,10 @@ class ExecutionPlan {
   [[nodiscard]] std::size_t n() const;
   [[nodiscard]] std::size_t k() const;
   [[nodiscard]] bool greatest() const;
+  [[nodiscard]] KeyType dtype() const;
+  /// True when the plan executes on the u32 carrier (i32/u32 keys); such
+  /// plans run through the uint32 run_select overload.
+  [[nodiscard]] bool u32_carrier() const;
   /// Named workspace segments (sizes/alignments) this plan's run binds.
   [[nodiscard]] const simgpu::WorkspaceLayout& layout() const;
   /// Scratch bytes one bound workspace slab needs for this plan.
@@ -207,6 +353,11 @@ class ExecutionPlan {
   friend void run_select(simgpu::Device&, const ExecutionPlan&,
                          simgpu::Workspace&, simgpu::DeviceBuffer<float>,
                          simgpu::DeviceBuffer<float>,
+                         simgpu::DeviceBuffer<std::uint32_t>);
+  friend void run_select(simgpu::Device&, const ExecutionPlan&,
+                         simgpu::Workspace&,
+                         simgpu::DeviceBuffer<std::uint32_t>,
+                         simgpu::DeviceBuffer<std::uint32_t>,
                          simgpu::DeviceBuffer<std::uint32_t>);
 
   explicit ExecutionPlan(std::shared_ptr<const PlanImpl> impl)
@@ -236,6 +387,16 @@ class ExecutionPlan {
 void run_select(simgpu::Device& dev, const ExecutionPlan& plan,
                 simgpu::Workspace& ws, simgpu::DeviceBuffer<float> in,
                 simgpu::DeviceBuffer<float> out_vals,
+                simgpu::DeviceBuffer<std::uint32_t> out_idx);
+
+/// u32-carrier run: same contract as the float overload, for plans built
+/// with an integer dtype (i32/u32 keys encoded to radix ordinals).  Largest-K
+/// on a non-native-greatest algorithm wraps via bitwise complement of the
+/// ordinals instead of float negation.
+void run_select(simgpu::Device& dev, const ExecutionPlan& plan,
+                simgpu::Workspace& ws,
+                simgpu::DeviceBuffer<std::uint32_t> in,
+                simgpu::DeviceBuffer<std::uint32_t> out_vals,
                 simgpu::DeviceBuffer<std::uint32_t> out_idx);
 
 /// Device-side entry point used by the benches: input already resident on

@@ -13,6 +13,7 @@
 #include "shard/shard.hpp"
 #include "simgpu/cost_model.hpp"
 #include "simgpu/simgpu.hpp"
+#include "topk/key_codec.hpp"
 
 namespace topk::serve {
 
@@ -93,8 +94,10 @@ struct TopkService::Worker {
   simgpu::Workspace algo_ws;
   /// Input/output blocks for the assembled micro-batch, same reuse story.
   simgpu::Workspace io_ws;
-  /// (n, k_exec, requested algo, rows, recall SLO) -> planned execution.
-  std::map<std::tuple<std::size_t, std::size_t, Algo, std::size_t, double>,
+  /// (n, k_exec, requested algo, rows, recall SLO, dtype) -> planned
+  /// execution.
+  std::map<std::tuple<std::size_t, std::size_t, Algo, std::size_t, double,
+                      KeyType>,
            PlanEntry>
       plans;
   /// Multi-device coordinator for sharded requests, built lazily on the
@@ -151,6 +154,37 @@ std::future<QueryResult> TopkService::submit(
     std::vector<float> keys, std::size_t k,
     std::optional<std::chrono::microseconds> deadline,
     std::optional<Algo> algo, std::optional<WorkloadHints> hints) {
+  return submit_carrier(std::move(keys), KeyType::kF32, k, deadline, algo,
+                        hints);
+}
+
+std::future<QueryResult> TopkService::submit(
+    KeyView keys, std::size_t k,
+    std::optional<std::chrono::microseconds> deadline,
+    std::optional<Algo> algo, std::optional<WorkloadHints> hints) {
+  if (key_type_is_integer(keys.dtype)) {
+    std::ostringstream err;
+    err << "TopkService::submit: dtype " << key_type_name(keys.dtype)
+        << " is not supported by the float-carrier serving path";
+    throw std::invalid_argument(err.str());
+  }
+  if (keys.size == 0) {
+    throw std::invalid_argument("TopkService::submit: keys must be non-empty");
+  }
+  // Encode into the carrier row the bucket stages; the worker decodes the
+  // executed batch back per request.  For f32 this is a plain copy — the
+  // same one std::vector<float>'s move-in submit avoids, which is why the
+  // float overload stays the fast path.
+  std::vector<float> carrier(keys.size);
+  codec::encode_keys_f32(keys, carrier.data());
+  return submit_carrier(std::move(carrier), keys.dtype, k, deadline, algo,
+                        hints);
+}
+
+std::future<QueryResult> TopkService::submit_carrier(
+    std::vector<float> keys, KeyType dtype, std::size_t k,
+    std::optional<std::chrono::microseconds> deadline,
+    std::optional<Algo> algo, std::optional<WorkloadHints> hints) {
   const std::size_t n = keys.size();
   if (n == 0) {
     throw std::invalid_argument("TopkService::submit: keys must be non-empty");
@@ -191,6 +225,7 @@ std::future<QueryResult> TopkService::submit(
   // Sharded requests never coalesce, so k is executed exactly, unpadded.
   key.k_exec = sharded ? k : std::min(n, std::bit_ceil(k));
   key.algo = algo.value_or(cfg_.default_algo);
+  key.dtype = dtype;
   // Sharded requests stay exact: the cross-shard merge assumes each shard
   // returns its true local top-k, so a sub-1.0 SLO only applies to the
   // coalesced single-device path.
@@ -364,6 +399,9 @@ void TopkService::execute_sharded(Worker& w, std::size_t /*worker_id*/,
       shard::ShardedResult res = w.shard_coord->select(
           std::span<const float>(batch.staged), batch.key.k_exec,
           req.shard_hint, batch.key.algo);
+      // The staged row is carrier-encoded (exact for f16/bf16 ordinals);
+      // decode the merged winners back to the request's dtype.
+      codec::decode_result_f32(batch.key.dtype, res.topk);
       qr.status = QueryStatus::kOk;
       qr.topk = std::move(res.topk);
       qr.algo = res.shard_algo;
@@ -442,7 +480,8 @@ void TopkService::execute_batch(Worker& w, std::size_t worker_id,
   bool plan_looked_up = false;
   if (!live.empty()) {
     try {
-      planned = resolve_algo(batch.key.algo, n, k_exec, rows, batch.key.recall);
+      planned = resolve_algo(batch.key.algo, n, k_exec, rows, batch.key.recall,
+                             batch.key.dtype);
       if (k_exec > max_k(planned, n)) {
         std::ostringstream err;
         err << "plan " << algo_name(planned) << " cannot serve k=" << k_exec
@@ -453,14 +492,16 @@ void TopkService::execute_batch(Worker& w, std::size_t worker_id,
       opt.greatest = cfg_.greatest;
       opt.sorted = cfg_.sorted_results;
       opt.recall_target = batch.key.recall;
+      opt.dtype = batch.key.dtype;
 
       // Plans are keyed on the micro-batch bucket (row length, padded k,
-      // requested algorithm, recall SLO) plus the assembled row count; a
-      // repeat shape reuses the cached ExecutionPlan and both pooled
-      // workspaces. Recall is part of the key so a 0.9-SLO plan (smaller
-      // per-bucket keep) can never be replayed for an exact request.
-      const auto key =
-          std::make_tuple(n, k_exec, batch.key.algo, rows, batch.key.recall);
+      // requested algorithm, recall SLO, dtype) plus the assembled row
+      // count; a repeat shape reuses the cached ExecutionPlan and both
+      // pooled workspaces. Recall is part of the key so a 0.9-SLO plan
+      // (smaller per-bucket keep) can never be replayed for an exact
+      // request; dtype so an f16-ordinal plan never serves raw f32 rows.
+      const auto key = std::make_tuple(n, k_exec, batch.key.algo, rows,
+                                       batch.key.recall, batch.key.dtype);
       plan_looked_up = true;
       auto it = w.plans.find(key);
       plan_cache_hit = it != w.plans.end();
@@ -552,6 +593,9 @@ void TopkService::execute_batch(Worker& w, std::size_t worker_id,
       qr.device_us = device_share;
       qr.topk = trim_result(std::move(results[i]), r.k, cfg_.greatest,
                             cfg_.sorted_results);
+      // Trim compares carrier values (carrier order equals key order, so
+      // the cut is exact for f16/bf16); decode only the surviving k.
+      codec::decode_result_f32(batch.key.dtype, qr.topk);
     }
     qr.wall_us = us_between(r.submit_time, resolved);
     outcomes.push_back(std::move(qr));

@@ -180,6 +180,19 @@ class TopkService {
       std::optional<Algo> algo = std::nullopt,
       std::optional<WorkloadHints> hints = std::nullopt);
 
+  /// Typed submit: float-family keys (f32/f16/bf16) are encoded into the
+  /// staged float-carrier row at admission and decoded after execution
+  /// (QueryResult::topk carries dtype + values_bits).  The dtype is part of
+  /// the coalescing BucketKey and the worker plan-cache key, so an f16
+  /// request never rides in an f32 batch (their carrier domains differ).
+  /// Integer key types throw std::invalid_argument — the coalesced serving
+  /// path is float-carrier only.
+  std::future<QueryResult> submit(
+      KeyView keys, std::size_t k,
+      std::optional<std::chrono::microseconds> deadline = std::nullopt,
+      std::optional<Algo> algo = std::nullopt,
+      std::optional<WorkloadHints> hints = std::nullopt);
+
   /// Stop admitting, flush every bucket, drain the ready queue and in-flight
   /// batches, then join the batcher and worker threads.  Idempotent.
   void shutdown();
@@ -197,19 +210,22 @@ class TopkService {
   };
 
   /// Coalescing key: requests agree on the row length, the executed
-  /// (padded) k, the plan override, and the recall SLO — a 0.9-recall
-  /// request must never ride in (and approximate) a 1.0-recall batch.
+  /// (padded) k, the plan override, the recall SLO — a 0.9-recall request
+  /// must never ride in (and approximate) a 1.0-recall batch — and the key
+  /// dtype, whose carrier encoding the staged rows share.
   struct BucketKey {
     std::size_t n = 0;
     std::size_t k_exec = 0;
     Algo algo = Algo::kAuto;
     double recall = 1.0;
+    KeyType dtype = KeyType::kF32;
 
     bool operator<(const BucketKey& o) const {
       if (n != o.n) return n < o.n;
       if (k_exec != o.k_exec) return k_exec < o.k_exec;
       if (algo != o.algo) return static_cast<int>(algo) < static_cast<int>(o.algo);
-      return recall < o.recall;
+      if (recall != o.recall) return recall < o.recall;
+      return static_cast<int>(dtype) < static_cast<int>(o.dtype);
     }
   };
 
@@ -237,6 +253,11 @@ class TopkService {
   /// two pooled workspaces that persist across micro-batch flushes (defined
   /// in service.cpp; workers own one each on their stack).
   struct Worker;
+
+  std::future<QueryResult> submit_carrier(
+      std::vector<float> carrier, KeyType dtype, std::size_t k,
+      std::optional<std::chrono::microseconds> deadline,
+      std::optional<Algo> algo, std::optional<WorkloadHints> hints);
 
   void batcher_loop();
   void worker_loop(std::size_t worker_id);

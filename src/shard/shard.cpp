@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "topk/common.hpp"
+#include "topk/key_codec.hpp"
 #include "topk/partial_sort_common.hpp"
 
 namespace topk::shard {
@@ -346,6 +347,46 @@ ShardedResult Coordinator::select(std::span<const float> data, std::size_t k,
   }
   res.timing.total_us = res.timing.select_us + res.timing.gather_us +
                         res.timing.merge_us + res.timing.output_us;
+  return res;
+}
+
+ShardedResult Coordinator::select_typed(KeyView keys, std::size_t k,
+                                        PayloadView payload,
+                                        std::size_t shards, Algo algo) {
+  if (key_type_is_integer(keys.dtype)) {
+    std::ostringstream err;
+    err << "sharded_select: dtype " << key_type_name(keys.dtype)
+        << " is not supported by the float-carrier shard pipeline (use the "
+           "streaming tier, Algo::kStreamRadix, for integer keys)";
+    throw std::invalid_argument(err.str());
+  }
+  if (payload.present() && payload.size != keys.size) {
+    std::ostringstream err;
+    err << "sharded_select: payload holds " << payload.size
+        << " entries but must cover every key (n=" << keys.size << ")";
+    throw std::invalid_argument(err.str());
+  }
+  ShardedResult res;
+  if (keys.dtype == KeyType::kF32) {
+    res = select(std::span<const float>(
+                     static_cast<const float*>(keys.data), keys.size),
+                 k, shards, algo);
+  } else {
+    // Encode to the exact float carrier (the 16-bit radix ordinal) so the
+    // shards and the merge see a totally ordered float stream; decoded back
+    // after the merge.  The negate-at-boundary wrap composes: carrier order
+    // is key order, so negating carriers selects the key-largest.
+    typed_stage_.resize(keys.size);
+    codec::encode_keys_f32(keys, typed_stage_.data());
+    res = select(std::span<const float>(typed_stage_), k, shards, algo);
+    codec::decode_result_f32(keys.dtype, res.topk);
+  }
+  if (payload.present()) {
+    res.topk.payload.resize(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      res.topk.payload[i] = codec::payload_at(payload, res.topk.indices[i]);
+    }
+  }
   return res;
 }
 

@@ -97,6 +97,18 @@ class Coordinator {
   ShardedResult select(std::span<const float> data, std::size_t k,
                        std::size_t shards = 0, Algo algo = Algo::kAuto);
 
+  /// Typed key-value variant: float-family keys (f32/f16/bf16) are encoded
+  /// to their exact float carrier, sharded and merged in the carrier domain
+  /// (carrier order equals key order, so ties/NaNs shard exactly), and the
+  /// result is decoded back (SelectResult::values_bits).  A payload, when
+  /// present, must cover every key; the winners' entries are gathered into
+  /// SelectResult::payload after the cross-shard merge.  Integer key types
+  /// throw std::invalid_argument — the shard pipeline is float-carrier only;
+  /// route i32/u32 queries through the streaming tier instead.
+  ShardedResult select_typed(KeyView keys, std::size_t k,
+                             PayloadView payload = {}, std::size_t shards = 0,
+                             Algo algo = Algo::kAuto);
+
   [[nodiscard]] const ShardConfig& config() const { return cfg_; }
   [[nodiscard]] std::size_t plan_cache_hits() const { return plan_hits_; }
   [[nodiscard]] std::size_t plan_cache_misses() const { return plan_misses_; }
@@ -110,6 +122,7 @@ class Coordinator {
   /// per (n, k, shards) triple, plus one merge-plan entry per (shards, k).
   std::map<std::tuple<std::size_t, std::size_t, Algo>, ExecutionPlan> plans_;
   std::vector<float> stage_;  ///< host staging scratch (negation, slicing)
+  std::vector<float> typed_stage_;  ///< f16/bf16 carrier-encoded keys
   std::size_t plan_hits_ = 0;
   std::size_t plan_misses_ = 0;
 };

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "topk/radix_traits.hpp"
+
+namespace topk {
+
+/// Minimal bfloat16 storage type: the top 16 bits of an IEEE-754 binary32.
+/// Conversion from float uses round-to-nearest-even (with NaN payloads
+/// preserved quiet so a NaN never rounds into an infinity); conversion back
+/// is exact — every bfloat16 value is a float with 16 zero mantissa bits.
+class bf16 {
+ public:
+  bf16() = default;
+
+  explicit bf16(float f) : bits_(float_to_bf16_bits(f)) {}
+
+  static bf16 from_bits(std::uint16_t bits) {
+    bf16 h;
+    h.bits_ = bits;
+    return h;
+  }
+
+  [[nodiscard]] std::uint16_t bits() const { return bits_; }
+
+  explicit operator float() const {
+    return std::bit_cast<float>(static_cast<std::uint32_t>(bits_) << 16);
+  }
+
+  friend bool operator<(bf16 a, bf16 b) {
+    return static_cast<float>(a) < static_cast<float>(b);
+  }
+  friend bool operator==(bf16 a, bf16 b) {
+    return static_cast<float>(a) == static_cast<float>(b);
+  }
+
+  static std::uint16_t float_to_bf16_bits(float f) {
+    const std::uint32_t x = std::bit_cast<std::uint32_t>(f);
+    if ((x & 0x7F800000u) == 0x7F800000u && (x & 0x7FFFFFu) != 0) {
+      // NaN: truncate the payload but force the quiet bit so the result
+      // cannot collapse to an infinity encoding.
+      return static_cast<std::uint16_t>((x >> 16) | 0x0040u);
+    }
+    // Round to nearest even on the dropped 16 mantissa bits.  Overflow into
+    // the exponent is correct by construction (carries ripple into inf).
+    const std::uint32_t rounding_bias = 0x7FFFu + ((x >> 16) & 1u);
+    return static_cast<std::uint16_t>((x + rounding_bias) >> 16);
+  }
+
+ private:
+  std::uint16_t bits_ = 0;
+};
+
+/// Radix traits for bfloat16: identical sign-flip trick as float/half on the
+/// 16-bit storage pattern.  Total order: -NaN < -inf < finite < +inf < +NaN,
+/// with -0 ordered just below +0 (distinct ordinals).
+template <>
+struct RadixTraits<bf16> {
+  using Bits = std::uint16_t;
+  static constexpr int kBits = 16;
+
+  static Bits to_radix(bf16 v) {
+    const std::uint16_t b = v.bits();
+    return (b & 0x8000u) ? static_cast<Bits>(~b)
+                         : static_cast<Bits>(b | 0x8000u);
+  }
+  static bf16 from_radix(Bits b) {
+    const std::uint16_t raw =
+        (b & 0x8000u) ? static_cast<std::uint16_t>(b & 0x7FFFu)
+                      : static_cast<std::uint16_t>(~b);
+    return bf16::from_bits(raw);
+  }
+};
+
+}  // namespace topk

@@ -208,7 +208,8 @@ TEST(TopkService, SubmitAfterShutdownIsRejected) {
 
 TEST(TopkService, SubmitValidatesArguments) {
   TopkService svc;
-  EXPECT_THROW((void)svc.submit({}, 1), std::invalid_argument);
+  EXPECT_THROW((void)svc.submit(std::vector<float>{}, 1),
+               std::invalid_argument);
   EXPECT_THROW((void)svc.submit(keys_for(16, 91), 0), std::invalid_argument);
   EXPECT_THROW((void)svc.submit(keys_for(16, 92), 17), std::invalid_argument);
 }

@@ -1,0 +1,192 @@
+// Carrier-codec correctness, exhaustively: both 16-bit float formats have
+// only 2^16 storage patterns, so the radix round trip and the monotonicity
+// of the ordinal encoding are proved over EVERY pattern, not a sample.  The
+// ordinal order is the total key order the selection kernels rely on —
+// -NaN < -inf < negatives < -0 < +0 < positives < +inf < +NaN — and the
+// f32-carrier embedding (ordinal cast to float) must be exact and order-
+// preserving, since f16/bf16 keys execute on float kernels in that form.
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/topk.hpp"
+#include "topk/key_codec.hpp"
+
+namespace topk {
+namespace {
+
+/// Signed rank of a 16-bit pattern under the documented total order,
+/// computed independently of RadixTraits from the sign-magnitude storage:
+/// negative patterns rank below all non-negative ones, more-negative lower.
+template <typename H>
+long long storage_rank(std::uint16_t bits) {
+  const long long mag = bits & 0x7FFF;
+  return (bits & 0x8000) ? -mag - 1 : mag;
+}
+
+template <typename H>
+void exhaustive_roundtrip_and_monotonicity(const char* what) {
+  using Traits = RadixTraits<H>;
+  for (std::uint32_t b = 0; b <= 0xFFFF; ++b) {
+    const auto bits = static_cast<std::uint16_t>(b);
+    const H h = H::from_bits(bits);
+    const std::uint16_t ordinal = Traits::to_radix(h);
+    // Round trip is the identity on storage bits — NaN payloads included.
+    ASSERT_EQ(Traits::from_radix(ordinal).bits(), bits)
+        << what << " bits=0x" << std::hex << b;
+    // The f32 carrier embedding is exact: ordinals live in [0, 65536).
+    const float carrier = static_cast<float>(ordinal);
+    ASSERT_EQ(static_cast<std::uint16_t>(carrier), ordinal)
+        << what << " bits=0x" << std::hex << b;
+    // The ordinal is exactly the storage rank shifted into [0, 65536) — an
+    // affine bijection, which proves strict monotonicity over every pair of
+    // patterns at once (distinct ordinals, order preserved, no ties).
+    ASSERT_EQ(static_cast<long long>(ordinal), storage_rank<H>(bits) + 0x8000)
+        << what << " bits=0x" << std::hex << b;
+  }
+}
+
+TEST(KeyCodec, HalfExhaustiveRoundTripAndMonotonicity) {
+  exhaustive_roundtrip_and_monotonicity<half>("f16");
+}
+
+TEST(KeyCodec, Bf16ExhaustiveRoundTripAndMonotonicity) {
+  exhaustive_roundtrip_and_monotonicity<bf16>("bf16");
+}
+
+/// The special values the order pins down, checked by name rather than by
+/// pattern sweep: -NaN < -inf < -1 < -0 < +0 < +1 < +inf < +NaN.
+template <typename H>
+void special_value_order(const char* what) {
+  using Traits = RadixTraits<H>;
+  const H neg_nan = H::from_bits(static_cast<std::uint16_t>(
+      H(std::numeric_limits<float>::quiet_NaN()).bits() | 0x8000u));
+  const H pos_nan = H(std::numeric_limits<float>::quiet_NaN());
+  const std::vector<H> ascending = {
+      neg_nan,
+      H(-std::numeric_limits<float>::infinity()),
+      H(-1.0f),
+      H::from_bits(0x8000),  // -0
+      H::from_bits(0x0000),  // +0
+      H(1.0f),
+      H(std::numeric_limits<float>::infinity()),
+      pos_nan,
+  };
+  ASSERT_TRUE(std::isnan(static_cast<float>(neg_nan))) << what;
+  ASSERT_TRUE(std::isnan(static_cast<float>(pos_nan))) << what;
+  for (std::size_t i = 1; i < ascending.size(); ++i) {
+    EXPECT_LT(Traits::to_radix(ascending[i - 1]),
+              Traits::to_radix(ascending[i]))
+        << what << " position " << i;
+  }
+}
+
+TEST(KeyCodec, HalfSpecialValuesOrdered) { special_value_order<half>("f16"); }
+TEST(KeyCodec, Bf16SpecialValuesOrdered) { special_value_order<bf16>("bf16"); }
+
+TEST(KeyCodec, HalfConversionRoundsToNearestEven) {
+  // 1 + 2^-11 is exactly halfway between 1.0 and the next half; RNE picks
+  // the even mantissa (1.0).  Nudging up must round to 1 + 2^-10.
+  EXPECT_EQ(half(1.0f + 0x1p-11f).bits(), half(1.0f).bits());
+  EXPECT_EQ(half(1.0f + 0x1p-11f + 0x1p-20f).bits(),
+            half(1.0f + 0x1p-10f).bits());
+  // Overflow saturates to infinity, preserving sign.
+  EXPECT_EQ(half(1e6f).bits(), half(std::numeric_limits<float>::infinity()).bits());
+  EXPECT_EQ(half(-1e6f).bits(),
+            half(-std::numeric_limits<float>::infinity()).bits());
+}
+
+TEST(KeyCodec, Bf16NaNNeverRoundsToInf) {
+  // A NaN whose payload lives entirely in the truncated low 16 bits would
+  // collapse to an inf pattern without the forced quiet bit.
+  const float sneaky = std::bit_cast<float>(0x7F800001u);
+  ASSERT_TRUE(std::isnan(sneaky));
+  const bf16 b(sneaky);
+  EXPECT_TRUE(std::isnan(static_cast<float>(b)));
+  EXPECT_EQ(b.bits() & 0x7FFFu, 0x7FC0u);
+}
+
+TEST(KeyCodec, IntegerOrdinalsPreserveOrder) {
+  const std::vector<std::int32_t> ascending = {
+      std::numeric_limits<std::int32_t>::min(), -2, -1, 0, 1, 2,
+      std::numeric_limits<std::int32_t>::max()};
+  for (std::size_t i = 1; i < ascending.size(); ++i) {
+    EXPECT_LT(codec::encode_i32(ascending[i - 1]),
+              codec::encode_i32(ascending[i]));
+    EXPECT_EQ(codec::decode_i32(codec::encode_i32(ascending[i])),
+              ascending[i]);
+  }
+  EXPECT_EQ(codec::encode_u32(0x12345678u), 0x12345678u);
+}
+
+TEST(KeyCodec, BulkEncodeMatchesScalarAndRejectsWrongCarrier) {
+  const std::vector<half> hs = {half(0.5f), half(-2.0f), half(0.0f)};
+  std::vector<float> carrier(hs.size());
+  codec::encode_keys_f32(KeyView::of(std::span<const half>(hs)),
+                         carrier.data());
+  for (std::size_t i = 0; i < hs.size(); ++i) {
+    EXPECT_EQ(carrier[i], codec::encode_f16(hs[i]));
+  }
+  const std::vector<std::int32_t> is = {-5, 0, 7};
+  std::vector<std::uint32_t> ucarrier(is.size());
+  codec::encode_keys_u32(KeyView::of(std::span<const std::int32_t>(is)),
+                         ucarrier.data());
+  for (std::size_t i = 0; i < is.size(); ++i) {
+    EXPECT_EQ(ucarrier[i], codec::encode_i32(is[i]));
+  }
+  EXPECT_THROW(codec::encode_keys_u32(
+                   KeyView::of(std::span<const half>(hs)), ucarrier.data()),
+               std::invalid_argument);
+  EXPECT_THROW(codec::encode_keys_f32(
+                   KeyView::of(std::span<const std::int32_t>(is)),
+                   carrier.data()),
+               std::invalid_argument);
+}
+
+TEST(KeyCodec, PayloadWideningAndAccess) {
+  const std::vector<std::uint32_t> p32 = {1, 2, 3};
+  const std::vector<std::uint64_t> p64 = {10, 1ull << 40};
+  const PayloadView v32 = PayloadView::of(std::span<const std::uint32_t>(p32));
+  const PayloadView v64 = PayloadView::of(std::span<const std::uint64_t>(p64));
+  EXPECT_EQ(codec::payload_at(v32, 2), 3u);
+  EXPECT_EQ(codec::payload_at(v64, 1), 1ull << 40);
+  EXPECT_EQ(codec::widen_payload(v32),
+            (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_EQ(codec::widen_payload(v64), p64);
+  EXPECT_FALSE(PayloadView{}.present());
+  EXPECT_TRUE(v32.present());
+}
+
+TEST(KeyCodec, KeyTypeNamesRoundTrip) {
+  for (std::size_t i = 0; i < kNumKeyTypes; ++i) {
+    const auto t = static_cast<KeyType>(i);
+    EXPECT_EQ(parse_key_type(key_type_name(t)), t);
+  }
+  EXPECT_FALSE(parse_key_type("f64").has_value());
+  EXPECT_TRUE(key_type_is_integer(KeyType::kI32));
+  EXPECT_TRUE(key_type_is_integer(KeyType::kU32));
+  EXPECT_FALSE(key_type_is_integer(KeyType::kBF16));
+}
+
+TEST(KeyCodec, DtypeMasksMatchCarrierSupport) {
+  // Every registry algorithm serves the float family; u32-carrier coverage
+  // is exactly the rows that declare an integer mask bit.
+  for (Algo a : all_algorithms()) {
+    EXPECT_TRUE(algo_supports_dtype(a, KeyType::kF32)) << algo_name(a);
+    EXPECT_TRUE(algo_supports_dtype(a, KeyType::kF16)) << algo_name(a);
+    EXPECT_TRUE(algo_supports_dtype(a, KeyType::kBF16)) << algo_name(a);
+  }
+  EXPECT_TRUE(algo_supports_dtype(Algo::kRadixSelect, KeyType::kI32));
+  EXPECT_TRUE(algo_supports_dtype(Algo::kStreamRadix, KeyType::kU32));
+  EXPECT_FALSE(algo_supports_dtype(Algo::kQuickSelect, KeyType::kI32));
+  EXPECT_FALSE(algo_supports_dtype(Algo::kBucketApprox, KeyType::kU32));
+  EXPECT_FALSE(algo_supports_dtype(Algo::kFusedWarpRowwise, KeyType::kI32));
+}
+
+}  // namespace
+}  // namespace topk

@@ -1,0 +1,302 @@
+// Key-value selection end to end: typed select/select_batch with payloads on
+// tie- and duplicate-heavy inputs in both selection orders, checked against a
+// host reference computed in the key's ordinal domain (the only domain where
+// "same multiset" is well-defined for NaN-bearing halves and two's-complement
+// ints alike); plus the fused row-wise family, the sharded coordinator's
+// typed gather-and-merge, and the serving path's typed submit.
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/topk.hpp"
+#include "data/distributions.hpp"
+#include "serve/service.hpp"
+#include "shard/shard.hpp"
+#include "simgpu/simgpu.hpp"
+#include "topk/key_codec.hpp"
+
+namespace topk {
+namespace {
+
+/// Ordinal of a key's storage bits: a 64-bit monotone rank usable for every
+/// KeyType (16-bit ordinals zero-extend; i32 flips the sign bit).
+std::uint64_t ordinal(KeyType t, std::uint32_t storage_bits) {
+  switch (t) {
+    case KeyType::kF32:
+      return RadixTraits<float>::to_radix(std::bit_cast<float>(storage_bits));
+    case KeyType::kF16:
+      return RadixTraits<half>::to_radix(
+          half::from_bits(static_cast<std::uint16_t>(storage_bits)));
+    case KeyType::kBF16:
+      return RadixTraits<bf16>::to_radix(
+          bf16::from_bits(static_cast<std::uint16_t>(storage_bits)));
+    case KeyType::kI32:
+      return RadixTraits<std::int32_t>::to_radix(
+          std::bit_cast<std::int32_t>(storage_bits));
+    case KeyType::kU32:
+      return storage_bits;
+  }
+  return 0;
+}
+
+/// A typed workload with heavy ties: keys drawn from few distinct values,
+/// stored per dtype, with per-key storage bits kept for verification.
+struct TypedData {
+  KeyType dtype;
+  std::vector<half> f16;
+  std::vector<bf16> b16;
+  std::vector<float> f32;
+  std::vector<std::int32_t> i32;
+  std::vector<std::uint32_t> u32;
+  std::vector<std::uint32_t> bits;  // storage pattern per key
+
+  [[nodiscard]] KeyView view() const {
+    switch (dtype) {
+      case KeyType::kF32:
+        return KeyView::of(std::span<const float>(f32));
+      case KeyType::kF16:
+        return KeyView::of(std::span<const half>(f16));
+      case KeyType::kBF16:
+        return KeyView::of(std::span<const bf16>(b16));
+      case KeyType::kI32:
+        return KeyView::of(std::span<const std::int32_t>(i32));
+      case KeyType::kU32:
+        return KeyView::of(std::span<const std::uint32_t>(u32));
+    }
+    return {};
+  }
+};
+
+TypedData make_tied(KeyType dtype, std::size_t total, std::uint64_t seed,
+                    std::size_t distinct = 11) {
+  TypedData d;
+  d.dtype = dtype;
+  d.bits.resize(total);
+  std::mt19937_64 rng(seed);
+  for (std::size_t i = 0; i < total; ++i) {
+    // Values in [-distinct/2, distinct/2): exact in every dtype, and with
+    // total >> distinct every value repeats ~total/distinct times, so the
+    // k-th boundary is always claimed by ties.
+    const float v = static_cast<float>(static_cast<long long>(
+                        rng() % distinct) -
+                    static_cast<long long>(distinct / 2));
+    switch (dtype) {
+      case KeyType::kF32:
+        d.f32.push_back(v);
+        d.bits[i] = std::bit_cast<std::uint32_t>(v);
+        break;
+      case KeyType::kF16:
+        d.f16.push_back(half(v));
+        d.bits[i] = d.f16.back().bits();
+        break;
+      case KeyType::kBF16:
+        d.b16.push_back(bf16(v));
+        d.bits[i] = d.b16.back().bits();
+        break;
+      case KeyType::kI32:
+        d.i32.push_back(static_cast<std::int32_t>(v));
+        d.bits[i] = std::bit_cast<std::uint32_t>(d.i32.back());
+        break;
+      case KeyType::kU32:
+        d.u32.push_back(static_cast<std::uint32_t>(
+            static_cast<std::int64_t>(v) + 1000));
+        d.bits[i] = d.u32.back();
+        break;
+    }
+  }
+  return d;
+}
+
+std::uint32_t result_bits(const SelectResult& r, std::size_t i) {
+  return r.dtype == KeyType::kF32 ? std::bit_cast<std::uint32_t>(r.values[i])
+                                  : r.values_bits[i];
+}
+
+/// Full per-row check: indices valid and distinct, reported bits faithful to
+/// the stored key, payload gathered from the winning slot, and the winning
+/// ordinal multiset equal to the host reference under the requested order.
+void verify_typed_row(const TypedData& d, std::size_t row_base, std::size_t n,
+                      std::size_t k, bool greatest, const SelectResult& r,
+                      const std::vector<std::uint64_t>* payload,
+                      const std::string& what) {
+  ASSERT_EQ(r.indices.size(), k) << what;
+  std::vector<bool> seen(n, false);
+  std::vector<std::uint64_t> got(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::uint32_t idx = r.indices[i];
+    ASSERT_LT(idx, n) << what;
+    ASSERT_FALSE(seen[idx]) << what << ": duplicate index " << idx;
+    seen[idx] = true;
+    ASSERT_EQ(result_bits(r, i), d.bits[row_base + idx])
+        << what << " position " << i;
+    got[i] = ordinal(d.dtype, d.bits[row_base + idx]);
+    if (payload) {
+      ASSERT_EQ(r.payload[i], (*payload)[row_base + idx])
+          << what << " payload at position " << i;
+    }
+  }
+  std::vector<std::uint64_t> want(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    want[i] = ordinal(d.dtype, d.bits[row_base + i]);
+  }
+  if (greatest) {
+    std::nth_element(want.begin(), want.begin() + static_cast<long>(k) - 1,
+                     want.end(), std::greater<>());
+  } else {
+    std::nth_element(want.begin(), want.begin() + static_cast<long>(k) - 1,
+                     want.end());
+  }
+  want.resize(k);
+  std::sort(want.begin(), want.end());
+  std::sort(got.begin(), got.end());
+  ASSERT_EQ(got, want) << what << ": winning ordinal multiset differs";
+}
+
+const KeyType kAllTypes[] = {KeyType::kF32, KeyType::kF16, KeyType::kBF16,
+                             KeyType::kI32, KeyType::kU32};
+
+TEST(KeyValueSelect, TieHeavyBothDirectionsEveryDtype) {
+  simgpu::Device dev;
+  const std::size_t batch = 4, n = 3000, k = 64;
+  for (const KeyType t : kAllTypes) {
+    const TypedData d = make_tied(t, batch * n, 0xABC0 + static_cast<std::uint64_t>(t));
+    std::vector<std::uint64_t> payload(batch * n);
+    std::mt19937_64 rng(0xABC1);
+    for (auto& p : payload) p = rng();
+    const PayloadView pv =
+        PayloadView::of(std::span<const std::uint64_t>(payload));
+    for (const bool greatest : {false, true}) {
+      SelectOptions opt;
+      opt.greatest = greatest;
+      const auto results =
+          select_batch(dev, d.view(), batch, n, k, Algo::kAuto, opt, pv);
+      ASSERT_EQ(results.size(), batch);
+      for (std::size_t b = 0; b < batch; ++b) {
+        verify_typed_row(d, b * n, n, k, greatest, results[b], &payload,
+                         std::string(key_type_name(t)) +
+                             (greatest ? "/greatest" : "/least") + " row " +
+                             std::to_string(b));
+      }
+    }
+  }
+}
+
+TEST(KeyValueSelect, SortedResultsAreBestFirstWithPayloadAligned) {
+  simgpu::Device dev;
+  const std::size_t n = 5000, k = 32;
+  for (const KeyType t : kAllTypes) {
+    const TypedData d = make_tied(t, n, 0xABD0 + static_cast<std::uint64_t>(t), 200);
+    std::vector<std::uint32_t> ids(n);
+    for (std::size_t i = 0; i < n; ++i) ids[i] = static_cast<std::uint32_t>(i);
+    for (const bool greatest : {false, true}) {
+      SelectOptions opt;
+      opt.greatest = greatest;
+      opt.sorted = true;
+      const SelectResult r =
+          select(dev, d.view(), k, Algo::kAuto, opt,
+                 PayloadView::of(std::span<const std::uint32_t>(ids)));
+      for (std::size_t i = 1; i < k; ++i) {
+        const std::uint64_t prev = ordinal(t, result_bits(r, i - 1));
+        const std::uint64_t cur = ordinal(t, result_bits(r, i));
+        if (greatest) {
+          ASSERT_GE(prev, cur) << key_type_name(t) << " position " << i;
+        } else {
+          ASSERT_LE(prev, cur) << key_type_name(t) << " position " << i;
+        }
+      }
+      for (std::size_t i = 0; i < k; ++i) {
+        ASSERT_EQ(r.payload[i], r.indices[i])
+            << key_type_name(t) << ": sort must permute payload with keys";
+      }
+    }
+  }
+}
+
+TEST(KeyValueSelect, FusedRowwiseFamilyCarriesPayload) {
+  simgpu::Device dev;
+  const std::size_t batch = 64, n = 1024, k = 16;
+  for (const Algo algo : {Algo::kFusedWarpRowwise, Algo::kFusedBlockRowwise}) {
+    for (const KeyType t :
+         {KeyType::kF32, KeyType::kF16, KeyType::kBF16}) {
+      const TypedData d = make_tied(t, batch * n, 0xABE0 + static_cast<std::uint64_t>(t));
+      std::vector<std::uint64_t> payload(batch * n);
+      for (std::size_t i = 0; i < payload.size(); ++i) {
+        payload[i] = i * 3 + 1;
+      }
+      const auto results = select_batch(
+          dev, d.view(), batch, n, k, algo, {},
+          PayloadView::of(std::span<const std::uint64_t>(payload)));
+      for (std::size_t b = 0; b < batch; ++b) {
+        verify_typed_row(d, b * n, n, k, false, results[b], &payload,
+                         algo_name(algo) + "/" +
+                             std::string(key_type_name(t)) + " row " +
+                             std::to_string(b));
+      }
+    }
+  }
+}
+
+TEST(KeyValueSelect, IntegerDtypeRejectedByFloatFamilyRows) {
+  simgpu::Device dev;
+  const TypedData d = make_tied(KeyType::kI32, 1024, 0xABF0);
+  EXPECT_THROW(
+      (void)select_batch(dev, d.view(), 1, 1024, 8, Algo::kFusedWarpRowwise),
+      std::invalid_argument);
+  EXPECT_THROW((void)select(dev, d.view(), 8, Algo::kQuickSelect),
+               std::invalid_argument);
+}
+
+TEST(KeyValueSelect, ShardedTypedGatherAndMerge) {
+  // N past the per-device ceiling: shards split, merge, then the payload is
+  // gathered against the merged global indices.
+  shard::ShardConfig cfg;
+  cfg.devices = 2;
+  cfg.device_spec.max_select_elems = std::size_t{1} << 16;
+  shard::Coordinator coord(cfg);
+  const std::size_t n = (std::size_t{1} << 17) + 333;
+  const std::size_t k = 128;
+  for (const KeyType t : {KeyType::kF16, KeyType::kBF16}) {
+    const TypedData d = make_tied(t, n, 0xAC00 + static_cast<std::uint64_t>(t), 500);
+    std::vector<std::uint64_t> payload(n);
+    for (std::size_t i = 0; i < n; ++i) payload[i] = i ^ 0xDEADull;
+    const shard::ShardedResult res = coord.select_typed(
+        d.view(), k, PayloadView::of(std::span<const std::uint64_t>(payload)));
+    EXPECT_GT(res.shards, 1u) << "test shape must actually shard";
+    verify_typed_row(d, 0, n, k, false, res.topk, &payload,
+                     "sharded/" + std::string(key_type_name(t)));
+  }
+  const TypedData di = make_tied(KeyType::kU32, 4096, 0xAC10);
+  EXPECT_THROW((void)coord.select_typed(di.view(), 8), std::invalid_argument);
+}
+
+TEST(KeyValueSelect, ServingTypedSubmitDecodesPerRequest) {
+  serve::ServiceConfig cfg;
+  cfg.num_devices = 1;
+  cfg.max_batch = 2;
+  cfg.max_wait = std::chrono::microseconds(500);
+  serve::TopkService svc(cfg);
+  const std::size_t n = 2048, k = 16;
+  const TypedData a = make_tied(KeyType::kF16, n, 0xAC20, 300);
+  const TypedData b = make_tied(KeyType::kBF16, n, 0xAC21, 300);
+  auto fa = svc.submit(a.view(), k);
+  auto fb = svc.submit(b.view(), k);
+  const serve::QueryResult ra = fa.get();
+  const serve::QueryResult rb = fb.get();
+  ASSERT_EQ(ra.status, serve::QueryStatus::kOk) << ra.error;
+  ASSERT_EQ(rb.status, serve::QueryStatus::kOk) << rb.error;
+  // Different dtypes must not coalesce into one carrier batch.
+  EXPECT_EQ(ra.batch_rows, 1u);
+  EXPECT_EQ(rb.batch_rows, 1u);
+  verify_typed_row(a, 0, n, k, false, ra.topk, nullptr, "serve/f16");
+  verify_typed_row(b, 0, n, k, false, rb.topk, nullptr, "serve/bf16");
+  const TypedData di = make_tied(KeyType::kI32, 256, 0xAC22);
+  EXPECT_THROW((void)svc.submit(di.view(), 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace topk

@@ -11,7 +11,9 @@
 // also proves the exact path reproduces the bulk charges).
 
 #include <algorithm>
+#include <bit>
 #include <cctype>
+#include <cstdint>
 #include <cstdlib>
 #include <string>
 #include <variant>
@@ -23,6 +25,7 @@
 #include "core/topk.hpp"
 #include "data/distributions.hpp"
 #include "simgpu/simgpu.hpp"
+#include "topk/key_codec.hpp"
 
 namespace topk {
 namespace {
@@ -225,6 +228,139 @@ std::vector<InvarianceCase> cases() {
 
 INSTANTIATE_TEST_SUITE_P(Matrix, TileInvariance, ::testing::ValuesIn(cases()),
                          case_name);
+
+// ---- typed keys across the same mode grid ---------------------------------
+// The dtype layer must be invisible to the counter stream too: a typed
+// select (f16 on the float carrier with a u32 payload, i32 on the u32
+// carrier with a u64 payload) produces bit-identical KernelStats, modeled
+// time, result bits and gathered payloads across the full
+// {tile x warpfast x simcheck x pool} grid.  Payload gather is a host-side
+// post-pass, so it must contribute zero kernels to the stream.
+
+struct TypedTrace {
+  std::vector<simgpu::KernelStats> kernels;
+  double model_us = 0.0;
+  std::vector<std::uint32_t> sorted_bits;
+  std::vector<std::uint64_t> sorted_payload;
+  bool sanitizer_clean = true;
+  std::string sanitizer_report;
+};
+
+TypedTrace run_typed_once(KeyView keys, PayloadView payload, std::size_t n,
+                          std::size_t k, Algo algo, bool tile, bool warpfast,
+                          bool simcheck, bool pool) {
+  simgpu::set_tile_path_enabled(tile);
+  simgpu::set_warpfast_path_enabled(warpfast);
+  simgpu::set_pool_enabled(pool);
+  simgpu::Device dev;
+  if (simcheck) dev.enable_sanitizer();
+  const auto results = select_batch(dev, keys, 1, n, k, algo, {}, payload);
+
+  TypedTrace t;
+  for (const auto& e : dev.events()) {
+    if (const auto* ke = std::get_if<simgpu::KernelEvent>(&e)) {
+      t.kernels.push_back(ke->stats);
+    }
+  }
+  t.model_us = simgpu::CostModel(dev.spec()).total_us(dev.events());
+  const SelectResult& r = results[0];
+  for (std::size_t i = 0; i < k; ++i) {
+    t.sorted_bits.push_back(r.dtype == KeyType::kF32
+                                ? std::bit_cast<std::uint32_t>(r.values[i])
+                                : r.values_bits[i]);
+  }
+  std::sort(t.sorted_bits.begin(), t.sorted_bits.end());
+  t.sorted_payload = r.payload;
+  std::sort(t.sorted_payload.begin(), t.sorted_payload.end());
+  if (simcheck) {
+    const auto rep = dev.sanitizer()->snapshot();
+    t.sanitizer_clean = rep.clean();
+    t.sanitizer_report = rep.to_string();
+  }
+  return t;
+}
+
+void expect_identical_typed(const TypedTrace& a, const TypedTrace& b,
+                            const std::string& what) {
+  ASSERT_EQ(a.kernels.size(), b.kernels.size()) << what;
+  for (std::size_t i = 0; i < a.kernels.size(); ++i) {
+    EXPECT_EQ(a.kernels[i].name, b.kernels[i].name) << what << " kernel " << i;
+    EXPECT_EQ(a.kernels[i].bytes_read, b.kernels[i].bytes_read)
+        << what << " kernel " << i;
+    EXPECT_EQ(a.kernels[i].bytes_written, b.kernels[i].bytes_written)
+        << what << " kernel " << i;
+    EXPECT_EQ(a.kernels[i].lane_ops, b.kernels[i].lane_ops)
+        << what << " kernel " << i;
+  }
+  EXPECT_EQ(a.model_us, b.model_us) << what << " modeled time";
+  EXPECT_EQ(a.sorted_bits, b.sorted_bits) << what << " result bits";
+  EXPECT_EQ(a.sorted_payload, b.sorted_payload) << what << " payloads";
+}
+
+TEST(TypedTileInvariance, DtypeAndPayloadInvisibleToCounterStream) {
+  TileGuard guard;
+  const std::size_t n = 70001, k = 517;
+  const auto values = data::generate(
+      {data::Distribution::kAdversarial, 20}, n, 0xD7);
+
+  std::vector<half> f16;
+  f16.reserve(n);
+  std::vector<std::int32_t> i32;
+  i32.reserve(n);
+  for (const float v : values) {
+    f16.emplace_back(v);
+    i32.push_back(static_cast<std::int32_t>(v * 1e6f));
+  }
+  std::vector<std::uint32_t> pay32(n);
+  std::vector<std::uint64_t> pay64(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pay32[i] = static_cast<std::uint32_t>(i);
+    pay64[i] = static_cast<std::uint64_t>(i) << 21;
+  }
+
+  struct Leg {
+    KeyView keys;
+    PayloadView payload;
+    Algo algo;
+    const char* what;
+  };
+  const Leg legs[] = {
+      {KeyView::of(std::span<const half>(f16)),
+       PayloadView::of(std::span<const std::uint32_t>(pay32)),
+       Algo::kRadixSelect, "f16+u32pay radixselect"},
+      {KeyView::of(std::span<const std::int32_t>(i32)),
+       PayloadView::of(std::span<const std::uint64_t>(pay64)),
+       Algo::kAirTopk, "i32+u64pay air"},
+  };
+  for (const Leg& leg : legs) {
+    const TypedTrace scalar = run_typed_once(leg.keys, leg.payload, n, k,
+                                             leg.algo, false, false, false,
+                                             true);
+    ASSERT_FALSE(scalar.kernels.empty()) << leg.what;
+    const TypedTrace wf = run_typed_once(leg.keys, leg.payload, n, k,
+                                         leg.algo, true, true, false, true);
+    const TypedTrace wf_checked = run_typed_once(
+        leg.keys, leg.payload, n, k, leg.algo, true, true, true, true);
+    const TypedTrace nopool = run_typed_once(leg.keys, leg.payload, n, k,
+                                             leg.algo, true, true, false,
+                                             false);
+    expect_identical_typed(scalar, wf,
+                           std::string(leg.what) + " [tile+warpfast]");
+    expect_identical_typed(scalar, wf_checked,
+                           std::string(leg.what) + " [simcheck]");
+    expect_identical_typed(scalar, nopool,
+                           std::string(leg.what) + " [pool off]");
+    EXPECT_TRUE(wf_checked.sanitizer_clean)
+        << leg.what << ":\n" << wf_checked.sanitizer_report;
+    // The float-keyed baseline on identical carrier data must produce the
+    // same kernel stream shape (payload adds no kernels).
+    const TypedTrace nopay = run_typed_once(leg.keys, {}, n, k, leg.algo,
+                                            false, false, false, true);
+    ASSERT_EQ(scalar.kernels.size(), nopay.kernels.size())
+        << leg.what << ": payload gather must stay off-device";
+    EXPECT_EQ(scalar.model_us, nopay.model_us) << leg.what;
+  }
+}
 
 }  // namespace
 }  // namespace topk

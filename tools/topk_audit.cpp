@@ -15,7 +15,10 @@
 //   --algo KEY audit one algorithm by registry key ("air", "radixselect", ...)
 //   --grid     sweep n = 2^10 .. 2^TOPK_MAX_LOG_N (env, default 18) and
 //              k in {1, 16, 256, 2048} (clamped per row), batch in {1, 4};
-//              without it, one representative shape per algorithm
+//              without it, one representative shape per algorithm.  Every
+//              shape is audited once per key dtype the row declares
+//              (f32/f16/bf16 and, for carrier-generic rows, i32/u32), and
+//              streaming rows add large-K shapes up to n=2^24, k=2^20
 //   --sharded  additionally audit the plans a sharded multi-device query
 //              executes (topk::shard::plan_sharded against a device capped
 //              at 2^22 keys): every distinct per-shard plan plus the
@@ -43,6 +46,7 @@ struct Config {
   std::string_view key;
   std::size_t batch, n, k;
   bool greatest;
+  topk::KeyType dtype;
 };
 
 struct Result {
@@ -62,36 +66,56 @@ std::size_t max_log_n_from_env() {
 std::vector<Config> build_grid(const topk::AlgoRow& row, bool grid,
                                const simgpu::DeviceSpec& spec) {
   std::vector<Config> configs;
+  // Every shape is audited once per key type the registry row declares
+  // (the dtype dimension of the grid): the plan's carrier domain and the
+  // negate-vs-complement largest-K wrap both depend on it.  Payloads never
+  // appear here — the payload gather is a host-side post-pass over the
+  // winning indices and plans identically with or without one.
   const auto add = [&](std::size_t batch, std::size_t n, std::size_t k) {
     if (k == 0 || k > n) return;
     if (row.k_limit != 0 && k > row.k_limit) return;
-    // Shapes past the per-device capacity can only be served sharded;
-    // single-device plans for them are rejected by design, not defects.
-    if (n > spec.max_select_elems) return;
-    configs.push_back({row.algo, row.key, batch, n, k, false});
-    configs.push_back({row.algo, row.key, batch, n, k, true});
+    // Shapes past the per-device capacity can only be served sharded —
+    // unless the row is a streaming tier, whose scratch is bounded
+    // independent of n; single-device plans for the rest are rejected by
+    // design, not defects.
+    if (!row.streaming && n > spec.max_select_elems) return;
+    for (std::size_t d = 0; d < topk::kNumKeyTypes; ++d) {
+      const auto t = static_cast<topk::KeyType>(d);
+      if ((row.dtypes & topk::key_type_bit(t)) == 0) continue;
+      configs.push_back({row.algo, row.key, batch, n, k, false, t});
+      configs.push_back({row.algo, row.key, batch, n, k, true, t});
+    }
   };
   if (!grid) {
     add(1, std::size_t{1} << 14, 64);
     add(4, std::size_t{1} << 12, 16);
-    return configs;
-  }
-  const std::size_t max_log_n = max_log_n_from_env();
-  for (std::size_t log_n = 10; log_n <= max_log_n; log_n += 2) {
-    const std::size_t n = std::size_t{1} << log_n;
-    for (std::size_t k : {std::size_t{1}, std::size_t{16}, std::size_t{256},
-                          std::size_t{2048}}) {
-      add(1, n, k);
-      add(4, n, k);
+  } else {
+    const std::size_t max_log_n = max_log_n_from_env();
+    for (std::size_t log_n = 10; log_n <= max_log_n; log_n += 2) {
+      const std::size_t n = std::size_t{1} << log_n;
+      for (std::size_t k : {std::size_t{1}, std::size_t{16}, std::size_t{256},
+                            std::size_t{2048}}) {
+        add(1, n, k);
+        add(4, n, k);
+      }
     }
+  }
+  if (row.streaming) {
+    // The streaming schedule's distinguishing shapes: multi-chunk rows with
+    // K far past the partial-sorting limits, up to the N = 2^24 / K = 2^20
+    // scale the large-K acceptance gate executes.
+    add(1, std::size_t{1} << 22, std::size_t{1} << 12);
+    add(2, std::size_t{1} << 22, std::size_t{1} << 16);
+    add(1, std::size_t{1} << 24, std::size_t{1} << 20);
   }
   return configs;
 }
 
 std::string config_label(const Config& cfg) {
   std::ostringstream out;
-  out << cfg.key << " batch=" << cfg.batch << " n=" << cfg.n
-      << " k=" << cfg.k << (cfg.greatest ? " greatest" : " smallest");
+  out << cfg.key << " dtype=" << topk::key_type_name(cfg.dtype)
+      << " batch=" << cfg.batch << " n=" << cfg.n << " k=" << cfg.k
+      << (cfg.greatest ? " greatest" : " smallest");
   return out.str();
 }
 
@@ -185,6 +209,7 @@ int main(int argc, char** argv) {
       try {
         topk::SelectOptions opt;
         opt.greatest = cfg.greatest;
+        opt.dtype = cfg.dtype;
         const topk::ExecutionPlan plan =
             topk::plan_select(spec, cfg.batch, cfg.n, cfg.k, cfg.algo, opt);
         res.report = topk::verify::audit_plan(plan);
@@ -221,7 +246,8 @@ int main(int argc, char** argv) {
       if (!res.plan_error.empty() || !res.report.clean() || verbose) {
         if (!first) out << ", ";
         first = false;
-        out << "{\"algo\": \"" << res.cfg.key
+        out << "{\"algo\": \"" << res.cfg.key << "\", \"dtype\": \""
+            << topk::key_type_name(res.cfg.dtype)
             << "\", \"batch\": " << res.cfg.batch << ", \"n\": " << res.cfg.n
             << ", \"k\": " << res.cfg.k << ", \"greatest\": "
             << (res.cfg.greatest ? "true" : "false");
